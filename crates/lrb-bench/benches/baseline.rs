@@ -1,0 +1,55 @@
+//! F3 — the combinatorial algorithm vs the LP baseline: the paper's "much
+//! faster and hence, more likely to be useful in practice" claim (§1),
+//! quantified. M-PARTITION should beat the Shmoys–Tardos LP pipeline by
+//! orders of magnitude as `n·m` grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lrb_core::mpartition;
+use lrb_instances::generators::{GeneratorConfig, PlacementModel, SizeDistribution};
+
+fn instance(n: usize, m: usize) -> lrb_core::model::Instance {
+    GeneratorConfig {
+        n,
+        m,
+        sizes: SizeDistribution::Pareto {
+            scale: 5,
+            alpha: 1.4,
+        },
+        placement: PlacementModel::Skewed { skew: 1.0 },
+        costs: lrb_instances::generators::CostModel::Unit,
+    }
+    .generate(11)
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f3_baseline");
+    for &(n, m) in &[(20usize, 4usize), (40, 4), (60, 6)] {
+        let inst = instance(n, m);
+        let k = n / 8;
+        group.bench_with_input(
+            BenchmarkId::new("m-partition", format!("{n}x{m}")),
+            &inst,
+            |b, inst| b.iter(|| mpartition::rebalance(inst, k).unwrap().outcome.makespan()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("shmoys-tardos-lp", format!("{n}x{m}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    lrb_lp::rebalance(inst, k as u64)
+                        .unwrap()
+                        .outcome
+                        .makespan()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_baseline
+}
+criterion_main!(benches);

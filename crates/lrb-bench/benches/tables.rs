@@ -1,0 +1,33 @@
+//! Custom-harness bench target that regenerates every experiment table
+//! (T1–T14). Run with:
+//!
+//! ```text
+//! cargo bench -p lrb-bench --bench tables                # quick scale
+//! LRB_SCALE=full cargo bench -p lrb-bench --bench tables # recorded scale
+//! ```
+
+use std::time::Instant;
+
+use lrb_bench::{all_experiments, Scale};
+
+fn main() {
+    // `cargo bench` passes flags like `--bench`; take any non-flag argument
+    // as an experiment-id filter.
+    let filter: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    let scale = Scale::from_env();
+    println!("experiment scale: {scale:?} (set LRB_SCALE=full for recorded scale)\n");
+
+    for (id, run) in all_experiments() {
+        if !filter.is_empty() && !filter.iter().any(|f| id.contains(f.as_str())) {
+            continue;
+        }
+        let t0 = Instant::now();
+        let table = run(scale);
+        let dt = t0.elapsed();
+        println!("{}", table.render());
+        println!("[{id} took {dt:.2?}]\n");
+    }
+}

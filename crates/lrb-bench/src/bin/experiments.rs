@@ -1,0 +1,27 @@
+//! Run experiment tables by id: `cargo run -p lrb-bench --release --bin
+//! experiments -- t4 t12` (no arguments = all).
+
+use lrb_bench::{all_experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_env();
+    let mut matched = false;
+    for (id, run) in all_experiments() {
+        if args.is_empty() || args.iter().any(|a| a == id) {
+            matched = true;
+            println!("{}", run(scale).render());
+        }
+    }
+    if !matched {
+        eprintln!(
+            "unknown experiment id(s); available: {}",
+            all_experiments()
+                .iter()
+                .map(|(id, _)| *id)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(2);
+    }
+}

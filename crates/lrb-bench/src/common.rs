@@ -1,0 +1,89 @@
+//! Shared experiment configuration and helpers.
+
+use lrb_instances::generators::{GeneratorConfig, PlacementModel, SizeDistribution};
+
+/// Global experiment scale knob. `Quick` is used by `cargo bench` smoke
+/// runs and CI; `Full` by the recorded EXPERIMENTS.md numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Few trials — seconds.
+    Quick,
+    /// Full trial counts — minutes.
+    Full,
+}
+
+impl Scale {
+    /// Read from the `LRB_SCALE` environment variable (`full` or anything
+    /// else for quick).
+    pub fn from_env() -> Scale {
+        match std::env::var("LRB_SCALE").as_deref() {
+            Ok("full") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Trials per sweep cell.
+    pub fn trials(&self) -> usize {
+        match self {
+            Scale::Quick => 5,
+            Scale::Full => 30,
+        }
+    }
+}
+
+/// The size distributions every ratio experiment sweeps.
+pub fn standard_distributions() -> Vec<(&'static str, SizeDistribution)> {
+    vec![
+        ("uniform", SizeDistribution::Uniform { lo: 1, hi: 100 }),
+        ("exponential", SizeDistribution::Exponential { mean: 30.0 }),
+        (
+            "pareto",
+            SizeDistribution::Pareto {
+                scale: 5,
+                alpha: 1.3,
+            },
+        ),
+    ]
+}
+
+/// A generator for small oracle-checkable instances.
+pub fn small_config(n: usize, m: usize, dist: SizeDistribution) -> GeneratorConfig {
+    GeneratorConfig {
+        n,
+        m,
+        sizes: dist,
+        placement: PlacementModel::Random,
+        costs: lrb_instances::generators::CostModel::Unit,
+    }
+}
+
+/// Ratio helper guarding a zero denominator (a zero optimum means a zero
+/// numerator too — empty or all-zero instances — so the ratio is 1).
+pub fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        1.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_guards_zero() {
+        assert_eq!(ratio(0, 0), 1.0);
+        assert_eq!(ratio(3, 2), 1.5);
+    }
+
+    #[test]
+    fn scale_trials() {
+        assert!(Scale::Full.trials() > Scale::Quick.trials());
+    }
+
+    #[test]
+    fn standard_distributions_nonempty() {
+        assert_eq!(standard_distributions().len(), 3);
+    }
+}

@@ -1,0 +1,47 @@
+//! # lrb-bench — the experiment suite (T1–T14)
+//!
+//! One public function per experiment table in DESIGN.md's experiment
+//! index; the `tables` bench target and the `experiments` binary both just
+//! call these and print the results. Timing figures F1–F3 live in the
+//! criterion benches (`benches/scaling.rs`, `benches/cost_ptas.rs`,
+//! `benches/baseline.rs`).
+
+pub mod common;
+pub mod cost_experiments;
+pub mod extensions;
+pub mod hardness;
+pub mod ratio_experiments;
+pub mod shootout;
+pub mod webfarm;
+
+pub use common::Scale;
+
+use lrb_harness::Table;
+
+/// An experiment entry point: takes a scale, returns a table.
+pub type Experiment = fn(Scale) -> Table;
+
+/// Every experiment, in index order, as (id, runner) pairs.
+pub fn all_experiments() -> Vec<(&'static str, Experiment)> {
+    vec![
+        ("t1", ratio_experiments::t1_greedy_ratio),
+        ("t2", ratio_experiments::t2_greedy_tight),
+        ("t3", ratio_experiments::t3_g1_bound),
+        ("t4", ratio_experiments::t4_partition_ratio),
+        ("t5", ratio_experiments::t5_partition_tight),
+        ("t6", ratio_experiments::t6_partition_moves),
+        ("t7", cost_experiments::t7_cost_partition),
+        ("t8", cost_experiments::t8_ptas_quality),
+        ("t9", shootout::t9_shootout),
+        ("t10", hardness::t10_hardness_3dm),
+        ("t11", hardness::t11_conflict),
+        ("t12", webfarm::t12_webfarm),
+        ("t13", shootout::t13_crossover),
+        ("t14", shootout::t14_threshold_ablation),
+        ("t15", extensions::t15_constrained),
+        ("t16", extensions::t16_process_migration),
+        ("t17", extensions::t17_greedy_order),
+        ("t18", extensions::t18_conflict_quality),
+        ("t19", hardness::t19_gap_rounding_on_gadgets),
+    ]
+}

@@ -1,0 +1,96 @@
+//! Experiment T12: the motivating web-farm scenario (§1, Linder–Shah).
+//!
+//! A drifting web farm is simulated under every policy and a sweep of
+//! per-epoch move budgets; the table reports imbalance statistics and
+//! migration totals. The paper's qualitative claim — a small number of
+//! moves captures most of full rebalancing's benefit — shows up as the
+//! imbalance column flattening long before the budget reaches "unlimited".
+
+use lrb_core::model::Budget;
+use lrb_harness::Table;
+use lrb_sim::{
+    run_farm, FarmConfig, FullRebalance, GreedyPolicy, MPartitionPolicy, MigrationCost,
+    NoRebalance, Policy, WorkloadConfig,
+};
+
+use crate::common::Scale;
+
+fn farm_config(scale: Scale, budget: Budget) -> FarmConfig {
+    let (sites, servers, epochs) = match scale {
+        Scale::Quick => (120, 8, 60),
+        Scale::Full => (400, 16, 200),
+    };
+    FarmConfig {
+        num_servers: servers,
+        epochs,
+        budget,
+        workload: WorkloadConfig::default_web(sites),
+        migration_cost: MigrationCost::Unit,
+        seed: 0xF12,
+    }
+}
+
+/// T12 — policies × budgets on the web farm.
+pub fn t12_webfarm(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "T12: web farm under drift (mean/median imbalance, total migrations)",
+        &["policy", "k/epoch", "mean imb", "median imb", "migrations"],
+    );
+
+    // The no-op and unlimited baselines.
+    let cfg = farm_config(scale, Budget::Moves(0));
+    let r = run_farm(&cfg, &mut NoRebalance);
+    push_row(&mut table, &r, "0");
+    for &k in &[2usize, 8, 32] {
+        let cfg = farm_config(scale, Budget::Moves(k));
+        for policy in [&mut GreedyPolicy as &mut dyn Policy, &mut MPartitionPolicy] {
+            let r = run_farm(&cfg, policy);
+            push_row(&mut table, &r, &k.to_string());
+        }
+    }
+    let cfg = farm_config(scale, Budget::Moves(usize::MAX));
+    let r = run_farm(&cfg, &mut FullRebalance);
+    push_row(&mut table, &r, "inf");
+    table
+}
+
+fn push_row(table: &mut Table, r: &lrb_sim::SimReport, k: &str) {
+    table.row(&[
+        r.policy.clone(),
+        k.to_string(),
+        format!("{:.3}", r.mean_imbalance()),
+        format!("{:.3}", r.percentile_imbalance(50.0)),
+        r.total_migrations().to_string(),
+    ]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t12_shapes_hold() {
+        let t = t12_webfarm(Scale::Quick);
+        let rows: Vec<Vec<String>> = t
+            .to_csv()
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').map(|s| s.to_string()).collect())
+            .collect();
+        let imb = |row: &Vec<String>| -> f64 { row[2].parse().unwrap() };
+        let no_rebalance = &rows[0];
+        let full = rows.last().unwrap();
+        // Rebalancing beats drifting; the unlimited baseline is at least as
+        // good as any bounded row (small tolerance for LPT noise).
+        for row in &rows[1..] {
+            assert!(imb(row) <= imb(no_rebalance) + 1e-9, "{row:?}");
+        }
+        for row in &rows[..rows.len() - 1] {
+            assert!(imb(full) <= imb(row) + 0.05, "{row:?}");
+        }
+        // More budget doesn't substantially hurt m-partition (trajectories
+        // diverge under drift, so this is a tolerance check, not monotone).
+        let mp: Vec<&Vec<String>> = rows.iter().filter(|r| r[0] == "m-partition").collect();
+        assert!(imb(mp.last().unwrap()) <= imb(mp[0]) + 0.05);
+    }
+}

@@ -1,0 +1,179 @@
+//! A small, dependency-free argument parser: `--flag value` pairs plus
+//! positionals, with typed accessors and unknown-flag detection.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    positionals: Vec<String>,
+    flags: BTreeMap<String, String>,
+    /// Flags that were given but never read (reported as errors).
+    seen: std::cell::RefCell<Vec<String>>,
+}
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// `--flag` given without a value.
+    MissingValue(String),
+    /// A required flag is absent.
+    Required(String),
+    /// A value failed to parse.
+    Invalid {
+        flag: String,
+        value: String,
+        expected: &'static str,
+    },
+    /// Flags nobody asked for.
+    Unknown(Vec<String>),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingValue(flag) => write!(f, "--{flag} needs a value"),
+            ArgError::Required(flag) => write!(f, "--{flag} is required"),
+            ArgError::Invalid {
+                flag,
+                value,
+                expected,
+            } => {
+                write!(f, "--{flag} {value}: expected {expected}")
+            }
+            ArgError::Unknown(flags) => write!(f, "unknown flags: {}", flags.join(", ")),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse a raw token stream (no program name).
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, ArgError> {
+        let mut positionals = Vec::new();
+        let mut flags = BTreeMap::new();
+        let mut it = tokens.into_iter().peekable();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                let Some(value) = it.next() else {
+                    return Err(ArgError::MissingValue(name.to_string()));
+                };
+                flags.insert(name.to_string(), value);
+            } else {
+                positionals.push(tok);
+            }
+        }
+        Ok(Args {
+            positionals,
+            flags,
+            seen: Default::default(),
+        })
+    }
+
+    /// Positional arguments in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// Raw string flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.seen.borrow_mut().push(name.to_string());
+        self.flags.get(name).map(|s| s.as_str())
+    }
+
+    /// Required string flag.
+    pub fn require(&self, name: &str) -> Result<&str, ArgError> {
+        self.get(name)
+            .ok_or_else(|| ArgError::Required(name.to_string()))
+    }
+
+    /// Typed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::Invalid {
+                flag: name.to_string(),
+                value: v.to_string(),
+                expected: std::any::type_name::<T>(),
+            }),
+        }
+    }
+
+    /// Required typed flag.
+    pub fn require_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<T, ArgError> {
+        let v = self.require(name)?;
+        v.parse().map_err(|_| ArgError::Invalid {
+            flag: name.to_string(),
+            value: v.to_string(),
+            expected: std::any::type_name::<T>(),
+        })
+    }
+
+    /// After all reads: error if any flag was provided but never consulted.
+    pub fn reject_unknown(&self) -> Result<(), ArgError> {
+        let seen = self.seen.borrow();
+        let unknown: Vec<String> = self
+            .flags
+            .keys()
+            .filter(|k| !seen.iter().any(|s| s == *k))
+            .map(|k| format!("--{k}"))
+            .collect();
+        if unknown.is_empty() {
+            Ok(())
+        } else {
+            Err(ArgError::Unknown(unknown))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(str::to_string)).unwrap()
+    }
+
+    #[test]
+    fn positionals_and_flags() {
+        let a = parse("solve inst.json --moves 3 --algorithm greedy");
+        assert_eq!(a.positionals(), &["solve", "inst.json"]);
+        assert_eq!(a.get("moves"), Some("3"));
+        assert_eq!(a.get_or::<usize>("moves", 0).unwrap(), 3);
+        assert_eq!(a.get("algorithm"), Some("greedy"));
+        assert!(a.reject_unknown().is_ok());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let err = Args::parse(vec!["--moves".to_string()]).unwrap_err();
+        assert_eq!(err, ArgError::MissingValue("moves".into()));
+    }
+
+    #[test]
+    fn required_and_invalid() {
+        let a = parse("cmd --n abc");
+        assert!(matches!(a.require("missing"), Err(ArgError::Required(_))));
+        assert!(matches!(
+            a.require_parsed::<usize>("n"),
+            Err(ArgError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_flags_detected() {
+        let a = parse("cmd --typo 1 --real 2");
+        let _ = a.get("real");
+        match a.reject_unknown() {
+            Err(ArgError::Unknown(v)) => assert_eq!(v, vec!["--typo".to_string()]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("cmd");
+        assert_eq!(a.get_or::<u64>("seed", 42).unwrap(), 42);
+    }
+}

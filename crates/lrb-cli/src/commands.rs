@@ -1,0 +1,538 @@
+//! The CLI subcommands: `generate`, `info`, `solve`, `simulate`.
+
+use lrb_core::model::Budget;
+use lrb_core::ptas::{self, Precision};
+use lrb_core::{bounds, cost_partition, greedy, mpartition};
+use lrb_harness::Table;
+use lrb_instances::generators::{CostModel, GeneratorConfig, PlacementModel, SizeDistribution};
+use lrb_instances::spec;
+use lrb_sim::{
+    run_farm, FarmConfig, FullRebalance, GreedyPolicy, MPartitionPolicy, MigrationCost,
+    NoRebalance, Policy, WorkloadConfig,
+};
+
+use crate::args::Args;
+
+/// Top-level error: message already formatted for the user.
+pub type CmdResult = Result<String, String>;
+
+/// `lrb generate --n N --m M [--dist uniform|exponential|pareto|constant]
+/// [--placement random|pile|skewed|balanced] [--costs unit|uniform|size]
+/// [--seed S] --out FILE`
+pub fn generate(args: &Args) -> CmdResult {
+    let n: usize = args.require_parsed("n").map_err(|e| e.to_string())?;
+    let m: usize = args.require_parsed("m").map_err(|e| e.to_string())?;
+    let seed: u64 = args.get_or("seed", 0).map_err(|e| e.to_string())?;
+    let sizes = match args.get("dist").unwrap_or("uniform") {
+        "uniform" => SizeDistribution::Uniform { lo: 1, hi: 100 },
+        "exponential" => SizeDistribution::Exponential { mean: 30.0 },
+        "pareto" => SizeDistribution::Pareto {
+            scale: 5,
+            alpha: 1.4,
+        },
+        "constant" => SizeDistribution::Constant(10),
+        other => return Err(format!("unknown --dist {other}")),
+    };
+    let placement = match args.get("placement").unwrap_or("random") {
+        "random" => PlacementModel::Random,
+        "pile" => PlacementModel::Pile,
+        "skewed" => PlacementModel::Skewed { skew: 1.5 },
+        "balanced" => PlacementModel::PerturbedBalanced {
+            perturbations: n / 10,
+        },
+        other => return Err(format!("unknown --placement {other}")),
+    };
+    let costs = match args.get("costs").unwrap_or("unit") {
+        "unit" => CostModel::Unit,
+        "uniform" => CostModel::Uniform { lo: 1, hi: 10 },
+        "size" => CostModel::ProportionalToSize { divisor: 10 },
+        other => return Err(format!("unknown --costs {other}")),
+    };
+    let out = args.require("out").map_err(|e| e.to_string())?.to_string();
+    args.reject_unknown().map_err(|e| e.to_string())?;
+
+    let inst = GeneratorConfig {
+        n,
+        m,
+        sizes,
+        placement,
+        costs,
+    }
+    .generate(seed);
+    spec::save_json(&inst, &out).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "wrote {out}: n={n} m={m} makespan={} avg={}",
+        inst.initial_makespan(),
+        inst.avg_load_ceil()
+    ))
+}
+
+/// Read the raw spec (for eligibility-aware commands).
+fn spec_of(path: &str) -> Result<spec::InstanceSpec, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("io error: {e}"))?;
+    spec::InstanceSpec::from_json(&text).map_err(|e| format!("json error: {e}"))
+}
+
+/// `lrb info FILE` — summarize an instance.
+pub fn info(args: &Args, path: &str) -> CmdResult {
+    args.reject_unknown().map_err(|e| e.to_string())?;
+    let inst = spec::load_json(path).map_err(|e| e.to_string())?;
+    let constrained = spec_of(path)?.is_constrained();
+    let loads = inst.initial_loads();
+    let mut out = String::new();
+    out.push_str(&format!("jobs:        {}\n", inst.num_jobs()));
+    out.push_str(&format!("processors:  {}\n", inst.num_procs()));
+    out.push_str(&format!("total size:  {}\n", inst.total_size()));
+    out.push_str(&format!("makespan:    {}\n", inst.initial_makespan()));
+    out.push_str(&format!("avg load:    {}\n", inst.avg_load_ceil()));
+    out.push_str(&format!("max job:     {}\n", inst.max_job_size()));
+    out.push_str(&format!("unit costs:  {}\n", inst.is_unit_cost()));
+    out.push_str(&format!("constrained: {constrained}\n"));
+    out.push_str(&format!("loads:       {loads:?}"));
+    Ok(out)
+}
+
+/// `lrb solve FILE --algorithm greedy|mpartition|cost|ptas|st-lp|exact
+/// (--moves K | --budget B) [--eps E]`
+pub fn solve(args: &Args, path: &str) -> CmdResult {
+    let inst = spec::load_json(path).map_err(|e| e.to_string())?;
+    let algorithm = args.get("algorithm").unwrap_or("mpartition").to_string();
+    let moves: Option<usize> = match args.get("moves") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("--moves {v}: expected integer"))?,
+        ),
+        None => None,
+    };
+    let budget: Option<u64> = match args.get("budget") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("--budget {v}: expected integer"))?,
+        ),
+        None => None,
+    };
+    let eps: f64 = args.get_or("eps", 1.0).map_err(|e| e.to_string())?;
+    let search = match args.get("search").unwrap_or("binary") {
+        "binary" => lrb_core::mpartition::ThresholdSearch::Binary,
+        "scan" => lrb_core::mpartition::ThresholdSearch::Scan,
+        "incremental" => lrb_core::mpartition::ThresholdSearch::Incremental,
+        other => return Err(format!("unknown --search {other}")),
+    };
+    args.reject_unknown().map_err(|e| e.to_string())?;
+
+    let budget_enum = match (moves, budget) {
+        (Some(k), None) => Budget::Moves(k),
+        (None, Some(b)) => Budget::Cost(b),
+        (None, None) => return Err("one of --moves or --budget is required".into()),
+        (Some(_), Some(_)) => return Err("--moves and --budget are mutually exclusive".into()),
+    };
+    let cost_budget = budget_enum.as_cost();
+
+    let outcome = match algorithm.as_str() {
+        "greedy" => {
+            let Budget::Moves(k) = budget_enum else {
+                return Err("greedy takes --moves, not --budget".into());
+            };
+            greedy::rebalance(&inst, k).map_err(|e| e.to_string())?
+        }
+        "mpartition" => match budget_enum {
+            Budget::Moves(k) => {
+                mpartition::rebalance_with(&inst, k, search)
+                    .map_err(|e| e.to_string())?
+                    .outcome
+            }
+            Budget::Cost(b) => {
+                cost_partition::rebalance(&inst, b)
+                    .map_err(|e| e.to_string())?
+                    .outcome
+            }
+        },
+        "cost" => {
+            cost_partition::rebalance(&inst, cost_budget)
+                .map_err(|e| e.to_string())?
+                .outcome
+        }
+        "ptas" => {
+            ptas::rebalance(&inst, cost_budget, Precision::for_epsilon(eps))
+                .map_err(|e| e.to_string())?
+                .outcome
+        }
+        "st-lp" => {
+            lrb_lp::rebalance(&inst, cost_budget)
+                .map_err(|e| e.to_string())?
+                .outcome
+        }
+        "constrained-lp" => {
+            let spec = spec_of(path)?;
+            let cinst = spec.to_constrained().map_err(|e| e.to_string())?;
+            lrb_lp::constrained::rebalance(&cinst, cost_budget)
+                .map_err(|e| e.to_string())?
+                .outcome
+        }
+        "constrained-greedy" => {
+            let Budget::Moves(k) = budget_enum else {
+                return Err("constrained-greedy takes --moves, not --budget".into());
+            };
+            let spec = spec_of(path)?;
+            let cinst = spec.to_constrained().map_err(|e| e.to_string())?;
+            lrb_core::constrained::greedy(&cinst, k).map_err(|e| e.to_string())?
+        }
+        "exact" => {
+            if inst.num_jobs() > 22 {
+                return Err(format!(
+                    "exact solver limited to 22 jobs; instance has {}",
+                    inst.num_jobs()
+                ));
+            }
+            let sol = lrb_exact::solve(&inst, budget_enum);
+            lrb_core::outcome::RebalanceOutcome::from_assignment(&inst, sol.assignment)
+                .map_err(|e| e.to_string())?
+        }
+        other => return Err(format!("unknown --algorithm {other}")),
+    };
+
+    let lb = bounds::lower_bound(&inst, budget_enum);
+    let mut out = String::new();
+    out.push_str(&format!("algorithm:   {algorithm}\n"));
+    out.push_str(&format!(
+        "makespan:    {} (was {})\n",
+        outcome.makespan(),
+        inst.initial_makespan()
+    ));
+    out.push_str(&format!("lower bound: {lb}\n"));
+    out.push_str(&format!("moves:       {}\n", outcome.moves()));
+    out.push_str(&format!("move cost:   {}\n", outcome.cost()));
+    out.push_str(&format!("moved jobs:  {:?}\n", outcome.moved()));
+    let loads = inst
+        .loads_of(outcome.assignment())
+        .map_err(|e| e.to_string())?;
+    out.push_str(&format!("loads:       {loads:?}"));
+    Ok(out)
+}
+
+/// `lrb simulate [--sites N] [--servers M] [--epochs E] [--moves K]
+/// [--seed S]` — run the web-farm simulation across all policies.
+pub fn simulate(args: &Args) -> CmdResult {
+    let sites: usize = args.get_or("sites", 120).map_err(|e| e.to_string())?;
+    let servers: usize = args.get_or("servers", 8).map_err(|e| e.to_string())?;
+    let epochs: usize = args.get_or("epochs", 100).map_err(|e| e.to_string())?;
+    let k: usize = args.get_or("moves", 4).map_err(|e| e.to_string())?;
+    let seed: u64 = args.get_or("seed", 0).map_err(|e| e.to_string())?;
+    let trace_dir = args.get("trace-dir").map(str::to_string);
+    args.reject_unknown().map_err(|e| e.to_string())?;
+
+    let cfg = FarmConfig {
+        num_servers: servers,
+        epochs,
+        budget: Budget::Moves(k),
+        workload: WorkloadConfig::default_web(sites),
+        migration_cost: MigrationCost::Unit,
+        seed,
+    };
+    let mut table = Table::new(
+        format!(
+            "web farm: {sites} sites / {servers} servers / {epochs} epochs / {k} moves per epoch"
+        ),
+        &["policy", "mean imbalance", "p95 imbalance", "migrations"],
+    );
+    let policies: Vec<Box<dyn Policy>> = vec![
+        Box::new(NoRebalance),
+        Box::new(GreedyPolicy),
+        Box::new(MPartitionPolicy),
+        Box::new(FullRebalance),
+    ];
+    for mut p in policies {
+        let r = run_farm(&cfg, p.as_mut());
+        table.row(&[
+            r.policy.clone(),
+            format!("{:.3}", r.mean_imbalance()),
+            format!("{:.3}", r.percentile_imbalance(95.0)),
+            r.total_migrations().to_string(),
+        ]);
+        if let Some(dir) = &trace_dir {
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+            let path = std::path::Path::new(dir).join(format!("{}.json", r.policy));
+            r.save_json(&path).map_err(|e| e.to_string())?;
+        }
+    }
+    let mut out = table.render();
+    if let Some(dir) = &trace_dir {
+        out.push_str(&format!(
+            "\nper-epoch traces written to {dir}/<policy>.json"
+        ));
+    }
+    Ok(out)
+}
+
+/// `lrb replay TRACE.csv --servers M [--moves K]` — replay a recorded load
+/// trace (one CSV row per epoch, one column per site) through every policy.
+pub fn replay_cmd(args: &Args, path: &str) -> CmdResult {
+    let servers: usize = args.require_parsed("servers").map_err(|e| e.to_string())?;
+    let k: usize = args.get_or("moves", 4).map_err(|e| e.to_string())?;
+    args.reject_unknown().map_err(|e| e.to_string())?;
+
+    let trace = lrb_sim::TraceWorkload::from_csv_file(path)?;
+    let mut table = Table::new(
+        format!(
+            "trace replay: {} sites x {} epochs / {servers} servers / {k} moves per epoch",
+            trace.num_sites(),
+            trace.num_epochs()
+        ),
+        &["policy", "mean imbalance", "p95 imbalance", "migrations"],
+    );
+    let policies: Vec<Box<dyn Policy>> = vec![
+        Box::new(NoRebalance),
+        Box::new(GreedyPolicy),
+        Box::new(MPartitionPolicy),
+        Box::new(FullRebalance),
+    ];
+    for mut p in policies {
+        let r = lrb_sim::replay(&trace, servers, Budget::Moves(k), p.as_mut());
+        table.row(&[
+            r.policy.clone(),
+            format!("{:.3}", r.mean_imbalance()),
+            format!("{:.3}", r.percentile_imbalance(95.0)),
+            r.total_migrations().to_string(),
+        ]);
+    }
+    Ok(table.render())
+}
+
+/// Help text.
+pub fn usage() -> String {
+    "\
+lrb — the load rebalancing toolkit (Aggarwal-Motwani-Zhu, SPAA 2003)
+
+USAGE:
+  lrb generate --n N --m M --out FILE [--dist D] [--placement P] [--costs C] [--seed S]
+  lrb info FILE
+  lrb solve FILE (--moves K | --budget B) [--algorithm A] [--eps E] [--search binary|scan|incremental]
+  lrb simulate [--sites N] [--servers M] [--epochs E] [--moves K] [--seed S] [--trace-dir D]
+  lrb replay TRACE.csv --servers M [--moves K]
+
+ALGORITHMS (--algorithm):
+  greedy      2 - 1/m approximation (section 2); --moves only
+  mpartition  1.5 approximation (section 3); default
+  cost        arbitrary-cost variant (section 3.2)
+  ptas        (1+eps) approximation (section 4); tiny instances only
+  st-lp       Shmoys-Tardos LP 2-approximation baseline
+  exact       branch-and-bound oracle (n <= 22)
+  constrained-lp      2-approximation honoring per-job 'allowed' lists
+  constrained-greedy  eligibility-aware GREEDY heuristic; --moves only
+
+DISTRIBUTIONS (--dist): uniform | exponential | pareto | constant
+PLACEMENTS (--placement): random | pile | skewed | balanced
+COSTS (--costs): unit | uniform | size"
+        .to_string()
+}
+
+/// Dispatch a full command line (without the program name).
+pub fn dispatch(tokens: Vec<String>) -> CmdResult {
+    let args = Args::parse(tokens).map_err(|e| e.to_string())?;
+    let pos = args.positionals().to_vec();
+    match pos.first().map(String::as_str) {
+        Some("generate") => generate(&args),
+        Some("info") => {
+            let path = pos.get(1).ok_or("info needs a FILE argument")?;
+            info(&args, path)
+        }
+        Some("solve") => {
+            let path = pos.get(1).ok_or("solve needs a FILE argument")?;
+            solve(&args, path)
+        }
+        Some("simulate") => simulate(&args),
+        Some("replay") => {
+            let path = pos.get(1).ok_or("replay needs a TRACE.csv argument")?;
+            replay_cmd(&args, path)
+        }
+        Some("help") | None => Ok(usage()),
+        Some(other) => Err(format!("unknown command '{other}'\n\n{}", usage())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(cmd: &str) -> CmdResult {
+        dispatch(cmd.split_whitespace().map(str::to_string).collect())
+    }
+
+    fn tmpfile(name: &str) -> String {
+        let dir = std::env::temp_dir().join("lrb-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn generate_info_solve_roundtrip() {
+        let path = tmpfile("roundtrip.json");
+        let msg = run(&format!("generate --n 12 --m 3 --seed 5 --out {path}")).unwrap();
+        assert!(msg.contains("n=12"));
+
+        let info = run(&format!("info {path}")).unwrap();
+        assert!(info.contains("jobs:        12"));
+
+        let solved = run(&format!("solve {path} --moves 4")).unwrap();
+        assert!(solved.contains("mpartition"));
+        assert!(solved.contains("makespan:"));
+
+        for algo in ["greedy", "cost", "st-lp", "exact", "ptas"] {
+            let solved = run(&format!("solve {path} --moves 4 --algorithm {algo}")).unwrap();
+            assert!(solved.contains(algo), "{algo}: {solved}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn constrained_solving_through_files() {
+        // Hand-write a constrained spec and solve with both constrained
+        // algorithms.
+        let path = tmpfile("constrained.json");
+        std::fs::write(
+            &path,
+            r#"{"num_procs": 3, "jobs": [
+                {"size": 9, "proc": 0, "allowed": [0, 1]},
+                {"size": 8, "proc": 0, "allowed": [0]},
+                {"size": 4, "proc": 0}
+            ]}"#,
+        )
+        .unwrap();
+        let info = run(&format!("info {path}")).unwrap();
+        assert!(info.contains("constrained: true"));
+
+        let lp = run(&format!(
+            "solve {path} --moves 2 --algorithm constrained-lp"
+        ))
+        .unwrap();
+        assert!(lp.contains("makespan:"), "{lp}");
+        let g = run(&format!(
+            "solve {path} --moves 2 --algorithm constrained-greedy"
+        ))
+        .unwrap();
+        assert!(g.contains("makespan:"), "{g}");
+        // The size-8 job is locked to proc 0, so no makespan below 8.
+        assert!(!g.contains("makespan:    7 "));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn solve_with_cost_budget() {
+        let path = tmpfile("costs.json");
+        run(&format!(
+            "generate --n 10 --m 3 --costs uniform --out {path}"
+        ))
+        .unwrap();
+        let solved = run(&format!("solve {path} --budget 9 --algorithm cost")).unwrap();
+        assert!(solved.contains("move cost:"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn errors_are_helpful() {
+        assert!(run("solve nowhere.json --moves 1")
+            .unwrap_err()
+            .contains("io error"));
+        let path = tmpfile("err.json");
+        run(&format!("generate --n 4 --m 2 --out {path}")).unwrap();
+        assert!(run(&format!("solve {path}"))
+            .unwrap_err()
+            .contains("--moves or --budget"));
+        assert!(run(&format!("solve {path} --moves 1 --budget 1"))
+            .unwrap_err()
+            .contains("mutually exclusive"));
+        assert!(run(&format!("solve {path} --moves 1 --algorithm nope"))
+            .unwrap_err()
+            .contains("unknown --algorithm"));
+        assert!(run(&format!("info {path} --bogus 1"))
+            .unwrap_err()
+            .contains("unknown flags"));
+        assert!(run("frobnicate").unwrap_err().contains("unknown command"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn help_and_empty() {
+        assert!(run("help").unwrap().contains("USAGE"));
+        assert!(dispatch(vec![]).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn simulate_runs_quickly() {
+        let out = run("simulate --sites 30 --servers 4 --epochs 10 --moves 2").unwrap();
+        assert!(out.contains("m-partition"));
+        assert!(out.contains("full-rebalance"));
+    }
+
+    #[test]
+    fn replay_runs_a_csv_trace() {
+        let path = tmpfile("replay.csv");
+        std::fs::write(&path, "10,20,30,40\n40,20,30,10\n15,25,35,5\n").unwrap();
+        let out = run(&format!("replay {path} --servers 2 --moves 1")).unwrap();
+        assert!(out.contains("trace replay"));
+        assert!(out.contains("m-partition"));
+        assert!(run(&format!("replay {path}"))
+            .unwrap_err()
+            .contains("--servers"));
+        std::fs::write(&path, "1,2\n1,x\n").unwrap();
+        assert!(run(&format!("replay {path} --servers 2"))
+            .unwrap_err()
+            .contains("not an integer"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn search_modes_agree_through_cli() {
+        let path = tmpfile("search.json");
+        run(&format!(
+            "generate --n 12 --m 3 --placement pile --out {path}"
+        ))
+        .unwrap();
+        let outputs: Vec<String> = ["binary", "scan", "incremental"]
+            .iter()
+            .map(|s| run(&format!("solve {path} --moves 4 --search {s}")).unwrap())
+            .collect();
+        let makespan_line = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("makespan"))
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(makespan_line(&outputs[0]), makespan_line(&outputs[1]));
+        assert_eq!(makespan_line(&outputs[0]), makespan_line(&outputs[2]));
+        assert!(run(&format!("solve {path} --moves 4 --search bogus"))
+            .unwrap_err()
+            .contains("unknown --search"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn simulate_writes_traces() {
+        let dir = tmpfile("traces");
+        let out = run(&format!(
+            "simulate --sites 20 --servers 3 --epochs 5 --moves 2 --trace-dir {dir}"
+        ))
+        .unwrap();
+        assert!(out.contains("traces written"));
+        let trace = std::fs::read_to_string(format!("{dir}/m-partition.json")).unwrap();
+        assert!(trace.contains("\"epochs\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generate_all_knobs() {
+        for (d, p, c) in [
+            ("exponential", "pile", "size"),
+            ("pareto", "skewed", "uniform"),
+            ("constant", "balanced", "unit"),
+        ] {
+            let path = tmpfile(&format!("knobs-{d}.json"));
+            let msg = run(&format!(
+                "generate --n 8 --m 2 --dist {d} --placement {p} --costs {c} --out {path}"
+            ))
+            .unwrap();
+            assert!(msg.contains("n=8"));
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! End-to-end tests that exercise the compiled `lrb` binary.
+
+use std::process::Command;
+
+fn lrb(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_lrb"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join("lrb-bin-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let (ok, stdout, _) = lrb(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    let (ok, stdout, _) = lrb(&[]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+}
+
+#[test]
+fn full_workflow_through_the_binary() {
+    let path = tmp("wf.json");
+    let (ok, stdout, stderr) = lrb(&[
+        "generate",
+        "--n",
+        "10",
+        "--m",
+        "3",
+        "--placement",
+        "pile",
+        "--out",
+        &path,
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("wrote"));
+
+    let (ok, stdout, _) = lrb(&["info", &path]);
+    assert!(ok);
+    assert!(stdout.contains("jobs:        10"));
+
+    let (ok, stdout, _) = lrb(&["solve", &path, "--moves", "3"]);
+    assert!(ok);
+    assert!(stdout.contains("makespan:"));
+    assert!(stdout.contains("moved jobs:"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn failures_exit_nonzero_with_stderr() {
+    let (ok, _, stderr) = lrb(&["solve", "/definitely/missing.json", "--moves", "1"]);
+    assert!(!ok);
+    assert!(stderr.contains("error:"));
+
+    let (ok, _, stderr) = lrb(&["no-such-command"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}

@@ -1,0 +1,103 @@
+//! Lower bounds on the optimal rebalanced makespan.
+//!
+//! Experiments that run at scales beyond the exact solvers report
+//! approximation ratios against [`lower_bound`], which combines three valid
+//! bounds:
+//!
+//! * the average load `⌈total/m⌉` (some processor carries at least the mean),
+//! * the largest job size (it must sit somewhere), and
+//! * the paper's Lemma 1 bound `G1` — the makespan after `GREEDY`'s removal
+//!   phase, which is optimal among all ways of *removing* `k` jobs and hence
+//!   a lower bound on any `k`-move rebalancing.
+
+use crate::greedy::g1_lower_bound;
+use crate::model::{Budget, Instance, Size};
+
+/// Best available lower bound on the optimal makespan achievable with the
+/// given budget.
+///
+/// For a cost budget the Lemma 1 bound is replaced by a relaxation: the
+/// number of moves is at least the number of cheapest jobs whose costs fit
+/// in the budget, so `G1` is evaluated at that (generous) move count.
+pub fn lower_bound(inst: &Instance, budget: Budget) -> Size {
+    let k = max_moves_within(inst, budget);
+    let base = inst.avg_load_ceil().max(inst.max_job_size());
+    base.max(g1_lower_bound(inst, k))
+}
+
+/// The largest number of jobs that could possibly move under `budget`:
+/// for `Moves(k)` it is `k`; for `Cost(b)` it is the longest prefix of jobs
+/// sorted by increasing cost whose total cost fits in `b`.
+pub fn max_moves_within(inst: &Instance, budget: Budget) -> usize {
+    match budget {
+        Budget::Moves(k) => k,
+        Budget::Cost(b) => {
+            let mut costs: Vec<u64> = inst.jobs().iter().map(|j| j.cost).collect();
+            costs.sort_unstable();
+            let mut spent = 0u64;
+            let mut count = 0usize;
+            for c in costs {
+                match spent.checked_add(c) {
+                    Some(s) if s <= b => {
+                        spent = s;
+                        count += 1;
+                    }
+                    _ => break,
+                }
+            }
+            count
+        }
+    }
+}
+
+/// Check an approximation guarantee `makespan ≤ (num/den)·opt` in exact
+/// integer arithmetic (`u128` to avoid overflow).
+pub fn within_ratio(makespan: Size, opt: Size, num: u64, den: u64) -> bool {
+    (makespan as u128) * (den as u128) <= (opt as u128) * (num as u128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_bound_dominates_avg_and_max_job() {
+        let inst = Instance::from_sizes(&[10, 1, 1], vec![0, 1, 2], 3).unwrap();
+        let lb = lower_bound(&inst, Budget::Moves(3));
+        assert!(lb >= 10); // largest job
+        assert!(lb >= inst.avg_load_ceil());
+    }
+
+    #[test]
+    fn lemma1_bound_kicks_in_for_small_k() {
+        // All load on proc 0; with k=0 nothing moves so OPT = 12 and the G1
+        // bound must say so (avg would only claim 6).
+        let inst = Instance::from_sizes(&[4, 4, 4], vec![0, 0, 0], 2).unwrap();
+        assert_eq!(lower_bound(&inst, Budget::Moves(0)), 12);
+        assert_eq!(lower_bound(&inst, Budget::Moves(1)), 8);
+        assert_eq!(lower_bound(&inst, Budget::Moves(3)), 6);
+    }
+
+    #[test]
+    fn cost_budget_translates_to_moves_generously() {
+        let jobs = vec![
+            crate::model::Job::with_cost(4, 5),
+            crate::model::Job::with_cost(4, 2),
+            crate::model::Job::with_cost(4, 2),
+        ];
+        let inst = Instance::new(jobs, vec![0, 0, 0], 2).unwrap();
+        // Budget 4 affords the two cheapest jobs.
+        assert_eq!(max_moves_within(&inst, Budget::Cost(4)), 2);
+        assert_eq!(max_moves_within(&inst, Budget::Cost(1)), 0);
+        assert_eq!(max_moves_within(&inst, Budget::Cost(100)), 3);
+    }
+
+    #[test]
+    fn within_ratio_exact_arithmetic() {
+        assert!(within_ratio(3, 2, 3, 2)); // 3 <= 1.5 * 2 exactly
+        assert!(!within_ratio(4, 2, 3, 2)); // 4 > 3
+        assert!(within_ratio(0, 0, 3, 2));
+        // Large values that would overflow u64 multiplication.
+        assert!(within_ratio(u64::MAX / 2, u64::MAX / 2, 3, 2));
+    }
+}

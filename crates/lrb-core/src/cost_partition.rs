@@ -1,0 +1,411 @@
+//! PARTITION for arbitrary relocation costs (§3.2).
+//!
+//! The structure mirrors the unit-cost algorithm, with two changes the
+//! paper prescribes:
+//!
+//! * the per-processor counters `a_i`/`b_i` become *costs*, computed by a
+//!   knapsack ("keep the most relocation cost subject to a size cap", see
+//!   [`crate::knapsack`]); among a processor's large jobs the **most
+//!   costly** one is kept;
+//! * the makespan value is guessed by binary search; for each guess `A` the
+//!   algorithm finds an assignment of makespan `≤ 1.5·A` whose removal cost
+//!   is at most the cheapest way to achieve makespan `≤ A`, and the guess is
+//!   accepted when that cost fits the budget `B`.
+//!
+//! Because sizes are integers, the binary search runs over integer
+//! makespans and the paper's `(1+α)` guessing error disappears: the
+//! result is within `1.5·OPT_B` whenever the planned cost is monotone
+//! non-increasing in the guess (verified empirically by the T7/T14-style
+//! property tests, as for M-PARTITION).
+//!
+//! The knapsack solver may fall back to a best-effort solution on
+//! pathological inputs; that only ever *over*-estimates removal costs, so a
+//! returned plan never violates the budget — it can only make the chosen
+//! makespan guess slightly conservative (the paper's `ε`).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::error::{Error, Result};
+use crate::knapsack::{max_cost_keep, Item};
+use crate::model::{Cost, Instance, JobId, ProcId, Size};
+use crate::outcome::RebalanceOutcome;
+
+/// Per-processor plan for one makespan guess.
+#[derive(Debug, Clone)]
+struct ProcPlan {
+    /// Cost of the Step 1+3 variant: keep the costliest large job (shedding
+    /// the rest) and keep smalls of maximum cost within size `A/2`.
+    a_cost: Cost,
+    /// Jobs removed under the `a` plan.
+    a_removed: Vec<JobId>,
+    /// Cost of the Step 4 variant: shed *all* large jobs and keep smalls of
+    /// maximum cost within size `A`.
+    b_cost: Cost,
+    /// Jobs removed under the `b` plan.
+    b_removed: Vec<JobId>,
+    /// Whether the processor holds at least one large job.
+    has_large: bool,
+}
+
+/// Result of a cost-PARTITION run.
+#[derive(Debug, Clone)]
+pub struct CostPartitionRun {
+    /// The rebalanced assignment and its bookkeeping.
+    pub outcome: RebalanceOutcome,
+    /// The makespan guess the search settled on.
+    pub guess: Size,
+    /// Total removal cost the plan budgeted (realized cost can be lower).
+    pub planned_cost: Cost,
+    /// Number of large jobs at the final guess.
+    pub l_t: usize,
+}
+
+/// Plan cost (total removal cost) at makespan guess `a`, without building
+/// the assignment; `None` when the guess is infeasible (`L_T > m`).
+pub fn planned_cost(inst: &Instance, a: Size) -> Option<Cost> {
+    build_plans(inst, a).map(|(plans, l_t)| select_cost(&plans, l_t))
+}
+
+/// Run the §3.2 algorithm: minimize makespan subject to a total relocation
+/// cost budget `b`.
+///
+/// ```
+/// use lrb_core::model::{Instance, Job};
+///
+/// // Two equal jobs piled up; moving the cheap one suffices.
+/// let jobs = vec![Job::with_cost(5, 10), Job::with_cost(5, 1)];
+/// let inst = Instance::new(jobs, vec![0, 0], 2).unwrap();
+/// let run = lrb_core::cost_partition::rebalance(&inst, 1).unwrap();
+/// assert_eq!(run.outcome.makespan(), 5);
+/// assert!(run.outcome.cost() <= 1);
+/// ```
+pub fn rebalance(inst: &Instance, b: Cost) -> Result<CostPartitionRun> {
+    if inst.num_jobs() == 0 {
+        return Ok(CostPartitionRun {
+            outcome: RebalanceOutcome::unchanged(inst),
+            guess: 0,
+            planned_cost: 0,
+            l_t: 0,
+        });
+    }
+    // Integer binary search for the smallest guess whose plan fits the
+    // budget. The initial makespan always fits (cost 0), so `hi` is valid.
+    let lo0 = inst.avg_load_ceil().min(inst.initial_makespan());
+    let hi0 = inst.initial_makespan();
+    let (mut lo, mut hi) = (lo0, hi0);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        match planned_cost(inst, mid) {
+            Some(cost) if cost <= b => hi = mid,
+            _ => lo = mid + 1,
+        }
+    }
+    run_at(inst, lo).map(|mut run| {
+        // No-regression clamp (mirrors M-PARTITION).
+        run.outcome = run
+            .outcome
+            .clone()
+            .better(RebalanceOutcome::unchanged(inst));
+        run
+    })
+}
+
+/// Run the algorithm at a fixed makespan guess `a`.
+///
+/// # Errors
+///
+/// [`Error::InfeasibleGuess`] when there are more large jobs than
+/// processors.
+pub fn run_at(inst: &Instance, a: Size) -> Result<CostPartitionRun> {
+    let Some((plans, l_t)) = build_plans(inst, a) else {
+        return Err(Error::InfeasibleGuess {
+            guess: a,
+            reason: "more large jobs than processors",
+        });
+    };
+    let m = inst.num_procs();
+
+    // Select the L_T processors with the smallest c = a_cost − b_cost,
+    // preferring processors with large jobs on ties (paper's rule).
+    let mut order: Vec<(i64, bool, ProcId)> = (0..m)
+        .map(|p| {
+            (
+                plans[p].a_cost as i64 - plans[p].b_cost as i64,
+                !plans[p].has_large,
+                p,
+            )
+        })
+        .collect();
+    order.sort_unstable();
+    let mut is_selected = vec![false; m];
+    for &(_, _, p) in order.iter().take(l_t) {
+        is_selected[p] = true;
+    }
+
+    let mut assignment = inst.initial().clone();
+    let mut loads = inst.initial_loads().to_vec();
+    let mut homeless_large: Vec<JobId> = Vec::new();
+    let mut removed_small: Vec<JobId> = Vec::new();
+    let mut planned_cost = 0u64;
+    let mut keeps_large = vec![false; m];
+
+    for p in 0..m {
+        let plan = &plans[p];
+        let removed = if is_selected[p] {
+            planned_cost += plan.a_cost;
+            keeps_large[p] = plan.has_large;
+            &plan.a_removed
+        } else {
+            planned_cost += plan.b_cost;
+            &plan.b_removed
+        };
+        for &j in removed {
+            loads[p] -= inst.size(j);
+            if 2 * inst.size(j) > a {
+                homeless_large.push(j);
+            } else {
+                removed_small.push(j);
+            }
+        }
+    }
+
+    // Place homeless large jobs on distinct selected large-free processors.
+    let mut free_procs: Vec<ProcId> = (0..m)
+        .filter(|&p| is_selected[p] && !keeps_large[p])
+        .collect();
+    debug_assert_eq!(free_procs.len(), homeless_large.len());
+    free_procs.sort_by_key(|&p| (loads[p], p));
+    homeless_large.sort_by_key(|&j| Reverse(inst.size(j)));
+    for (&j, &p) in homeless_large.iter().zip(&free_procs) {
+        assignment[j] = p;
+        loads[p] += inst.size(j);
+    }
+
+    // Greedy min-load reassignment of removed smalls, largest first.
+    removed_small.sort_by_key(|&j| Reverse(inst.size(j)));
+    let mut heap: BinaryHeap<Reverse<(Size, ProcId)>> = loads
+        .iter()
+        .enumerate()
+        .map(|(p, &l)| Reverse((l, p)))
+        .collect();
+    for &j in &removed_small {
+        let Reverse((load, p)) = heap.pop().expect("m >= 1");
+        assignment[j] = p;
+        heap.push(Reverse((load + inst.size(j), p)));
+    }
+
+    let outcome = RebalanceOutcome::from_assignment(inst, assignment)?;
+    debug_assert!(outcome.cost() <= planned_cost);
+    Ok(CostPartitionRun {
+        outcome,
+        guess: a,
+        planned_cost,
+        l_t,
+    })
+}
+
+/// Compute per-processor plans at guess `a`; `None` if `L_T > m`.
+fn build_plans(inst: &Instance, a: Size) -> Option<(Vec<ProcPlan>, usize)> {
+    let m = inst.num_procs();
+    let per_proc = inst.jobs_by_proc();
+    let l_t = inst.jobs().iter().filter(|j| 2 * j.size > a).count();
+    if l_t > m {
+        return None;
+    }
+
+    let mut plans = Vec::with_capacity(m);
+    for jobs in &per_proc {
+        let (larges, smalls): (Vec<JobId>, Vec<JobId>) =
+            jobs.iter().partition(|&&j| 2 * inst.size(j) > a);
+
+        // Keep the costliest large (cheapest to shed the rest).
+        let kept_large = larges.iter().copied().max_by_key(|&j| (inst.cost(j), j));
+
+        let items: Vec<Item> = smalls
+            .iter()
+            .map(|&j| Item {
+                size: inst.size(j),
+                cost: inst.cost(j),
+            })
+            .collect();
+        let small_cost_total: Cost = items.iter().map(|it| it.cost).sum();
+
+        let removed_from = |kept: &[usize]| -> Vec<JobId> {
+            let mut kept_iter = kept.iter().peekable();
+            let mut out = Vec::new();
+            for (idx, &j) in smalls.iter().enumerate() {
+                if kept_iter.peek() == Some(&&idx) {
+                    kept_iter.next();
+                } else {
+                    out.push(j);
+                }
+            }
+            out
+        };
+
+        // a-plan: smalls within A/2, keep costliest large.
+        let keep_half = max_cost_keep(&items, a / 2);
+        let mut a_removed = removed_from(&keep_half.kept);
+        let mut a_cost = small_cost_total - keep_half.kept_cost;
+        for &j in &larges {
+            if Some(j) != kept_large {
+                a_removed.push(j);
+                a_cost += inst.cost(j);
+            }
+        }
+
+        // b-plan: smalls within A, shed all larges.
+        let keep_full = max_cost_keep(&items, a);
+        let mut b_removed = removed_from(&keep_full.kept);
+        let mut b_cost = small_cost_total - keep_full.kept_cost;
+        for &j in &larges {
+            b_removed.push(j);
+            b_cost += inst.cost(j);
+        }
+
+        plans.push(ProcPlan {
+            a_cost,
+            a_removed,
+            b_cost,
+            b_removed,
+            has_large: kept_large.is_some(),
+        });
+    }
+    Some((plans, l_t))
+}
+
+/// Total planned cost for the optimal selection at the given plans.
+fn select_cost(plans: &[ProcPlan], l_t: usize) -> Cost {
+    let mut base: u64 = plans.iter().map(|p| p.b_cost).sum();
+    let mut cs: Vec<(i64, bool)> = plans
+        .iter()
+        .map(|p| (p.a_cost as i64 - p.b_cost as i64, !p.has_large))
+        .collect();
+    cs.sort_unstable();
+    let extra: i64 = cs.iter().take(l_t).map(|&(c, _)| c).sum();
+    base = (base as i64 + extra) as u64;
+    base
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Job;
+
+    fn inst_with_costs(jobs: &[(u64, u64)], initial: Vec<usize>, m: usize) -> Instance {
+        let jobs = jobs.iter().map(|&(s, c)| Job::with_cost(s, c)).collect();
+        Instance::new(jobs, initial, m).unwrap()
+    }
+
+    #[test]
+    fn unit_costs_match_move_semantics() {
+        // With unit costs, budget B behaves like a move budget.
+        let inst = Instance::from_sizes(&[4, 3, 3, 2], vec![0, 0, 0, 0], 2).unwrap();
+        let run = rebalance(&inst, 2).unwrap();
+        assert!(run.outcome.cost() <= 2);
+        assert_eq!(run.outcome.makespan(), 6);
+    }
+
+    #[test]
+    fn zero_budget_means_no_moves() {
+        let inst = inst_with_costs(&[(5, 3), (5, 3)], vec![0, 0], 2);
+        let run = rebalance(&inst, 0).unwrap();
+        assert_eq!(run.outcome.moves(), 0);
+        assert_eq!(run.outcome.makespan(), 10);
+    }
+
+    #[test]
+    fn prefers_moving_cheap_jobs() {
+        // Two equal-size jobs piled up; one costs 10, the other 1. With
+        // budget 1 only the cheap one can move.
+        let inst = inst_with_costs(&[(5, 10), (5, 1)], vec![0, 0], 2);
+        let run = rebalance(&inst, 1).unwrap();
+        assert_eq!(run.outcome.makespan(), 5);
+        assert_eq!(run.outcome.moved(), &[1]);
+        assert_eq!(run.outcome.cost(), 1);
+    }
+
+    #[test]
+    fn budget_is_never_violated() {
+        let inst = inst_with_costs(
+            &[(9, 4), (7, 2), (6, 5), (5, 1), (4, 3), (3, 2)],
+            vec![0, 0, 0, 1, 1, 2],
+            3,
+        );
+        for b in 0..=20 {
+            let run = rebalance(&inst, b).unwrap();
+            assert!(
+                run.outcome.cost() <= b,
+                "budget {b}, cost {}",
+                run.outcome.cost()
+            );
+        }
+    }
+
+    #[test]
+    fn makespan_never_worse_than_initial() {
+        let inst = inst_with_costs(&[(5, 2), (4, 2), (3, 2), (6, 2)], vec![0, 1, 0, 1], 2);
+        for b in 0..=8 {
+            let run = rebalance(&inst, b).unwrap();
+            assert!(run.outcome.makespan() <= inst.initial_makespan(), "b={b}");
+        }
+    }
+
+    #[test]
+    fn larger_budget_never_hurts() {
+        let inst = inst_with_costs(
+            &[(8, 3), (6, 1), (5, 2), (4, 4), (2, 1)],
+            vec![0, 0, 0, 0, 1],
+            3,
+        );
+        let mut prev = u64::MAX;
+        for b in 0..=11 {
+            let run = rebalance(&inst, b).unwrap();
+            assert!(run.outcome.makespan() <= prev, "b={b}");
+            prev = run.outcome.makespan();
+        }
+    }
+
+    #[test]
+    fn keeps_costliest_large_job() {
+        // Two large jobs on proc 0 (sizes 10); relocation costs 1 and 9.
+        // Shedding the cheap one is optimal.
+        let inst = inst_with_costs(&[(10, 1), (10, 9)], vec![0, 0], 2);
+        let run = rebalance(&inst, 1).unwrap();
+        assert_eq!(run.outcome.makespan(), 10);
+        assert_eq!(run.outcome.moved(), &[0]);
+    }
+
+    #[test]
+    fn run_at_reports_infeasible() {
+        let inst = Instance::from_sizes(&[10, 10, 10], vec![0, 0, 1], 2).unwrap();
+        assert!(matches!(
+            run_at(&inst, 10),
+            Err(Error::InfeasibleGuess { .. })
+        ));
+        assert_eq!(planned_cost(&inst, 10), None);
+    }
+
+    #[test]
+    fn planned_cost_matches_run_at() {
+        let inst = inst_with_costs(
+            &[(9, 4), (7, 2), (6, 5), (5, 1), (4, 3), (3, 2)],
+            vec![0, 0, 0, 1, 1, 2],
+            3,
+        );
+        for a in [8u64, 10, 12, 15, 20, 34] {
+            match run_at(&inst, a) {
+                Ok(run) => assert_eq!(planned_cost(&inst, a), Some(run.planned_cost), "a={a}"),
+                Err(_) => assert_eq!(planned_cost(&inst, a), None, "a={a}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::from_sizes(&[], vec![], 2).unwrap();
+        let run = rebalance(&inst, 5).unwrap();
+        assert_eq!(run.outcome.makespan(), 0);
+    }
+}

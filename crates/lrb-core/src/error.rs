@@ -1,0 +1,83 @@
+//! Error types shared across the crate.
+
+use std::fmt;
+
+/// Errors raised when constructing or manipulating instances and assignments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The instance declares zero processors.
+    NoProcessors,
+    /// A job references a processor index `proc` outside `0..num_procs`.
+    ProcOutOfRange {
+        job: usize,
+        proc: usize,
+        num_procs: usize,
+    },
+    /// `jobs` and `assignment` vectors have different lengths.
+    LengthMismatch { jobs: usize, assignment: usize },
+    /// An assignment given to a validation routine has the wrong length.
+    AssignmentLength { expected: usize, got: usize },
+    /// A relocation budget was exceeded (moves or cost, reported generically).
+    BudgetExceeded { used: u64, budget: u64 },
+    /// A makespan guess was infeasible (e.g. more large jobs than processors).
+    InfeasibleGuess { guess: u64, reason: &'static str },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NoProcessors => write!(f, "instance has no processors"),
+            Error::ProcOutOfRange { job, proc, num_procs } => write!(
+                f,
+                "job {job} assigned to processor {proc}, but instance has only {num_procs} processors"
+            ),
+            Error::LengthMismatch { jobs, assignment } => write!(
+                f,
+                "{jobs} jobs but {assignment} assignment entries"
+            ),
+            Error::AssignmentLength { expected, got } => write!(
+                f,
+                "assignment has {got} entries, expected {expected}"
+            ),
+            Error::BudgetExceeded { used, budget } => {
+                write!(f, "relocation budget exceeded: used {used}, budget {budget}")
+            }
+            Error::InfeasibleGuess { guess, reason } => {
+                write!(f, "makespan guess {guess} infeasible: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience result alias for fallible operations in this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_fields() {
+        let e = Error::ProcOutOfRange {
+            job: 3,
+            proc: 9,
+            num_procs: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('9') && s.contains('4'));
+
+        let e = Error::BudgetExceeded {
+            used: 11,
+            budget: 10,
+        };
+        assert!(e.to_string().contains("11"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::NoProcessors);
+    }
+}

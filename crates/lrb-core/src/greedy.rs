@@ -1,0 +1,281 @@
+//! The paper's `GREEDY` algorithm (§2): a `(2 − 1/m)`-approximation for the
+//! unit-cost load rebalancing problem in `O(n log n)` time.
+//!
+//! The algorithm has two phases:
+//!
+//! 1. **Removal** — repeat `k` times: remove the largest job from the
+//!    currently maximum-loaded processor. The makespan after this phase,
+//!    `G1`, satisfies `G1 ≤ OPT` (Lemma 1), so it doubles as a *lower bound*
+//!    on the optimum — see [`g1_lower_bound`].
+//! 2. **Reinsertion** — place each removed job, one by one, on the currently
+//!    minimum-loaded processor. The final makespan `G2` satisfies
+//!    `G2 ≤ (2 − 1/m)·OPT` (Lemma 2), and the bound is tight (Theorem 1).
+//!
+//! The paper lets the reinsertion order be arbitrary; the order is exposed
+//! via [`ReinsertOrder`] because the tightness construction (experiment T2)
+//! needs the adversarial order, while descending order behaves like LPT and
+//! is the better practical default.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::error::Result;
+use crate::model::{Instance, JobId, ProcId, Size};
+use crate::outcome::RebalanceOutcome;
+
+/// Order in which the removal-phase jobs are reinserted in phase 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReinsertOrder {
+    /// Largest removed job first (LPT-like; best practical quality).
+    #[default]
+    Descending,
+    /// Smallest removed job first (the adversarial order for the paper's
+    /// tightness example).
+    Ascending,
+    /// Exactly the order the jobs were removed in phase 1.
+    RemovalOrder,
+}
+
+/// Diagnostics from a `GREEDY` run, matching the quantities named in the
+/// paper's analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GreedyTrace {
+    /// Makespan after the removal phase; `G1 ≤ OPT` by Lemma 1.
+    pub g1: Size,
+    /// Final makespan; `G2 ≤ (2 − 1/m)·OPT` by Lemma 2.
+    pub g2: Size,
+    /// Jobs removed in phase 1, in removal order.
+    pub removed: Vec<JobId>,
+}
+
+/// Run `GREEDY` with at most `k` moves and the default (descending)
+/// reinsertion order.
+///
+/// ```
+/// use lrb_core::model::Instance;
+///
+/// // Four jobs piled on processor 0 of 2; two moves allowed.
+/// let inst = Instance::from_sizes(&[4, 3, 3, 2], vec![0, 0, 0, 0], 2).unwrap();
+/// let out = lrb_core::greedy::rebalance(&inst, 2).unwrap();
+/// assert!(out.moves() <= 2);
+/// assert!(out.makespan() <= 8); // (2 - 1/m) * OPT = 1.5 * 6 = 9, rounded down by luck
+/// ```
+pub fn rebalance(inst: &Instance, k: usize) -> Result<RebalanceOutcome> {
+    rebalance_with_order(inst, k, ReinsertOrder::Descending).map(|(o, _)| o)
+}
+
+/// Run `GREEDY` with an explicit reinsertion order, returning the trace.
+pub fn rebalance_with_order(
+    inst: &Instance,
+    k: usize,
+    order: ReinsertOrder,
+) -> Result<(RebalanceOutcome, GreedyTrace)> {
+    let mut assignment = inst.initial().clone();
+    let (removed, g1, mut loads) = removal_phase(inst, k);
+
+    // Phase 2: reinsert each removed job on the current minimum-loaded
+    // processor, via a min-heap keyed on (load, proc).
+    let mut order_buf = removed.clone();
+    match order {
+        ReinsertOrder::Descending => {
+            order_buf.sort_by_key(|&j| Reverse(inst.size(j)));
+        }
+        ReinsertOrder::Ascending => order_buf.sort_by_key(|&j| inst.size(j)),
+        ReinsertOrder::RemovalOrder => {}
+    }
+
+    let mut heap: BinaryHeap<Reverse<(Size, ProcId)>> = loads
+        .iter()
+        .enumerate()
+        .map(|(p, &l)| Reverse((l, p)))
+        .collect();
+    for j in order_buf {
+        let Reverse((load, p)) = heap.pop().expect("m >= 1 processors");
+        let new_load = load + inst.size(j);
+        assignment[j] = p;
+        loads[p] = new_load;
+        heap.push(Reverse((new_load, p)));
+    }
+
+    let g2 = loads.iter().copied().max().unwrap_or(0);
+    let outcome = RebalanceOutcome::from_assignment(inst, assignment)?;
+    debug_assert_eq!(outcome.makespan(), g2);
+    Ok((outcome, GreedyTrace { g1, g2, removed }))
+}
+
+/// Phase 1 of `GREEDY`: remove the largest job from the max-loaded processor
+/// `k` times (stopping early once all loads are zero). Returns the removed
+/// jobs in removal order, the resulting makespan `G1`, and the residual
+/// per-processor loads.
+fn removal_phase(inst: &Instance, k: usize) -> (Vec<JobId>, Size, Vec<Size>) {
+    let mut loads = inst.initial_loads().to_vec();
+
+    // Per-processor job stacks sorted ascending by size, so the largest job
+    // is popped from the back in O(1).
+    let mut per_proc = inst.jobs_by_proc();
+    for jobs in &mut per_proc {
+        jobs.sort_by_key(|&j| inst.size(j));
+    }
+
+    // Lazy max-heap over (load, proc): stale entries are skipped when the
+    // recorded load no longer matches the live load.
+    let mut heap: BinaryHeap<(Size, ProcId)> =
+        loads.iter().enumerate().map(|(p, &l)| (l, p)).collect();
+
+    let mut removed = Vec::with_capacity(k.min(inst.num_jobs()));
+    for _ in 0..k {
+        let p = loop {
+            match heap.pop() {
+                Some((l, p)) if loads[p] == l => break Some(p),
+                Some(_) => continue,
+                None => break None,
+            }
+        };
+        let Some(p) = p else { break };
+        if loads[p] == 0 {
+            // All processors are empty; removing more jobs is pointless.
+            break;
+        }
+        let j = per_proc[p].pop().expect("nonzero load implies a job");
+        loads[p] -= inst.size(j);
+        removed.push(j);
+        heap.push((loads[p], p));
+    }
+
+    let g1 = loads.iter().copied().max().unwrap_or(0);
+    (removed, g1, loads)
+}
+
+/// Lemma 1 as a lower bound: the makespan after removing the largest job
+/// from the max-loaded processor `k` times. Any rebalancing that moves at
+/// most `k` jobs has makespan at least this value.
+pub fn g1_lower_bound(inst: &Instance, k: usize) -> Size {
+    removal_phase(inst, k).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's tightness instance (proof of Theorem 1) for a given `m`:
+    /// one job of size `m` plus `m² − m` unit jobs; every processor starts
+    /// with `m − 1` unit jobs and processor 0 additionally holds the size-`m`
+    /// job; `k = m − 1`.
+    fn tightness_instance(m: usize) -> (Instance, usize) {
+        let mut sizes = vec![m as u64];
+        let mut initial = vec![0usize];
+        for p in 0..m {
+            for _ in 0..m - 1 {
+                sizes.push(1);
+                initial.push(p);
+            }
+        }
+        (Instance::from_sizes(&sizes, initial, m).unwrap(), m - 1)
+    }
+
+    #[test]
+    fn zero_moves_is_identity() {
+        let inst = Instance::from_sizes(&[5, 3, 4], vec![0, 0, 1], 2).unwrap();
+        let out = rebalance(&inst, 0).unwrap();
+        assert_eq!(out.assignment(), inst.initial());
+        assert_eq!(out.moves(), 0);
+    }
+
+    #[test]
+    fn respects_move_budget() {
+        let inst = Instance::from_sizes(&[5, 3, 4, 2, 2], vec![0, 0, 0, 0, 1], 2).unwrap();
+        for k in 0..=5 {
+            let out = rebalance(&inst, k).unwrap();
+            assert!(out.moves() <= k, "k={k} moves={}", out.moves());
+        }
+    }
+
+    #[test]
+    fn moves_all_from_overloaded_proc() {
+        // Everything on proc 0; k = n lets GREEDY fully balance.
+        let inst = Instance::from_sizes(&[4, 4, 4, 4], vec![0, 0, 0, 0], 2).unwrap();
+        let out = rebalance(&inst, 4).unwrap();
+        assert_eq!(out.makespan(), 8);
+    }
+
+    #[test]
+    fn g1_is_monotone_in_k_and_reaches_zero() {
+        let inst = Instance::from_sizes(&[7, 5, 3, 2], vec![0, 0, 1, 1], 2).unwrap();
+        let mut prev = u64::MAX;
+        for k in 0..=4 {
+            let g1 = g1_lower_bound(&inst, k);
+            assert!(g1 <= prev);
+            prev = g1;
+        }
+        assert_eq!(g1_lower_bound(&inst, 4), 0);
+        // Removing more jobs than exist saturates at zero.
+        assert_eq!(g1_lower_bound(&inst, 99), 0);
+    }
+
+    #[test]
+    fn g1_removes_largest_from_max_loaded() {
+        // proc 0 load 10 {6,4}, proc 1 load 7 {7}.
+        let inst = Instance::from_sizes(&[6, 4, 7], vec![0, 0, 1], 2).unwrap();
+        // k=1: remove 6 from proc0 -> loads {4,7} -> G1 = 7.
+        assert_eq!(g1_lower_bound(&inst, 1), 7);
+        // k=2: then remove 7 from proc1 -> {4,0} -> G1 = 4.
+        assert_eq!(g1_lower_bound(&inst, 2), 4);
+    }
+
+    #[test]
+    fn tightness_example_with_adversarial_order() {
+        // With the big job reinserted last, GREEDY reproduces the original
+        // configuration of value 2m − 1 while OPT = m (Theorem 1).
+        for m in 2..=6 {
+            let (inst, k) = tightness_instance(m);
+            let (out, trace) = rebalance_with_order(&inst, k, ReinsertOrder::Ascending).unwrap();
+            assert_eq!(trace.g1, (m - 1) as u64, "m={m}");
+            assert_eq!(out.makespan(), (2 * m - 1) as u64, "m={m}");
+        }
+    }
+
+    #[test]
+    fn tightness_example_respects_theorem_1_bound() {
+        // GREEDY's removal phase takes the size-m job first, so no
+        // reinsertion order can reach OPT = m here; but every order stays
+        // within the Theorem 1 bound (2 − 1/m)·OPT = 2m − 1.
+        for m in 2..=6 {
+            let (inst, k) = tightness_instance(m);
+            for order in [
+                ReinsertOrder::Descending,
+                ReinsertOrder::Ascending,
+                ReinsertOrder::RemovalOrder,
+            ] {
+                let (out, _) = rebalance_with_order(&inst, k, order).unwrap();
+                assert!(
+                    out.makespan() <= (2 * m - 1) as u64,
+                    "m={m} order={order:?}"
+                );
+                assert!(out.makespan() >= m as u64, "m={m} order={order:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_g2_matches_outcome() {
+        let inst = Instance::from_sizes(&[9, 1, 1, 1, 8], vec![0, 0, 0, 0, 1], 3).unwrap();
+        let (out, trace) = rebalance_with_order(&inst, 3, ReinsertOrder::RemovalOrder).unwrap();
+        assert_eq!(trace.g2, out.makespan());
+        assert_eq!(trace.removed.len(), out.moves().max(trace.removed.len()));
+    }
+
+    #[test]
+    fn single_processor_is_noop_quality() {
+        let inst = Instance::from_sizes(&[3, 4], vec![0, 0], 1).unwrap();
+        let out = rebalance(&inst, 2).unwrap();
+        assert_eq!(out.makespan(), 7);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::from_sizes(&[], vec![], 2).unwrap();
+        let out = rebalance(&inst, 3).unwrap();
+        assert_eq!(out.makespan(), 0);
+        assert_eq!(out.moves(), 0);
+    }
+}

@@ -1,0 +1,405 @@
+//! 0/1 knapsack used by the arbitrary-cost PARTITION variant (§3.2).
+//!
+//! The cost variant needs, per processor, the *cheapest set of jobs to
+//! remove* so that the remaining jobs fit in a size cap — equivalently, the
+//! set of jobs to **keep** with total size ≤ cap and maximum total
+//! relocation cost. This module solves that keep-problem.
+//!
+//! The solver is branch-and-bound with the classic fractional upper bound
+//! over ratio-sorted items. Per-processor job counts are modest in every
+//! workload this crate targets, so the exact solver is the default; a node
+//! budget guards against pathological inputs, falling back to the best
+//! solution found (which *under*-estimates the keepable cost and therefore
+//! *over*-estimates removal costs — always safe for budget checks, see the
+//! discussion in `cost_partition`).
+
+/// An item that may be kept: its size (capacity consumption) and the value
+/// of keeping it (the relocation cost we avoid paying).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Item {
+    /// Capacity the item consumes if kept.
+    pub size: u64,
+    /// Value of keeping the item.
+    pub cost: u64,
+}
+
+/// Result of a keep-knapsack computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeepSolution {
+    /// Total cost of the kept items.
+    pub kept_cost: u64,
+    /// Indices (into the input slice) of the kept items.
+    pub kept: Vec<usize>,
+    /// True if the solver proved optimality (node budget not exhausted).
+    pub exact: bool,
+}
+
+/// Default node budget for [`max_cost_keep`].
+pub const DEFAULT_NODE_BUDGET: u64 = 2_000_000;
+
+/// Choose a subset of `items` with total size at most `cap` maximizing the
+/// total cost, exactly (up to the node budget).
+pub fn max_cost_keep(items: &[Item], cap: u64) -> KeepSolution {
+    max_cost_keep_bounded(items, cap, DEFAULT_NODE_BUDGET)
+}
+
+/// [`max_cost_keep`] with an explicit node budget.
+pub fn max_cost_keep_bounded(items: &[Item], cap: u64, node_budget: u64) -> KeepSolution {
+    // Zero-size items are always kept; oversized items never can be.
+    let mut forced: Vec<usize> = Vec::new();
+    let mut forced_cost = 0u64;
+    let mut order: Vec<usize> = Vec::new();
+    for (i, it) in items.iter().enumerate() {
+        if it.size == 0 {
+            forced.push(i);
+            forced_cost += it.cost;
+        } else if it.size <= cap {
+            order.push(i);
+        }
+    }
+    // Ratio sort: cost/size descending, exact via cross-multiplication.
+    order.sort_by(|&a, &b| {
+        let (ia, ib) = (items[a], items[b]);
+        let lhs = ia.cost as u128 * ib.size as u128;
+        let rhs = ib.cost as u128 * ia.size as u128;
+        rhs.cmp(&lhs).then(a.cmp(&b))
+    });
+
+    let sorted: Vec<Item> = order.iter().map(|&i| items[i]).collect();
+    let mut search = Search {
+        items: &sorted,
+        best_cost: 0,
+        best_set: Vec::new(),
+        current: Vec::new(),
+        nodes_left: node_budget,
+        exact: true,
+    };
+    search.dfs(0, cap, 0);
+
+    let mut kept = forced;
+    kept.extend(search.best_set.iter().map(|&i| order[i]));
+    kept.sort_unstable();
+    KeepSolution {
+        kept_cost: forced_cost + search.best_cost,
+        kept,
+        exact: search.exact,
+    }
+}
+
+struct Search<'a> {
+    items: &'a [Item],
+    best_cost: u64,
+    best_set: Vec<usize>,
+    current: Vec<usize>,
+    nodes_left: u64,
+    exact: bool,
+}
+
+impl Search<'_> {
+    /// Upper bound on the cost attainable from item `i` onward with
+    /// `cap` capacity left: greedy fill plus a fractional last item.
+    fn fractional_bound(&self, mut i: usize, mut cap: u64) -> u64 {
+        let mut bound = 0u64;
+        while i < self.items.len() {
+            let it = self.items[i];
+            if it.size <= cap {
+                cap -= it.size;
+                bound += it.cost;
+            } else {
+                // Fractional fill, rounded up to stay an upper bound.
+                bound += ((it.cost as u128 * cap as u128).div_ceil(it.size as u128)) as u64;
+                return bound;
+            }
+            i += 1;
+        }
+        bound
+    }
+
+    fn dfs(&mut self, i: usize, cap: u64, cost: u64) {
+        if self.nodes_left == 0 {
+            self.exact = false;
+            return;
+        }
+        self.nodes_left -= 1;
+
+        if cost > self.best_cost {
+            self.best_cost = cost;
+            self.best_set = self.current.clone();
+        }
+        if i == self.items.len() {
+            return;
+        }
+        if cost + self.fractional_bound(i, cap) <= self.best_cost {
+            return; // cannot improve
+        }
+        // Branch: take item i (if it fits), then skip it.
+        let it = self.items[i];
+        if it.size <= cap {
+            self.current.push(i);
+            self.dfs(i + 1, cap - it.size, cost + it.cost);
+            self.current.pop();
+        }
+        self.dfs(i + 1, cap, cost);
+    }
+}
+
+/// The knapsack **FPTAS** the paper suggests for unbounded relocation costs
+/// (§3.2: "Otherwise, one can use a PTAS in the place of the knapsack
+/// routine"): classic cost-scaling dynamic programming, returning a keep
+/// set of cost at least `(1 − ε)` times optimal in time
+/// `O(n²·⌈n/ε⌉)`-ish, independent of the magnitude of the costs.
+///
+/// Costs are scaled by `K = ε·max_cost/n`, then an exact DP over scaled
+/// cost values finds the minimum-size subset achieving each scaled total.
+pub fn max_cost_keep_fptas(items: &[Item], cap: u64, eps: f64) -> KeepSolution {
+    assert!(eps > 0.0 && eps < 1.0, "epsilon must be in (0, 1)");
+    let feasible: Vec<usize> = (0..items.len()).filter(|&i| items[i].size <= cap).collect();
+    let max_cost = feasible.iter().map(|&i| items[i].cost).max().unwrap_or(0);
+    if max_cost == 0 || feasible.is_empty() {
+        // Only zero-cost (or no) items: keep all zero-size ones for parity
+        // with the exact solver's forced keeps.
+        let kept: Vec<usize> = (0..items.len()).filter(|&i| items[i].size == 0).collect();
+        let kept_cost = kept.iter().map(|&i| items[i].cost).sum();
+        return KeepSolution {
+            kept_cost,
+            kept,
+            exact: true,
+        };
+    }
+    let n = feasible.len() as u64;
+    let k = ((eps * max_cost as f64) / n as f64).max(1.0);
+    let scaled: Vec<u64> = feasible
+        .iter()
+        .map(|&i| (items[i].cost as f64 / k) as u64)
+        .collect();
+    let total_scaled: usize = scaled.iter().sum::<u64>() as usize;
+
+    // dp[v] = minimum size achieving scaled cost exactly v, with parent
+    // pointers for reconstruction.
+    const INF: u64 = u64::MAX;
+    let mut dp = vec![INF; total_scaled + 1];
+    let mut choice: Vec<Vec<bool>> = Vec::with_capacity(feasible.len());
+    dp[0] = 0;
+    for (idx, &i) in feasible.iter().enumerate() {
+        let c = scaled[idx] as usize;
+        let s = items[i].size;
+        let mut took = vec![false; total_scaled + 1];
+        for v in (c..=total_scaled).rev() {
+            if dp[v - c] != INF && dp[v - c] + s <= cap && dp[v - c] + s < dp[v] {
+                dp[v] = dp[v - c] + s;
+                took[v] = true;
+            }
+        }
+        choice.push(took);
+    }
+    let best_v = (0..=total_scaled)
+        .rev()
+        .find(|&v| dp[v] != INF)
+        .unwrap_or(0);
+
+    // Reconstruct.
+    let mut kept = Vec::new();
+    let mut v = best_v;
+    for idx in (0..feasible.len()).rev() {
+        if choice[idx][v] {
+            kept.push(feasible[idx]);
+            v -= scaled[idx] as usize;
+        }
+    }
+    // Zero-size items are always keepable for free.
+    for (i, it) in items.iter().enumerate() {
+        if it.size == 0 && !kept.contains(&i) {
+            kept.push(i);
+        }
+    }
+    kept.sort_unstable();
+    let kept_cost = kept.iter().map(|&i| items[i].cost).sum();
+    KeepSolution {
+        kept_cost,
+        kept,
+        exact: false,
+    }
+}
+
+/// Brute-force reference solver (exponential; tests only, also used by the
+/// exact crate on tiny inputs).
+pub fn max_cost_keep_bruteforce(items: &[Item], cap: u64) -> u64 {
+    assert!(items.len() <= 24, "brute force limited to 24 items");
+    let mut best = 0u64;
+    for mask in 0u32..(1 << items.len()) {
+        let mut size = 0u64;
+        let mut cost = 0u64;
+        for (i, it) in items.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                size += it.size;
+                cost += it.cost;
+            }
+        }
+        if size <= cap {
+            best = best.max(cost);
+        }
+    }
+    best
+}
+
+/// Cheapest removal formulation: total cost of all items minus the best
+/// keepable cost under `cap`. This is the `a_i`/`b_i` quantity of §3.2.
+pub fn min_cost_removal(items: &[Item], cap: u64) -> (u64, Vec<usize>) {
+    let total: u64 = items.iter().map(|it| it.cost).sum();
+    let sol = max_cost_keep(items, cap);
+    let mut removed: Vec<usize> = Vec::with_capacity(items.len() - sol.kept.len());
+    let mut kept_iter = sol.kept.iter().peekable();
+    for i in 0..items.len() {
+        if kept_iter.peek() == Some(&&i) {
+            kept_iter.next();
+        } else {
+            removed.push(i);
+        }
+    }
+    (total - sol.kept_cost, removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(v: &[(u64, u64)]) -> Vec<Item> {
+        v.iter().map(|&(size, cost)| Item { size, cost }).collect()
+    }
+
+    #[test]
+    fn trivial_cases() {
+        assert_eq!(max_cost_keep(&[], 10).kept_cost, 0);
+        let its = items(&[(5, 3)]);
+        assert_eq!(max_cost_keep(&its, 4).kept_cost, 0);
+        assert_eq!(max_cost_keep(&its, 5).kept_cost, 3);
+    }
+
+    #[test]
+    fn picks_best_combination() {
+        // cap 10: best is {6,5}-sized? sizes {6,5,4}, costs {5,4,3}:
+        // {6,4} -> 8 cost, {5,4} -> 7, {6,5} -> 11 > cap. So 8.
+        let its = items(&[(6, 5), (5, 4), (4, 3)]);
+        assert_eq!(max_cost_keep(&its, 10).kept_cost, 8);
+    }
+
+    #[test]
+    fn ratio_greedy_is_not_always_optimal_but_bb_is() {
+        // Classic counterexample: greedy by ratio takes the small item and
+        // misses the big one.
+        let its = items(&[(1, 2), (10, 10)]);
+        let sol = max_cost_keep(&its, 10);
+        assert_eq!(sol.kept_cost, 10);
+        assert_eq!(sol.kept, vec![1]);
+        assert!(sol.exact);
+    }
+
+    #[test]
+    fn zero_size_items_always_kept() {
+        let its = items(&[(0, 7), (5, 1)]);
+        let sol = max_cost_keep(&its, 0);
+        assert_eq!(sol.kept_cost, 7);
+        assert_eq!(sol.kept, vec![0]);
+    }
+
+    #[test]
+    fn matches_bruteforce_on_random_instances() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let n = rng.gen_range(0..=12);
+            let its: Vec<Item> = (0..n)
+                .map(|_| Item {
+                    size: rng.gen_range(0..20),
+                    cost: rng.gen_range(0..20),
+                })
+                .collect();
+            let cap = rng.gen_range(0..40);
+            let bb = max_cost_keep(&its, cap);
+            let bf = max_cost_keep_bruteforce(&its, cap);
+            assert_eq!(bb.kept_cost, bf, "items={its:?} cap={cap}");
+            assert!(bb.exact);
+            // The reported kept set realizes the reported cost and fits.
+            let size: u64 = bb.kept.iter().map(|&i| its[i].size).sum();
+            let cost: u64 = bb.kept.iter().map(|&i| its[i].cost).sum();
+            assert!(size <= cap);
+            assert_eq!(cost, bb.kept_cost);
+        }
+    }
+
+    #[test]
+    fn min_cost_removal_complements_keep() {
+        let its = items(&[(6, 5), (5, 4), (4, 3)]);
+        let (removal, removed) = min_cost_removal(&its, 10);
+        assert_eq!(removal, 12 - 8);
+        assert_eq!(removed.len(), 1);
+        // Removed + kept partition the items.
+        let sol = max_cost_keep(&its, 10);
+        let mut all: Vec<usize> = sol.kept.iter().copied().chain(removed).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn fptas_within_epsilon_of_exact() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(97);
+        for _ in 0..100 {
+            let n = rng.gen_range(0..=10);
+            let its: Vec<Item> = (0..n)
+                .map(|_| Item {
+                    size: rng.gen_range(0..15),
+                    // Large costs: the regime the FPTAS exists for.
+                    cost: rng.gen_range(0..1_000_000),
+                })
+                .collect();
+            let cap = rng.gen_range(0..40);
+            let exact = max_cost_keep(&its, cap).kept_cost;
+            for eps in [0.5, 0.2, 0.05] {
+                let approx = max_cost_keep_fptas(&its, cap, eps);
+                // Valid keep set within capacity.
+                let size: u64 = approx.kept.iter().map(|&i| its[i].size).sum();
+                assert!(size <= cap || size == 0);
+                let cost: u64 = approx.kept.iter().map(|&i| its[i].cost).sum();
+                assert_eq!(cost, approx.kept_cost);
+                // (1 − ε) guarantee.
+                assert!(
+                    approx.kept_cost as f64 >= (1.0 - eps) * exact as f64 - 1e-9,
+                    "eps={eps}: {} < (1-eps)*{exact} (items {its:?}, cap {cap})",
+                    approx.kept_cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fptas_handles_degenerate_inputs() {
+        assert_eq!(max_cost_keep_fptas(&[], 10, 0.2).kept_cost, 0);
+        let zero_cost = vec![Item { size: 3, cost: 0 }, Item { size: 0, cost: 0 }];
+        let sol = max_cost_keep_fptas(&zero_cost, 10, 0.2);
+        assert_eq!(sol.kept_cost, 0);
+        // Oversized item never kept.
+        let big = vec![Item {
+            size: 100,
+            cost: 50,
+        }];
+        assert_eq!(max_cost_keep_fptas(&big, 10, 0.2).kept_cost, 0);
+    }
+
+    #[test]
+    fn node_budget_fallback_is_safe() {
+        let its: Vec<Item> = (1..=30)
+            .map(|i| Item {
+                size: i,
+                cost: 31 - i,
+            })
+            .collect();
+        let sol = max_cost_keep_bounded(&its, 200, 10);
+        // With a tiny budget we may not be exact, but the answer is a valid
+        // keep set.
+        let size: u64 = sol.kept.iter().map(|&i| its[i].size).sum();
+        assert!(size <= 200);
+        let exact = max_cost_keep(&its, 200);
+        assert!(sol.kept_cost <= exact.kept_cost);
+    }
+}

@@ -1,0 +1,158 @@
+//! Graham's Longest-Processing-Time (LPT) list scheduling [Graham 1966,
+//! cited as \[5\] in the paper].
+//!
+//! Used here as the *full rebalance* oracle: ignore the initial placement
+//! entirely and schedule from scratch. This is what an unbounded move budget
+//! (`k = n`) buys, and is the baseline the crossover experiment (T13)
+//! compares bounded rebalancing against. LPT is a `(4/3 − 1/(3m))`-
+//! approximation to classical makespan, so it is a good (not perfect) proxy
+//! for the fully-rebalanced optimum.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::error::Result;
+use crate::model::{Instance, ProcId, Size};
+use crate::outcome::RebalanceOutcome;
+
+/// Schedule `sizes` on `m` processors with LPT; returns the assignment.
+///
+/// Jobs are sorted by decreasing size and each is placed on the currently
+/// least-loaded processor.
+pub fn schedule(sizes: &[Size], m: usize) -> Vec<ProcId> {
+    assert!(m > 0, "LPT needs at least one processor");
+    let mut order: Vec<usize> = (0..sizes.len()).collect();
+    order.sort_by_key(|&j| Reverse(sizes[j]));
+
+    let mut heap: BinaryHeap<Reverse<(Size, ProcId)>> = (0..m).map(|p| Reverse((0, p))).collect();
+    let mut assignment = vec![0usize; sizes.len()];
+    for j in order {
+        let Reverse((load, p)) = heap.pop().expect("m >= 1");
+        assignment[j] = p;
+        heap.push(Reverse((load + sizes[j], p)));
+    }
+    assignment
+}
+
+/// Makespan of the LPT schedule for `sizes` on `m` processors.
+pub fn makespan(sizes: &[Size], m: usize) -> Size {
+    let assignment = schedule(sizes, m);
+    let mut loads = vec![0u64; m];
+    for (j, &p) in assignment.iter().enumerate() {
+        loads[p] += sizes[j];
+    }
+    loads.into_iter().max().unwrap_or(0)
+}
+
+/// Rebalance by scheduling everything from scratch with LPT, disregarding
+/// the initial placement (every job that lands elsewhere counts as a move).
+///
+/// To avoid gratuitous relocations, processors are relabeled afterwards so
+/// that the LPT buckets line up with the initial processors as well as a
+/// greedy label matching can manage.
+pub fn full_rebalance(inst: &Instance) -> Result<RebalanceOutcome> {
+    let sizes: Vec<Size> = inst.jobs().iter().map(|j| j.size).collect();
+    let raw = schedule(&sizes, inst.num_procs());
+    let relabeled = relabel_to_minimize_moves(inst, raw);
+    RebalanceOutcome::from_assignment(inst, relabeled)
+}
+
+/// Greedily permute processor labels of `assignment` to maximize the number
+/// of jobs that keep their initial processor.
+///
+/// For each (new-label, old-label) pair, count overlapping jobs; repeatedly
+/// commit the pair with the largest overlap. This is a 2-approximation to
+/// the best label matching, which is ample for a baseline.
+fn relabel_to_minimize_moves(inst: &Instance, assignment: Vec<ProcId>) -> Vec<ProcId> {
+    let m = inst.num_procs();
+    let mut overlap = vec![vec![0usize; m]; m];
+    for (j, &newp) in assignment.iter().enumerate() {
+        overlap[newp][inst.initial_proc(j)] += 1;
+    }
+    let mut pairs: Vec<(usize, ProcId, ProcId)> = Vec::with_capacity(m * m);
+    for (a, row) in overlap.iter().enumerate() {
+        for (b, &c) in row.iter().enumerate() {
+            pairs.push((c, a, b));
+        }
+    }
+    pairs.sort_by_key(|&(c, a, b)| (Reverse(c), a, b));
+
+    let mut new_to_old = vec![usize::MAX; m];
+    let mut old_taken = vec![false; m];
+    for (_, a, b) in pairs {
+        if new_to_old[a] == usize::MAX && !old_taken[b] {
+            new_to_old[a] = b;
+            old_taken[b] = true;
+        }
+    }
+    for (a, slot) in new_to_old.iter_mut().enumerate() {
+        if *slot == usize::MAX {
+            // Shouldn't happen (pairs covers the full bipartite grid), but
+            // fall back to identity rather than panic.
+            *slot = a;
+        }
+    }
+
+    assignment.into_iter().map(|p| new_to_old[p]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lpt_balances_equal_jobs() {
+        let sizes = vec![3, 3, 3, 3];
+        assert_eq!(makespan(&sizes, 2), 6);
+        assert_eq!(makespan(&sizes, 4), 3);
+    }
+
+    #[test]
+    fn lpt_classic_example() {
+        // Sizes {5,5,4,4,3,3,3}: total 27, m=3. OPT = 9 but LPT lands at 11
+        // (5+3+3 / 5+3+3... actually 4+4+3 = 11) — the classic gap, still
+        // within the 4/3 − 1/(3m) bound (11 ≤ 9·11/9).
+        let sizes = vec![5, 5, 4, 4, 3, 3, 3];
+        let ms = makespan(&sizes, 3);
+        assert_eq!(ms, 11);
+        // Graham bound: LPT ≤ (4/3 − 1/9)·OPT = 11/9 · 9 = 11.
+        assert!(ms * 9 <= 9 * 11);
+    }
+
+    #[test]
+    fn lpt_assignment_is_wellformed() {
+        let sizes = vec![9, 7, 5, 3, 1];
+        let a = schedule(&sizes, 3);
+        assert_eq!(a.len(), 5);
+        assert!(a.iter().all(|&p| p < 3));
+    }
+
+    #[test]
+    fn full_rebalance_beats_or_ties_initial_makespan_here() {
+        let inst = Instance::from_sizes(&[6, 6, 6, 6], vec![0, 0, 0, 0], 2).unwrap();
+        let out = full_rebalance(&inst).unwrap();
+        assert_eq!(out.makespan(), 12);
+    }
+
+    #[test]
+    fn relabeling_keeps_already_balanced_instances_in_place() {
+        // Initial placement IS an LPT-quality schedule; relabeling should
+        // recover it with zero or near-zero moves.
+        let inst = Instance::from_sizes(&[5, 5, 4, 4], vec![0, 1, 0, 1], 2).unwrap();
+        let out = full_rebalance(&inst).unwrap();
+        assert_eq!(out.makespan(), 9);
+        assert_eq!(out.moves(), 0, "relabeling should find the identity");
+    }
+
+    #[test]
+    fn single_proc() {
+        assert_eq!(makespan(&[1, 2, 3], 1), 6);
+    }
+
+    #[test]
+    fn empty_jobs() {
+        assert_eq!(makespan(&[], 3), 0);
+        let a = schedule(&[], 3);
+        assert!(a.is_empty());
+    }
+}

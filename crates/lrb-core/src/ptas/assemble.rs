@@ -1,0 +1,155 @@
+//! Materialize a DP solution into an actual assignment (§4, Lemma 11).
+//!
+//! Large jobs of each class move freely between processors whose
+//! configurations have spare slots of that class; removed small jobs go to
+//! any processor whose actual small volume is still below its allocation.
+//! The counting arguments (DESIGN.md §5) guarantee both placements always
+//! succeed.
+
+use crate::error::Result;
+use crate::model::{Instance, JobId, ProcId};
+use crate::outcome::RebalanceOutcome;
+use crate::ptas::dp::Solution;
+use crate::ptas::view::View;
+
+/// Turn the DP's per-processor configurations into an assignment.
+pub fn assemble(inst: &Instance, view: &View, sol: &Solution) -> Result<RebalanceOutcome> {
+    let m = inst.num_procs();
+    let s = view.grid.num_classes();
+    debug_assert_eq!(sol.configs.len(), m);
+
+    let mut assignment = inst.initial().clone();
+
+    // Phase 1: large jobs. Collect per-class pools of removed jobs and
+    // per-processor deficits.
+    let mut pool: Vec<Vec<JobId>> = vec![Vec::new(); s];
+    let mut deficits: Vec<Vec<(ProcId, u32)>> = vec![Vec::new(); s];
+    for (p, cfg) in sol.configs.iter().enumerate() {
+        let pv = &view.procs[p];
+        for c in 0..s {
+            let cnt = pv.class_jobs[c].len() as u32;
+            let want = cfg.x[c];
+            if want < cnt {
+                // Remove the cheapest excess (prefix of the cost-ascending
+                // list), matching the DP's cost accounting.
+                for &j in &pv.class_jobs[c][..(cnt - want) as usize] {
+                    pool[c].push(j);
+                }
+            } else if want > cnt {
+                deficits[c].push((p, want - cnt));
+            }
+        }
+    }
+    for c in 0..s {
+        let mut iter = pool[c].drain(..);
+        for &(p, need) in &deficits[c] {
+            for _ in 0..need {
+                let j = iter.next().expect("class pools exactly match deficits");
+                assignment[j] = p;
+            }
+        }
+        debug_assert!(iter.next().is_none(), "class pool must be exactly consumed");
+    }
+
+    // Phase 2: small jobs. Track each processor's actual (scaled) kept small
+    // volume, then place removed smalls wherever the rounded volume is still
+    // below the allocation.
+    let mut small_pool: Vec<JobId> = Vec::new();
+    let mut actual: Vec<u64> = Vec::with_capacity(m);
+    for (p, cfg) in sol.configs.iter().enumerate() {
+        let pv = &view.procs[p];
+        small_pool.extend_from_slice(&pv.smalls[..cfg.small_removals]);
+        actual.push(pv.small_total() - pv.small_size_prefix[cfg.small_removals]);
+    }
+    // Largest first gives the classic greedy's better packing.
+    small_pool.sort_by_key(|&j| std::cmp::Reverse(inst.size(j)));
+    let alloc: Vec<u64> = sol.configs.iter().map(|c| c.v_units).collect();
+    for j in small_pool {
+        let sz = inst.size(j) * view.scale;
+        if sz == 0 {
+            // Zero-size jobs consume no volume; any processor works (and the
+            // headroom argument needs strictly positive pending volume).
+            assignment[j] = 0;
+            continue;
+        }
+        // Prefer the emptiest processor among those with headroom.
+        let p = (0..m)
+            .filter(|&p| view.grid.units(actual[p]) < alloc[p])
+            .min_by_key(|&p| actual[p])
+            .expect("some processor has small-volume headroom (Lemma 10/11)");
+        assignment[j] = p;
+        actual[p] += sz;
+    }
+
+    RebalanceOutcome::from_assignment(inst, assignment)
+}
+
+/// The a-priori makespan bound the assembled solution satisfies at guess
+/// `t`: `(1 + 5δ)·t`, checked in integer arithmetic with the scaling slack.
+pub fn makespan_bound(t: u64, q: u64) -> u64 {
+    // (1 + 5/q)·t, rounded up, plus one unit for the internal integer slack.
+    (t * (q + 5)).div_ceil(q) + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ptas::dp::{solve, DpOutcome};
+
+    fn run(inst: &Instance, t: u64, q: u64) -> RebalanceOutcome {
+        let view = View::new(inst, t, q);
+        match solve(&view) {
+            DpOutcome::Solved(sol) => {
+                let out = assemble(inst, &view, &sol).unwrap();
+                assert!(
+                    out.cost() <= sol.cost,
+                    "realized cost {} exceeds DP cost {}",
+                    out.cost(),
+                    sol.cost
+                );
+                assert!(
+                    out.makespan() <= makespan_bound(t, q),
+                    "makespan {} above bound {}",
+                    out.makespan(),
+                    makespan_bound(t, q)
+                );
+                out
+            }
+            other => panic!("expected solved at t={t}: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spreads_piled_large_jobs() {
+        let inst = Instance::from_sizes(&[50, 50], vec![0, 0], 2).unwrap();
+        let out = run(&inst, 50, 5);
+        assert_eq!(out.makespan(), 50);
+        assert_eq!(out.moves(), 1);
+    }
+
+    #[test]
+    fn distributes_smalls_within_allocations() {
+        let inst = Instance::from_sizes(&[10; 10], vec![0; 10], 2).unwrap();
+        let out = run(&inst, 50, 5);
+        // 2 jobs relocate (see dp tests); makespan 80 = kept 8 units.
+        assert_eq!(out.moves(), 2);
+        assert!(out.makespan() <= 80);
+    }
+
+    #[test]
+    fn identity_when_already_balanced() {
+        let inst = Instance::from_sizes(&[40, 40, 40], vec![0, 1, 2], 3).unwrap();
+        let out = run(&inst, 40, 5);
+        assert_eq!(out.moves(), 0);
+        assert_eq!(out.makespan(), 40);
+    }
+
+    #[test]
+    fn mixed_large_and_small() {
+        let inst =
+            Instance::from_sizes(&[60, 30, 20, 10, 10, 10], vec![0, 0, 0, 0, 0, 0], 2).unwrap();
+        // Total 140, m=2 -> OPT with unlimited moves = 70.
+        let out = run(&inst, 70, 5);
+        assert!(out.makespan() <= makespan_bound(70, 5));
+    }
+}

@@ -1,0 +1,329 @@
+//! The configuration dynamic program of §4.
+//!
+//! A state `(n_1 … n_s, M, V)` asks: can the first `M` processors jointly
+//! hold `n_c` large jobs of each class `c` and `V` units of small-volume
+//! allocation, each processor in a `W`-feasible configuration — and at what
+//! minimum total removal cost? Processing processors one at a time, each
+//! transition picks a configuration `(x_1 … x_s, V′)` for the current
+//! processor, pays the removal cost to reach it from the processor's initial
+//! contents, and recurses on the reduced state.
+//!
+//! Removal costs are exactly the paper's: per class remove the cheapest
+//! excess jobs; for smalls greedily remove by ascending cost-to-size ratio
+//! until the kept rounded volume fits `V′ + 1` units. Reassignments are
+//! free and are materialized later by [`super::assemble`].
+
+use std::collections::HashMap;
+
+use crate::ptas::view::View;
+
+/// A per-processor configuration chosen by the DP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// Number of class-`c` large jobs the processor ends up with.
+    pub x: Vec<u32>,
+    /// Small-volume allocation in units.
+    pub v_units: u64,
+    /// How many smalls (in the view's removal order) are removed.
+    pub small_removals: usize,
+}
+
+/// A complete DP solution.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Total removal cost.
+    pub cost: u64,
+    /// Chosen configuration per processor.
+    pub configs: Vec<Config>,
+    /// Number of distinct states memoized (diagnostics / F2 experiment).
+    pub states: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct StateKey {
+    counts: Box<[u32]>,
+    m: u32,
+    v: u64,
+}
+
+/// Outcome of solving: either a solution, infeasible, or aborted because the
+/// state budget was exhausted.
+#[derive(Debug, Clone)]
+pub enum DpOutcome {
+    /// Minimum-cost solution found.
+    Solved(Solution),
+    /// No W-feasible packing exists at this guess.
+    Infeasible,
+    /// The memo table outgrew the state budget; treat as "don't know".
+    Exhausted,
+}
+
+/// Default bound on the number of memoized states.
+pub const DEFAULT_STATE_BUDGET: usize = 4_000_000;
+
+/// Solve the DP for a view.
+pub fn solve(view: &View) -> DpOutcome {
+    solve_bounded(view, DEFAULT_STATE_BUDGET)
+}
+
+/// [`solve`] with an explicit state budget.
+pub fn solve_bounded(view: &View, state_budget: usize) -> DpOutcome {
+    let m = view.procs.len();
+    let mut solver = Solver {
+        view,
+        memo: HashMap::new(),
+        choice: HashMap::new(),
+        state_budget,
+        exhausted: false,
+    };
+    let root = StateKey {
+        counts: view.class_totals.clone().into_boxed_slice(),
+        m: m as u32,
+        v: view.v_total,
+    };
+    let cost = solver.solve(&root);
+    if solver.exhausted {
+        return DpOutcome::Exhausted;
+    }
+    let Some(cost) = cost else {
+        return DpOutcome::Infeasible;
+    };
+
+    // Reconstruct configurations proc by proc (proc index M−1 at each step).
+    let mut configs: Vec<Config> = Vec::with_capacity(m);
+    let mut state = root;
+    while state.m > 0 {
+        let cfg = solver
+            .choice
+            .get(&state)
+            .expect("solved states record a choice")
+            .clone();
+        let mut counts = state.counts.clone();
+        for (nc, &xc) in counts.iter_mut().zip(&cfg.x) {
+            *nc -= xc;
+        }
+        let next = StateKey {
+            counts,
+            m: state.m - 1,
+            v: state.v - cfg.v_units,
+        };
+        configs.push(cfg);
+        state = next;
+    }
+    // configs[0] corresponds to proc m−1; flip to proc order.
+    configs.reverse();
+    DpOutcome::Solved(Solution {
+        cost,
+        configs,
+        states: solver.memo.len(),
+    })
+}
+
+struct Solver<'a> {
+    view: &'a View,
+    memo: HashMap<StateKey, Option<u64>>,
+    choice: HashMap<StateKey, Config>,
+    state_budget: usize,
+    exhausted: bool,
+}
+
+impl Solver<'_> {
+    fn solve(&mut self, state: &StateKey) -> Option<u64> {
+        if self.exhausted {
+            return None;
+        }
+        if state.m == 0 {
+            // Base case: everything must be exactly consumed.
+            let ok = state.v == 0 && state.counts.iter().all(|&c| c == 0);
+            return ok.then_some(0);
+        }
+        if let Some(&cached) = self.memo.get(state) {
+            return cached;
+        }
+        if self.memo.len() >= self.state_budget {
+            self.exhausted = true;
+            return None;
+        }
+        // Reserve the slot early so the budget check sees in-flight states.
+        self.memo.insert(state.clone(), None);
+
+        let proc = (state.m - 1) as usize;
+        let mut best: Option<u64> = None;
+        let mut best_cfg: Option<Config> = None;
+
+        // Enumerate feasible (x, V') configurations for this processor.
+        let mut x = vec![0u32; state.counts.len()];
+        self.enumerate(state, proc, 0, 0, &mut x, &mut best, &mut best_cfg);
+
+        self.memo.insert(state.clone(), best);
+        if let Some(cfg) = best_cfg {
+            self.choice.insert(state.clone(), cfg);
+        }
+        best
+    }
+
+    /// Recursive enumeration over class counts `x[c..]`, carrying the
+    /// rounded large load accumulated so far.
+    #[allow(clippy::too_many_arguments)]
+    fn enumerate(
+        &mut self,
+        state: &StateKey,
+        proc: usize,
+        c: usize,
+        rounded_sum: u128,
+        x: &mut Vec<u32>,
+        best: &mut Option<u64>,
+        best_cfg: &mut Option<Config>,
+    ) {
+        if self.exhausted {
+            return;
+        }
+        if c == x.len() {
+            self.finish_config(state, proc, rounded_sum, x, best, best_cfg);
+            return;
+        }
+        let r = self.view.grid.rounded(c) as u128;
+        let max_here = state.counts[c];
+        for xc in 0..=max_here {
+            let sum = rounded_sum + r * xc as u128;
+            if self.view.grid.max_v_units(sum).is_none() {
+                break; // larger xc only makes it worse
+            }
+            x[c] = xc;
+            self.enumerate(state, proc, c + 1, sum, x, best, best_cfg);
+        }
+        x[c] = 0;
+    }
+
+    /// With the class counts fixed, try every small-volume allocation.
+    fn finish_config(
+        &mut self,
+        state: &StateKey,
+        proc: usize,
+        rounded_sum: u128,
+        x: &[u32],
+        best: &mut Option<u64>,
+        best_cfg: &mut Option<Config>,
+    ) {
+        let Some(v_cap) = self.view.grid.max_v_units(rounded_sum) else {
+            return;
+        };
+        let v_cap = v_cap.min(state.v);
+
+        // Large-removal cost for this x is independent of V'.
+        let pv = &self.view.procs[proc];
+        let mut large_cost = 0u64;
+        for (c, &xc) in x.iter().enumerate() {
+            let cnt = pv.class_jobs[c].len();
+            if (xc as usize) < cnt {
+                large_cost += pv.class_cost_prefix[c][cnt - xc as usize];
+            }
+        }
+        for v_units in 0..=v_cap {
+            let (small_removals, small_cost) = pv.smalls_removal_for(&self.view.grid, v_units);
+            let local = large_cost + small_cost;
+            let mut counts = state.counts.clone();
+            for (nc, &xc) in counts.iter_mut().zip(x) {
+                *nc -= xc;
+            }
+            let child = StateKey {
+                counts,
+                m: state.m - 1,
+                v: state.v - v_units,
+            };
+            if let Some(rest) = self.solve(&child) {
+                let total = local + rest;
+                if best.is_none() || total < best.unwrap() {
+                    *best = Some(total);
+                    *best_cfg = Some(Config {
+                        x: x.to_vec(),
+                        v_units,
+                        small_removals,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Instance;
+
+    fn solve_at(inst: &Instance, t: u64, q: u64) -> DpOutcome {
+        let view = View::new(inst, t, q);
+        solve(&view)
+    }
+
+    #[test]
+    fn balanced_instance_costs_nothing() {
+        let inst = Instance::from_sizes(&[50, 50], vec![0, 1], 2).unwrap();
+        match solve_at(&inst, 50, 5) {
+            DpOutcome::Solved(sol) => assert_eq!(sol.cost, 0),
+            other => panic!("expected solved, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn piled_large_jobs_cost_one_move() {
+        // Two size-50 jobs on proc 0 of 2; fitting makespan ~50 requires
+        // relocating one (cost 1 each in the unit model).
+        let inst = Instance::from_sizes(&[50, 50], vec![0, 0], 2).unwrap();
+        match solve_at(&inst, 50, 5) {
+            DpOutcome::Solved(sol) => {
+                assert_eq!(sol.cost, 1);
+                // Each processor's config holds exactly one large job.
+                for cfg in &sol.configs {
+                    let total: u32 = cfg.x.iter().sum();
+                    assert_eq!(total, 1);
+                }
+            }
+            other => panic!("expected solved, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_when_guess_too_small() {
+        // Three size-100 jobs, two processors: no packing fits W ≈ 1.4·T at
+        // T = 100 (two large jobs of rounded size ≥ 100 exceed 140).
+        let inst = Instance::from_sizes(&[100, 100, 100], vec![0, 0, 1], 2).unwrap();
+        assert!(matches!(solve_at(&inst, 100, 5), DpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn small_jobs_pack_within_units() {
+        // Ten size-10 smalls on one proc of two, T = 50: a processor's
+        // allocation caps at 7 units (W = T + 2δT = 70) and kept volume may
+        // overshoot by one unit (the V' + δT slack), so at most 8 units =
+        // 80 stay put; exactly 2 jobs must relocate.
+        let inst = Instance::from_sizes(&[10; 10], vec![0; 10], 2).unwrap();
+        match solve_at(&inst, 50, 5) {
+            DpOutcome::Solved(sol) => assert_eq!(sol.cost, 2),
+            other => panic!("expected solved, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn state_budget_exhaustion_reports() {
+        let inst =
+            Instance::from_sizes(&[30, 29, 28, 27, 26, 25], vec![0, 0, 0, 1, 1, 2], 3).unwrap();
+        let view = View::new(&inst, 60, 5);
+        match solve_bounded(&view, 1) {
+            DpOutcome::Exhausted => {}
+            other => panic!("expected exhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn costs_respect_cheapest_removal() {
+        use crate::model::Job;
+        // Two large jobs on proc 0, costs 1 and 100: the DP should pay 1.
+        let jobs = vec![Job::with_cost(50, 100), Job::with_cost(50, 1)];
+        let inst = Instance::new(jobs, vec![0, 0], 2).unwrap();
+        match solve_at(&inst, 50, 5) {
+            DpOutcome::Solved(sol) => assert_eq!(sol.cost, 1),
+            other => panic!("expected solved, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Discretization grid for the PTAS (§4).
+//!
+//! For a makespan guess `T` and precision parameter `δ = 1/q`:
+//!
+//! * a job is **large** when its size exceeds `δT` (checked exactly as
+//!   `size·q > T`);
+//! * large sizes are rounded **up** to the geometric grid
+//!   `b_1 < b_2 < …` with `b_1 ≈ δ(1+δ)T` and `b_{i+1} = ⌈b_i·(q+1)/q⌉`
+//!   (the integer ceiling adds at most 1 per step, absorbed by the internal
+//!   size pre-scaling applied in [`super::view`]);
+//! * small-job volume is measured in integer **units** of `δT = T/q`,
+//!   rounded up: `units(x) = ⌈x·q/T⌉`.
+//!
+//! A per-processor configuration `(x_1, …, x_s, V′)` is feasible when its
+//! total rounded load fits in `W = T + 2δT`, checked exactly as
+//! `V′·T + q·Σ x_i·b_i ≤ T·(q+2)`.
+
+/// The discretization grid at one makespan guess.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    /// The (pre-scaled) makespan guess.
+    pub t: u64,
+    /// Precision: `δ = 1/q`.
+    pub q: u64,
+    /// Rounded large-size classes, ascending. `boundaries[c]` is the rounded
+    /// size of class `c`.
+    pub boundaries: Vec<u64>,
+}
+
+impl Grid {
+    /// Build the grid for guess `t` with `δ = 1/q`, covering sizes up to
+    /// `max_size`.
+    pub fn new(t: u64, q: u64, max_size: u64) -> Self {
+        assert!(q >= 1, "q must be at least 1");
+        assert!(t >= 1, "guess must be positive");
+        let mut boundaries = Vec::new();
+        // b_1 = ceil(T(q+1)/q²): the first grid value above δT.
+        let mut b = ((t as u128) * (q as u128 + 1)).div_ceil((q * q) as u128);
+        // Cover one class beyond max_size so every large job classifies.
+        loop {
+            boundaries.push(u64::try_from(b).unwrap_or(u64::MAX));
+            if b >= max_size as u128 || b >= u64::MAX as u128 {
+                break;
+            }
+            b = (b * (q as u128 + 1)).div_ceil(q as u128);
+        }
+        Grid { t, q, boundaries }
+    }
+
+    /// Number of size classes `s`.
+    pub fn num_classes(&self) -> usize {
+        self.boundaries.len()
+    }
+
+    /// Is a (pre-scaled) size large at this guess? (`size > δT`)
+    #[inline]
+    pub fn is_large(&self, size: u64) -> bool {
+        (size as u128) * (self.q as u128) > self.t as u128
+    }
+
+    /// Class of a large size: the first grid value at or above it.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the size is actually large.
+    pub fn class_of(&self, size: u64) -> usize {
+        debug_assert!(self.is_large(size));
+        self.boundaries.partition_point(|&b| b < size)
+    }
+
+    /// Rounded size of class `c`.
+    #[inline]
+    pub fn rounded(&self, c: usize) -> u64 {
+        self.boundaries[c]
+    }
+
+    /// Small-volume units of a raw volume: `⌈x·q/T⌉`.
+    #[inline]
+    pub fn units(&self, x: u64) -> u64 {
+        ((x as u128) * (self.q as u128)).div_ceil(self.t as u128) as u64
+    }
+
+    /// Exact feasibility of a configuration: `V′·(T/q) + Σ x_c·b_c ≤ T(q+2)/q`.
+    pub fn config_fits(&self, v_units: u64, rounded_large_sum: u128) -> bool {
+        (v_units as u128) * (self.t as u128) + (self.q as u128) * rounded_large_sum
+            <= (self.t as u128) * (self.q as u128 + 2)
+    }
+
+    /// Largest `V′` (in units) a configuration with the given rounded large
+    /// load can still accommodate; `None` if even `V′ = 0` does not fit.
+    pub fn max_v_units(&self, rounded_large_sum: u128) -> Option<u64> {
+        let cap = (self.t as u128) * (self.q as u128 + 2);
+        let used = (self.q as u128) * rounded_large_sum;
+        if used > cap {
+            return None;
+        }
+        Some(((cap - used) / (self.t as u128)) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_grow_geometrically() {
+        let g = Grid::new(1000, 5, 1000);
+        // b_1 = ceil(1000*6/25) = 240 = δ(1+δ)T with δ = 0.2.
+        assert_eq!(g.boundaries[0], 240);
+        for w in g.boundaries.windows(2) {
+            // Each step multiplies by at least (q+1)/q.
+            assert!(w[1] as u128 * 5 >= w[0] as u128 * 6);
+        }
+        // The last boundary covers the max size.
+        assert!(*g.boundaries.last().unwrap() >= 1000);
+    }
+
+    #[test]
+    fn large_classification_is_exact() {
+        let g = Grid::new(1000, 5, 1000);
+        // δT = 200: large iff size > 200.
+        assert!(!g.is_large(200));
+        assert!(g.is_large(201));
+    }
+
+    #[test]
+    fn class_of_rounds_up() {
+        let g = Grid::new(1000, 5, 1000);
+        for size in [201u64, 240, 241, 500, 999, 1000] {
+            let c = g.class_of(size);
+            assert!(g.rounded(c) >= size, "size {size} class {c}");
+            if c > 0 {
+                assert!(g.rounded(c - 1) < size, "size {size} class {c} not minimal");
+            }
+            // Rounded size is within (1+δ) plus the integer slack.
+            assert!(
+                g.rounded(c) as u128 * 5 <= size as u128 * 6 + 5,
+                "size {size} rounded {}",
+                g.rounded(c)
+            );
+        }
+    }
+
+    #[test]
+    fn units_round_up() {
+        let g = Grid::new(1000, 5, 1000);
+        // Unit = 200.
+        assert_eq!(g.units(0), 0);
+        assert_eq!(g.units(1), 1);
+        assert_eq!(g.units(200), 1);
+        assert_eq!(g.units(201), 2);
+        assert_eq!(g.units(1000), 5);
+    }
+
+    #[test]
+    fn config_fits_cap_is_t_plus_two_delta_t() {
+        let g = Grid::new(1000, 5, 1000);
+        // Capacity 1400 = T + 2δT. 7 units of smalls = 1400 exactly.
+        assert!(g.config_fits(7, 0));
+        assert!(!g.config_fits(8, 0));
+        // 2 units (400) + large sum 1000 = 1400.
+        assert!(g.config_fits(2, 1000));
+        assert!(!g.config_fits(2, 1001));
+        assert_eq!(g.max_v_units(1000), Some(2));
+        assert_eq!(g.max_v_units(1401), None);
+    }
+}

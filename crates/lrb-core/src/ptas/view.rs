@@ -1,0 +1,236 @@
+//! Pre-scaled, per-processor view of an instance against a PTAS grid.
+//!
+//! Sizes are internally multiplied by a scale factor `σ = 16q²` before
+//! gridding, so the `+1` integer-ceiling slack in the grid boundaries and
+//! volume units is `1/σ` of an original size unit — the assembled solution
+//! (which is just an assignment) is unaffected, and the approximation bound
+//! is preserved up to a vanishing additive term. See DESIGN.md §5.
+
+use crate::model::{Instance, JobId};
+use crate::ptas::grid::Grid;
+
+/// Per-processor precomputation for one grid.
+#[derive(Debug, Clone)]
+pub struct ProcView {
+    /// For each size class: job ids on this processor, ascending by
+    /// relocation cost (so removing a prefix removes the cheapest).
+    pub class_jobs: Vec<Vec<JobId>>,
+    /// Prefix sums of the relocation costs in `class_jobs` order;
+    /// `class_cost_prefix[c][r]` is the cost of removing the `r` cheapest
+    /// class-`c` jobs.
+    pub class_cost_prefix: Vec<Vec<u64>>,
+    /// Small jobs in removal order: ascending cost-to-size ratio, so a
+    /// prefix is the paper's greedy small-removal.
+    pub smalls: Vec<JobId>,
+    /// Prefix sums of the *scaled* sizes of `smalls`.
+    pub small_size_prefix: Vec<u64>,
+    /// Prefix sums of the relocation costs of `smalls`.
+    pub small_cost_prefix: Vec<u64>,
+}
+
+impl ProcView {
+    /// Scaled total small volume on the processor.
+    pub fn small_total(&self) -> u64 {
+        *self.small_size_prefix.last().unwrap_or(&0)
+    }
+
+    /// Greedy small removal to fit an allocation of `v_units`: the minimum
+    /// prefix of `smalls` whose removal brings the rounded kept volume to at
+    /// most `v_units + 1` (the paper's `V′ + δ·OPT` slack). Returns
+    /// `(removed_count, removed_cost)`.
+    pub fn smalls_removal_for(&self, grid: &Grid, v_units: u64) -> (usize, u64) {
+        let total = self.small_total();
+        // Find the smallest r with units(total - removed_size[r]) <= v+1.
+        // Kept volume decreases with r, so binary search works.
+        let (mut lo, mut hi) = (0usize, self.smalls.len());
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if grid.units(total - self.small_size_prefix[mid]) <= v_units + 1 {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        (lo, self.small_cost_prefix[lo])
+    }
+}
+
+/// A whole-instance view: grid, scale, and per-processor data.
+#[derive(Debug, Clone)]
+pub struct View {
+    /// The discretization grid (over *scaled* sizes).
+    pub grid: Grid,
+    /// The internal size scale `σ`.
+    pub scale: u64,
+    /// Per-processor views.
+    pub procs: Vec<ProcView>,
+    /// Total number of large jobs per class, across all processors.
+    pub class_totals: Vec<u32>,
+    /// Total small-volume budget in units (`V = V_R + δ·m·T` of Lemma 10).
+    pub v_total: u64,
+}
+
+impl View {
+    /// Build the view of `inst` at makespan guess `t` (in original size
+    /// units) with precision `δ = 1/q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scaled size would overflow (`sizes ≤ 2^40` and `q ≤ 64`
+    /// are ample and asserted by the caller).
+    pub fn new(inst: &Instance, t: u64, q: u64) -> Self {
+        let scale = 16 * q * q;
+        let ts = t.checked_mul(scale).expect("scaled guess overflows");
+        let max_scaled = inst
+            .jobs()
+            .iter()
+            .map(|j| j.size.checked_mul(scale).expect("scaled size overflows"))
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let grid = Grid::new(ts, q, max_scaled);
+
+        let s = grid.num_classes();
+        let mut class_totals = vec![0u32; s];
+        let mut procs = Vec::with_capacity(inst.num_procs());
+        for jobs in inst.jobs_by_proc() {
+            let mut class_jobs: Vec<Vec<JobId>> = vec![Vec::new(); s];
+            let mut smalls: Vec<JobId> = Vec::new();
+            for &j in &jobs {
+                let sz = inst.size(j) * scale;
+                if grid.is_large(sz) {
+                    let c = grid.class_of(sz);
+                    class_jobs[c].push(j);
+                    class_totals[c] += 1;
+                } else {
+                    smalls.push(j);
+                }
+            }
+            for cj in &mut class_jobs {
+                cj.sort_by_key(|&j| (inst.cost(j), j));
+            }
+            let class_cost_prefix: Vec<Vec<u64>> = class_jobs
+                .iter()
+                .map(|cj| {
+                    let mut pre = Vec::with_capacity(cj.len() + 1);
+                    pre.push(0);
+                    let mut acc = 0u64;
+                    for &j in cj {
+                        acc += inst.cost(j);
+                        pre.push(acc);
+                    }
+                    pre
+                })
+                .collect();
+
+            // Removal order: ascending cost-to-size ratio, exact via
+            // cross-multiplication (size-0 smalls sort last: removing them
+            // frees no volume).
+            smalls.sort_by(|&a, &b| {
+                let (ca, sa) = (inst.cost(a) as u128, inst.size(a) as u128);
+                let (cb, sb) = (inst.cost(b) as u128, inst.size(b) as u128);
+                (ca * sb).cmp(&(cb * sa)).then(a.cmp(&b))
+            });
+            let mut small_size_prefix = Vec::with_capacity(smalls.len() + 1);
+            let mut small_cost_prefix = Vec::with_capacity(smalls.len() + 1);
+            small_size_prefix.push(0);
+            small_cost_prefix.push(0);
+            let (mut accs, mut accc) = (0u64, 0u64);
+            for &j in &smalls {
+                accs += inst.size(j) * scale;
+                accc += inst.cost(j);
+                small_size_prefix.push(accs);
+                small_cost_prefix.push(accc);
+            }
+            procs.push(ProcView {
+                class_jobs,
+                class_cost_prefix,
+                smalls,
+                small_size_prefix,
+                small_cost_prefix,
+            });
+        }
+
+        let total_small: u64 = procs.iter().map(|p| p.small_total()).sum();
+        // V = V_R + δ·m·T: rounded total small volume plus one unit of slack
+        // per processor (Lemma 10).
+        let v_total = grid.units(total_small) + inst.num_procs() as u64;
+
+        View {
+            grid,
+            scale,
+            procs,
+            class_totals,
+            v_total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view() -> (Instance, View) {
+        // t=100, q=5: scale 400, δT = 20 original units. Large iff > 20.
+        let inst = Instance::from_sizes(&[50, 30, 10, 5, 40], vec![0, 0, 0, 1, 1], 2).unwrap();
+        let v = View::new(&inst, 100, 5);
+        (inst, v)
+    }
+
+    #[test]
+    fn classifies_large_and_small() {
+        let (_, v) = view();
+        // Jobs 0 (50), 1 (30), 4 (40) large; jobs 2, 3 small.
+        let total_large: u32 = v.class_totals.iter().sum();
+        assert_eq!(total_large, 3);
+        assert_eq!(v.procs[0].smalls, vec![2]);
+        assert_eq!(v.procs[1].smalls, vec![3]);
+    }
+
+    #[test]
+    fn v_total_counts_units_plus_slack() {
+        let (_, v) = view();
+        // Small volume = 15 original = 6000 scaled; unit = δT·σ = 8000.
+        // units(6000) = 1; + m = 2 slack -> 3.
+        assert_eq!(v.v_total, 3);
+    }
+
+    #[test]
+    fn class_costs_sorted_ascending() {
+        let jobs = vec![
+            crate::model::Job::with_cost(50, 9),
+            crate::model::Job::with_cost(50, 1),
+            crate::model::Job::with_cost(50, 5),
+        ];
+        let inst = Instance::new(jobs, vec![0, 0, 0], 1).unwrap();
+        let v = View::new(&inst, 100, 5);
+        let pv = &v.procs[0];
+        let c = pv.class_jobs.iter().position(|cj| !cj.is_empty()).unwrap();
+        assert_eq!(pv.class_jobs[c], vec![1, 2, 0]);
+        assert_eq!(pv.class_cost_prefix[c], vec![0, 1, 6, 15]);
+    }
+
+    #[test]
+    fn smalls_removal_prefix_meets_target() {
+        let (_, v) = view();
+        let g = &v.grid;
+        let pv = &v.procs[0];
+        // One small of size 10 (scaled 4000, units(4000)=1). Allocation 0
+        // units allows kept <= 1 unit: no removal needed.
+        assert_eq!(pv.smalls_removal_for(g, 0), (0, 0));
+    }
+
+    #[test]
+    fn smalls_removal_removes_cheap_ratio_first() {
+        let jobs = vec![
+            crate::model::Job::with_cost(10, 100), // expensive per size
+            crate::model::Job::with_cost(10, 1),   // cheap per size
+        ];
+        let inst = Instance::new(jobs, vec![0, 0], 1).unwrap();
+        let v = View::new(&inst, 100, 5);
+        let pv = &v.procs[0];
+        assert_eq!(pv.smalls[0], 1, "cheap-ratio job removed first");
+        // Total 20 original = 1 unit; to get kept <= 0+1 unit: no removal.
+        assert_eq!(pv.smalls_removal_for(&v.grid, 0), (0, 0));
+    }
+}

@@ -1,0 +1,356 @@
+//! Exact feasibility solver for the **Conflict Scheduling** variant (§5,
+//! Theorem 7): some job pairs conflict and may not share a processor.
+//!
+//! The paper shows approximating this variant's makespan within *any* ratio
+//! is NP-hard, via a reduction from 3-Dimensional Matching in which mere
+//! feasibility encodes the matching. The T11 experiment therefore only
+//! needs a feasibility oracle, implemented here as backtracking search with
+//! most-constrained-first ordering.
+
+use std::collections::HashSet;
+
+/// A conflict scheduling problem: `num_jobs` jobs, `num_machines` machines,
+/// and a set of conflicting job pairs that cannot share a machine.
+#[derive(Debug, Clone)]
+pub struct ConflictProblem {
+    num_jobs: usize,
+    num_machines: usize,
+    adj: Vec<HashSet<usize>>,
+}
+
+impl ConflictProblem {
+    /// Build a problem; conflicts are undirected pairs of job indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range or self-conflicting pairs.
+    pub fn new(num_jobs: usize, num_machines: usize, conflicts: &[(usize, usize)]) -> Self {
+        let mut adj = vec![HashSet::new(); num_jobs];
+        for &(a, b) in conflicts {
+            assert!(a < num_jobs && b < num_jobs, "conflict out of range");
+            assert_ne!(a, b, "self-conflict");
+            adj[a].insert(b);
+            adj[b].insert(a);
+        }
+        ConflictProblem {
+            num_jobs,
+            num_machines,
+            adj,
+        }
+    }
+
+    /// Number of jobs.
+    pub fn num_jobs(&self) -> usize {
+        self.num_jobs
+    }
+
+    /// Number of machines.
+    pub fn num_machines(&self) -> usize {
+        self.num_machines
+    }
+
+    /// True if jobs `a` and `b` conflict.
+    pub fn conflicts(&self, a: usize, b: usize) -> bool {
+        self.adj[a].contains(&b)
+    }
+
+    /// Find any conflict-respecting assignment of jobs to machines, or
+    /// `None` if none exists. This is graph coloring with `num_machines`
+    /// colors; backtracking with highest-degree-first ordering.
+    pub fn feasible_assignment(&self) -> Option<Vec<usize>> {
+        let mut order: Vec<usize> = (0..self.num_jobs).collect();
+        order.sort_by_key(|&j| std::cmp::Reverse(self.adj[j].len()));
+        let mut color = vec![usize::MAX; self.num_jobs];
+        if self.backtrack(&order, 0, &mut color) {
+            Some(color)
+        } else {
+            None
+        }
+    }
+
+    fn backtrack(&self, order: &[usize], idx: usize, color: &mut Vec<usize>) -> bool {
+        if idx == order.len() {
+            return true;
+        }
+        let j = order[idx];
+        let mut used: HashSet<usize> = HashSet::new();
+        for &nb in &self.adj[j] {
+            if color[nb] != usize::MAX {
+                used.insert(color[nb]);
+            }
+        }
+        // Symmetry breaking: only try one previously-unused color.
+        let max_new = color.iter().filter(|&&c| c != usize::MAX).copied().max();
+        let cap = match max_new {
+            Some(mx) => (mx + 2).min(self.num_machines),
+            None => 1,
+        };
+        for c in 0..cap {
+            if used.contains(&c) {
+                continue;
+            }
+            color[j] = c;
+            if self.backtrack(order, idx + 1, color) {
+                return true;
+            }
+            color[j] = usize::MAX;
+        }
+        false
+    }
+
+    /// Exact minimum makespan with job `sizes` under the conflicts, or
+    /// `None` when no conflict-respecting assignment exists at all.
+    ///
+    /// Theorem 7 shows this objective admits *no* polynomial approximation
+    /// ratio, so the experiments use this exponential solver on small
+    /// instances and [`ConflictProblem::first_fit_decreasing`] as the
+    /// natural heuristic whose unbounded gap the theorem predicts.
+    pub fn min_makespan(&self, sizes: &[u64]) -> Option<(u64, Vec<usize>)> {
+        assert_eq!(sizes.len(), self.num_jobs, "one size per job");
+        // Establish feasibility (and an incumbent) first.
+        let mut best_assignment = self.first_fit_decreasing(sizes)?;
+        let mut loads = vec![0u64; self.num_machines];
+        for (j, &p) in best_assignment.iter().enumerate() {
+            loads[p] += sizes[j];
+        }
+        let mut best = loads.iter().copied().max().unwrap_or(0);
+
+        let mut order: Vec<usize> = (0..self.num_jobs).collect();
+        // Big and highly-conflicted jobs first.
+        order.sort_by_key(|&j| std::cmp::Reverse((sizes[j], self.adj[j].len())));
+        let mut color = vec![usize::MAX; self.num_jobs];
+        let mut loads = vec![0u64; self.num_machines];
+        self.makespan_dfs(
+            &order,
+            0,
+            sizes,
+            &mut color,
+            &mut loads,
+            0,
+            &mut best,
+            &mut best_assignment,
+        );
+        Some((best, best_assignment))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn makespan_dfs(
+        &self,
+        order: &[usize],
+        idx: usize,
+        sizes: &[u64],
+        color: &mut Vec<usize>,
+        loads: &mut Vec<u64>,
+        cur_max: u64,
+        best: &mut u64,
+        best_assignment: &mut Vec<usize>,
+    ) {
+        if cur_max >= *best {
+            return;
+        }
+        if idx == order.len() {
+            *best = cur_max;
+            *best_assignment = color.clone();
+            return;
+        }
+        let j = order[idx];
+        let mut machines: Vec<usize> = (0..self.num_machines).collect();
+        machines.sort_by_key(|&p| (loads[p], p));
+        let mut seen: Vec<u64> = Vec::with_capacity(self.num_machines);
+        for p in machines {
+            if self.adj[j].iter().any(|&nb| color[nb] == p) {
+                continue; // conflict
+            }
+            // Machines with equal load are interchangeable only if no
+            // already-colored neighbor distinguishes them; conservatively
+            // dedupe only when the job has no conflicts at all.
+            if self.adj[j].is_empty() {
+                if seen.contains(&loads[p]) {
+                    continue;
+                }
+                seen.push(loads[p]);
+            }
+            let new_load = loads[p] + sizes[j];
+            if new_load >= *best {
+                continue;
+            }
+            loads[p] = new_load;
+            color[j] = p;
+            self.makespan_dfs(
+                order,
+                idx + 1,
+                sizes,
+                color,
+                loads,
+                cur_max.max(new_load),
+                best,
+                best_assignment,
+            );
+            loads[p] = new_load - sizes[j];
+            color[j] = usize::MAX;
+        }
+    }
+
+    /// First-fit-decreasing heuristic: jobs by decreasing size, each to the
+    /// least-loaded conflict-free machine; backtracks on feasibility only
+    /// (falls back to [`ConflictProblem::feasible_assignment`] when the
+    /// greedy order dead-ends). Returns `None` when the instance is
+    /// infeasible.
+    pub fn first_fit_decreasing(&self, sizes: &[u64]) -> Option<Vec<usize>> {
+        assert_eq!(sizes.len(), self.num_jobs, "one size per job");
+        let mut order: Vec<usize> = (0..self.num_jobs).collect();
+        order.sort_by_key(|&j| std::cmp::Reverse((sizes[j], self.adj[j].len())));
+        let mut color = vec![usize::MAX; self.num_jobs];
+        let mut loads = vec![0u64; self.num_machines];
+        let mut ok = true;
+        for &j in &order {
+            let target = (0..self.num_machines)
+                .filter(|&p| !self.adj[j].iter().any(|&nb| color[nb] == p))
+                .min_by_key(|&p| (loads[p], p));
+            match target {
+                Some(p) => {
+                    color[j] = p;
+                    loads[p] += sizes[j];
+                }
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            return Some(color);
+        }
+        // Greedy dead-ended; any feasible assignment will do as a fallback.
+        self.feasible_assignment()
+    }
+
+    /// Validate an assignment against the conflicts.
+    pub fn check(&self, assignment: &[usize]) -> bool {
+        if assignment.len() != self.num_jobs {
+            return false;
+        }
+        if assignment.iter().any(|&p| p >= self.num_machines) {
+            return false;
+        }
+        for a in 0..self.num_jobs {
+            for &b in &self.adj[a] {
+                if a < b && assignment[a] == assignment[b] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_needs_three_machines() {
+        let tri = &[(0, 1), (1, 2), (0, 2)];
+        assert!(ConflictProblem::new(3, 2, tri)
+            .feasible_assignment()
+            .is_none());
+        let p = ConflictProblem::new(3, 3, tri);
+        let a = p.feasible_assignment().unwrap();
+        assert!(p.check(&a));
+    }
+
+    #[test]
+    fn no_conflicts_is_always_feasible() {
+        let p = ConflictProblem::new(5, 1, &[]);
+        let a = p.feasible_assignment().unwrap();
+        assert!(p.check(&a));
+    }
+
+    #[test]
+    fn bipartite_fits_two_machines() {
+        // Path 0-1-2-3 is 2-colorable.
+        let p = ConflictProblem::new(4, 2, &[(0, 1), (1, 2), (2, 3)]);
+        let a = p.feasible_assignment().unwrap();
+        assert!(p.check(&a));
+    }
+
+    #[test]
+    fn odd_cycle_needs_three() {
+        let cyc = &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)];
+        assert!(ConflictProblem::new(5, 2, cyc)
+            .feasible_assignment()
+            .is_none());
+        assert!(ConflictProblem::new(5, 3, cyc)
+            .feasible_assignment()
+            .is_some());
+    }
+
+    #[test]
+    fn min_makespan_without_conflicts_is_scheduling() {
+        // {5,4,3} on 2 machines, no conflicts: optimal split 7/5? No:
+        // {5,3}/{4} wait — best is {5}/{4,3} = 7.
+        let p = ConflictProblem::new(3, 2, &[]);
+        let (ms, asg) = p.min_makespan(&[5, 4, 3]).unwrap();
+        assert_eq!(ms, 7);
+        assert!(p.check(&asg));
+    }
+
+    #[test]
+    fn min_makespan_respects_conflicts() {
+        // Jobs 0 and 1 conflict and are both big: they must separate even
+        // though co-locating would balance better with job 2.
+        let p = ConflictProblem::new(3, 2, &[(0, 1)]);
+        let (ms, asg) = p.min_makespan(&[6, 6, 1]).unwrap();
+        assert!(p.check(&asg));
+        assert_ne!(asg[0], asg[1]);
+        assert_eq!(ms, 7); // {6,1} vs {6}
+    }
+
+    #[test]
+    fn min_makespan_detects_infeasibility() {
+        let tri = &[(0, 1), (1, 2), (0, 2)];
+        let p = ConflictProblem::new(3, 2, tri);
+        assert!(p.min_makespan(&[1, 1, 1]).is_none());
+    }
+
+    #[test]
+    fn heuristic_is_feasible_and_bounded_by_exact() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(61);
+        for _ in 0..30 {
+            let n = rng.gen_range(1..=8);
+            let m = rng.gen_range(2..=3);
+            let sizes: Vec<u64> = (0..n).map(|_| rng.gen_range(1..=9)).collect();
+            let mut conflicts = Vec::new();
+            for a in 0..n {
+                for b in a + 1..n {
+                    if rng.gen_bool(0.2) {
+                        conflicts.push((a, b));
+                    }
+                }
+            }
+            let p = ConflictProblem::new(n, m, &conflicts);
+            let exact = p.min_makespan(&sizes);
+            let heur = p.first_fit_decreasing(&sizes);
+            assert_eq!(exact.is_some(), heur.is_some());
+            if let (Some((ms, _)), Some(h)) = (exact, heur) {
+                assert!(p.check(&h));
+                let mut loads = vec![0u64; m];
+                for (j, &q) in h.iter().enumerate() {
+                    loads[q] += sizes[j];
+                }
+                let hms = loads.into_iter().max().unwrap_or(0);
+                assert!(hms >= ms, "heuristic beat the optimum?");
+            }
+        }
+    }
+
+    #[test]
+    fn check_rejects_bad_assignments() {
+        let p = ConflictProblem::new(2, 2, &[(0, 1)]);
+        assert!(!p.check(&[0, 0]));
+        assert!(p.check(&[0, 1]));
+        assert!(!p.check(&[0]));
+        assert!(!p.check(&[0, 5]));
+    }
+}

@@ -1,0 +1,168 @@
+//! Exact solver for Constrained Load Rebalancing (§5, Corollary 1):
+//! branch and bound over eligible processors only.
+
+use lrb_core::constrained::ConstrainedInstance;
+use lrb_core::model::{Budget, ProcId, Size};
+
+/// Exact optimal makespan under the budget, respecting eligibility lists.
+/// Returns the makespan and a witnessing assignment.
+pub fn solve(cinst: &ConstrainedInstance, budget: Budget) -> (Size, Vec<ProcId>) {
+    let inst = cinst.base();
+    let mut order: Vec<usize> = (0..inst.num_jobs()).collect();
+    order.sort_by_key(|&j| std::cmp::Reverse(inst.size(j)));
+
+    let budget_left = match budget {
+        Budget::Moves(k) => k as u64,
+        Budget::Cost(b) => b,
+    };
+
+    // Incumbent: stay-home (always feasible and within any budget).
+    let mut best_makespan = inst.initial_makespan();
+    let mut best_assignment = inst.initial().clone();
+    // Improve the incumbent with the constrained greedy when the budget is
+    // a move count.
+    if let Budget::Moves(k) = budget {
+        if let Ok(out) = lrb_core::constrained::greedy(cinst, k) {
+            if out.makespan() < best_makespan {
+                best_makespan = out.makespan();
+                best_assignment = out.assignment().clone();
+            }
+        }
+    }
+
+    let mut current = inst.initial().clone();
+    let mut loads = vec![0u64; inst.num_procs()];
+    dfs(
+        cinst,
+        &budget,
+        &order,
+        0,
+        &mut loads,
+        budget_left,
+        0,
+        &mut current,
+        &mut best_makespan,
+        &mut best_assignment,
+    );
+    (best_makespan, best_assignment)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    cinst: &ConstrainedInstance,
+    budget: &Budget,
+    order: &[usize],
+    idx: usize,
+    loads: &mut Vec<Size>,
+    budget_left: u64,
+    cur_max: Size,
+    current: &mut Vec<ProcId>,
+    best_makespan: &mut Size,
+    best_assignment: &mut Vec<ProcId>,
+) {
+    if cur_max >= *best_makespan {
+        return;
+    }
+    if idx == order.len() {
+        *best_makespan = cur_max;
+        *best_assignment = current.clone();
+        return;
+    }
+    let inst = cinst.base();
+    let j = order[idx];
+    let home = inst.initial_proc(j);
+    let size = inst.size(j);
+    let price = match budget {
+        Budget::Moves(_) => 1u64,
+        Budget::Cost(_) => inst.cost(j),
+    };
+
+    // Home first (free), then eligible others by load.
+    let mut procs: Vec<ProcId> = cinst.allowed(j).to_vec();
+    procs.sort_by_key(|&p| (p != home, loads[p], p));
+    for p in procs {
+        let is_home = p == home;
+        if !is_home && price > budget_left {
+            continue;
+        }
+        let new_load = loads[p] + size;
+        if new_load >= *best_makespan {
+            continue;
+        }
+        loads[p] = new_load;
+        current[j] = p;
+        let left = if is_home {
+            budget_left
+        } else {
+            budget_left - price
+        };
+        dfs(
+            cinst,
+            budget,
+            order,
+            idx + 1,
+            loads,
+            left,
+            cur_max.max(new_load),
+            current,
+            best_makespan,
+            best_assignment,
+        );
+        loads[p] = new_load - size;
+    }
+    current[j] = home;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrb_core::model::Instance;
+
+    #[test]
+    fn matches_unconstrained_oracle_when_lists_are_full() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        for trial in 0..30 {
+            let n = rng.gen_range(1..=8);
+            let m = rng.gen_range(1..=3);
+            let sizes: Vec<u64> = (0..n).map(|_| rng.gen_range(1..=12)).collect();
+            let initial: Vec<usize> = (0..n).map(|_| rng.gen_range(0..m)).collect();
+            let inst = Instance::from_sizes(&sizes, initial, m).unwrap();
+            let c = lrb_core::constrained::ConstrainedInstance::unconstrained(inst.clone());
+            let k = rng.gen_range(0..=n);
+            let (ms, asg) = solve(&c, Budget::Moves(k));
+            let reference = crate::branch_bound::solve(&inst, Budget::Moves(k)).makespan;
+            assert_eq!(ms, reference, "trial {trial}");
+            assert!(c.respects(&asg));
+            assert!(inst.move_count(&asg) <= k);
+        }
+    }
+
+    #[test]
+    fn eligibility_changes_the_optimum() {
+        // {6,6} piled on proc 0 of 2; unconstrained OPT with k=1 is 6.
+        let base = Instance::from_sizes(&[6, 6], vec![0, 0], 2).unwrap();
+        let free = lrb_core::constrained::ConstrainedInstance::unconstrained(base.clone());
+        assert_eq!(solve(&free, Budget::Moves(1)).0, 6);
+        // Lock both jobs to proc 0: nothing can move, OPT is 12.
+        let locked =
+            lrb_core::constrained::ConstrainedInstance::new(base, vec![vec![0], vec![0]]).unwrap();
+        assert_eq!(solve(&locked, Budget::Moves(1)).0, 12);
+    }
+
+    #[test]
+    fn cost_budget_respects_lists() {
+        use lrb_core::model::Job;
+        let jobs = vec![Job::with_cost(5, 3), Job::with_cost(5, 1)];
+        let base = Instance::new(jobs, vec![0, 0], 3).unwrap();
+        // The cheap job may only go to proc 2.
+        let c = lrb_core::constrained::ConstrainedInstance::new(
+            base.clone(),
+            vec![vec![0, 1], vec![0, 2]],
+        )
+        .unwrap();
+        let (ms, asg) = solve(&c, Budget::Cost(1));
+        assert_eq!(ms, 5);
+        assert_eq!(asg, vec![0, 2]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Subset-enumeration exact solver for the unit-cost (move budget) problem.
+//!
+//! Enumerates every set `S` of at most `k` jobs to relocate, then finds the
+//! optimal reassignment of `S` onto the fixed residual loads by a small
+//! depth-first search. Complexity is `Σ_{i≤k} C(n,i) · m^i` — practical for
+//! small `k` even at moderate `n`, which complements
+//! [`crate::branch_bound`] (practical for small `n` at any `k`).
+//!
+//! Used as an independent cross-check of the branch-and-bound oracle.
+
+use lrb_core::model::{Instance, Size};
+
+/// Optimal makespan over all rebalancings moving at most `k` jobs.
+pub fn optimal_makespan(inst: &Instance, k: usize) -> Size {
+    let n = inst.num_jobs();
+    let k = k.min(n);
+    let mut best = inst.initial_makespan();
+    let mut subset: Vec<usize> = Vec::with_capacity(k);
+    enumerate_subsets(inst, 0, k, &mut subset, &mut best);
+    best
+}
+
+fn enumerate_subsets(
+    inst: &Instance,
+    from: usize,
+    slots: usize,
+    subset: &mut Vec<usize>,
+    best: &mut Size,
+) {
+    // Evaluate the current subset (including the empty one at the root).
+    *best = (*best).min(best_reassignment(inst, subset));
+    if slots == 0 {
+        return;
+    }
+    for j in from..inst.num_jobs() {
+        subset.push(j);
+        enumerate_subsets(inst, j + 1, slots - 1, subset, best);
+        subset.pop();
+    }
+}
+
+/// Optimal makespan after removing `subset` from their processors and
+/// reassigning them anywhere (jobs returning home count as "not moved" for
+/// makespan purposes, which only helps).
+fn best_reassignment(inst: &Instance, subset: &[usize]) -> Size {
+    let mut loads = inst.initial_loads().to_vec();
+    for &j in subset {
+        loads[inst.initial_proc(j)] -= inst.size(j);
+    }
+    // Largest-first DFS over the removed jobs.
+    let mut order = subset.to_vec();
+    order.sort_by_key(|&j| std::cmp::Reverse(inst.size(j)));
+    let mut best = Size::MAX;
+    place(inst, &order, 0, &mut loads, &mut best);
+    best
+}
+
+fn place(inst: &Instance, order: &[usize], idx: usize, loads: &mut Vec<Size>, best: &mut Size) {
+    let cur = loads.iter().copied().max().unwrap_or(0);
+    if cur >= *best {
+        return;
+    }
+    if idx == order.len() {
+        *best = cur;
+        return;
+    }
+    let size = inst.size(order[idx]);
+    let mut seen: Vec<Size> = Vec::with_capacity(loads.len());
+    for p in 0..loads.len() {
+        // Equal-load processors are interchangeable here (the removed jobs
+        // have no home preference for makespan).
+        if seen.contains(&loads[p]) {
+            continue;
+        }
+        seen.push(loads[p]);
+        loads[p] += size;
+        place(inst, order, idx + 1, loads, best);
+        loads[p] -= size;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrb_core::model::Budget;
+
+    #[test]
+    fn agrees_with_branch_and_bound() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for trial in 0..40 {
+            let n = rng.gen_range(1..=9);
+            let m = rng.gen_range(1..=3);
+            let sizes: Vec<u64> = (0..n).map(|_| rng.gen_range(1..=15)).collect();
+            let initial: Vec<usize> = (0..n).map(|_| rng.gen_range(0..m)).collect();
+            let inst = Instance::from_sizes(&sizes, initial, m).unwrap();
+            let k = rng.gen_range(0..=4.min(n));
+            let a = optimal_makespan(&inst, k);
+            let b = crate::branch_bound::solve(&inst, Budget::Moves(k)).makespan;
+            assert_eq!(a, b, "trial {trial}: {inst:?} k={k}");
+        }
+    }
+
+    #[test]
+    fn zero_moves_is_initial_makespan() {
+        let inst = Instance::from_sizes(&[6, 2, 5], vec![0, 0, 1], 2).unwrap();
+        assert_eq!(optimal_makespan(&inst, 0), 8);
+    }
+
+    #[test]
+    fn k_larger_than_n_saturates() {
+        let inst = Instance::from_sizes(&[6, 2, 5], vec![0, 0, 1], 2).unwrap();
+        assert_eq!(optimal_makespan(&inst, 10), optimal_makespan(&inst, 3));
+    }
+
+    #[test]
+    fn single_move_example() {
+        let inst = Instance::from_sizes(&[5, 4, 3], vec![0, 0, 0], 2).unwrap();
+        assert_eq!(optimal_makespan(&inst, 1), 7);
+    }
+}

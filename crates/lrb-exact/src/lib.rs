@@ -1,0 +1,57 @@
+//! # lrb-exact — optimal solvers for the load rebalancing problem
+//!
+//! The paper's analysis compares against `OPTIMAL`; these solvers *are*
+//! `OPTIMAL` on instances small enough to solve exactly. Every
+//! approximation-ratio experiment in the reproduction measures against
+//! them.
+//!
+//! * [`branch_bound`] — general exact solver (moves or cost budget), good to
+//!   `n ≈ 20`;
+//! * [`exhaustive`] — independent subset-enumeration solver, good for small
+//!   move budgets at moderate `n`; cross-checks `branch_bound`;
+//! * [`move_min`] — exact *move minimization* for a target makespan
+//!   (the Theorem 5 objective);
+//! * [`unit_jobs`] — closed-form optimum for equal-size jobs (the model of
+//!   the prior work the paper generalizes), usable at any scale;
+//! * [`conflict`] — feasibility oracle for the Conflict Scheduling variant
+//!   (Theorem 7).
+
+pub mod branch_bound;
+pub mod conflict;
+pub mod constrained;
+pub mod exhaustive;
+pub mod move_min;
+pub mod unit_jobs;
+
+pub use branch_bound::{solve, ExactSolution};
+
+use lrb_core::model::{Budget, Instance, Size};
+
+/// Convenience oracle: the optimal makespan with at most `k` moves.
+pub fn optimal_makespan_moves(inst: &Instance, k: usize) -> Size {
+    branch_bound::solve(inst, Budget::Moves(k)).makespan
+}
+
+/// Convenience oracle: the optimal makespan with relocation cost at most
+/// `b`.
+pub fn optimal_makespan_cost(inst: &Instance, b: u64) -> Size {
+    branch_bound::solve(inst, Budget::Cost(b)).makespan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracles_agree_with_each_other() {
+        let inst = Instance::from_sizes(&[6, 5, 4, 3, 2], vec![0, 0, 0, 1, 1], 2).unwrap();
+        for k in 0..=5 {
+            let a = optimal_makespan_moves(&inst, k);
+            let b = exhaustive::optimal_makespan(&inst, k);
+            assert_eq!(a, b, "k={k}");
+            // Unit costs: a cost budget of k equals a move budget of k.
+            let c = optimal_makespan_cost(&inst, k as u64);
+            assert_eq!(a, c, "k={k}");
+        }
+    }
+}

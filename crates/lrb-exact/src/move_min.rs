@@ -1,0 +1,201 @@
+//! Exact *move minimization*: the §5 / Theorem 5 objective.
+//!
+//! Given a target makespan `L`, find the minimum number of moves (or minimum
+//! total relocation cost) needed to bring every processor's load to at most
+//! `L`, or report that `L` is unachievable. The paper proves no polynomial
+//! approximation for this objective exists unless P = NP, which is exactly
+//! why the experiments (T6, T10) need an exponential exact solver to
+//! measure against.
+
+use lrb_core::model::{Cost, Instance, ProcId, Size};
+
+/// Result of a move-minimization solve.
+#[derive(Debug, Clone)]
+pub struct MoveMinSolution {
+    /// Minimum relocation cost (`= number of moves` for unit costs).
+    pub cost: Cost,
+    /// A witnessing assignment with all loads at most the target.
+    pub assignment: Vec<ProcId>,
+}
+
+/// Minimum total relocation cost to achieve makespan at most `target`, or
+/// `None` if no assignment achieves it.
+pub fn min_cost_to_achieve(inst: &Instance, target: Size) -> Option<MoveMinSolution> {
+    // Quick infeasibility checks.
+    if inst.max_job_size() > target && inst.num_jobs() > 0 {
+        return None;
+    }
+    if inst.total_size() > target.saturating_mul(inst.num_procs() as u64) {
+        return None;
+    }
+
+    let mut order: Vec<usize> = (0..inst.num_jobs()).collect();
+    order.sort_by_key(|&j| std::cmp::Reverse(inst.size(j)));
+
+    // Remaining size suffix for capacity pruning, and per-processor future
+    // home volume for the symmetry pruning.
+    let mut suffix = vec![0u64; order.len() + 1];
+    let mut home_suffix: Vec<Vec<Size>> = vec![vec![0; inst.num_procs()]; order.len() + 1];
+    for i in (0..order.len()).rev() {
+        suffix[i] = suffix[i + 1] + inst.size(order[i]);
+        home_suffix[i] = home_suffix[i + 1].clone();
+        home_suffix[i][inst.initial_proc(order[i])] += inst.size(order[i]);
+    }
+
+    let mut search = Mm {
+        inst,
+        order: &order,
+        home_suffix: &home_suffix,
+        target,
+        best_cost: None,
+        best_assignment: Vec::new(),
+        current: inst.initial().clone(),
+    };
+    let mut loads = vec![0u64; inst.num_procs()];
+    search.dfs(0, &mut loads, 0, &suffix);
+    search.best_cost.map(|cost| MoveMinSolution {
+        cost,
+        assignment: search.best_assignment,
+    })
+}
+
+/// Minimum number of moves to achieve makespan at most `target` (unit-cost
+/// view of [`min_cost_to_achieve`]): `None` if unachievable.
+pub fn min_moves_to_achieve(inst: &Instance, target: Size) -> Option<(usize, Vec<ProcId>)> {
+    if inst.is_unit_cost() {
+        return min_cost_to_achieve(inst, target).map(|s| (s.cost as usize, s.assignment));
+    }
+    // Re-cost the instance to unit moves.
+    let jobs = inst
+        .jobs()
+        .iter()
+        .map(|j| lrb_core::model::Job::unit(j.size))
+        .collect();
+    let unit = Instance::new(jobs, inst.initial().clone(), inst.num_procs())
+        .expect("same shape as a valid instance");
+    min_cost_to_achieve(&unit, target).map(|s| (s.cost as usize, s.assignment))
+}
+
+struct Mm<'a> {
+    inst: &'a Instance,
+    order: &'a [usize],
+    home_suffix: &'a [Vec<Size>],
+    target: Size,
+    best_cost: Option<Cost>,
+    best_assignment: Vec<ProcId>,
+    current: Vec<ProcId>,
+}
+
+impl Mm<'_> {
+    fn dfs(&mut self, idx: usize, loads: &mut Vec<Size>, cost: Cost, suffix: &[Size]) {
+        if let Some(best) = self.best_cost {
+            if cost >= best {
+                return;
+            }
+        }
+        if idx == self.order.len() {
+            self.best_cost = Some(cost);
+            self.best_assignment = self.current.clone();
+            return;
+        }
+        // Capacity prune: remaining volume must fit under the target.
+        let free: u64 = loads.iter().map(|&l| self.target.saturating_sub(l)).sum();
+        if suffix[idx] > free {
+            return;
+        }
+
+        let j = self.order[idx];
+        let home = self.inst.initial_proc(j);
+        let size = self.inst.size(j);
+
+        let mut procs: Vec<ProcId> = (0..loads.len()).collect();
+        procs.sort_by_key(|&p| (p != home, loads[p], p));
+        let mut seen: Vec<Size> = Vec::with_capacity(loads.len());
+        for p in procs {
+            if loads[p] + size > self.target {
+                continue;
+            }
+            let is_home = p == home;
+            if !is_home && self.home_suffix[idx + 1][p] == 0 {
+                // Equal-load processors with no future home jobs are
+                // interchangeable.
+                if seen.contains(&loads[p]) {
+                    continue;
+                }
+                seen.push(loads[p]);
+            }
+            loads[p] += size;
+            self.current[j] = p;
+            let c = if is_home {
+                cost
+            } else {
+                cost + self.inst.cost(j)
+            };
+            self.dfs(idx + 1, loads, c, suffix);
+            loads[p] -= size;
+        }
+        self.current[j] = home;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrb_core::model::Job;
+
+    #[test]
+    fn already_balanced_needs_nothing() {
+        let inst = Instance::from_sizes(&[5, 5], vec![0, 1], 2).unwrap();
+        let sol = min_cost_to_achieve(&inst, 5).unwrap();
+        assert_eq!(sol.cost, 0);
+    }
+
+    #[test]
+    fn infeasible_targets_report_none() {
+        let inst = Instance::from_sizes(&[5, 5], vec![0, 1], 2).unwrap();
+        assert!(min_cost_to_achieve(&inst, 4).is_none()); // job too big
+        let inst = Instance::from_sizes(&[5, 5, 5], vec![0, 1, 1], 2).unwrap();
+        assert!(min_cost_to_achieve(&inst, 7).is_none()); // total too big
+    }
+
+    #[test]
+    fn counts_minimum_moves() {
+        // {3,3,3,3} on proc 0 of 2; target 6 needs exactly 2 moves.
+        let inst = Instance::from_sizes(&[3, 3, 3, 3], vec![0, 0, 0, 0], 2).unwrap();
+        let (moves, asg) = min_moves_to_achieve(&inst, 6).unwrap();
+        assert_eq!(moves, 2);
+        assert!(inst.makespan_of(&asg).unwrap() <= 6);
+    }
+
+    #[test]
+    fn prefers_cheaper_moves_under_costs() {
+        let jobs = vec![
+            Job::with_cost(4, 10),
+            Job::with_cost(4, 1),
+            Job::with_cost(4, 10),
+        ];
+        let inst = Instance::new(jobs, vec![0, 0, 0], 3).unwrap();
+        // Target 8: exactly one job must leave; the cheap one costs 1.
+        let sol = min_cost_to_achieve(&inst, 8).unwrap();
+        assert_eq!(sol.cost, 1);
+    }
+
+    #[test]
+    fn looser_targets_cost_less() {
+        let inst = Instance::from_sizes(&[6, 5, 4, 3], vec![0, 0, 0, 0], 2).unwrap();
+        let mut prev = u64::MAX;
+        for target in [9u64, 11, 14, 18] {
+            let sol = min_cost_to_achieve(&inst, target).unwrap();
+            assert!(sol.cost <= prev, "target {target}");
+            prev = sol.cost;
+        }
+    }
+
+    #[test]
+    fn witness_is_consistent() {
+        let inst = Instance::from_sizes(&[7, 6, 2, 1], vec![1, 1, 0, 0], 2).unwrap();
+        let sol = min_cost_to_achieve(&inst, 9).unwrap();
+        assert!(inst.makespan_of(&sol.assignment).unwrap() <= 9);
+        assert_eq!(inst.move_cost(&sol.assignment), sol.cost);
+    }
+}

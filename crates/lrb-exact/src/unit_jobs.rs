@@ -1,0 +1,117 @@
+//! Polynomial exact solver for the **equal-size job** special case.
+//!
+//! Prior work the paper cites (Rudolph et al. \[13\], Ghosh et al. \[4\])
+//! assumes unit-size jobs; there the rebalancing problem is easy: loads are
+//! job counts, and a makespan target `L` is achievable with `k` moves iff
+//! the total excess above `L` is at most `k` and at most the total slack
+//! below `L`. This module solves that case in closed form and serves as an
+//! any-scale oracle for property tests.
+
+use lrb_core::model::{Instance, Size};
+
+/// Optimal rebalanced makespan for per-processor *job counts* `counts` with
+/// at most `k` unit-job moves, in units of jobs.
+pub fn optimal_count_makespan(counts: &[u64], k: u64) -> u64 {
+    assert!(!counts.is_empty(), "need at least one processor");
+    let total: u64 = counts.iter().sum();
+    let m = counts.len() as u64;
+    let hi = counts.iter().copied().max().unwrap_or(0);
+    let lo = total.div_ceil(m);
+    // excess(L) = Σ (count − L)^+ is non-increasing in L; find the smallest
+    // L ≥ ⌈total/m⌉ with excess(L) ≤ k. (L ≥ ⌈total/m⌉ guarantees the slack
+    // side automatically: slack − excess = mL − total ≥ 0.)
+    let excess = |l: u64| -> u64 { counts.iter().map(|&c| c.saturating_sub(l)).sum() };
+    let (mut a, mut b) = (lo, hi.max(lo));
+    while a < b {
+        let mid = a + (b - a) / 2;
+        if excess(mid) <= k {
+            b = mid;
+        } else {
+            a = mid + 1;
+        }
+    }
+    a
+}
+
+/// Optimal rebalanced makespan for an instance whose jobs all share one
+/// size, with at most `k` moves. Returns `None` if the job sizes are not
+/// all equal.
+pub fn optimal_makespan(inst: &Instance, k: usize) -> Option<Size> {
+    let mut sizes = inst.jobs().iter().map(|j| j.size);
+    let Some(s) = sizes.next() else {
+        return Some(0);
+    };
+    if sizes.any(|x| x != s) {
+        return None;
+    }
+    let counts: Vec<u64> = inst
+        .initial_loads()
+        .iter()
+        .map(|&l| l.checked_div(s).unwrap_or(0))
+        .collect();
+    Some(optimal_count_makespan(&counts, k as u64) * s)
+}
+
+/// The minimum number of moves needed to reach the fully-balanced makespan
+/// (`⌈total/m⌉` counts) — the `k` at which more budget stops helping.
+pub fn moves_to_balance(counts: &[u64]) -> u64 {
+    assert!(!counts.is_empty());
+    let total: u64 = counts.iter().sum();
+    let l = total.div_ceil(counts.len() as u64);
+    counts.iter().map(|&c| c.saturating_sub(l)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrb_core::model::Budget;
+
+    #[test]
+    fn balanced_counts_need_no_moves() {
+        assert_eq!(optimal_count_makespan(&[3, 3, 3], 0), 3);
+        assert_eq!(moves_to_balance(&[3, 3, 3]), 0);
+    }
+
+    #[test]
+    fn excess_defines_the_answer() {
+        // Counts {6, 0, 0}: total 6, m 3, balanced L = 2.
+        assert_eq!(optimal_count_makespan(&[6, 0, 0], 0), 6);
+        assert_eq!(optimal_count_makespan(&[6, 0, 0], 1), 5);
+        assert_eq!(optimal_count_makespan(&[6, 0, 0], 3), 3);
+        assert_eq!(optimal_count_makespan(&[6, 0, 0], 4), 2);
+        assert_eq!(optimal_count_makespan(&[6, 0, 0], 100), 2);
+        assert_eq!(moves_to_balance(&[6, 0, 0]), 4);
+    }
+
+    #[test]
+    fn respects_both_excess_and_slack() {
+        // Counts {5, 4}: total 9, L = 5 already (excess(5) = 0).
+        assert_eq!(optimal_count_makespan(&[5, 4], 100), 5);
+    }
+
+    #[test]
+    fn instance_wrapper_scales_by_size() {
+        let inst = Instance::from_sizes(&[4, 4, 4, 4], vec![0, 0, 0, 0], 2).unwrap();
+        assert_eq!(optimal_makespan(&inst, 2).unwrap(), 8);
+        let mixed = Instance::from_sizes(&[4, 3], vec![0, 0], 2).unwrap();
+        assert!(optimal_makespan(&mixed, 1).is_none());
+    }
+
+    #[test]
+    fn agrees_with_branch_and_bound() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for trial in 0..40 {
+            let m = rng.gen_range(1..=4);
+            let n = rng.gen_range(1..=9);
+            let s = rng.gen_range(1..=5) as u64;
+            let sizes = vec![s; n];
+            let initial: Vec<usize> = (0..n).map(|_| rng.gen_range(0..m)).collect();
+            let inst = Instance::from_sizes(&sizes, initial, m).unwrap();
+            let k = rng.gen_range(0..=n);
+            let fast = optimal_makespan(&inst, k).unwrap();
+            let slow = crate::branch_bound::solve(&inst, Budget::Moves(k)).makespan;
+            assert_eq!(fast, slow, "trial {trial}: {inst:?} k={k}");
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! # lrb-harness — experiment infrastructure
+//!
+//! Shared machinery for the reproduction's experiment suite:
+//!
+//! * [`stats`] — summaries (mean/stddev/percentiles/CI) and ratio
+//!   aggregation;
+//! * [`table`] — aligned text tables + CSV, the one output format every
+//!   experiment uses;
+//! * [`runner`] — a crossbeam-scoped parallel sweep runner with
+//!   deterministic per-cell seeding.
+
+pub mod runner;
+pub mod stats;
+pub mod table;
+
+pub use runner::{default_threads, run_parallel, seed_for};
+pub use stats::{geo_mean, Summary};
+pub use table::Table;

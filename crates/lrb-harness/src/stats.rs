@@ -1,0 +1,134 @@
+//! Summary statistics for experiment measurements.
+
+/// Online-free summary of a sample of `f64` measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected; 0 for n < 2).
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. Empty samples yield all-zero summaries.
+    pub fn of(values: &[f64]) -> Summary {
+        if values.is_empty() {
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                stddev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                median: 0.0,
+                p95: 0.0,
+            };
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in measurements"));
+        Summary {
+            n,
+            mean,
+            stddev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median: percentile_sorted(&sorted, 50.0),
+            p95: percentile_sorted(&sorted, 95.0),
+        }
+    }
+
+    /// Half-width of a ~95% normal confidence interval for the mean.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        1.96 * self.stddev / (self.n as f64).sqrt()
+    }
+}
+
+/// Percentile of an already-sorted sample (nearest-rank with linear
+/// interpolation).
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = (p / 100.0).clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Geometric mean (for ratio aggregation; all values must be positive).
+pub fn geo_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    assert!(
+        values.iter().all(|&v| v > 0.0),
+        "geometric mean needs positive values"
+    );
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.n, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.stddev - (2.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(Summary::of(&[]).n, 0);
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile_sorted(&v, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&v, 100.0), 4.0);
+        assert!((percentile_sorted(&v, 50.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geo_mean_of_ratios() {
+        assert!((geo_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geo_mean(&[]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geo_mean_rejects_nonpositive() {
+        geo_mean(&[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,295 @@
+//! Random workload generators.
+//!
+//! Instances are described by three orthogonal knobs — job size
+//! distribution, initial placement model, and relocation cost model — and a
+//! seed. All sampling is deterministic given the seed, so experiments are
+//! exactly reproducible.
+
+use lrb_core::model::{Instance, Job};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Job size distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SizeDistribution {
+    /// Uniform integer sizes in `[lo, hi]`.
+    Uniform { lo: u64, hi: u64 },
+    /// Exponential with the given mean (discretized, minimum 1). Models
+    /// typical web-site load distributions.
+    Exponential { mean: f64 },
+    /// Pareto (heavy-tailed) with minimum `scale` and shape `alpha`.
+    /// `alpha` near 1 gives the "few huge websites" regime that motivated
+    /// the paper; values are capped at `1000 × scale`.
+    Pareto { scale: u64, alpha: f64 },
+    /// A mix: fraction `heavy_frac` of jobs uniform in `[heavy_lo, heavy_hi]`,
+    /// the rest uniform in `[lo, hi]`.
+    Bimodal {
+        lo: u64,
+        hi: u64,
+        heavy_lo: u64,
+        heavy_hi: u64,
+        heavy_frac: f64,
+    },
+    /// Every job the same size (the unit-job model of prior work).
+    Constant(u64),
+}
+
+impl SizeDistribution {
+    /// Sample one size (always ≥ 1 unless `Constant(0)`).
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        match *self {
+            SizeDistribution::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+            SizeDistribution::Exponential { mean } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                ((-mean * u.ln()).round() as u64).max(1)
+            }
+            SizeDistribution::Pareto { scale, alpha } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let v = scale as f64 * u.powf(-1.0 / alpha);
+                (v.round() as u64).clamp(scale.max(1), scale.saturating_mul(1000).max(1))
+            }
+            SizeDistribution::Bimodal {
+                lo,
+                hi,
+                heavy_lo,
+                heavy_hi,
+                heavy_frac,
+            } => {
+                if rng.gen_bool(heavy_frac) {
+                    rng.gen_range(heavy_lo..=heavy_hi)
+                } else {
+                    rng.gen_range(lo..=hi)
+                }
+            }
+            SizeDistribution::Constant(s) => s,
+        }
+    }
+}
+
+/// Initial placement model — where the suboptimality of the starting
+/// assignment comes from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlacementModel {
+    /// Uniformly random processor per job (moderately unbalanced).
+    Random,
+    /// Processor sampled with probability proportional to `(p+1)^−skew`:
+    /// low processors are hot. `skew = 0` is uniform; larger is hotter.
+    Skewed { skew: f64 },
+    /// Start from an LPT (near-balanced) placement, then relocate
+    /// `perturbations` random jobs to random processors — the "drifted from
+    /// optimal" regime of the web-server story.
+    PerturbedBalanced { perturbations: usize },
+    /// Everything on processor 0 (maximal imbalance).
+    Pile,
+}
+
+/// Relocation cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CostModel {
+    /// Every job costs 1 to move (the paper's `k`-move model).
+    Unit,
+    /// Uniform integer costs in `[lo, hi]`.
+    Uniform { lo: u64, hi: u64 },
+    /// Cost proportional to size: `max(1, size / divisor)` — models
+    /// migration time dominated by data volume.
+    ProportionalToSize { divisor: u64 },
+}
+
+impl CostModel {
+    fn assign(&self, size: u64, rng: &mut StdRng) -> u64 {
+        match *self {
+            CostModel::Unit => 1,
+            CostModel::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+            CostModel::ProportionalToSize { divisor } => (size / divisor.max(1)).max(1),
+        }
+    }
+}
+
+/// Full generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneratorConfig {
+    /// Number of jobs.
+    pub n: usize,
+    /// Number of processors.
+    pub m: usize,
+    /// Size distribution.
+    pub sizes: SizeDistribution,
+    /// Placement model.
+    pub placement: PlacementModel,
+    /// Cost model.
+    pub costs: CostModel,
+}
+
+impl GeneratorConfig {
+    /// A reasonable default: uniform sizes 1..=100, random placement, unit
+    /// costs.
+    pub fn uniform(n: usize, m: usize) -> Self {
+        GeneratorConfig {
+            n,
+            m,
+            sizes: SizeDistribution::Uniform { lo: 1, hi: 100 },
+            placement: PlacementModel::Random,
+            costs: CostModel::Unit,
+        }
+    }
+
+    /// Generate the instance for a seed.
+    pub fn generate(&self, seed: u64) -> Instance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sizes: Vec<u64> = (0..self.n).map(|_| self.sizes.sample(&mut rng)).collect();
+        let initial = self.place(&sizes, &mut rng);
+        let jobs: Vec<Job> = sizes
+            .iter()
+            .map(|&s| Job::with_cost(s, self.costs.assign(s, &mut rng)))
+            .collect();
+        Instance::new(jobs, initial, self.m).expect("generator produces valid instances")
+    }
+
+    fn place(&self, sizes: &[u64], rng: &mut StdRng) -> Vec<usize> {
+        match self.placement {
+            PlacementModel::Random => (0..sizes.len()).map(|_| rng.gen_range(0..self.m)).collect(),
+            PlacementModel::Pile => vec![0; sizes.len()],
+            PlacementModel::Skewed { skew } => {
+                let weights: Vec<f64> = (0..self.m)
+                    .map(|p| 1.0 / ((p + 1) as f64).powf(skew))
+                    .collect();
+                let total: f64 = weights.iter().sum();
+                (0..sizes.len())
+                    .map(|_| {
+                        let mut x = rng.gen_range(0.0..total);
+                        for (p, w) in weights.iter().enumerate() {
+                            if x < *w {
+                                return p;
+                            }
+                            x -= w;
+                        }
+                        self.m - 1
+                    })
+                    .collect()
+            }
+            PlacementModel::PerturbedBalanced { perturbations } => {
+                let mut initial = lrb_core::lpt::schedule(sizes, self.m);
+                for _ in 0..perturbations {
+                    if sizes.is_empty() {
+                        break;
+                    }
+                    let j = rng.gen_range(0..sizes.len());
+                    initial[j] = rng.gen_range(0..self.m);
+                }
+                initial
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = GeneratorConfig::uniform(50, 4);
+        assert_eq!(cfg.generate(7), cfg.generate(7));
+        assert_ne!(cfg.generate(7), cfg.generate(8));
+    }
+
+    #[test]
+    fn sizes_in_range() {
+        let mut r = rng();
+        let d = SizeDistribution::Uniform { lo: 5, hi: 9 };
+        for _ in 0..100 {
+            let s = d.sample(&mut r);
+            assert!((5..=9).contains(&s));
+        }
+    }
+
+    #[test]
+    fn exponential_and_pareto_positive() {
+        let mut r = rng();
+        for _ in 0..200 {
+            assert!(SizeDistribution::Exponential { mean: 20.0 }.sample(&mut r) >= 1);
+            let p = SizeDistribution::Pareto {
+                scale: 10,
+                alpha: 1.5,
+            }
+            .sample(&mut r);
+            assert!((10..=10_000).contains(&p));
+        }
+    }
+
+    #[test]
+    fn bimodal_hits_both_modes() {
+        let mut r = rng();
+        let d = SizeDistribution::Bimodal {
+            lo: 1,
+            hi: 2,
+            heavy_lo: 100,
+            heavy_hi: 101,
+            heavy_frac: 0.5,
+        };
+        let samples: Vec<u64> = (0..200).map(|_| d.sample(&mut r)).collect();
+        assert!(samples.iter().any(|&s| s <= 2));
+        assert!(samples.iter().any(|&s| s >= 100));
+    }
+
+    #[test]
+    fn pile_placement_piles_up() {
+        let cfg = GeneratorConfig {
+            placement: PlacementModel::Pile,
+            ..GeneratorConfig::uniform(20, 4)
+        };
+        let inst = cfg.generate(1);
+        assert!(inst.initial().iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn skewed_placement_prefers_low_processors() {
+        let cfg = GeneratorConfig {
+            placement: PlacementModel::Skewed { skew: 2.0 },
+            ..GeneratorConfig::uniform(400, 4)
+        };
+        let inst = cfg.generate(3);
+        let counts = {
+            let mut c = vec![0usize; 4];
+            for &p in inst.initial() {
+                c[p] += 1;
+            }
+            c
+        };
+        assert!(counts[0] > counts[3], "{counts:?}");
+    }
+
+    #[test]
+    fn perturbed_balanced_is_nearly_balanced() {
+        let cfg = GeneratorConfig {
+            placement: PlacementModel::PerturbedBalanced { perturbations: 0 },
+            sizes: SizeDistribution::Constant(10),
+            ..GeneratorConfig::uniform(40, 4)
+        };
+        let inst = cfg.generate(5);
+        // 40 equal jobs over 4 procs: LPT is perfectly balanced.
+        assert_eq!(inst.initial_makespan(), 100);
+    }
+
+    #[test]
+    fn cost_models_apply() {
+        let cfg = GeneratorConfig {
+            costs: CostModel::ProportionalToSize { divisor: 10 },
+            sizes: SizeDistribution::Constant(50),
+            ..GeneratorConfig::uniform(10, 2)
+        };
+        let inst = cfg.generate(2);
+        assert!(inst.jobs().iter().all(|j| j.cost == 5));
+
+        let cfg = GeneratorConfig {
+            costs: CostModel::Uniform { lo: 3, hi: 4 },
+            ..GeneratorConfig::uniform(10, 2)
+        };
+        let inst = cfg.generate(2);
+        assert!(inst.jobs().iter().all(|j| (3..=4).contains(&j.cost)));
+    }
+}

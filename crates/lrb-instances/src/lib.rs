@@ -1,0 +1,20 @@
+//! # lrb-instances — workloads for the load rebalancing problem
+//!
+//! Everything the experiments feed to the algorithms:
+//!
+//! * [`generators`] — random instances parameterized by size distribution
+//!   (uniform / exponential / Pareto / bimodal / constant), placement model
+//!   (random / skewed / perturbed-balanced / pile), and cost model;
+//! * [`adversarial`] — the paper's tightness constructions (Theorems 1
+//!   and 2);
+//! * [`reductions`] — the §5 hardness gadgets (number-PARTITION for
+//!   Theorem 5, 3-Dimensional Matching for Theorems 6 and 7), with an exact
+//!   3DM matchability oracle;
+//! * [`spec`] — a stable JSON interchange format with file helpers.
+
+pub mod adversarial;
+pub mod generators;
+pub mod reductions;
+pub mod spec;
+
+pub use generators::{CostModel, GeneratorConfig, PlacementModel, SizeDistribution};

@@ -1,0 +1,473 @@
+//! Hardness-reduction gadgets (§5).
+//!
+//! The paper's negative results are reductions from NP-hard problems; this
+//! module constructs those reductions as concrete instances so the
+//! experiments (T10, T11) can validate both directions with exact solvers:
+//!
+//! * **Theorem 5** — move minimization, from the PARTITION (number
+//!   partitioning) problem;
+//! * **Theorem 6** — makespan with two-valued machine-dependent costs
+//!   `c_ij ∈ {p, q}`, from 3-Dimensional Matching;
+//! * **Theorem 7** — Conflict Scheduling, from 3-Dimensional Matching.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use lrb_core::model::Instance;
+
+// ---------------------------------------------------------------------------
+// 3-Dimensional Matching
+// ---------------------------------------------------------------------------
+
+/// A 3-Dimensional Matching instance: disjoint ground sets `A`, `B`, `C` of
+/// size `n` each, and a family of triples `(a, b, c)` with indices into the
+/// respective sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreeDm {
+    /// Ground-set size `n`.
+    pub n: usize,
+    /// The triple family; each component indexes its ground set (`0..n`).
+    pub triples: Vec<(usize, usize, usize)>,
+}
+
+impl ThreeDm {
+    /// Build and validate a 3DM instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn new(n: usize, triples: Vec<(usize, usize, usize)>) -> Self {
+        for &(a, b, c) in &triples {
+            assert!(a < n && b < n && c < n, "triple out of range");
+        }
+        ThreeDm { n, triples }
+    }
+
+    /// A random instance *guaranteed matchable*: a hidden perfect matching
+    /// plus `extra` random triples.
+    pub fn random_matchable(n: usize, extra: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bs: Vec<usize> = (0..n).collect();
+        let mut cs: Vec<usize> = (0..n).collect();
+        bs.shuffle(&mut rng);
+        cs.shuffle(&mut rng);
+        let mut triples: Vec<(usize, usize, usize)> = (0..n).map(|a| (a, bs[a], cs[a])).collect();
+        for _ in 0..extra {
+            triples.push((
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+            ));
+        }
+        triples.shuffle(&mut rng);
+        ThreeDm { n, triples }
+    }
+
+    /// A purely random instance (may or may not be matchable).
+    pub fn random(n: usize, m: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let triples = (0..m)
+            .map(|_| {
+                (
+                    rng.gen_range(0..n),
+                    rng.gen_range(0..n),
+                    rng.gen_range(0..n),
+                )
+            })
+            .collect();
+        ThreeDm { n, triples }
+    }
+
+    /// Exact matchability check (backtracking over `A`-elements; fine for
+    /// the small gadget instances the experiments use).
+    pub fn is_matchable(&self) -> bool {
+        if self.n == 0 {
+            return true;
+        }
+        // Triples indexed by their A-element.
+        let mut by_a: Vec<Vec<(usize, usize)>> = vec![Vec::new(); self.n];
+        for &(a, b, c) in &self.triples {
+            by_a[a].push((b, c));
+        }
+        let mut used_b = vec![false; self.n];
+        let mut used_c = vec![false; self.n];
+        self.backtrack(0, &by_a, &mut used_b, &mut used_c)
+    }
+
+    fn backtrack(
+        &self,
+        a: usize,
+        by_a: &[Vec<(usize, usize)>],
+        used_b: &mut Vec<bool>,
+        used_c: &mut Vec<bool>,
+    ) -> bool {
+        if a == self.n {
+            return true;
+        }
+        for &(b, c) in &by_a[a] {
+            if !used_b[b] && !used_c[c] {
+                used_b[b] = true;
+                used_c[c] = true;
+                if self.backtrack(a + 1, by_a, used_b, used_c) {
+                    return true;
+                }
+                used_b[b] = false;
+                used_c[c] = false;
+            }
+        }
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 5: move minimization from number PARTITION
+// ---------------------------------------------------------------------------
+
+/// The Theorem 5 gadget: all `values` piled on processor 0 of 2, with the
+/// target makespan `⌈Σ values / 2⌉`. Any rebalancing achieving the target
+/// moves a subset of total size exactly `⌊Σ/2⌋` — it exists iff the
+/// PARTITION instance has an equal split (for even totals).
+#[derive(Debug, Clone)]
+pub struct MoveMinGadget {
+    /// The load rebalancing instance.
+    pub instance: Instance,
+    /// The makespan target any solution must meet.
+    pub target: u64,
+    /// Whether the underlying PARTITION instance is a yes-instance (only
+    /// meaningful when the total is even).
+    pub total: u64,
+}
+
+/// Build the Theorem 5 gadget from a multiset of positive values.
+pub fn theorem5_gadget(values: &[u64]) -> MoveMinGadget {
+    assert!(values.iter().all(|&v| v > 0), "values must be positive");
+    let total: u64 = values.iter().sum();
+    let instance = Instance::from_sizes(values, vec![0; values.len()], 2).expect("valid gadget");
+    MoveMinGadget {
+        instance,
+        target: total.div_ceil(2),
+        total,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 6: two-valued machine-dependent costs from 3DM
+// ---------------------------------------------------------------------------
+
+/// A generalized-assignment instance with machine-dependent two-valued
+/// costs, as produced by the Theorem 6 reduction. (This sits outside the
+/// crate's `Instance` model — the paper's point is precisely that
+/// machine-dependent costs make the problem harder.)
+#[derive(Debug, Clone)]
+pub struct TwoCostGap {
+    /// Number of machines (= number of triples).
+    pub num_machines: usize,
+    /// Per-job size.
+    pub sizes: Vec<u64>,
+    /// Per-job list of machines where the job costs `p` (everywhere else it
+    /// costs `q`).
+    pub cheap_machines: Vec<Vec<usize>>,
+    /// The cheap cost `p`.
+    pub p: u64,
+    /// The expensive cost `q`.
+    pub q: u64,
+    /// The cost budget `(m + n)·p` of the reduction.
+    pub budget: u64,
+    /// The makespan that separates yes from no instances (2).
+    pub target_makespan: u64,
+}
+
+/// Build the Theorem 6 gadget: machines are triples; element jobs (unit
+/// size) for each `B`/`C` element are cheap exactly on machines whose triple
+/// contains them; for each `A`-element `a_j` with `t_j` triples there are
+/// `t_j − 1` dummy jobs of size 2, cheap exactly on type-`j` machines.
+///
+/// A schedule of makespan ≤ 2 and cost ≤ `(m+n)p` exists iff the 3DM
+/// instance has a perfect matching.
+pub fn theorem6_gadget(tdm: &ThreeDm, p: u64, q: u64) -> TwoCostGap {
+    assert!(p > 0 && q > p, "need 0 < p < q");
+    let n = tdm.n;
+    let m = tdm.triples.len();
+
+    let mut sizes = Vec::new();
+    let mut cheap = Vec::new();
+
+    // Element jobs for B and C: unit size; cheap on machines containing
+    // them.
+    for b in 0..n {
+        sizes.push(1);
+        cheap.push(
+            tdm.triples
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.1 == b)
+                .map(|(i, _)| i)
+                .collect::<Vec<_>>(),
+        );
+    }
+    for c in 0..n {
+        sizes.push(1);
+        cheap.push(
+            tdm.triples
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.2 == c)
+                .map(|(i, _)| i)
+                .collect::<Vec<_>>(),
+        );
+    }
+    // Dummy jobs: for each A-element with t_j triples, t_j − 1 dummies of
+    // size 2, cheap on that element's machines.
+    for a in 0..n {
+        let machines: Vec<usize> = tdm
+            .triples
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.0 == a)
+            .map(|(i, _)| i)
+            .collect();
+        for _ in 1..machines.len().max(1) {
+            sizes.push(2);
+            cheap.push(machines.clone());
+        }
+    }
+
+    TwoCostGap {
+        num_machines: m,
+        sizes,
+        cheap_machines: cheap,
+        p,
+        q,
+        budget: (m + n) as u64 * p,
+        target_makespan: 2,
+    }
+}
+
+impl TwoCostGap {
+    /// Number of jobs.
+    pub fn num_jobs(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Cost of placing job `j` on machine `mach`.
+    pub fn cost(&self, j: usize, mach: usize) -> u64 {
+        if self.cheap_machines[j].contains(&mach) {
+            self.p
+        } else {
+            self.q
+        }
+    }
+
+    /// Exact feasibility: is there an assignment with makespan at most
+    /// `target_makespan` and total cost at most `budget`? Backtracking over
+    /// jobs, biggest first.
+    pub fn feasible(&self) -> bool {
+        let mut order: Vec<usize> = (0..self.num_jobs()).collect();
+        order.sort_by_key(|&j| std::cmp::Reverse(self.sizes[j]));
+        let mut loads = vec![0u64; self.num_machines];
+        self.dfs(&order, 0, &mut loads, 0)
+    }
+
+    fn dfs(&self, order: &[usize], idx: usize, loads: &mut Vec<u64>, cost: u64) -> bool {
+        if idx == order.len() {
+            return true;
+        }
+        let j = order[idx];
+        // Cheap machines first — the budget usually forces them anyway.
+        let mut machines: Vec<usize> = (0..self.num_machines).collect();
+        machines.sort_by_key(|&m| (self.cost(j, m), loads[m]));
+        for mach in machines {
+            let c = cost + self.cost(j, mach);
+            if c > self.budget {
+                continue;
+            }
+            if loads[mach] + self.sizes[j] > self.target_makespan {
+                continue;
+            }
+            loads[mach] += self.sizes[j];
+            if self.dfs(order, idx + 1, loads, c) {
+                loads[mach] -= self.sizes[j];
+                return true;
+            }
+            loads[mach] -= self.sizes[j];
+        }
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 7: conflict scheduling from 3DM
+// ---------------------------------------------------------------------------
+
+/// The Theorem 7 gadget, in raw form (job/machine counts plus conflict
+/// pairs) so callers can feed it to any conflict-scheduling solver.
+#[derive(Debug, Clone)]
+pub struct ConflictGadget {
+    /// Total jobs: `m` triple jobs + `3n` element jobs + `m − n` dummies.
+    pub num_jobs: usize,
+    /// Machines (= number of triples).
+    pub num_machines: usize,
+    /// Conflicting job pairs.
+    pub conflicts: Vec<(usize, usize)>,
+    /// Index ranges: triple jobs `0..m`.
+    pub triple_jobs: std::ops::Range<usize>,
+    /// Element jobs, ordered `A` then `B` then `C`.
+    pub element_jobs: std::ops::Range<usize>,
+    /// Dummy jobs.
+    pub dummy_jobs: std::ops::Range<usize>,
+}
+
+/// Build the Theorem 7 gadget:
+///
+/// * one *triple job* per triple, all pairwise conflicting (one per
+///   machine);
+/// * one *element job* per element of `A ∪ B ∪ C`; element `u` conflicts
+///   with triple job `T_i` iff `u ∉ T_i`;
+/// * `m − n` *dummy jobs*, pairwise conflicting and conflicting with every
+///   element job.
+///
+/// A conflict-respecting assignment exists iff the 3DM instance has a
+/// perfect matching (requires `m ≥ n`).
+pub fn theorem7_gadget(tdm: &ThreeDm) -> ConflictGadget {
+    let n = tdm.n;
+    let m = tdm.triples.len();
+    assert!(m >= n, "reduction requires at least n triples");
+
+    let triple_jobs = 0..m;
+    let element_jobs = m..m + 3 * n;
+    let dummy_jobs = m + 3 * n..m + 3 * n + (m - n);
+    let num_jobs = dummy_jobs.end;
+
+    let mut conflicts = Vec::new();
+    // Triple jobs pairwise conflict.
+    for i in 0..m {
+        for j in i + 1..m {
+            conflicts.push((i, j));
+        }
+    }
+    // Element job indices: A-element a -> m + a; B-element b -> m + n + b;
+    // C-element c -> m + 2n + c.
+    for (i, &(a, b, c)) in tdm.triples.iter().enumerate() {
+        for x in 0..n {
+            if x != a {
+                conflicts.push((i, m + x));
+            }
+            if x != b {
+                conflicts.push((i, m + n + x));
+            }
+            if x != c {
+                conflicts.push((i, m + 2 * n + x));
+            }
+        }
+    }
+    // Dummies conflict pairwise and with every element job.
+    for d1 in dummy_jobs.clone() {
+        for d2 in d1 + 1..dummy_jobs.end {
+            conflicts.push((d1, d2));
+        }
+        for e in element_jobs.clone() {
+            conflicts.push((d1, e));
+        }
+    }
+
+    ConflictGadget {
+        num_jobs,
+        num_machines: m,
+        conflicts,
+        triple_jobs,
+        element_jobs,
+        dummy_jobs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solvable_tdm() -> ThreeDm {
+        // n = 2 with a perfect matching {(0,0,0), (1,1,1)} plus a decoy.
+        ThreeDm::new(2, vec![(0, 0, 0), (1, 1, 1), (0, 1, 0)])
+    }
+
+    fn unsolvable_tdm() -> ThreeDm {
+        // Every triple uses b = 0: B-element 1 is never covered.
+        ThreeDm::new(2, vec![(0, 0, 0), (1, 0, 1), (1, 0, 0)])
+    }
+
+    #[test]
+    fn matchability_oracle() {
+        assert!(solvable_tdm().is_matchable());
+        assert!(!unsolvable_tdm().is_matchable());
+        assert!(ThreeDm::new(0, vec![]).is_matchable());
+        for seed in 0..5 {
+            assert!(ThreeDm::random_matchable(4, 3, seed).is_matchable());
+        }
+    }
+
+    #[test]
+    fn theorem5_gadget_shape() {
+        let g = theorem5_gadget(&[3, 5, 2, 4]);
+        assert_eq!(g.total, 14);
+        assert_eq!(g.target, 7);
+        assert_eq!(g.instance.num_procs(), 2);
+        assert_eq!(g.instance.initial_makespan(), 14);
+    }
+
+    #[test]
+    fn theorem5_yes_and_no_instances() {
+        use lrb_exact::move_min::min_moves_to_achieve;
+        // {3,5,2,4}: total 14, split 7 = {3,4} or {5,2}: yes.
+        let yes = theorem5_gadget(&[3, 5, 2, 4]);
+        assert!(min_moves_to_achieve(&yes.instance, yes.target).is_some());
+        // {3,3,5}: total 11 (odd): target 6; subset sums {3,5,6,8,11,3}:
+        // moving {3,3} leaves 5 <= 6 and moves 6 <= 6: feasible!
+        // A real no-instance for an even total: {2,2,6}: total 10, target 5;
+        // subsets of sizes {2,4,6,8,10} — none leaves both sides <= 5.
+        let no = theorem5_gadget(&[2, 2, 6]);
+        assert!(min_moves_to_achieve(&no.instance, no.target).is_none());
+    }
+
+    #[test]
+    fn theorem6_separates_matchable_from_not() {
+        let yes = theorem6_gadget(&solvable_tdm(), 1, 100);
+        assert!(yes.feasible(), "matchable 3DM must yield a feasible gadget");
+        let no = theorem6_gadget(&unsolvable_tdm(), 1, 100);
+        assert!(
+            !no.feasible(),
+            "unmatchable 3DM must yield an infeasible gadget"
+        );
+    }
+
+    #[test]
+    fn theorem6_budget_is_m_plus_n_p() {
+        let g = theorem6_gadget(&solvable_tdm(), 3, 10);
+        assert_eq!(g.budget, (3 + 2) * 3);
+        assert_eq!(g.target_makespan, 2);
+        // 2n element jobs + (m − n) dummies = 4 + 1.
+        assert_eq!(g.num_jobs(), 5);
+    }
+
+    #[test]
+    fn theorem7_separates_matchable_from_not() {
+        use lrb_exact::conflict::ConflictProblem;
+        let yes = theorem7_gadget(&solvable_tdm());
+        let p = ConflictProblem::new(yes.num_jobs, yes.num_machines, &yes.conflicts);
+        assert!(p.feasible_assignment().is_some());
+
+        let no = theorem7_gadget(&unsolvable_tdm());
+        let p = ConflictProblem::new(no.num_jobs, no.num_machines, &no.conflicts);
+        assert!(p.feasible_assignment().is_none());
+    }
+
+    #[test]
+    fn theorem7_gadget_shape() {
+        let g = theorem7_gadget(&solvable_tdm());
+        // m=3 triples, n=2: 3 triple + 6 element + 1 dummy = 10 jobs.
+        assert_eq!(g.num_jobs, 10);
+        assert_eq!(g.num_machines, 3);
+        assert_eq!(g.triple_jobs, 0..3);
+        assert_eq!(g.element_jobs, 3..9);
+        assert_eq!(g.dummy_jobs, 9..10);
+    }
+}

@@ -1,0 +1,257 @@
+//! Instance serialization: a stable JSON format plus file helpers.
+//!
+//! The on-disk format is deliberately explicit (one record per job) so
+//! instances are easy to produce from other tooling and to diff:
+//!
+//! ```json
+//! {
+//!   "num_procs": 2,
+//!   "jobs": [ { "size": 5, "cost": 1, "proc": 0 }, ... ]
+//! }
+//! ```
+
+use std::fs;
+use std::io::{self};
+use std::path::Path;
+
+use lrb_core::constrained::ConstrainedInstance;
+use lrb_core::model::{Instance, Job};
+use serde::{Deserialize, Serialize};
+
+/// Serializable instance description.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstanceSpec {
+    /// Number of processors.
+    pub num_procs: usize,
+    /// One record per job.
+    pub jobs: Vec<JobSpec>,
+}
+
+/// One job record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Job size.
+    pub size: u64,
+    /// Relocation cost (defaults to 1 when absent).
+    #[serde(default = "default_cost")]
+    pub cost: u64,
+    /// Initial processor.
+    pub proc: usize,
+    /// Optional eligibility list for the Constrained Load Rebalancing
+    /// variant (§5). Absent = the job may run anywhere.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub allowed: Option<Vec<usize>>,
+}
+
+fn default_cost() -> u64 {
+    1
+}
+
+/// Errors from reading/writing instance files.
+#[derive(Debug)]
+pub enum SpecError {
+    /// Filesystem error.
+    Io(io::Error),
+    /// JSON syntax/shape error.
+    Json(serde_json::Error),
+    /// The decoded spec is not a valid instance.
+    Invalid(lrb_core::error::Error),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Io(e) => write!(f, "io error: {e}"),
+            SpecError::Json(e) => write!(f, "json error: {e}"),
+            SpecError::Invalid(e) => write!(f, "invalid instance: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl InstanceSpec {
+    /// Describe an existing instance.
+    pub fn from_instance(inst: &Instance) -> Self {
+        InstanceSpec {
+            num_procs: inst.num_procs(),
+            jobs: inst
+                .jobs()
+                .iter()
+                .zip(inst.initial())
+                .map(|(j, &p)| JobSpec {
+                    size: j.size,
+                    cost: j.cost,
+                    proc: p,
+                    allowed: None,
+                })
+                .collect(),
+        }
+    }
+
+    /// Describe a constrained instance, recording eligibility lists.
+    pub fn from_constrained(cinst: &ConstrainedInstance) -> Self {
+        let inst = cinst.base();
+        InstanceSpec {
+            num_procs: inst.num_procs(),
+            jobs: inst
+                .jobs()
+                .iter()
+                .zip(inst.initial())
+                .enumerate()
+                .map(|(j, (job, &p))| JobSpec {
+                    size: job.size,
+                    cost: job.cost,
+                    proc: p,
+                    allowed: Some(cinst.allowed(j).to_vec()),
+                })
+                .collect(),
+        }
+    }
+
+    /// True if any job carries an eligibility list.
+    pub fn is_constrained(&self) -> bool {
+        self.jobs.iter().any(|j| j.allowed.is_some())
+    }
+
+    /// Materialize the (unconstrained view of the) instance.
+    pub fn to_instance(&self) -> Result<Instance, lrb_core::error::Error> {
+        let jobs: Vec<Job> = self
+            .jobs
+            .iter()
+            .map(|j| Job::with_cost(j.size, j.cost))
+            .collect();
+        let initial = self.jobs.iter().map(|j| j.proc).collect();
+        Instance::new(jobs, initial, self.num_procs)
+    }
+
+    /// Materialize the constrained instance; jobs without an `allowed` list
+    /// may run anywhere.
+    pub fn to_constrained(&self) -> Result<ConstrainedInstance, lrb_core::error::Error> {
+        let base = self.to_instance()?;
+        let all: Vec<usize> = (0..self.num_procs).collect();
+        let allowed = self
+            .jobs
+            .iter()
+            .map(|j| j.allowed.clone().unwrap_or_else(|| all.clone()))
+            .collect();
+        ConstrainedInstance::new(base, allowed)
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serializes")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Write an instance to a JSON file.
+pub fn save_json(inst: &Instance, path: impl AsRef<Path>) -> Result<(), SpecError> {
+    fs::write(path, InstanceSpec::from_instance(inst).to_json()).map_err(SpecError::Io)
+}
+
+/// Read an instance from a JSON file.
+pub fn load_json(path: impl AsRef<Path>) -> Result<Instance, SpecError> {
+    let text = fs::read_to_string(path).map_err(SpecError::Io)?;
+    let spec = InstanceSpec::from_json(&text).map_err(SpecError::Json)?;
+    spec.to_instance().map_err(SpecError::Invalid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Instance {
+        let jobs = vec![Job::with_cost(5, 2), Job::with_cost(3, 1)];
+        Instance::new(jobs, vec![0, 1], 2).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_through_json() {
+        let inst = toy();
+        let spec = InstanceSpec::from_instance(&inst);
+        let back = InstanceSpec::from_json(&spec.to_json())
+            .unwrap()
+            .to_instance()
+            .unwrap();
+        assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn cost_defaults_to_one() {
+        let json = r#"{"num_procs": 1, "jobs": [{"size": 7, "proc": 0}]}"#;
+        let inst = InstanceSpec::from_json(json)
+            .unwrap()
+            .to_instance()
+            .unwrap();
+        assert_eq!(inst.cost(0), 1);
+        assert_eq!(inst.size(0), 7);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let json = r#"{"num_procs": 1, "jobs": [{"size": 7, "proc": 3}]}"#;
+        assert!(InstanceSpec::from_json(json)
+            .unwrap()
+            .to_instance()
+            .is_err());
+        assert!(InstanceSpec::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("lrb-spec-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inst.json");
+        let inst = toy();
+        save_json(&inst, &path).unwrap();
+        let back = load_json(&path).unwrap();
+        assert_eq!(back, inst);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(matches!(
+            load_json("/nonexistent/nowhere.json"),
+            Err(SpecError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn constrained_roundtrip() {
+        let base = Instance::from_sizes(&[5, 3], vec![0, 1], 3).unwrap();
+        let c = ConstrainedInstance::new(base, vec![vec![0, 2], vec![0, 1, 2]]).unwrap();
+        let spec = InstanceSpec::from_constrained(&c);
+        assert!(spec.is_constrained());
+        let json = spec.to_json();
+        assert!(json.contains("allowed"));
+        let back = InstanceSpec::from_json(&json)
+            .unwrap()
+            .to_constrained()
+            .unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn plain_spec_yields_unconstrained() {
+        let json = r#"{"num_procs": 2, "jobs": [{"size": 7, "proc": 0}]}"#;
+        let spec = InstanceSpec::from_json(json).unwrap();
+        assert!(!spec.is_constrained());
+        let c = spec.to_constrained().unwrap();
+        assert!(c.is_allowed(0, 0) && c.is_allowed(0, 1));
+    }
+
+    #[test]
+    fn constrained_spec_missing_home_is_rejected() {
+        let json = r#"{"num_procs": 2, "jobs": [{"size": 7, "proc": 0, "allowed": [1]}]}"#;
+        assert!(InstanceSpec::from_json(json)
+            .unwrap()
+            .to_constrained()
+            .is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! The generalized-assignment LP relaxation for load rebalancing (§2).
+//!
+//! The paper reduces load rebalancing to generalized assignment by setting
+//! `c_ij = 0` when job `i` already resides on machine `j` and `c_ij = c_i`
+//! otherwise. For a makespan guess `T` the relaxation is:
+//!
+//! ```text
+//!   minimize   Σ_{j,p} c_{jp} · x_{jp}
+//!   subject to Σ_p x_{jp} = 1                for every job j
+//!              Σ_j s_j · x_{jp} ≤ T          for every processor p
+//!              x_{jp} ≥ 0, and x_{jp} absent when s_j > T
+//! ```
+//!
+//! The pruning of `s_j > T` variables is the Lenstra–Shmoys–Tardos trick
+//! that makes the rounding lose only an additive `max s_j ≤ T`.
+
+use lrb_core::model::{Instance, Size};
+
+use crate::simplex::{LinearProgram, LpResult, Relation};
+
+/// A fractional GAP solution at makespan guess `t`.
+#[derive(Debug, Clone)]
+pub struct FractionalAssignment {
+    /// The makespan guess the LP was built for.
+    pub t: Size,
+    /// Minimum fractional relocation cost.
+    pub cost: f64,
+    /// `x[j]` = list of `(processor, fraction)` with positive fraction.
+    pub x: Vec<Vec<(usize, f64)>>,
+}
+
+/// Solve the relaxation at guess `t`; `None` if infeasible (some job larger
+/// than `t`, or total volume cannot fit).
+pub fn solve_relaxation(inst: &Instance, t: Size) -> Option<FractionalAssignment> {
+    solve_relaxation_filtered(inst, t, |_, _| true)
+}
+
+/// [`solve_relaxation`] restricted to `(job, processor)` pairs passing the
+/// eligibility predicate — the Constrained Load Rebalancing relaxation
+/// (§5, Corollary 1). The predicate must admit each job's home processor.
+// (j, p) index pairs address the 2-d `var` table; indexed loops are the
+// clear form.
+#[allow(clippy::needless_range_loop)]
+pub fn solve_relaxation_filtered(
+    inst: &Instance,
+    t: Size,
+    eligible: impl Fn(usize, usize) -> bool,
+) -> Option<FractionalAssignment> {
+    let n = inst.num_jobs();
+    let m = inst.num_procs();
+    if inst.jobs().iter().any(|j| j.size > t) {
+        return None;
+    }
+
+    let mut lp = LinearProgram::new();
+    // Variable index (j, p) -> var id; usize::MAX marks an ineligible pair.
+    let mut var = vec![vec![usize::MAX; m]; n];
+    for j in 0..n {
+        for p in 0..m {
+            if !eligible(j, p) {
+                continue;
+            }
+            let cost = if p == inst.initial_proc(j) {
+                0.0
+            } else {
+                inst.cost(j) as f64
+            };
+            var[j][p] = lp.add_var(cost);
+        }
+    }
+    for j in 0..n {
+        let terms: Vec<(usize, f64)> = (0..m)
+            .filter(|&p| var[j][p] != usize::MAX)
+            .map(|p| (var[j][p], 1.0))
+            .collect();
+        if terms.is_empty() {
+            return None; // a job with no eligible processor cannot schedule
+        }
+        lp.add_constraint(&terms, Relation::Eq, 1.0);
+    }
+    for p in 0..m {
+        let terms: Vec<(usize, f64)> = (0..n)
+            .filter(|&j| var[j][p] != usize::MAX)
+            .map(|j| (var[j][p], inst.size(j) as f64))
+            .collect();
+        lp.add_constraint(&terms, Relation::Le, t as f64);
+    }
+
+    match lp.solve() {
+        LpResult::Optimal { objective, values } => {
+            let mut x = vec![Vec::new(); n];
+            for j in 0..n {
+                for p in 0..m {
+                    if var[j][p] == usize::MAX {
+                        continue;
+                    }
+                    let v = values[var[j][p]];
+                    if v > 1e-7 {
+                        x[j].push((p, v));
+                    }
+                }
+            }
+            Some(FractionalAssignment {
+                t,
+                cost: objective,
+                x,
+            })
+        }
+        LpResult::Infeasible => None,
+        LpResult::Unbounded => unreachable!("costs are nonnegative"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_instance_has_zero_cost() {
+        let inst = Instance::from_sizes(&[5, 5], vec![0, 1], 2).unwrap();
+        let f = solve_relaxation(&inst, 5).unwrap();
+        assert!(f.cost.abs() < 1e-7);
+        // Every job fully on its home processor.
+        for (j, xs) in f.x.iter().enumerate() {
+            assert_eq!(xs.len(), 1);
+            assert_eq!(xs[0].0, inst.initial_proc(j));
+        }
+    }
+
+    #[test]
+    fn pile_needs_fractional_moves() {
+        let inst = Instance::from_sizes(&[5, 5], vec![0, 0], 2).unwrap();
+        let f = solve_relaxation(&inst, 5).unwrap();
+        // One of the two jobs must fully move: cost 1.
+        assert!((f.cost - 1.0).abs() < 1e-6, "cost {}", f.cost);
+    }
+
+    #[test]
+    fn infeasible_when_job_exceeds_t() {
+        let inst = Instance::from_sizes(&[8, 2], vec![0, 1], 2).unwrap();
+        assert!(solve_relaxation(&inst, 7).is_none());
+    }
+
+    #[test]
+    fn infeasible_when_volume_exceeds_mt() {
+        let inst = Instance::from_sizes(&[5, 5, 5], vec![0, 0, 1], 2).unwrap();
+        assert!(solve_relaxation(&inst, 7).is_none());
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let inst = Instance::from_sizes(&[6, 4, 3, 2], vec![0, 0, 0, 1], 2).unwrap();
+        let f = solve_relaxation(&inst, 8).unwrap();
+        for xs in &f.x {
+            let sum: f64 = xs.iter().map(|&(_, v)| v).sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn lp_cost_lower_bounds_integral_cost() {
+        // LP relaxation cost is at most the exact integral optimum's cost.
+        let inst = Instance::from_sizes(&[4, 3, 3, 2], vec![0, 0, 0, 0], 2).unwrap();
+        let f = solve_relaxation(&inst, 6).unwrap();
+        // Exact: 2 moves needed for makespan 6.
+        assert!(f.cost <= 2.0 + 1e-6);
+    }
+}

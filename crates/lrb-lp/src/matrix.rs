@@ -1,0 +1,133 @@
+//! A minimal dense row-major matrix for the simplex tableau.
+//!
+//! Deliberately tiny: the LPs this crate solves have a few hundred columns
+//! at most, so a contiguous `Vec<f64>` with row views is all that is
+//! needed (and is cache-friendly for the row operations simplex performs).
+
+/// Dense row-major `f64` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `row[dst] += factor * row[src]` — the simplex elimination step.
+    /// The two rows must differ.
+    pub fn add_scaled_row(&mut self, dst: usize, src: usize, factor: f64) {
+        assert_ne!(dst, src);
+        if factor == 0.0 {
+            return;
+        }
+        let cols = self.cols;
+        let (a, b) = if dst < src {
+            let (lo, hi) = self.data.split_at_mut(src * cols);
+            (&mut lo[dst * cols..(dst + 1) * cols], &hi[..cols])
+        } else {
+            let (lo, hi) = self.data.split_at_mut(dst * cols);
+            let src_row = &lo[src * cols..(src + 1) * cols];
+            (&mut hi[..cols], src_row)
+        };
+        for (x, &y) in a.iter_mut().zip(b) {
+            *x += factor * y;
+        }
+    }
+
+    /// Scale row `r` by `factor`.
+    pub fn scale_row(&mut self, r: usize, factor: f64) {
+        for v in self.row_mut(r) {
+            *v *= factor;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let mut m = Matrix::zeros(2, 3);
+        m.set(0, 1, 5.0);
+        m.set(1, 2, -2.0);
+        assert_eq!(m.get(0, 1), 5.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, -2.0]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    fn row_operations() {
+        let mut m = Matrix::zeros(2, 2);
+        m.row_mut(0).copy_from_slice(&[1.0, 2.0]);
+        m.row_mut(1).copy_from_slice(&[3.0, 4.0]);
+        m.add_scaled_row(1, 0, -3.0); // row1 -= 3*row0
+        assert_eq!(m.row(1), &[0.0, -2.0]);
+        m.scale_row(1, -0.5);
+        assert_eq!(m.row(1), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn add_scaled_row_either_direction() {
+        let mut m = Matrix::zeros(2, 2);
+        m.row_mut(0).copy_from_slice(&[1.0, 1.0]);
+        m.row_mut(1).copy_from_slice(&[2.0, 2.0]);
+        m.add_scaled_row(0, 1, 1.0);
+        assert_eq!(m.row(0), &[3.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn add_scaled_same_row_panics() {
+        let mut m = Matrix::zeros(2, 2);
+        m.add_scaled_row(0, 0, 1.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! The web-farm simulator: the Linder–Shah website-migration scenario the
+//! paper cites as its motivating application (§1, §3).
+//!
+//! Websites with drifting loads live on servers; each epoch the simulator
+//! refreshes the loads, asks the policy for a rebalanced placement within
+//! the per-epoch budget, applies it, and records metrics. Migration cost of
+//! a site is configurable (unit per site, or proportional to its load as a
+//! proxy for content size).
+
+use lrb_core::model::{Budget, Instance, Job};
+
+use crate::metrics::{EpochMetrics, SimReport};
+use crate::policy::Policy;
+use crate::workload::{Workload, WorkloadConfig};
+
+/// Migration cost model for websites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationCost {
+    /// Every site costs 1 to move.
+    Unit,
+    /// Moving a site costs `max(1, load / divisor)` — content scales with
+    /// popularity.
+    ProportionalToLoad {
+        /// Load units per cost unit.
+        divisor: u64,
+    },
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FarmConfig {
+    /// Number of servers.
+    pub num_servers: usize,
+    /// Number of epochs to simulate.
+    pub epochs: usize,
+    /// Per-epoch relocation budget handed to the policy.
+    pub budget: Budget,
+    /// Website workload model.
+    pub workload: WorkloadConfig,
+    /// Migration cost model.
+    pub migration_cost: MigrationCost,
+    /// RNG seed (workload and initial placement).
+    pub seed: u64,
+}
+
+impl FarmConfig {
+    /// A default farm: 8 servers, 100 epochs, 4 moves per epoch.
+    pub fn default_farm(num_sites: usize, num_servers: usize) -> Self {
+        FarmConfig {
+            num_servers,
+            epochs: 100,
+            budget: Budget::Moves(4),
+            workload: WorkloadConfig::default_web(num_sites),
+            migration_cost: MigrationCost::Unit,
+            seed: 0,
+        }
+    }
+}
+
+/// Run the simulation with a policy, returning the trace.
+///
+/// The initial placement is balanced (LPT on the initial loads): drift is
+/// what unbalances it, exactly the paper's story.
+pub fn run(cfg: &FarmConfig, policy: &mut dyn Policy) -> SimReport {
+    let mut workload = Workload::new(cfg.workload, cfg.seed);
+    let mut placement = lrb_core::lpt::schedule(workload.loads(), cfg.num_servers);
+    let mut epochs = Vec::with_capacity(cfg.epochs);
+
+    for epoch in 0..cfg.epochs {
+        workload.step();
+        let inst = instance_for(workload.loads(), &placement, cfg);
+        let new_assignment = policy.rebalance(&inst, cfg.budget);
+
+        // Enforce the contract: well-formed and within budget (the
+        // full-rebalance baseline is exempt from the budget by design).
+        let makespan = inst
+            .makespan_of(&new_assignment)
+            .expect("policy returned malformed assignment");
+        let unlimited = policy.name() == "full-rebalance";
+        assert!(
+            unlimited || cfg.budget.allows(&inst, &new_assignment),
+            "policy {} exceeded the budget",
+            policy.name()
+        );
+
+        let migrations = inst.move_count(&new_assignment);
+        let migration_cost = inst.move_cost(&new_assignment);
+        epochs.push(EpochMetrics {
+            epoch,
+            makespan,
+            avg_load: inst.avg_load_ceil(),
+            migrations,
+            migration_cost,
+        });
+        placement = new_assignment;
+    }
+
+    SimReport {
+        policy: policy.name().to_string(),
+        epochs,
+    }
+}
+
+/// Snapshot the farm as a load rebalancing instance.
+fn instance_for(loads: &[u64], placement: &[usize], cfg: &FarmConfig) -> Instance {
+    let jobs: Vec<Job> = loads
+        .iter()
+        .map(|&l| {
+            let cost = match cfg.migration_cost {
+                MigrationCost::Unit => 1,
+                MigrationCost::ProportionalToLoad { divisor } => (l / divisor.max(1)).max(1),
+            };
+            Job::with_cost(l, cost)
+        })
+        .collect();
+    Instance::new(jobs, placement.to_vec(), cfg.num_servers)
+        .expect("farm state is always a valid instance")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{FullRebalance, GreedyPolicy, MPartitionPolicy, NoRebalance};
+
+    fn cfg() -> FarmConfig {
+        let mut c = FarmConfig::default_farm(60, 6);
+        c.epochs = 40;
+        c
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let c = cfg();
+        let a = run(&c, &mut MPartitionPolicy);
+        let b = run(&c, &mut MPartitionPolicy);
+        assert_eq!(a.epochs, b.epochs);
+    }
+
+    #[test]
+    fn no_rebalance_never_migrates() {
+        let r = run(&cfg(), &mut NoRebalance);
+        assert_eq!(r.total_migrations(), 0);
+    }
+
+    #[test]
+    fn budget_is_enforced_per_epoch() {
+        let c = cfg();
+        let r = run(&c, &mut GreedyPolicy);
+        for e in &r.epochs {
+            assert!(
+                e.migrations <= 4,
+                "epoch {}: {} migrations",
+                e.epoch,
+                e.migrations
+            );
+        }
+    }
+
+    #[test]
+    fn rebalancing_beats_drifting() {
+        let c = cfg();
+        let drift = run(&c, &mut NoRebalance);
+        let fixed = run(&c, &mut MPartitionPolicy);
+        assert!(
+            fixed.mean_imbalance() <= drift.mean_imbalance(),
+            "m-partition {} vs no-rebalance {}",
+            fixed.mean_imbalance(),
+            drift.mean_imbalance()
+        );
+    }
+
+    #[test]
+    fn full_rebalance_is_the_quality_ceiling() {
+        let c = cfg();
+        let full = run(&c, &mut FullRebalance);
+        let bounded = run(&c, &mut MPartitionPolicy);
+        // Full rebalancing moves more but balances at least as well
+        // (tolerate tiny noise from LPT non-optimality).
+        assert!(full.mean_imbalance() <= bounded.mean_imbalance() + 0.05);
+        assert!(full.total_migrations() >= bounded.total_migrations());
+    }
+
+    #[test]
+    fn diurnal_farm_rewards_rebalancing_more() {
+        // A day/night cycle creates recurring, correlated imbalance that a
+        // static placement cannot absorb; rebalancing pays off clearly.
+        let mut c = cfg();
+        c.workload = crate::workload::WorkloadConfig::diurnal_web(60, 20);
+        let drift = run(&c, &mut NoRebalance);
+        let fixed = run(&c, &mut MPartitionPolicy);
+        assert!(fixed.mean_imbalance() < drift.mean_imbalance());
+    }
+
+    #[test]
+    fn cost_budget_variant_runs() {
+        let mut c = cfg();
+        c.budget = Budget::Cost(6);
+        c.migration_cost = MigrationCost::ProportionalToLoad { divisor: 8 };
+        let r = run(&c, &mut MPartitionPolicy);
+        for e in &r.epochs {
+            assert!(e.migration_cost <= 6, "epoch {}", e.epoch);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # lrb-sim — simulators for the paper's motivating applications
+//!
+//! The paper's introduction motivates bounded-move rebalancing with two
+//! systems scenarios; both are simulated here against the real algorithms:
+//!
+//! * [`farm`] — a **web-server farm** (the Linder–Shah website-migration
+//!   setting): websites with drifting, flash-crowd-prone loads on servers,
+//!   rebalanced each epoch under a migration budget;
+//! * [`process`] — **process migration** on a multiprocessor: heavy-tailed
+//!   process lifetimes (Harchol-Balter & Downey), memory-footprint
+//!   migration costs.
+//!
+//! Shared pieces: [`workload`] (drift + flash crowds), [`policy`]
+//! (pluggable rebalancers: none / GREEDY / M-PARTITION / full LPT /
+//! threshold-triggered), and [`metrics`] (imbalance traces).
+
+pub mod farm;
+pub mod metrics;
+pub mod policy;
+pub mod process;
+pub mod trace;
+pub mod workload;
+
+pub use farm::{run as run_farm, FarmConfig, MigrationCost};
+pub use metrics::{EpochMetrics, SimReport};
+pub use policy::{
+    FullRebalance, GreedyPolicy, MPartitionPolicy, NoRebalance, Policy, ThresholdTriggered,
+};
+pub use process::{run as run_process, ProcessSimConfig};
+pub use trace::{replay, TraceWorkload};
+pub use workload::{Diurnal, Workload, WorkloadConfig};

@@ -1,0 +1,184 @@
+//! Per-epoch and aggregate metrics for simulation runs.
+
+use serde::Serialize;
+
+/// Metrics of one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct EpochMetrics {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Makespan after rebalancing.
+    pub makespan: u64,
+    /// Average server load (ceiling), the per-epoch lower bound.
+    pub avg_load: u64,
+    /// Number of migrations performed this epoch.
+    pub migrations: usize,
+    /// Total migration cost this epoch.
+    pub migration_cost: u64,
+}
+
+impl EpochMetrics {
+    /// Imbalance = makespan / avg (≥ 1.0).
+    pub fn imbalance(&self) -> f64 {
+        self.makespan as f64 / self.avg_load.max(1) as f64
+    }
+}
+
+/// A full simulation trace plus aggregates.
+#[derive(Debug, Clone, Serialize)]
+pub struct SimReport {
+    /// The policy that produced the trace.
+    pub policy: String,
+    /// Per-epoch metrics.
+    pub epochs: Vec<EpochMetrics>,
+}
+
+impl SimReport {
+    /// Mean imbalance across epochs.
+    pub fn mean_imbalance(&self) -> f64 {
+        if self.epochs.is_empty() {
+            return 1.0;
+        }
+        self.epochs.iter().map(|e| e.imbalance()).sum::<f64>() / self.epochs.len() as f64
+    }
+
+    /// Worst imbalance across epochs.
+    pub fn max_imbalance(&self) -> f64 {
+        self.epochs
+            .iter()
+            .map(|e| e.imbalance())
+            .fold(1.0, f64::max)
+    }
+
+    /// p-th percentile imbalance (0–100).
+    pub fn percentile_imbalance(&self, p: f64) -> f64 {
+        if self.epochs.is_empty() {
+            return 1.0;
+        }
+        let mut v: Vec<f64> = self.epochs.iter().map(|e| e.imbalance()).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
+        v[idx.min(v.len() - 1)]
+    }
+
+    /// Total migrations over the run.
+    pub fn total_migrations(&self) -> usize {
+        self.epochs.iter().map(|e| e.migrations).sum()
+    }
+
+    /// Total migration cost over the run.
+    pub fn total_cost(&self) -> u64 {
+        self.epochs.iter().map(|e| e.migration_cost).sum()
+    }
+
+    /// Serialize the full trace to JSON (for plotting pipelines).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Write the trace to a file as JSON.
+    pub fn save_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Render the trace as CSV (`epoch,makespan,avg_load,migrations,cost`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("epoch,makespan,avg_load,migrations,migration_cost\n");
+        for e in &self.epochs {
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                e.epoch, e.makespan, e.avg_load, e.migrations, e.migration_cost
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            policy: "test".into(),
+            epochs: vec![
+                EpochMetrics {
+                    epoch: 0,
+                    makespan: 10,
+                    avg_load: 10,
+                    migrations: 0,
+                    migration_cost: 0,
+                },
+                EpochMetrics {
+                    epoch: 1,
+                    makespan: 20,
+                    avg_load: 10,
+                    migrations: 3,
+                    migration_cost: 5,
+                },
+                EpochMetrics {
+                    epoch: 2,
+                    makespan: 15,
+                    avg_load: 10,
+                    migrations: 1,
+                    migration_cost: 2,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = report();
+        assert!((r.mean_imbalance() - 1.5).abs() < 1e-9);
+        assert!((r.max_imbalance() - 2.0).abs() < 1e-9);
+        assert_eq!(r.total_migrations(), 4);
+        assert_eq!(r.total_cost(), 7);
+    }
+
+    #[test]
+    fn percentiles() {
+        let r = report();
+        assert!((r.percentile_imbalance(0.0) - 1.0).abs() < 1e-9);
+        assert!((r.percentile_imbalance(100.0) - 2.0).abs() < 1e-9);
+        assert!((r.percentile_imbalance(50.0) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_defaults() {
+        let r = SimReport {
+            policy: "x".into(),
+            epochs: vec![],
+        };
+        assert_eq!(r.mean_imbalance(), 1.0);
+        assert_eq!(r.percentile_imbalance(50.0), 1.0);
+        assert_eq!(r.total_migrations(), 0);
+    }
+
+    #[test]
+    fn json_and_csv_exports() {
+        let r = report();
+        let json = r.to_json();
+        assert!(json.contains("\"makespan\": 20"));
+        // Round-trips through serde_json's Value.
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["policy"], "test");
+        assert_eq!(v["epochs"].as_array().unwrap().len(), 3);
+
+        let csv = r.to_csv();
+        assert_eq!(csv.lines().count(), 4);
+        assert!(csv.lines().nth(2).unwrap().starts_with("1,20,10,3,5"));
+    }
+
+    #[test]
+    fn imbalance_guards_zero_avg() {
+        let e = EpochMetrics {
+            epoch: 0,
+            makespan: 5,
+            avg_load: 0,
+            migrations: 0,
+            migration_cost: 0,
+        };
+        assert_eq!(e.imbalance(), 5.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Rebalancing policies pluggable into the simulators.
+//!
+//! A policy sees the current placement as a load rebalancing [`Instance`]
+//! (current loads as job sizes, current placement as the initial
+//! assignment) plus a per-epoch relocation budget, and returns the new
+//! assignment. The simulator enforces that the returned assignment is
+//! well-formed and within budget.
+
+use lrb_core::lpt;
+use lrb_core::model::{Assignment, Budget, Instance};
+use lrb_core::{cost_partition, greedy, mpartition};
+
+/// A per-epoch rebalancing policy.
+pub trait Policy {
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Produce a new assignment within the budget.
+    fn rebalance(&mut self, inst: &Instance, budget: Budget) -> Assignment;
+}
+
+/// Never move anything — the drift baseline.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoRebalance;
+
+impl Policy for NoRebalance {
+    fn name(&self) -> &'static str {
+        "no-rebalance"
+    }
+
+    fn rebalance(&mut self, inst: &Instance, _budget: Budget) -> Assignment {
+        inst.initial().clone()
+    }
+}
+
+/// The paper's `GREEDY` (§2) each epoch.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GreedyPolicy;
+
+impl Policy for GreedyPolicy {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn rebalance(&mut self, inst: &Instance, budget: Budget) -> Assignment {
+        let k = budget_as_moves(inst, budget);
+        greedy::rebalance(inst, k)
+            .map(|o| o.into_assignment())
+            .unwrap_or_else(|_| inst.initial().clone())
+    }
+}
+
+/// The paper's `M-PARTITION` (§3) each epoch — the headline policy.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MPartitionPolicy;
+
+impl Policy for MPartitionPolicy {
+    fn name(&self) -> &'static str {
+        "m-partition"
+    }
+
+    fn rebalance(&mut self, inst: &Instance, budget: Budget) -> Assignment {
+        match budget {
+            Budget::Moves(k) => mpartition::rebalance(inst, k)
+                .map(|r| r.outcome.into_assignment())
+                .unwrap_or_else(|_| inst.initial().clone()),
+            Budget::Cost(b) => cost_partition::rebalance(inst, b)
+                .map(|r| r.outcome.into_assignment())
+                .unwrap_or_else(|_| inst.initial().clone()),
+        }
+    }
+}
+
+/// Reschedule everything from scratch with LPT, ignoring the budget (the
+/// simulator treats this policy as having an unlimited budget). The upper
+/// baseline: what unconstrained migration buys.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FullRebalance;
+
+impl Policy for FullRebalance {
+    fn name(&self) -> &'static str {
+        "full-rebalance"
+    }
+
+    fn rebalance(&mut self, inst: &Instance, _budget: Budget) -> Assignment {
+        lpt::full_rebalance(inst)
+            .map(|o| o.into_assignment())
+            .unwrap_or_else(|_| inst.initial().clone())
+    }
+}
+
+/// Wrap another policy: only invoke it when the imbalance (makespan over
+/// average load) exceeds `trigger_pct`/100; otherwise do nothing. Models
+/// the operational pattern of rebalancing only past a threshold.
+#[derive(Debug, Clone, Copy)]
+pub struct ThresholdTriggered<P> {
+    /// The wrapped policy.
+    pub inner: P,
+    /// Trigger when `100·makespan > trigger_pct · avg`.
+    pub trigger_pct: u64,
+}
+
+impl<P: Policy> Policy for ThresholdTriggered<P> {
+    fn name(&self) -> &'static str {
+        "threshold-triggered"
+    }
+
+    fn rebalance(&mut self, inst: &Instance, budget: Budget) -> Assignment {
+        let avg = inst.avg_load_ceil().max(1);
+        if 100 * inst.initial_makespan() > self.trigger_pct * avg {
+            self.inner.rebalance(inst, budget)
+        } else {
+            inst.initial().clone()
+        }
+    }
+}
+
+/// Interpret a budget as a move count (cost budgets fall back to the number
+/// of cheapest jobs that fit, matching `lrb_core::bounds`).
+pub fn budget_as_moves(inst: &Instance, budget: Budget) -> usize {
+    match budget {
+        Budget::Moves(k) => k,
+        Budget::Cost(_) => lrb_core::bounds::max_moves_within(inst, budget),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst() -> Instance {
+        Instance::from_sizes(&[9, 8, 2, 1], vec![0, 0, 1, 1], 2).unwrap()
+    }
+
+    #[test]
+    fn no_rebalance_is_identity() {
+        let i = inst();
+        let a = NoRebalance.rebalance(&i, Budget::Moves(4));
+        assert_eq!(&a, i.initial());
+    }
+
+    #[test]
+    fn policies_respect_move_budget() {
+        let i = inst();
+        for k in 0..=4 {
+            for (name, a) in [
+                ("greedy", GreedyPolicy.rebalance(&i, Budget::Moves(k))),
+                (
+                    "m-partition",
+                    MPartitionPolicy.rebalance(&i, Budget::Moves(k)),
+                ),
+            ] {
+                assert!(i.move_count(&a) <= k, "{name} k={k}");
+                assert!(i.makespan_of(&a).is_ok(), "{name} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn mpartition_policy_honors_cost_budgets() {
+        let i = inst();
+        for b in 0..=4 {
+            let a = MPartitionPolicy.rebalance(&i, Budget::Cost(b));
+            assert!(i.move_cost(&a) <= b, "b={b}");
+        }
+    }
+
+    #[test]
+    fn full_rebalance_balances() {
+        let i = inst();
+        let a = FullRebalance.rebalance(&i, Budget::Moves(0));
+        // Total 20 over 2 -> LPT reaches 10 here ({9,1},{8,2}).
+        assert_eq!(i.makespan_of(&a).unwrap(), 10);
+    }
+
+    #[test]
+    fn threshold_trigger_gates_the_inner_policy() {
+        let i = inst(); // makespan 17, avg 10: imbalance 170%.
+        let mut calm = ThresholdTriggered {
+            inner: GreedyPolicy,
+            trigger_pct: 200,
+        };
+        assert_eq!(&calm.rebalance(&i, Budget::Moves(4)), i.initial());
+        let mut eager = ThresholdTriggered {
+            inner: GreedyPolicy,
+            trigger_pct: 110,
+        };
+        assert_ne!(&eager.rebalance(&i, Budget::Moves(4)), i.initial());
+    }
+}

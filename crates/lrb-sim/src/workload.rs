@@ -1,0 +1,287 @@
+//! Time-varying website load model for the web-farm simulation.
+//!
+//! Each website has a base load drawn from a configurable distribution.
+//! Per epoch, loads drift multiplicatively (mean-reverting toward the
+//! base), and occasionally a site catches a *flash crowd*: its load jumps
+//! by a multiplier and decays back over a geometric-length episode. This is
+//! the drift that makes an initially balanced placement rot — the paper's
+//! motivating scenario (§1).
+
+use lrb_instances::generators::SizeDistribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Workload model parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Number of websites.
+    pub num_sites: usize,
+    /// Distribution of base (steady-state) loads.
+    pub base: SizeDistribution,
+    /// Per-epoch multiplicative drift half-width: each epoch a site's load
+    /// is multiplied by a uniform factor in `[1 − drift, 1 + drift]`.
+    pub drift: f64,
+    /// Mean-reversion strength toward the base load (0 = pure random walk,
+    /// whose imbalance grows over time — the paper's "load rots" scenario;
+    /// 1 = loads snap back to base every epoch).
+    pub reversion: f64,
+    /// Per-epoch probability that a site catches a flash crowd.
+    pub flash_prob: f64,
+    /// Flash crowd load multiplier.
+    pub flash_mult: f64,
+    /// Per-epoch probability a flash crowd ends (geometric duration).
+    pub flash_end_prob: f64,
+    /// Optional diurnal cycle: sites are split into phase groups whose
+    /// loads swing sinusoidally (peak-to-trough ratio `1 + amplitude`)
+    /// with this period in epochs. `None` disables the cycle. Models the
+    /// day/night pattern of geographically mixed websites — a *correlated*
+    /// drift that pure random walks miss.
+    pub diurnal: Option<Diurnal>,
+}
+
+/// Parameters of the diurnal load cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Diurnal {
+    /// Cycle length in epochs.
+    pub period: usize,
+    /// Peak swing relative to the base (0.5 = ±50%).
+    pub amplitude: f64,
+    /// Number of phase groups sites are spread across (e.g. 2 hemispheres,
+    /// 4 continents).
+    pub groups: usize,
+}
+
+impl WorkloadConfig {
+    /// A reasonable default web-farm workload.
+    pub fn default_web(num_sites: usize) -> Self {
+        WorkloadConfig {
+            num_sites,
+            base: SizeDistribution::Pareto {
+                scale: 10,
+                alpha: 1.8,
+            },
+            drift: 0.12,
+            reversion: 0.0,
+            flash_prob: 0.005,
+            flash_mult: 8.0,
+            flash_end_prob: 0.25,
+            diurnal: None,
+        }
+    }
+
+    /// A web farm with a day/night cycle layered on the default drift.
+    pub fn diurnal_web(num_sites: usize, period: usize) -> Self {
+        WorkloadConfig {
+            diurnal: Some(Diurnal {
+                period,
+                amplitude: 0.6,
+                groups: 4,
+            }),
+            reversion: 0.3, // the cycle, not the walk, should dominate
+            ..Self::default_web(num_sites)
+        }
+    }
+}
+
+/// Evolving workload state.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    cfg: WorkloadConfig,
+    rng: StdRng,
+    base: Vec<u64>,
+    /// The drifting random-walk component (pre-diurnal).
+    walk: Vec<u64>,
+    /// Displayed loads: `walk` with the diurnal factor applied.
+    loads: Vec<u64>,
+    flashing: Vec<bool>,
+    epoch: usize,
+}
+
+impl Workload {
+    /// Initialize from a seed; initial loads equal base loads.
+    pub fn new(cfg: WorkloadConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base: Vec<u64> = (0..cfg.num_sites)
+            .map(|_| cfg.base.sample(&mut rng).max(1))
+            .collect();
+        let loads = base.clone();
+        let flashing = vec![false; cfg.num_sites];
+        let walk = loads.clone();
+        let mut w = Workload {
+            cfg,
+            rng,
+            base,
+            walk,
+            loads,
+            flashing,
+            epoch: 0,
+        };
+        w.refresh_displayed();
+        w
+    }
+
+    /// Diurnal multiplier for site `i` at the current epoch (1.0 when the
+    /// cycle is disabled).
+    fn diurnal_factor(&self, i: usize) -> f64 {
+        let Some(d) = self.cfg.diurnal else {
+            return 1.0;
+        };
+        let phase = (i % d.groups.max(1)) as f64 / d.groups.max(1) as f64;
+        let angle = std::f64::consts::TAU * (self.epoch as f64 / d.period.max(1) as f64 + phase);
+        1.0 + d.amplitude * angle.sin()
+    }
+
+    /// Recompute displayed loads from the walk and the diurnal factor.
+    fn refresh_displayed(&mut self) {
+        for i in 0..self.walk.len() {
+            let f = self.diurnal_factor(i);
+            self.loads[i] = ((self.walk[i] as f64) * f).round().clamp(1.0, 1e12) as u64;
+        }
+    }
+
+    /// Current per-site loads.
+    pub fn loads(&self) -> &[u64] {
+        &self.loads
+    }
+
+    /// Number of sites currently in a flash crowd.
+    pub fn flash_count(&self) -> usize {
+        self.flashing.iter().filter(|&&f| f).count()
+    }
+
+    /// Advance one epoch.
+    pub fn step(&mut self) {
+        self.epoch += 1;
+        for i in 0..self.walk.len() {
+            // Flash-crowd state machine.
+            if self.flashing[i] {
+                if self.rng.gen_bool(self.cfg.flash_end_prob) {
+                    self.flashing[i] = false;
+                    self.walk[i] = self.base[i];
+                }
+            } else if self.rng.gen_bool(self.cfg.flash_prob) {
+                self.flashing[i] = true;
+                self.walk[i] = ((self.walk[i] as f64) * self.cfg.flash_mult).round() as u64;
+            }
+            if self.flashing[i] {
+                continue; // flash loads don't drift
+            }
+            // Multiplicative drift with configurable mean reversion, capped
+            // so a long walk cannot overflow.
+            let f = self
+                .rng
+                .gen_range(1.0 - self.cfg.drift..=1.0 + self.cfg.drift);
+            let drifted = (self.walk[i] as f64) * f;
+            let reverted = drifted + self.cfg.reversion * (self.base[i] as f64 - drifted);
+            self.walk[i] = reverted.round().clamp(1.0, 1e12) as u64;
+        }
+        self.refresh_displayed();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n: usize) -> WorkloadConfig {
+        WorkloadConfig::default_web(n)
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Workload::new(cfg(20), 9);
+        let mut b = Workload::new(cfg(20), 9);
+        for _ in 0..50 {
+            a.step();
+            b.step();
+        }
+        assert_eq!(a.loads(), b.loads());
+    }
+
+    #[test]
+    fn loads_stay_positive() {
+        let mut w = Workload::new(cfg(30), 4);
+        for _ in 0..200 {
+            w.step();
+            assert!(w.loads().iter().all(|&l| l >= 1));
+        }
+    }
+
+    #[test]
+    fn flash_crowds_happen_and_end() {
+        let mut c = cfg(2);
+        c.flash_prob = 0.2;
+        c.flash_end_prob = 0.6;
+        let mut w = Workload::new(c, 7);
+        let mut saw_flash = false;
+        let mut saw_calm_after_flash = false;
+        for _ in 0..100 {
+            w.step();
+            if w.flash_count() > 0 {
+                saw_flash = true;
+            } else if saw_flash {
+                saw_calm_after_flash = true;
+            }
+        }
+        assert!(saw_flash);
+        assert!(saw_calm_after_flash);
+    }
+
+    #[test]
+    fn flash_multiplies_load() {
+        let mut c = cfg(1);
+        c.flash_prob = 1.0; // flash immediately
+        c.flash_end_prob = 0.0;
+        c.drift = 0.0;
+        let mut w = Workload::new(c, 1);
+        let before = w.loads()[0];
+        w.step();
+        assert_eq!(w.loads()[0], ((before as f64) * 8.0).round() as u64);
+    }
+
+    #[test]
+    fn diurnal_cycle_swings_and_returns() {
+        let mut c = WorkloadConfig::diurnal_web(8, 20);
+        c.drift = 0.0;
+        c.flash_prob = 0.0;
+        c.reversion = 0.0;
+        let mut w = Workload::new(c, 11);
+        let start = w.loads().to_vec();
+        // Mid-cycle the group loads differ from the start...
+        for _ in 0..10 {
+            w.step();
+        }
+        assert_ne!(w.loads(), &start[..]);
+        // ...and after a full period they return (no drift, pure cycle).
+        for _ in 0..10 {
+            w.step();
+        }
+        assert_eq!(w.loads(), &start[..]);
+    }
+
+    #[test]
+    fn diurnal_groups_are_out_of_phase() {
+        let mut c = WorkloadConfig::diurnal_web(4, 16);
+        c.drift = 0.0;
+        c.flash_prob = 0.0;
+        c.reversion = 0.0;
+        c.base = SizeDistribution::Constant(100);
+        let mut w = Workload::new(c, 3);
+        w.step();
+        // Same base, different phases: the four sites differ.
+        let loads = w.loads();
+        assert!(loads.iter().any(|&l| l != loads[0]), "{loads:?}");
+    }
+
+    #[test]
+    fn drift_changes_loads_over_time() {
+        let mut c = cfg(10);
+        c.flash_prob = 0.0;
+        let mut w = Workload::new(c, 3);
+        let before = w.loads().to_vec();
+        for _ in 0..20 {
+            w.step();
+        }
+        assert_ne!(w.loads(), &before[..]);
+    }
+}

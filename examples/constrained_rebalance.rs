@@ -1,0 +1,65 @@
+//! The Constrained Load Rebalancing variant (§5): jobs restricted to
+//! subsets of processors — think data-locality or licensing constraints.
+//!
+//! ```text
+//! cargo run --release --example constrained_rebalance
+//! ```
+//!
+//! The paper proves no polynomial algorithm beats ratio 3/2 here and names
+//! the Shmoys–Tardos 2-approximation as the best known upper bound; this
+//! example runs that algorithm, the constrained GREEDY heuristic, and the
+//! exact oracle side by side, with and without the constraints.
+
+use load_rebalance::core::constrained::{self, ConstrainedInstance};
+use load_rebalance::core::model::{Budget, Instance};
+use load_rebalance::harness::Table;
+
+fn main() {
+    // Six services on four machines, piled on machines 0-1. Services 0 and
+    // 1 are licensed for machines {0,1} only; service 2 needs machine-local
+    // data available on {0,2}; the rest can run anywhere.
+    let base = Instance::from_sizes(&[30, 26, 22, 18, 14, 10], vec![0, 0, 0, 1, 1, 1], 4)
+        .expect("valid instance");
+    let eligibility = vec![
+        vec![0, 1],
+        vec![0, 1],
+        vec![0, 2],
+        vec![0, 1, 2, 3],
+        vec![0, 1, 2, 3],
+        vec![0, 1, 2, 3],
+    ];
+    let cinst = ConstrainedInstance::new(base.clone(), eligibility).expect("valid constraints");
+    let free = ConstrainedInstance::unconstrained(base.clone());
+
+    println!(
+        "initial loads: {:?} (makespan {})\n",
+        base.initial_loads(),
+        base.initial_makespan()
+    );
+
+    let mut table = Table::new(
+        "constrained vs unconstrained rebalancing (k = 3 moves)",
+        &["setting", "greedy", "ST-LP 2-approx", "exact OPT"],
+    );
+    let k = 3usize;
+    for (name, c) in [("constrained", &cinst), ("unconstrained", &free)] {
+        let g = constrained::greedy(c, k).expect("greedy runs");
+        let lp = load_rebalance::lp::constrained::rebalance(c, k as u64).expect("lp runs");
+        let (opt, _) = load_rebalance::exact::constrained::solve(c, Budget::Moves(k));
+        assert!(c.respects(g.assignment()));
+        assert!(c.respects(lp.outcome.assignment()));
+        table.row(&[
+            name.to_string(),
+            g.makespan().to_string(),
+            lp.outcome.makespan().to_string(),
+            opt.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Eligibility constraints push the optimum up: the licensed services\n\
+         cannot leave machines 0-1, so the makespan floor rises. The paper\n\
+         (Corollary 1) shows approximating below 3/2 is NP-hard here; the\n\
+         LP rounding stays within its factor-2 guarantee."
+    );
+}

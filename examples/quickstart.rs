@@ -1,0 +1,51 @@
+//! Quickstart: sixty seconds with the load rebalancing API.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds a small unbalanced cluster, then rebalances it with the paper's
+//! two unit-cost algorithms under a move budget of `k = 3`.
+
+use load_rebalance::core::model::Budget;
+use load_rebalance::core::model::Instance;
+use load_rebalance::core::{bounds, greedy, mpartition};
+
+fn main() {
+    // Ten jobs on four processors; processor 0 is badly overloaded.
+    let sizes = [40, 31, 28, 22, 17, 13, 11, 8, 5, 2];
+    let initial = vec![0, 0, 0, 0, 0, 0, 1, 1, 2, 3];
+    let inst = Instance::from_sizes(&sizes, initial, 4).expect("valid instance");
+    let k = 3;
+
+    println!("initial loads:    {:?}", inst.initial_loads());
+    println!("initial makespan: {}", inst.initial_makespan());
+    println!("move budget k:    {k}");
+    println!(
+        "lower bound:      {}\n",
+        bounds::lower_bound(&inst, Budget::Moves(k))
+    );
+
+    // GREEDY (paper section 2): 2 - 1/m approximation, O(n log n).
+    let g = greedy::rebalance(&inst, k).expect("greedy runs");
+    println!(
+        "GREEDY:      makespan {:>3}, moved jobs {:?}",
+        g.makespan(),
+        g.moved()
+    );
+
+    // M-PARTITION (paper section 3): 1.5 approximation, same runtime.
+    let p = mpartition::rebalance(&inst, k).expect("m-partition runs");
+    println!(
+        "M-PARTITION: makespan {:>3}, moved jobs {:?} (threshold {})",
+        p.outcome.makespan(),
+        p.outcome.moved(),
+        p.threshold
+    );
+
+    let loads = inst
+        .loads_of(p.outcome.assignment())
+        .expect("valid assignment");
+    println!("\nrebalanced loads: {loads:?}");
+    assert!(p.outcome.moves() <= k);
+}

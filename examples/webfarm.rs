@@ -1,0 +1,66 @@
+//! The paper's motivating scenario (§1): a web-server farm whose website
+//! loads drift over time, rebalanced under a bounded migration budget.
+//!
+//! ```text
+//! cargo run --release --example webfarm
+//! ```
+//!
+//! Compares four policies over 150 epochs of drift and flash crowds:
+//! doing nothing, the paper's GREEDY and M-PARTITION with 4 migrations per
+//! epoch, and unlimited LPT rebalancing.
+
+use load_rebalance::core::model::Budget;
+use load_rebalance::harness::Table;
+use load_rebalance::sim::{
+    run_farm, FarmConfig, FullRebalance, GreedyPolicy, MPartitionPolicy, MigrationCost,
+    NoRebalance, Policy, WorkloadConfig,
+};
+
+fn main() {
+    // Exponential base loads rather than the default heavy Pareto tail:
+    // with a single dominant website the makespan is irreducible and every
+    // policy ties — realistic, but not instructive for an example.
+    let workload = WorkloadConfig {
+        base: load_rebalance::instances::SizeDistribution::Exponential { mean: 30.0 },
+        ..WorkloadConfig::default_web(200)
+    };
+    let cfg = FarmConfig {
+        num_servers: 10,
+        epochs: 150,
+        budget: Budget::Moves(4),
+        workload,
+        migration_cost: MigrationCost::Unit,
+        seed: 7,
+    };
+
+    let mut table = Table::new(
+        "web farm: 200 sites / 10 servers / 150 epochs / 4 moves per epoch",
+        &[
+            "policy",
+            "mean imbalance",
+            "p95 imbalance",
+            "total migrations",
+        ],
+    );
+    let policies: Vec<Box<dyn Policy>> = vec![
+        Box::new(NoRebalance),
+        Box::new(GreedyPolicy),
+        Box::new(MPartitionPolicy),
+        Box::new(FullRebalance),
+    ];
+    for mut policy in policies {
+        let report = run_farm(&cfg, policy.as_mut());
+        table.row(&[
+            report.policy.clone(),
+            format!("{:.3}", report.mean_imbalance()),
+            format!("{:.3}", report.percentile_imbalance(95.0)),
+            report.total_migrations().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "imbalance = makespan / average load per epoch; 1.0 is perfect.\n\
+         The point of the paper: a tiny migration budget recovers most of\n\
+         full rebalancing's benefit at a fraction of the migrations."
+    );
+}

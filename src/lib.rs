@@ -1,0 +1,45 @@
+//! # load-rebalance
+//!
+//! A production-quality Rust implementation of *Aggarwal, Motwani & Zhu,
+//! "The Load Rebalancing Problem" (SPAA 2003)*: approximation algorithms for
+//! minimizing makespan by relocating a bounded number (or bounded total
+//! cost) of jobs from an existing assignment.
+//!
+//! This crate is a facade that re-exports the workspace members:
+//!
+//! * [`core`] — the paper's algorithms (GREEDY, PARTITION, M-PARTITION, the
+//!   arbitrary-cost variant, and the PTAS) plus the shared problem model;
+//! * [`exact`] — optimal solvers used as verification oracles;
+//! * [`lp`] — a from-scratch simplex solver and the Shmoys–Tardos
+//!   generalized-assignment 2-approximation baseline;
+//! * [`instances`] — workload generators, the paper's tightness
+//!   constructions, and hardness-reduction gadgets;
+//! * [`sim`] — web-farm and process-migration simulators exercising
+//!   rebalancing policies over time;
+//! * [`harness`] — statistics, tables, and a parallel experiment runner.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use load_rebalance::core::model::Instance;
+//! use load_rebalance::core::mpartition;
+//!
+//! // Four jobs piled on processor 0 of 2; allow two relocations.
+//! let inst = Instance::from_sizes(&[4, 3, 3, 2], vec![0, 0, 0, 0], 2).unwrap();
+//! let run = mpartition::rebalance(&inst, 2).unwrap();
+//! assert!(run.outcome.moves() <= 2);
+//! assert_eq!(run.outcome.makespan(), 6);
+//! ```
+
+pub use lrb_core as core;
+pub use lrb_exact as exact;
+pub use lrb_harness as harness;
+pub use lrb_instances as instances;
+pub use lrb_lp as lp;
+pub use lrb_sim as sim;
+
+/// One-stop prelude: the core types plus the most used entry points of every
+/// member crate.
+pub mod prelude {
+    pub use lrb_core::prelude::*;
+}

@@ -1,0 +1,80 @@
+//! §5 hardness reductions validated end-to-end across crates: the gadget
+//! builders live in `lrb-instances`, the exact deciders in `lrb-exact`.
+
+use load_rebalance::exact::conflict::ConflictProblem;
+use load_rebalance::exact::move_min;
+use load_rebalance::instances::reductions::{
+    theorem5_gadget, theorem6_gadget, theorem7_gadget, ThreeDm,
+};
+
+/// Theorem 5: the move-minimization gadget is solvable exactly when the
+/// PARTITION (number partitioning) instance has an equal split.
+#[test]
+fn theorem5_reduction_tracks_partitionability() {
+    let cases: Vec<(&str, Vec<u64>, bool)> = vec![
+        ("yes: {1,1}", vec![1, 1], true),
+        ("yes: {3,5,2,4}", vec![3, 5, 2, 4], true),
+        ("yes: {10,9,8,7,6,4}", vec![10, 9, 8, 7, 6, 4], true), // 22 = 10+8+4
+        ("no: {2,2,6}", vec![2, 2, 6], false),
+        ("no: {1,1,1,7}", vec![1, 1, 1, 7], false),
+    ];
+    for (name, values, expect) in cases {
+        let g = theorem5_gadget(&values);
+        let solvable = move_min::min_moves_to_achieve(&g.instance, g.target).is_some();
+        assert_eq!(solvable, expect, "{name}");
+        if solvable {
+            // The witness must actually split evenly.
+            let (_, asg) = move_min::min_moves_to_achieve(&g.instance, g.target).unwrap();
+            assert!(g.instance.makespan_of(&asg).unwrap() <= g.target);
+        }
+    }
+}
+
+/// Theorems 6 and 7 on a batch of random 3DM instances: the gadgets must
+/// agree with the exact matchability oracle in both directions.
+#[test]
+fn theorem6_and_7_reductions_agree_with_matchability() {
+    let mut yes_seen = 0;
+    let mut no_seen = 0;
+    let mut suite: Vec<ThreeDm> = Vec::new();
+    for seed in 0..8u64 {
+        suite.push(ThreeDm::random_matchable(3, 2, seed));
+        suite.push(ThreeDm::random(3, 3, seed));
+    }
+    for tdm in suite {
+        let matchable = tdm.is_matchable();
+        if matchable {
+            yes_seen += 1;
+        } else {
+            no_seen += 1;
+        }
+
+        let g6 = theorem6_gadget(&tdm, 1, 100);
+        assert_eq!(g6.feasible(), matchable, "theorem 6 gadget for {tdm:?}");
+
+        let g7 = theorem7_gadget(&tdm);
+        let feasible = ConflictProblem::new(g7.num_jobs, g7.num_machines, &g7.conflicts)
+            .feasible_assignment()
+            .is_some();
+        assert_eq!(feasible, matchable, "theorem 7 gadget for {tdm:?}");
+    }
+    // The suite must exercise both directions to mean anything.
+    assert!(yes_seen >= 3, "need yes-instances, saw {yes_seen}");
+    assert!(no_seen >= 3, "need no-instances, saw {no_seen}");
+}
+
+/// A Theorem 7 witness respects the gadget structure: one triple job per
+/// machine, elements riding with their own triples.
+#[test]
+fn theorem7_witness_structure() {
+    let tdm = ThreeDm::random_matchable(3, 1, 5);
+    let g = theorem7_gadget(&tdm);
+    let p = ConflictProblem::new(g.num_jobs, g.num_machines, &g.conflicts);
+    let asg = p.feasible_assignment().expect("matchable instance");
+    assert!(p.check(&asg));
+    // Triple jobs pairwise conflict, so they occupy distinct machines.
+    let mut machines: Vec<usize> = g.triple_jobs.clone().map(|j| asg[j]).collect();
+    machines.sort_unstable();
+    machines.dedup();
+    assert_eq!(machines.len(), g.triple_jobs.len());
+}

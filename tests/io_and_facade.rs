@@ -1,0 +1,69 @@
+//! Facade-level integration: serialization round-trips feeding directly
+//! into solvers, and the prelude surface.
+
+use load_rebalance::core::model::{Budget, Instance, Job};
+use load_rebalance::instances::spec::{load_json, save_json, InstanceSpec};
+use load_rebalance::prelude::*;
+
+#[test]
+fn prelude_exposes_the_core_workflow() {
+    // Everything in this test resolves purely through the prelude import.
+    let inst = Instance::from_sizes(&[4, 3, 3, 2], vec![0, 0, 0, 0], 2).unwrap();
+    let run = mpartition::rebalance(&inst, 2).unwrap();
+    assert_eq!(run.outcome.makespan(), 6);
+    let out: RebalanceOutcome = greedy::rebalance(&inst, 2).unwrap();
+    assert!(out.moves() <= 2);
+    assert!(Budget::Moves(2).allows(&inst, out.assignment()));
+    assert!(lower_bound(&inst, Budget::Moves(2)) <= 6);
+}
+
+#[test]
+fn json_roundtrip_preserves_solver_results() {
+    let jobs = vec![
+        Job::with_cost(40, 3),
+        Job::with_cost(31, 1),
+        Job::with_cost(28, 2),
+        Job::with_cost(22, 5),
+        Job::with_cost(17, 1),
+    ];
+    let inst = Instance::new(jobs, vec![0, 0, 0, 1, 1], 3).unwrap();
+
+    let dir = std::env::temp_dir().join("lrb-integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roundtrip.json");
+    save_json(&inst, &path).unwrap();
+    let loaded = load_json(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(loaded, inst);
+    // Identical instances produce identical algorithm outputs.
+    for k in 0..=5usize {
+        let a = mpartition::rebalance(&inst, k).unwrap();
+        let b = mpartition::rebalance(&loaded, k).unwrap();
+        assert_eq!(a.outcome.assignment(), b.outcome.assignment(), "k={k}");
+        assert_eq!(a.threshold, b.threshold, "k={k}");
+    }
+}
+
+#[test]
+fn spec_handles_generated_instances() {
+    use load_rebalance::instances::generators::{
+        CostModel, GeneratorConfig, PlacementModel, SizeDistribution,
+    };
+    let cfg = GeneratorConfig {
+        n: 30,
+        m: 5,
+        sizes: SizeDistribution::Exponential { mean: 25.0 },
+        placement: PlacementModel::Skewed { skew: 1.2 },
+        costs: CostModel::ProportionalToSize { divisor: 5 },
+    };
+    let inst = cfg.generate(77);
+    let spec = InstanceSpec::from_instance(&inst);
+    let back = InstanceSpec::from_json(&spec.to_json())
+        .unwrap()
+        .to_instance()
+        .unwrap();
+    assert_eq!(back, inst);
+    assert_eq!(back.total_cost(), inst.total_cost());
+    assert_eq!(back.initial_loads(), inst.initial_loads());
+}

@@ -1,0 +1,92 @@
+//! Simulator ↔ core consistency: the simulators must faithfully apply the
+//! algorithms they wrap, and their reported metrics must match what the
+//! core model computes.
+
+use load_rebalance::core::model::Budget;
+use load_rebalance::sim::{
+    run_farm, run_process, FarmConfig, GreedyPolicy, MPartitionPolicy, MigrationCost, NoRebalance,
+    ProcessSimConfig, ThresholdTriggered, WorkloadConfig,
+};
+
+fn farm(epochs: usize, budget: Budget) -> FarmConfig {
+    FarmConfig {
+        num_servers: 6,
+        epochs,
+        budget,
+        workload: WorkloadConfig::default_web(80),
+        migration_cost: MigrationCost::Unit,
+        seed: 31,
+    }
+}
+
+#[test]
+fn farm_metrics_are_internally_consistent() {
+    let r = run_farm(&farm(50, Budget::Moves(5)), &mut MPartitionPolicy);
+    assert_eq!(r.epochs.len(), 50);
+    for e in &r.epochs {
+        assert!(e.makespan >= e.avg_load, "epoch {}", e.epoch);
+        assert!(e.migrations <= 5, "epoch {}", e.epoch);
+        assert!(e.migration_cost >= e.migrations as u64, "epoch {}", e.epoch);
+        assert!(e.imbalance() >= 1.0 - 1e-9);
+    }
+}
+
+#[test]
+fn farm_budget_zero_equals_no_rebalance() {
+    let a = run_farm(&farm(40, Budget::Moves(0)), &mut MPartitionPolicy);
+    let b = run_farm(&farm(40, Budget::Moves(0)), &mut NoRebalance);
+    // Same workload seed, no moves allowed: identical makespan traces.
+    let am: Vec<u64> = a.epochs.iter().map(|e| e.makespan).collect();
+    let bm: Vec<u64> = b.epochs.iter().map(|e| e.makespan).collect();
+    assert_eq!(am, bm);
+    assert_eq!(a.total_migrations(), 0);
+}
+
+#[test]
+fn threshold_trigger_reduces_migrations() {
+    let eager = run_farm(&farm(60, Budget::Moves(5)), &mut GreedyPolicy);
+    let lazy = run_farm(
+        &farm(60, Budget::Moves(5)),
+        &mut ThresholdTriggered {
+            inner: GreedyPolicy,
+            trigger_pct: 150,
+        },
+    );
+    assert!(
+        lazy.total_migrations() <= eager.total_migrations(),
+        "lazy {} vs eager {}",
+        lazy.total_migrations(),
+        eager.total_migrations()
+    );
+}
+
+#[test]
+fn process_sim_respects_cost_budget_every_epoch() {
+    let mut cfg = ProcessSimConfig::default_cpu_farm();
+    cfg.epochs = 80;
+    cfg.budget = Budget::Cost(15);
+    let r = run_process(&cfg, &mut MPartitionPolicy);
+    assert_eq!(r.epochs.len(), 80);
+    for e in &r.epochs {
+        assert!(
+            e.migration_cost <= 15,
+            "epoch {}: {}",
+            e.epoch,
+            e.migration_cost
+        );
+    }
+}
+
+#[test]
+fn process_sim_migration_helps_over_long_runs() {
+    let mut cfg = ProcessSimConfig::default_cpu_farm();
+    cfg.epochs = 200;
+    let drift = run_process(&cfg, &mut NoRebalance);
+    let managed = run_process(&cfg, &mut MPartitionPolicy);
+    assert!(
+        managed.mean_imbalance() < drift.mean_imbalance(),
+        "managed {} vs drift {}",
+        managed.mean_imbalance(),
+        drift.mean_imbalance()
+    );
+}
