@@ -49,13 +49,23 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 impl Args {
-    /// Parse a raw token stream (no program name).
-    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, ArgError> {
+    /// Parse a raw token stream (no program name). Flags named in
+    /// `switches` are booleans: they take no value and read back as
+    /// `"true"` (e.g. `--verbose`); every other flag consumes the next
+    /// token as its value.
+    pub fn parse_with_switches<I: IntoIterator<Item = String>>(
+        tokens: I,
+        switches: &[&str],
+    ) -> Result<Self, ArgError> {
         let mut positionals = Vec::new();
         let mut flags = BTreeMap::new();
         let mut it = tokens.into_iter().peekable();
         while let Some(tok) = it.next() {
             if let Some(name) = tok.strip_prefix("--") {
+                if switches.contains(&name) {
+                    flags.insert(name.to_string(), "true".to_string());
+                    continue;
+                }
                 let Some(value) = it.next() else {
                     return Err(ArgError::MissingValue(name.to_string()));
                 };
@@ -69,6 +79,11 @@ impl Args {
             flags,
             seen: Default::default(),
         })
+    }
+
+    /// Whether a boolean switch was given (see [`Args::parse_with_switches`]).
+    pub fn has(&self, name: &str) -> bool {
+        self.get(name).is_some()
     }
 
     /// Positional arguments in order.
@@ -132,7 +147,7 @@ mod tests {
     use super::*;
 
     fn parse(s: &str) -> Args {
-        Args::parse(s.split_whitespace().map(str::to_string)).unwrap()
+        Args::parse_with_switches(s.split_whitespace().map(str::to_string), &[]).unwrap()
     }
 
     #[test]
@@ -147,7 +162,7 @@ mod tests {
 
     #[test]
     fn missing_value_is_an_error() {
-        let err = Args::parse(vec!["--moves".to_string()]).unwrap_err();
+        let err = Args::parse_with_switches(vec!["--moves".to_string()], &[]).unwrap_err();
         assert_eq!(err, ArgError::MissingValue("moves".into()));
     }
 
@@ -175,5 +190,28 @@ mod tests {
     fn defaults_apply() {
         let a = parse("cmd");
         assert_eq!(a.get_or::<u64>("seed", 42).unwrap(), 42);
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let tokens: Vec<String> = "solve x.json --verbose --moves 3"
+            .split_whitespace()
+            .map(str::to_string)
+            .collect();
+        let a = Args::parse_with_switches(tokens.clone(), &["verbose"]).unwrap();
+        assert!(a.has("verbose"));
+        assert_eq!(a.get_or::<usize>("moves", 0).unwrap(), 3);
+        assert!(a.reject_unknown().is_ok());
+        // Without the switch declaration, --verbose eats the next token.
+        let b = Args::parse_with_switches(tokens, &[]).unwrap();
+        assert_eq!(b.get("verbose"), Some("--moves"));
+
+        // Trailing switch at end of input.
+        let a = Args::parse_with_switches(
+            vec!["cmd".to_string(), "--verbose".to_string()],
+            &["verbose"],
+        )
+        .unwrap();
+        assert!(a.has("verbose"));
     }
 }

@@ -1,14 +1,17 @@
 //! The CLI subcommands: `generate`, `info`, `solve`, `simulate`.
 
+use lrb_core::greedy::ReinsertOrder;
 use lrb_core::model::Budget;
+use lrb_core::mpartition::ThresholdSearch;
 use lrb_core::ptas::{self, Precision};
-use lrb_core::{bounds, cost_partition, greedy, mpartition};
+use lrb_core::{bounds, cost_partition, greedy, knapsack, mpartition};
 use lrb_harness::Table;
 use lrb_instances::generators::{CostModel, GeneratorConfig, PlacementModel, SizeDistribution};
 use lrb_instances::spec;
+use lrb_obs::AtomicRecorder;
 use lrb_sim::{
-    run_farm, FarmConfig, FullRebalance, GreedyPolicy, MPartitionPolicy, MigrationCost,
-    NoRebalance, Policy, WorkloadConfig,
+    FarmConfig, FullRebalance, GreedyPolicy, MPartitionPolicy, MigrationCost, NoRebalance, Policy,
+    WorkloadConfig,
 };
 
 use crate::args::Args;
@@ -92,11 +95,23 @@ pub fn info(args: &Args, path: &str) -> CmdResult {
     Ok(out)
 }
 
+/// Export a recorder's snapshot as pretty JSON telemetry.
+fn write_metrics(rec: &AtomicRecorder, path: &str) -> Result<String, String> {
+    let snap = rec.snapshot();
+    let json = snap
+        .to_json()
+        .map_err(|e| format!("telemetry encode error: {e}"))?;
+    std::fs::write(path, json).map_err(|e| format!("io error: {e}"))?;
+    Ok(format!("telemetry written to {path}"))
+}
+
 /// `lrb solve FILE --algorithm greedy|mpartition|cost|ptas|st-lp|exact
-/// (--moves K | --budget B) [--eps E]`
+/// (--moves K | --budget B) [--eps E] [--metrics OUT.json] [--verbose]`
 pub fn solve(args: &Args, path: &str) -> CmdResult {
     let inst = spec::load_json(path).map_err(|e| e.to_string())?;
     let algorithm = args.get("algorithm").unwrap_or("mpartition").to_string();
+    let metrics_path = args.get("metrics").map(str::to_string);
+    let verbose = args.has("verbose");
     let moves: Option<usize> = match args.get("moves") {
         Some(v) => Some(
             v.parse()
@@ -113,12 +128,13 @@ pub fn solve(args: &Args, path: &str) -> CmdResult {
     };
     let eps: f64 = args.get_or("eps", 1.0).map_err(|e| e.to_string())?;
     let search = match args.get("search").unwrap_or("binary") {
-        "binary" => lrb_core::mpartition::ThresholdSearch::Binary,
-        "scan" => lrb_core::mpartition::ThresholdSearch::Scan,
-        "incremental" => lrb_core::mpartition::ThresholdSearch::Incremental,
+        "binary" => ThresholdSearch::Binary,
+        "scan" => ThresholdSearch::Scan,
+        "incremental" => ThresholdSearch::Incremental,
         other => return Err(format!("unknown --search {other}")),
     };
     args.reject_unknown().map_err(|e| e.to_string())?;
+    let rec = AtomicRecorder::new();
 
     let budget_enum = match (moves, budget) {
         (Some(k), None) => Budget::Moves(k),
@@ -133,27 +149,29 @@ pub fn solve(args: &Args, path: &str) -> CmdResult {
             let Budget::Moves(k) = budget_enum else {
                 return Err("greedy takes --moves, not --budget".into());
             };
-            greedy::rebalance(&inst, k).map_err(|e| e.to_string())?
+            greedy::rebalance_with_order_recorded(&inst, k, ReinsertOrder::Descending, &rec)
+                .map_err(|e| e.to_string())?
+                .0
         }
         "mpartition" => match budget_enum {
             Budget::Moves(k) => {
-                mpartition::rebalance_with(&inst, k, search)
+                mpartition::rebalance_with_recorded(&inst, k, search, &rec)
                     .map_err(|e| e.to_string())?
                     .outcome
             }
             Budget::Cost(b) => {
-                cost_partition::rebalance(&inst, b)
+                cost_partition::rebalance_recorded(&inst, b, &rec)
                     .map_err(|e| e.to_string())?
                     .outcome
             }
         },
         "cost" => {
-            cost_partition::rebalance(&inst, cost_budget)
+            cost_partition::rebalance_recorded(&inst, cost_budget, &rec)
                 .map_err(|e| e.to_string())?
                 .outcome
         }
         "ptas" => {
-            ptas::rebalance(&inst, cost_budget, Precision::for_epsilon(eps))
+            ptas::rebalance_recorded(&inst, cost_budget, Precision::for_epsilon(eps), &rec)
                 .map_err(|e| e.to_string())?
                 .outcome
         }
@@ -207,6 +225,101 @@ pub fn solve(args: &Args, path: &str) -> CmdResult {
         .loads_of(outcome.assignment())
         .map_err(|e| e.to_string())?;
     out.push_str(&format!("loads:       {loads:?}"));
+    if verbose {
+        out.push_str("\n\n");
+        out.push_str(&rec.snapshot().render_table());
+    }
+    if let Some(p) = &metrics_path {
+        out.push('\n');
+        out.push_str(&write_metrics(&rec, p)?);
+    }
+    Ok(out)
+}
+
+/// `lrb profile FILE [--moves K] [--eps E] [--metrics OUT.json] [--verbose]`
+/// — run the full instrumented algorithm suite (GREEDY, M-PARTITION with a
+/// threshold scan, the arbitrary-cost partition with its branch-and-bound
+/// knapsack, the knapsack FPTAS, and — on small instances — the PTAS) on one
+/// instance, sharing a single recorder, and export the telemetry.
+pub fn profile(args: &Args, path: &str) -> CmdResult {
+    let inst = spec::load_json(path).map_err(|e| e.to_string())?;
+    let k: usize = args.get_or("moves", 4).map_err(|e| e.to_string())?;
+    let eps: f64 = args.get_or("eps", 0.5).map_err(|e| e.to_string())?;
+    let metrics_path = args.get("metrics").map(str::to_string);
+    let verbose = args.has("verbose");
+    args.reject_unknown().map_err(|e| e.to_string())?;
+    if eps <= 0.0 {
+        return Err(format!("--eps {eps}: expected a positive number"));
+    }
+
+    let rec = AtomicRecorder::new();
+    let mut table = Table::new(
+        format!(
+            "profile: {} jobs / {} processors / {k} moves",
+            inst.num_jobs(),
+            inst.num_procs()
+        ),
+        &["algorithm", "makespan", "moves", "cost"],
+    );
+    let mut row = |name: &str, o: &lrb_core::outcome::RebalanceOutcome| {
+        table.row(&[
+            name.to_string(),
+            o.makespan().to_string(),
+            o.moves().to_string(),
+            o.cost().to_string(),
+        ]);
+    };
+
+    let (g, _) = greedy::rebalance_with_order_recorded(&inst, k, ReinsertOrder::Descending, &rec)
+        .map_err(|e| e.to_string())?;
+    row("greedy", &g);
+    let mp = mpartition::rebalance_with_recorded(&inst, k, ThresholdSearch::Scan, &rec)
+        .map_err(|e| e.to_string())?;
+    row("m-partition", &mp.outcome);
+    let cost_budget = Budget::Moves(k).as_cost();
+    let cp =
+        cost_partition::rebalance_recorded(&inst, cost_budget, &rec).map_err(|e| e.to_string())?;
+    row("cost-partition", &cp.outcome);
+
+    // Exercise the knapsack FPTAS DP on the instance's own job set: keep the
+    // costliest jobs that fit under the average load (the shape of the
+    // per-processor shed subproblem in §3.2).
+    let items: Vec<knapsack::Item> = inst
+        .jobs()
+        .iter()
+        .map(|j| knapsack::Item {
+            size: j.size,
+            cost: j.cost,
+        })
+        .collect();
+    let fptas = knapsack::max_cost_keep_fptas_recorded(&items, inst.avg_load_ceil(), eps, &rec);
+    let mut notes = format!(
+        "knapsack fptas: kept {} of {} items (cost {})",
+        fptas.kept.len(),
+        items.len(),
+        fptas.kept_cost
+    );
+
+    // The PTAS is exponential in 1/eps; only profile it where it is usable.
+    if inst.num_jobs() <= 64 {
+        let run = ptas::rebalance_recorded(&inst, cost_budget, Precision::for_epsilon(1.0), &rec)
+            .map_err(|e| e.to_string())?;
+        row("ptas", &run.outcome);
+    } else {
+        notes.push_str("\nptas: skipped (instance larger than 64 jobs)");
+    }
+
+    let mut out = table.render();
+    out.push('\n');
+    out.push_str(&notes);
+    if verbose {
+        out.push_str("\n\n");
+        out.push_str(&rec.snapshot().render_table());
+    }
+    if let Some(p) = &metrics_path {
+        out.push('\n');
+        out.push_str(&write_metrics(&rec, p)?);
+    }
     Ok(out)
 }
 
@@ -219,7 +332,10 @@ pub fn simulate(args: &Args) -> CmdResult {
     let k: usize = args.get_or("moves", 4).map_err(|e| e.to_string())?;
     let seed: u64 = args.get_or("seed", 0).map_err(|e| e.to_string())?;
     let trace_dir = args.get("trace-dir").map(str::to_string);
+    let metrics_path = args.get("metrics").map(str::to_string);
+    let verbose = args.has("verbose");
     args.reject_unknown().map_err(|e| e.to_string())?;
+    let rec = AtomicRecorder::new();
 
     let cfg = FarmConfig {
         num_servers: servers,
@@ -233,7 +349,13 @@ pub fn simulate(args: &Args) -> CmdResult {
         format!(
             "web farm: {sites} sites / {servers} servers / {epochs} epochs / {k} moves per epoch"
         ),
-        &["policy", "mean imbalance", "p95 imbalance", "migrations"],
+        &[
+            "policy",
+            "mean imbalance",
+            "p95 imbalance",
+            "migrations",
+            "epochs rebalanced",
+        ],
     );
     let policies: Vec<Box<dyn Policy>> = vec![
         Box::new(NoRebalance),
@@ -242,12 +364,13 @@ pub fn simulate(args: &Args) -> CmdResult {
         Box::new(FullRebalance),
     ];
     for mut p in policies {
-        let r = run_farm(&cfg, p.as_mut());
+        let r = lrb_sim::run_farm_recorded(&cfg, p.as_mut(), &rec);
         table.row(&[
             r.policy.clone(),
             format!("{:.3}", r.mean_imbalance()),
             format!("{:.3}", r.percentile_imbalance(95.0)),
             r.total_migrations().to_string(),
+            format!("{}/{}", r.decisions.rebalanced, r.decisions.total()),
         ]);
         if let Some(dir) = &trace_dir {
             std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
@@ -260,6 +383,14 @@ pub fn simulate(args: &Args) -> CmdResult {
         out.push_str(&format!(
             "\nper-epoch traces written to {dir}/<policy>.json"
         ));
+    }
+    if verbose {
+        out.push_str("\n\n");
+        out.push_str(&rec.snapshot().render_table());
+    }
+    if let Some(p) = &metrics_path {
+        out.push('\n');
+        out.push_str(&write_metrics(&rec, p)?);
     }
     Ok(out)
 }
@@ -307,8 +438,13 @@ USAGE:
   lrb generate --n N --m M --out FILE [--dist D] [--placement P] [--costs C] [--seed S]
   lrb info FILE
   lrb solve FILE (--moves K | --budget B) [--algorithm A] [--eps E] [--search binary|scan|incremental]
+  lrb profile FILE [--moves K] [--eps E]
   lrb simulate [--sites N] [--servers M] [--epochs E] [--moves K] [--seed S] [--trace-dir D]
   lrb replay TRACE.csv --servers M [--moves K]
+
+TELEMETRY (solve, profile, simulate):
+  --metrics OUT.json  write phase timings, counters, and histograms as JSON
+  --verbose           print the same telemetry as a table
 
 ALGORITHMS (--algorithm):
   greedy      2 - 1/m approximation (section 2); --moves only
@@ -328,7 +464,7 @@ COSTS (--costs): unit | uniform | size"
 
 /// Dispatch a full command line (without the program name).
 pub fn dispatch(tokens: Vec<String>) -> CmdResult {
-    let args = Args::parse(tokens).map_err(|e| e.to_string())?;
+    let args = Args::parse_with_switches(tokens, &["verbose"]).map_err(|e| e.to_string())?;
     let pos = args.positionals().to_vec();
     match pos.first().map(String::as_str) {
         Some("generate") => generate(&args),
@@ -339,6 +475,10 @@ pub fn dispatch(tokens: Vec<String>) -> CmdResult {
         Some("solve") => {
             let path = pos.get(1).ok_or("solve needs a FILE argument")?;
             solve(&args, path)
+        }
+        Some("profile") => {
+            let path = pos.get(1).ok_or("profile needs a FILE argument")?;
+            profile(&args, path)
         }
         Some("simulate") => simulate(&args),
         Some("replay") => {

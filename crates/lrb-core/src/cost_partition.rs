@@ -26,8 +26,10 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use lrb_obs::{NoopRecorder, Recorder};
+
 use crate::error::{Error, Result};
-use crate::knapsack::{max_cost_keep, Item};
+use crate::knapsack::{max_cost_keep_bounded_recorded, Item, DEFAULT_NODE_BUDGET};
 use crate::model::{Cost, Instance, JobId, ProcId, Size};
 use crate::outcome::RebalanceOutcome;
 
@@ -64,7 +66,7 @@ pub struct CostPartitionRun {
 /// Plan cost (total removal cost) at makespan guess `a`, without building
 /// the assignment; `None` when the guess is infeasible (`L_T > m`).
 pub fn planned_cost(inst: &Instance, a: Size) -> Option<Cost> {
-    build_plans(inst, a).map(|(plans, l_t)| select_cost(&plans, l_t))
+    build_plans(inst, a, &NoopRecorder).map(|(plans, l_t)| select_cost(&plans, l_t))
 }
 
 /// Run the §3.2 algorithm: minimize makespan subject to a total relocation
@@ -81,6 +83,19 @@ pub fn planned_cost(inst: &Instance, a: Size) -> Option<Cost> {
 /// assert!(run.outcome.cost() <= 1);
 /// ```
 pub fn rebalance(inst: &Instance, b: Cost) -> Result<CostPartitionRun> {
+    rebalance_recorded(inst, b, &NoopRecorder)
+}
+
+/// [`rebalance`] with instrumentation: counts binary-search guesses
+/// (`cost_partition.guesses`), times the guess search
+/// (`cost_partition.search`) and the final build (`cost_partition.build`),
+/// and threads the recorder into the per-processor knapsacks
+/// (`knapsack.bb_nodes`, `knapsack.branch_and_bound`).
+pub fn rebalance_recorded<R: Recorder>(
+    inst: &Instance,
+    b: Cost,
+    rec: &R,
+) -> Result<CostPartitionRun> {
     if inst.num_jobs() == 0 {
         return Ok(CostPartitionRun {
             outcome: RebalanceOutcome::unchanged(inst),
@@ -91,17 +106,22 @@ pub fn rebalance(inst: &Instance, b: Cost) -> Result<CostPartitionRun> {
     }
     // Integer binary search for the smallest guess whose plan fits the
     // budget. The initial makespan always fits (cost 0), so `hi` is valid.
+    let search_timer = rec.time("cost_partition.search");
     let lo0 = inst.avg_load_ceil().min(inst.initial_makespan());
     let hi0 = inst.initial_makespan();
     let (mut lo, mut hi) = (lo0, hi0);
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        match planned_cost(inst, mid) {
+        rec.incr("cost_partition.guesses", 1);
+        let planned = build_plans(inst, mid, rec).map(|(plans, l_t)| select_cost(&plans, l_t));
+        match planned {
             Some(cost) if cost <= b => hi = mid,
             _ => lo = mid + 1,
         }
     }
-    run_at(inst, lo).map(|mut run| {
+    drop(search_timer);
+    let _t = rec.time("cost_partition.build");
+    run_at_recorded(inst, lo, rec).map(|mut run| {
         // No-regression clamp (mirrors M-PARTITION).
         run.outcome = run
             .outcome
@@ -118,7 +138,13 @@ pub fn rebalance(inst: &Instance, b: Cost) -> Result<CostPartitionRun> {
 /// [`Error::InfeasibleGuess`] when there are more large jobs than
 /// processors.
 pub fn run_at(inst: &Instance, a: Size) -> Result<CostPartitionRun> {
-    let Some((plans, l_t)) = build_plans(inst, a) else {
+    run_at_recorded(inst, a, &NoopRecorder)
+}
+
+/// [`run_at`] with instrumentation threaded into the per-processor
+/// knapsacks.
+pub fn run_at_recorded<R: Recorder>(inst: &Instance, a: Size, rec: &R) -> Result<CostPartitionRun> {
+    let Some((plans, l_t)) = build_plans(inst, a, rec) else {
         return Err(Error::InfeasibleGuess {
             guess: a,
             reason: "more large jobs than processors",
@@ -206,7 +232,7 @@ pub fn run_at(inst: &Instance, a: Size) -> Result<CostPartitionRun> {
 }
 
 /// Compute per-processor plans at guess `a`; `None` if `L_T > m`.
-fn build_plans(inst: &Instance, a: Size) -> Option<(Vec<ProcPlan>, usize)> {
+fn build_plans<R: Recorder>(inst: &Instance, a: Size, rec: &R) -> Option<(Vec<ProcPlan>, usize)> {
     let m = inst.num_procs();
     let per_proc = inst.jobs_by_proc();
     let l_t = inst.jobs().iter().filter(|j| 2 * j.size > a).count();
@@ -245,7 +271,7 @@ fn build_plans(inst: &Instance, a: Size) -> Option<(Vec<ProcPlan>, usize)> {
         };
 
         // a-plan: smalls within A/2, keep costliest large.
-        let keep_half = max_cost_keep(&items, a / 2);
+        let keep_half = max_cost_keep_bounded_recorded(&items, a / 2, DEFAULT_NODE_BUDGET, rec);
         let mut a_removed = removed_from(&keep_half.kept);
         let mut a_cost = small_cost_total - keep_half.kept_cost;
         for &j in &larges {
@@ -256,7 +282,7 @@ fn build_plans(inst: &Instance, a: Size) -> Option<(Vec<ProcPlan>, usize)> {
         }
 
         // b-plan: smalls within A, shed all larges.
-        let keep_full = max_cost_keep(&items, a);
+        let keep_full = max_cost_keep_bounded_recorded(&items, a, DEFAULT_NODE_BUDGET, rec);
         let mut b_removed = removed_from(&keep_full.kept);
         let mut b_cost = small_cost_total - keep_full.kept_cost;
         for &j in &larges {

@@ -19,6 +19,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use lrb_obs::{NoopRecorder, Recorder};
+
 use crate::error::Result;
 use crate::model::{Instance, JobId, ProcId, Size};
 use crate::outcome::RebalanceOutcome;
@@ -70,11 +72,28 @@ pub fn rebalance_with_order(
     k: usize,
     order: ReinsertOrder,
 ) -> Result<(RebalanceOutcome, GreedyTrace)> {
+    rebalance_with_order_recorded(inst, k, order, &NoopRecorder)
+}
+
+/// [`rebalance_with_order`] with instrumentation: times the removal and
+/// reinsertion phases (`greedy.removal` / `greedy.reinsert`), counts removed
+/// and reinserted jobs and cross-processor moves, and observes the size of
+/// every moved job in the `greedy.move_size` histogram.
+pub fn rebalance_with_order_recorded<R: Recorder>(
+    inst: &Instance,
+    k: usize,
+    order: ReinsertOrder,
+    rec: &R,
+) -> Result<(RebalanceOutcome, GreedyTrace)> {
     let mut assignment = inst.initial().clone();
-    let (removed, g1, mut loads) = removal_phase(inst, k);
+    let (removed, g1, mut loads) = {
+        let _t = rec.time("greedy.removal");
+        removal_phase(inst, k, rec)
+    };
 
     // Phase 2: reinsert each removed job on the current minimum-loaded
     // processor, via a min-heap keyed on (load, proc).
+    let _t = rec.time("greedy.reinsert");
     let mut order_buf = removed.clone();
     match order {
         ReinsertOrder::Descending => {
@@ -95,6 +114,11 @@ pub fn rebalance_with_order(
         assignment[j] = p;
         loads[p] = new_load;
         heap.push(Reverse((new_load, p)));
+        rec.incr("greedy.jobs_reinserted", 1);
+        if p != inst.initial()[j] {
+            rec.incr("greedy.moves", 1);
+            rec.observe("greedy.move_size", inst.size(j));
+        }
     }
 
     let g2 = loads.iter().copied().max().unwrap_or(0);
@@ -107,7 +131,7 @@ pub fn rebalance_with_order(
 /// `k` times (stopping early once all loads are zero). Returns the removed
 /// jobs in removal order, the resulting makespan `G1`, and the residual
 /// per-processor loads.
-fn removal_phase(inst: &Instance, k: usize) -> (Vec<JobId>, Size, Vec<Size>) {
+fn removal_phase<R: Recorder>(inst: &Instance, k: usize, rec: &R) -> (Vec<JobId>, Size, Vec<Size>) {
     let mut loads = inst.initial_loads().to_vec();
 
     // Per-processor job stacks sorted ascending by size, so the largest job
@@ -139,6 +163,7 @@ fn removal_phase(inst: &Instance, k: usize) -> (Vec<JobId>, Size, Vec<Size>) {
         let j = per_proc[p].pop().expect("nonzero load implies a job");
         loads[p] -= inst.size(j);
         removed.push(j);
+        rec.incr("greedy.jobs_removed", 1);
         heap.push((loads[p], p));
     }
 
@@ -150,7 +175,7 @@ fn removal_phase(inst: &Instance, k: usize) -> (Vec<JobId>, Size, Vec<Size>) {
 /// from the max-loaded processor `k` times. Any rebalancing that moves at
 /// most `k` jobs has makespan at least this value.
 pub fn g1_lower_bound(inst: &Instance, k: usize) -> Size {
-    removal_phase(inst, k).1
+    removal_phase(inst, k, &NoopRecorder).1
 }
 
 #[cfg(test)]

@@ -13,6 +13,8 @@
 //! *over*-estimates removal costs — always safe for budget checks, see the
 //! discussion in `cost_partition`).
 
+use lrb_obs::{NoopRecorder, Recorder};
+
 /// An item that may be kept: its size (capacity consumption) and the value
 /// of keeping it (the relocation cost we avoid paying).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +47,19 @@ pub fn max_cost_keep(items: &[Item], cap: u64) -> KeepSolution {
 
 /// [`max_cost_keep`] with an explicit node budget.
 pub fn max_cost_keep_bounded(items: &[Item], cap: u64, node_budget: u64) -> KeepSolution {
+    max_cost_keep_bounded_recorded(items, cap, node_budget, &NoopRecorder)
+}
+
+/// [`max_cost_keep_bounded`] with instrumentation: counts branch-and-bound
+/// nodes expanded (`knapsack.bb_nodes`) and times the search
+/// (`knapsack.branch_and_bound`).
+pub fn max_cost_keep_bounded_recorded<R: Recorder>(
+    items: &[Item],
+    cap: u64,
+    node_budget: u64,
+    rec: &R,
+) -> KeepSolution {
+    let _t = rec.time("knapsack.branch_and_bound");
     // Zero-size items are always kept; oversized items never can be.
     let mut forced: Vec<usize> = Vec::new();
     let mut forced_cost = 0u64;
@@ -75,6 +90,7 @@ pub fn max_cost_keep_bounded(items: &[Item], cap: u64, node_budget: u64) -> Keep
         exact: true,
     };
     search.dfs(0, cap, 0);
+    rec.incr("knapsack.bb_nodes", node_budget - search.nodes_left);
 
     let mut kept = forced;
     kept.extend(search.best_set.iter().map(|&i| order[i]));
@@ -152,6 +168,18 @@ impl Search<'_> {
 /// Costs are scaled by `K = ε·max_cost/n`, then an exact DP over scaled
 /// cost values finds the minimum-size subset achieving each scaled total.
 pub fn max_cost_keep_fptas(items: &[Item], cap: u64, eps: f64) -> KeepSolution {
+    max_cost_keep_fptas_recorded(items, cap, eps, &NoopRecorder)
+}
+
+/// [`max_cost_keep_fptas`] with instrumentation: counts DP cells relaxed
+/// (`knapsack.dp_cells` — one per (item, scaled-cost) pair visited) and
+/// times the table fill (`knapsack.fptas_dp`).
+pub fn max_cost_keep_fptas_recorded<R: Recorder>(
+    items: &[Item],
+    cap: u64,
+    eps: f64,
+    rec: &R,
+) -> KeepSolution {
     assert!(eps > 0.0 && eps < 1.0, "epsilon must be in (0, 1)");
     let feasible: Vec<usize> = (0..items.len()).filter(|&i| items[i].size <= cap).collect();
     let max_cost = feasible.iter().map(|&i| items[i].cost).max().unwrap_or(0);
@@ -177,6 +205,8 @@ pub fn max_cost_keep_fptas(items: &[Item], cap: u64, eps: f64) -> KeepSolution {
     // dp[v] = minimum size achieving scaled cost exactly v, with parent
     // pointers for reconstruction.
     const INF: u64 = u64::MAX;
+    let dp_timer = rec.time("knapsack.fptas_dp");
+    let mut dp_cells = 0u64;
     let mut dp = vec![INF; total_scaled + 1];
     let mut choice: Vec<Vec<bool>> = Vec::with_capacity(feasible.len());
     dp[0] = 0;
@@ -190,8 +220,11 @@ pub fn max_cost_keep_fptas(items: &[Item], cap: u64, eps: f64) -> KeepSolution {
                 took[v] = true;
             }
         }
+        dp_cells += (total_scaled + 1 - c) as u64;
         choice.push(took);
     }
+    rec.incr("knapsack.dp_cells", dp_cells);
+    drop(dp_timer);
     let best_v = (0..=total_scaled)
         .rev()
         .find(|&v| dp[v] != INF)

@@ -1,5 +1,5 @@
-//! Graham's Longest-Processing-Time (LPT) list scheduling [Graham 1966,
-//! cited as \[5\] in the paper].
+//! Graham's Longest-Processing-Time (LPT) list scheduling (Graham 1966,
+//! cited as \[5\] in the paper).
 //!
 //! Used here as the *full rebalance* oracle: ignore the initial placement
 //! entirely and schedule from scratch. This is what an unbounded move budget

@@ -21,6 +21,8 @@
 //! Either way, the produced assignment is *always* valid and within budget;
 //! the search strategy affects only which threshold is chosen.
 
+use lrb_obs::{NoopRecorder, Recorder};
+
 use crate::error::{Error, Result};
 use crate::model::{Instance, Size};
 use crate::outcome::RebalanceOutcome;
@@ -74,6 +76,20 @@ pub fn rebalance(inst: &Instance, k: usize) -> Result<MPartitionRun> {
 
 /// Run M-PARTITION with an explicit search strategy.
 pub fn rebalance_with(inst: &Instance, k: usize, search: ThresholdSearch) -> Result<MPartitionRun> {
+    rebalance_with_recorded(inst, k, search, &NoopRecorder)
+}
+
+/// [`rebalance_with`] with instrumentation: times the threshold search
+/// (`mpartition.search`) and the final PARTITION run
+/// (`mpartition.partition`), and counts — for every search strategy — how
+/// many candidate thresholds were examined versus skipped
+/// (`mpartition.candidates_examined` / `mpartition.candidates_skipped`).
+pub fn rebalance_with_recorded<R: Recorder>(
+    inst: &Instance,
+    k: usize,
+    search: ThresholdSearch,
+    rec: &R,
+) -> Result<MPartitionRun> {
     if inst.num_jobs() == 0 {
         return Ok(MPartitionRun {
             outcome: RebalanceOutcome::unchanged(inst),
@@ -112,6 +128,7 @@ pub fn rebalance_with(inst: &Instance, k: usize, search: ThresholdSearch) -> Res
         matches!(partition::planned_moves(&profiles, t), Some(moves) if moves <= k)
     };
 
+    let search_timer = rec.time("mpartition.search");
     let idx = match search {
         ThresholdSearch::Scan => {
             let mut idx = None;
@@ -146,6 +163,16 @@ pub fn rebalance_with(inst: &Instance, k: usize, search: ThresholdSearch) -> Res
             (lo < cands.len()).then_some(lo)
         }
     };
+    drop(search_timer);
+
+    // Every probe evaluated one candidate threshold; the rest of the
+    // candidate list was never touched by this search strategy.
+    rec.incr("mpartition.candidates_total", cands.len() as u64);
+    rec.incr("mpartition.candidates_examined", probes as u64);
+    rec.incr(
+        "mpartition.candidates_skipped",
+        cands.len().saturating_sub(probes) as u64,
+    );
 
     let Some(idx) = idx else {
         // Cannot happen: the largest candidate always plans zero moves.
@@ -156,7 +183,10 @@ pub fn rebalance_with(inst: &Instance, k: usize, search: ThresholdSearch) -> Res
     };
 
     let t = cands[idx];
-    let run = partition::run_with_profiles(inst, &profiles, t)?;
+    let run = {
+        let _t = rec.time("mpartition.partition");
+        partition::run_with_profiles_recorded(inst, &profiles, t, rec)?
+    };
     debug_assert!(run.stats.planned_moves <= k);
 
     // No-regression clamp: if the initial assignment was already at least as

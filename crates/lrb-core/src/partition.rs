@@ -26,6 +26,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use lrb_obs::{NoopRecorder, Recorder};
+
 use crate::error::{Error, Result};
 use crate::model::{Instance, JobId, ProcId, Size};
 use crate::outcome::RebalanceOutcome;
@@ -102,6 +104,19 @@ pub fn run(inst: &Instance, t: Size) -> Result<PartitionRun> {
 /// [`run`] against precomputed profiles (used by M-PARTITION to avoid
 /// rebuilding them per guess).
 pub fn run_with_profiles(inst: &Instance, profiles: &Profiles, t: Size) -> Result<PartitionRun> {
+    run_with_profiles_recorded(inst, profiles, t, &NoopRecorder)
+}
+
+/// [`run_with_profiles`] with instrumentation: each of the paper's six steps
+/// is timed as its own phase (`partition.step1_strip` …
+/// `partition.step6_reinsert`) and the planned large/small removals are
+/// counted (`partition.large_removed` / `partition.small_removed`).
+pub fn run_with_profiles_recorded<R: Recorder>(
+    inst: &Instance,
+    profiles: &Profiles,
+    t: Size,
+    rec: &R,
+) -> Result<PartitionRun> {
     let m = inst.num_procs();
     let l_t = profiles.l_t(t);
     if l_t > m {
@@ -123,6 +138,7 @@ pub fn run_with_profiles(inst: &Instance, profiles: &Profiles, t: Size) -> Resul
     // processor. Profiles sort each processor's jobs ascending, so the kept
     // large is the first one past the small prefix.
     // kept_large[p] = Some(job) for processors holding a large after Step 1.
+    let step1 = rec.time("partition.step1_strip");
     let mut kept_large: Vec<Option<JobId>> = vec![None; m];
     for p in 0..m {
         let prof = profiles.proc(p);
@@ -137,8 +153,10 @@ pub fn run_with_profiles(inst: &Instance, profiles: &Profiles, t: Size) -> Resul
         }
     }
     debug_assert_eq!(planned, l_e);
+    drop(step1);
 
     // Step 2 + 3: rank processors by c_i and select L_T of them.
+    let step2 = rec.time("partition.step2_rank");
     let mut cs: Vec<(i64, bool, ProcId)> = (0..m)
         .map(|p| (profiles.c(p, t), kept_large[p].is_none(), p))
         .collect();
@@ -148,6 +166,7 @@ pub fn run_with_profiles(inst: &Instance, profiles: &Profiles, t: Size) -> Resul
         is_selected[p] = true;
     }
     let selected: Vec<ProcId> = (0..m).filter(|&p| is_selected[p]).collect();
+    drop(step2);
 
     for p in 0..m {
         let prof = profiles.proc(p);
@@ -155,6 +174,7 @@ pub fn run_with_profiles(inst: &Instance, profiles: &Profiles, t: Size) -> Resul
         if is_selected[p] {
             // Step 3: shed the a_i largest small jobs (end of the small
             // prefix), keeping the large job if present.
+            let _t = rec.time("partition.step3_shed_selected");
             let a = profiles.a(p, t);
             for &j in &prof.jobs_asc[sc - a..sc] {
                 removed_small.push(j);
@@ -164,6 +184,7 @@ pub fn run_with_profiles(inst: &Instance, profiles: &Profiles, t: Size) -> Resul
         } else {
             // Step 4: shed the kept large (mandatory) plus largest-first
             // small jobs until the small total fits in t.
+            let _t = rec.time("partition.step4_shed_unselected");
             let b = profiles.b(p, t);
             let mut small_removals = b;
             if let Some(j) = kept_large[p] {
@@ -179,10 +200,13 @@ pub fn run_with_profiles(inst: &Instance, profiles: &Profiles, t: Size) -> Resul
             planned += b;
         }
     }
+    rec.incr("partition.large_removed", homeless_large.len() as u64);
+    rec.incr("partition.small_removed", removed_small.len() as u64);
 
     // Step 5 (covers the paper's Steps 4-5 reassignments): place homeless
     // large jobs on distinct selected large-free processors — largest job
     // onto the least-loaded such processor first.
+    let step5 = rec.time("partition.step5_place_large");
     let mut free_procs: Vec<ProcId> = selected
         .iter()
         .copied()
@@ -199,9 +223,11 @@ pub fn run_with_profiles(inst: &Instance, profiles: &Profiles, t: Size) -> Resul
         assignment[j] = p;
         loads[p] += inst.size(j);
     }
+    drop(step5);
 
     // Step 6: greedy min-load placement of the removed small jobs,
     // largest first.
+    let step6 = rec.time("partition.step6_reinsert");
     removed_small.sort_by_key(|&j| Reverse(inst.size(j)));
     let mut heap: BinaryHeap<Reverse<(Size, ProcId)>> = loads
         .iter()
@@ -213,6 +239,7 @@ pub fn run_with_profiles(inst: &Instance, profiles: &Profiles, t: Size) -> Resul
         assignment[j] = p;
         heap.push(Reverse((load + inst.size(j), p)));
     }
+    drop(step6);
 
     let outcome = RebalanceOutcome::from_assignment(inst, assignment)?;
     debug_assert!(

@@ -34,7 +34,7 @@ use crate::model::{Instance, JobId, ProcId, Size};
 pub struct ProcProfile {
     /// Job ids on this processor, ascending by size (ties by id).
     pub jobs_asc: Vec<JobId>,
-    /// `prefix[l]` = total size of the `l` smallest jobs; `prefix\[0\] = 0`.
+    /// `prefix[l]` = total size of the `l` smallest jobs; `prefix[0] = 0`.
     pub prefix: Vec<Size>,
 }
 
@@ -193,7 +193,7 @@ impl Profiles {
 mod tests {
     use super::*;
 
-    /// proc 0: sizes [2, 3, 7]; proc 1: sizes \[4\].
+    /// proc 0: sizes `[2, 3, 7]`; proc 1: sizes `[4]`.
     fn inst() -> Instance {
         Instance::from_sizes(&[7, 2, 3, 4], vec![0, 0, 0, 1], 2).unwrap()
     }

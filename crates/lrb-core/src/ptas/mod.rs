@@ -22,6 +22,8 @@ pub mod dp;
 pub mod grid;
 pub mod view;
 
+use lrb_obs::{NoopRecorder, Recorder};
+
 use crate::bounds;
 use crate::error::Result;
 use crate::model::{Budget, Cost, Instance, Size};
@@ -91,6 +93,19 @@ impl Precision {
 /// assert!(run.outcome.cost() <= 1);
 /// ```
 pub fn rebalance(inst: &Instance, budget: Cost, precision: Precision) -> Result<PtasRun> {
+    rebalance_recorded(inst, budget, precision, &NoopRecorder)
+}
+
+/// [`rebalance`] with instrumentation: times the per-guess pipeline stages
+/// (`ptas.grid` for grid/view construction, `ptas.dp` for the configuration
+/// DP, `ptas.assemble` for assignment assembly) and counts guesses probed
+/// (`ptas.guesses`) and DP states expanded (`ptas.dp_states`).
+pub fn rebalance_recorded<R: Recorder>(
+    inst: &Instance,
+    budget: Cost,
+    precision: Precision,
+    rec: &R,
+) -> Result<PtasRun> {
     let q = precision.q();
     if inst.num_jobs() == 0 || inst.total_size() == 0 {
         return Ok(PtasRun {
@@ -122,9 +137,19 @@ pub fn rebalance(inst: &Instance, budget: Cost, precision: Precision) -> Result<
     let mut probes = 0usize;
     for &t in &guesses {
         probes += 1;
-        let view = View::new(inst, t, q);
-        match dp::solve(&view) {
+        rec.incr("ptas.guesses", 1);
+        let view = {
+            let _t = rec.time("ptas.grid");
+            View::new(inst, t, q)
+        };
+        let solved = {
+            let _t = rec.time("ptas.dp");
+            dp::solve(&view)
+        };
+        match solved {
             DpOutcome::Solved(sol) if sol.cost <= budget => {
+                rec.incr("ptas.dp_states", sol.states as u64);
+                let _t = rec.time("ptas.assemble");
                 let outcome = assemble::assemble(inst, &view, &sol)?
                     .better(RebalanceOutcome::unchanged(inst));
                 return Ok(PtasRun {
@@ -135,7 +160,10 @@ pub fn rebalance(inst: &Instance, budget: Cost, precision: Precision) -> Result<
                     probes,
                 });
             }
-            DpOutcome::Solved(_) | DpOutcome::Infeasible | DpOutcome::Exhausted => continue,
+            DpOutcome::Solved(sol) => {
+                rec.incr("ptas.dp_states", sol.states as u64);
+            }
+            DpOutcome::Infeasible | DpOutcome::Exhausted => {}
         }
     }
 

@@ -1,14 +1,17 @@
-//! Parallel experiment sweeps over crossbeam scoped threads.
+//! Parallel experiment sweeps over std scoped threads.
 //!
 //! Experiments are embarrassingly parallel — independent (instance, seed)
-//! cells — so the runner just partitions the cell list across a bounded
-//! number of worker threads and collects results in input order. Scoped
-//! threads let workers borrow the experiment closure without `'static`
-//! gymnastics; a `parking_lot` mutex guards the shared result buffer
-//! (both straight from the HPC guide's toolbox).
+//! cells — so the runner just hands out cell indices from an atomic counter
+//! across a bounded number of worker threads. Each worker writes its output
+//! straight into the cell's own pre-allocated slot, so no lock is held
+//! around the result buffer and outputs come back in input order by
+//! construction. Scoped threads let workers borrow the experiment closure
+//! without `'static` gymnastics.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use lrb_obs::{NoopRecorder, Recorder};
 
 /// Run `f` over every input cell, in parallel, returning outputs in input
 /// order. `threads = 0` or `1` runs inline (useful under test).
@@ -18,30 +21,86 @@ where
     O: Send,
     F: Fn(&I) -> O + Sync,
 {
+    run_parallel_recorded(inputs, threads, &NoopRecorder, f)
+}
+
+/// [`run_parallel`] with instrumentation: records per-cell wall time
+/// (histogram `harness.cell_nanos`), time each worker spends waiting between
+/// finishing one cell and starting the next (histogram
+/// `harness.queue_wait_nanos`), cell/worker counters, and the overall
+/// `harness.run_parallel` phase.
+pub fn run_parallel_recorded<I, O, F, R>(inputs: Vec<I>, threads: usize, rec: &R, f: F) -> Vec<O>
+where
+    I: Send + Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+    R: Recorder + Sync,
+{
+    let _phase = rec.time("harness.run_parallel");
+    rec.incr("harness.cells", inputs.len() as u64);
+
     if threads <= 1 || inputs.len() <= 1 {
-        return inputs.iter().map(&f).collect();
+        rec.incr("harness.workers", 1);
+        return inputs
+            .iter()
+            .map(|input| {
+                let start = R::ENABLED.then(Instant::now);
+                let out = f(input);
+                if let Some(t) = start {
+                    let nanos = (t.elapsed().as_nanos() as u64).max(1);
+                    rec.observe("harness.cell_nanos", nanos);
+                    rec.record_duration("harness.cell", nanos);
+                }
+                out
+            })
+            .collect();
     }
+
     let n = inputs.len();
     let threads = threads.min(n);
+    rec.incr("harness.workers", threads as u64);
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
 
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let out = f(&inputs[i]);
-                results.lock()[i] = Some(out);
-            });
+    // Workers claim cell indices from the atomic counter and buffer
+    // (index, output) pairs locally; outputs land in their input-order slot
+    // at join time. No lock is ever taken around shared results.
+    let mut results: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, O)> = Vec::new();
+                    let mut idle_since = R::ENABLED.then(Instant::now);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        if let Some(t) = idle_since {
+                            rec.observe("harness.queue_wait_nanos", t.elapsed().as_nanos() as u64);
+                        }
+                        let start = R::ENABLED.then(Instant::now);
+                        let out = f(&inputs[i]);
+                        if let Some(t) = start {
+                            let nanos = (t.elapsed().as_nanos() as u64).max(1);
+                            rec.observe("harness.cell_nanos", nanos);
+                            rec.record_duration("harness.cell", nanos);
+                        }
+                        local.push((i, out));
+                        idle_since = R::ENABLED.then(Instant::now);
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, out) in handle.join().expect("worker panicked") {
+                results[i] = Some(out);
+            }
         }
-    })
-    .expect("worker panicked");
+    });
 
     results
-        .into_inner()
         .into_iter()
         .map(|o| o.expect("every cell computed"))
         .collect()
@@ -68,12 +127,30 @@ pub fn seed_for(master: u64, cell: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lrb_obs::AtomicRecorder;
 
     #[test]
     fn preserves_input_order() {
         let inputs: Vec<u64> = (0..100).collect();
         let out = run_parallel(inputs.clone(), 8, |&x| x * 2);
         assert_eq!(out, inputs.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn preserves_input_order_under_contention() {
+        // Uneven cell costs shuffle completion order; outputs must still
+        // come back in input order across many parallel rounds.
+        for round in 0..20u64 {
+            let inputs: Vec<u64> = (0..257).map(|x| x + round).collect();
+            let out = run_parallel(inputs.clone(), 8, |&x| {
+                if x % 7 == 0 {
+                    std::thread::yield_now();
+                }
+                x.wrapping_mul(31)
+            });
+            let expected: Vec<u64> = inputs.iter().map(|x| x.wrapping_mul(31)).collect();
+            assert_eq!(out, expected);
+        }
     }
 
     #[test]
@@ -96,6 +173,20 @@ mod tests {
     fn more_threads_than_work_is_fine() {
         let out = run_parallel(vec![1u64, 2], 64, |&x| x);
         assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn recorded_run_counts_cells_and_times_them() {
+        let rec = AtomicRecorder::new();
+        let inputs: Vec<u64> = (0..40).collect();
+        let out = run_parallel_recorded(inputs, 4, &rec, |&x| x + 1);
+        assert_eq!(out.len(), 40);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("harness.cells"), Some(40));
+        assert_eq!(snap.counter("harness.workers"), Some(4));
+        assert_eq!(snap.histogram("harness.cell_nanos").unwrap().count, 40);
+        assert_eq!(snap.phase("harness.run_parallel").unwrap().calls, 1);
+        assert!(snap.phase("harness.run_parallel").unwrap().total_nanos > 0);
     }
 
     #[test]

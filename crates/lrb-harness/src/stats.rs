@@ -1,5 +1,7 @@
 //! Summary statistics for experiment measurements.
 
+use lrb_obs::HistogramSnapshot;
+
 /// Online-free summary of a sample of `f64` measurements.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
@@ -59,6 +61,57 @@ impl Summary {
             return 0.0;
         }
         1.96 * self.stddev / (self.n as f64).sqrt()
+    }
+
+    /// Summarize an [`lrb_obs`] log2-bucketed histogram (e.g. the per-cell
+    /// timings recorded by `runner::run_parallel_recorded`).
+    ///
+    /// `n`, `mean`, `min`, and `max` are exact (the snapshot tracks count,
+    /// sum, and extrema); `median`, `p95`, and `stddev` are bucket-resolution
+    /// estimates built from each bucket's representative value, so they are
+    /// accurate to within a factor of 2.
+    pub fn of_histogram(h: &HistogramSnapshot) -> Summary {
+        if h.count == 0 {
+            return Summary::of(&[]);
+        }
+        let n = h.count as usize;
+        let mean = h.sum as f64 / h.count as f64;
+        // Expand buckets into representative values for the estimates.
+        let mut reps: Vec<f64> = Vec::with_capacity(n.min(1 << 20));
+        for (i, &c) in h.buckets.iter().enumerate() {
+            let rep = bucket_representative(i).clamp(h.min as f64, h.max as f64);
+            for _ in 0..c {
+                reps.push(rep);
+            }
+        }
+        reps.sort_by(|a, b| a.partial_cmp(b).expect("representatives are finite"));
+        let var = if n > 1 {
+            reps.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        Summary {
+            n,
+            mean,
+            stddev: var.sqrt(),
+            min: h.min as f64,
+            max: h.max as f64,
+            median: percentile_sorted(&reps, 50.0),
+            p95: percentile_sorted(&reps, 95.0),
+        }
+    }
+}
+
+/// Midpoint of log2 bucket `i`: bucket 0 holds the value 0, bucket `i >= 1`
+/// holds `[2^(i-1), 2^i)`.
+fn bucket_representative(i: usize) -> f64 {
+    match i {
+        0 => 0.0,
+        _ => {
+            let lo = (1u128 << (i - 1)) as f64;
+            let hi = (1u128 << i) as f64;
+            (lo + hi) / 2.0
+        }
     }
 }
 
@@ -130,5 +183,40 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn geo_mean_rejects_nonpositive() {
         geo_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn summary_of_recorded_histogram() {
+        use lrb_obs::{AtomicRecorder, Recorder};
+        let rec = AtomicRecorder::new();
+        for v in [1u64, 2, 4, 100, 1000] {
+            rec.observe("cell_nanos", v);
+        }
+        let snap = rec.snapshot();
+        let h = snap.histogram("cell_nanos").unwrap();
+        let s = Summary::of_histogram(h);
+        assert_eq!(s.n, 5);
+        assert!((s.mean - 1107.0 / 5.0).abs() < 1e-9, "mean is exact");
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 1000.0);
+        // Bucket-resolution estimates: within a factor of 2 of the truth.
+        assert!(s.median >= 2.0 && s.median <= 8.0, "median {}", s.median);
+        assert!(s.p95 >= 512.0 && s.p95 <= 1024.0, "p95 {}", s.p95);
+    }
+
+    #[test]
+    fn summary_of_empty_histogram() {
+        let h = lrb_obs::HistogramSnapshot {
+            name: "empty".into(),
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            p50: 0,
+            p90: 0,
+            p99: 0,
+            buckets: vec![],
+        };
+        assert_eq!(Summary::of_histogram(&h).n, 0);
     }
 }

@@ -1,0 +1,135 @@
+//! Zero-overhead instrumentation for the load-rebalancing workspace.
+//!
+//! The core abstraction is the [`Recorder`] trait: algorithms take a generic
+//! `&R: Recorder` parameter and report counters, histogram observations, and
+//! RAII-timed phases through it. Two implementations are provided:
+//!
+//! - [`NoopRecorder`]: a zero-sized type whose methods are empty and whose
+//!   `ENABLED` flag is `false`, so monomorphized call sites compile to
+//!   nothing. Un-instrumented public APIs delegate through it, keeping the
+//!   disabled path free (see `benches/obs_overhead.rs` in `lrb-bench`).
+//! - [`AtomicRecorder`]: a thread-safe recorder backed by atomics, suitable
+//!   for sharing across the parallel harness.
+//!
+//! A recorder can be frozen into a [`Snapshot`] — a versioned, serializable
+//! view with per-counter totals, histogram percentiles (p50/p90/p99), and
+//! per-phase wall-clock totals — which the CLI exports as JSON via
+//! `--metrics` and renders as a table with `--verbose`.
+
+mod recorder;
+mod snapshot;
+
+pub use recorder::{AtomicRecorder, NoopRecorder, PhaseTimer, Recorder};
+pub use snapshot::{CounterSnapshot, HistogramSnapshot, PhaseSnapshot, Snapshot, SCHEMA_VERSION};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_zero_sized_and_disabled() {
+        assert_eq!(std::mem::size_of::<NoopRecorder>(), 0);
+        const { assert!(!<NoopRecorder as Recorder>::ENABLED) };
+        // Exercise every method; all must be no-ops that don't panic.
+        let r = NoopRecorder;
+        r.incr("c", 3);
+        r.observe("h", 42);
+        {
+            let _t = r.time("p");
+        }
+    }
+
+    #[test]
+    fn atomic_recorder_counts_and_times() {
+        let r = AtomicRecorder::new();
+        r.incr("moves", 2);
+        r.incr("moves", 3);
+        r.observe("size", 1);
+        r.observe("size", 100);
+        {
+            let _t = r.time("phase");
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.schema_version, SCHEMA_VERSION);
+        assert_eq!(snap.counter("moves"), Some(5));
+        let h = snap.histogram("size").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 101);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 100);
+        let p = snap.phase("phase").unwrap();
+        assert_eq!(p.calls, 1);
+    }
+
+    #[test]
+    fn histogram_percentiles_are_bucket_upper_bounds() {
+        let r = AtomicRecorder::new();
+        // 100 observations of 1, so every percentile lands in bucket [1,2).
+        for _ in 0..100 {
+            r.observe("v", 1);
+        }
+        let h = r.snapshot().histogram("v").unwrap().clone();
+        assert_eq!(h.p50, 1);
+        assert_eq!(h.p90, 1);
+        assert_eq!(h.p99, 1);
+        // Skewed distribution: 90 small values, 10 large ones.
+        let r = AtomicRecorder::new();
+        for _ in 0..90 {
+            r.observe("w", 2);
+        }
+        for _ in 0..10 {
+            r.observe("w", 1000);
+        }
+        let h = r.snapshot().histogram("w").unwrap().clone();
+        assert!(h.p50 <= 3, "p50 {} should sit in the small bucket", h.p50);
+        assert!(h.p99 >= 512, "p99 {} should sit in the large bucket", h.p99);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let r = AtomicRecorder::new();
+        r.incr("a", 7);
+        r.observe("b", 9);
+        {
+            let _t = r.time("c");
+        }
+        let snap = r.snapshot();
+        let json = snap.to_json().unwrap();
+        let back: Snapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema_version, snap.schema_version);
+        assert_eq!(back.counter("a"), Some(7));
+        assert_eq!(back.histogram("b").unwrap().count, 1);
+        assert_eq!(back.phase("c").unwrap().calls, 1);
+    }
+
+    #[test]
+    fn atomic_recorder_is_thread_safe() {
+        let r = AtomicRecorder::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..1000u64 {
+                        r.incr("n", 1);
+                        r.observe("v", i);
+                    }
+                });
+            }
+        });
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("n"), Some(4000));
+        assert_eq!(snap.histogram("v").unwrap().count, 4000);
+    }
+
+    #[test]
+    fn merge_folds_counters_histograms_and_phases() {
+        let a = AtomicRecorder::new();
+        let b = AtomicRecorder::new();
+        a.incr("x", 1);
+        b.incr("x", 2);
+        b.observe("h", 5);
+        a.merge(&b.snapshot());
+        let snap = a.snapshot();
+        assert_eq!(snap.counter("x"), Some(3));
+        assert_eq!(snap.histogram("h").unwrap().count, 1);
+    }
+}

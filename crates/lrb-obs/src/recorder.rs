@@ -1,0 +1,286 @@
+//! The [`Recorder`] trait and its two implementations.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+use crate::snapshot::{
+    percentile_from_buckets, CounterSnapshot, HistogramSnapshot, PhaseSnapshot, Snapshot,
+    SCHEMA_VERSION,
+};
+
+/// Number of log2 histogram buckets: bucket 0 holds value 0, bucket `i >= 1`
+/// holds values in `[2^(i-1), 2^i)`, up to bucket 64 for `[2^63, u64::MAX]`.
+pub(crate) const BUCKETS: usize = 65;
+
+pub(crate) fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Sink for instrumentation events.
+///
+/// Algorithms take `&R` where `R: Recorder`; passing [`NoopRecorder`]
+/// monomorphizes every call to an empty inline function, so disabled
+/// instrumentation costs nothing.
+pub trait Recorder {
+    /// `false` for [`NoopRecorder`]; lets call sites skip work that only
+    /// exists to feed the recorder (e.g. reading the clock).
+    const ENABLED: bool;
+
+    /// Add `by` to the named monotonic counter.
+    fn incr(&self, counter: &'static str, by: u64);
+
+    /// Record one observation into the named log2 histogram.
+    fn observe(&self, histogram: &'static str, value: u64);
+
+    /// Add one timed call of `nanos` nanoseconds to the named phase.
+    fn record_duration(&self, phase: &'static str, nanos: u64);
+
+    /// Start an RAII timer; the elapsed time is recorded against `phase`
+    /// when the returned guard drops.
+    fn time(&self, phase: &'static str) -> PhaseTimer<'_, Self>
+    where
+        Self: Sized,
+    {
+        PhaseTimer {
+            recorder: self,
+            phase,
+            start: if Self::ENABLED {
+                Some(Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+}
+
+/// RAII guard returned by [`Recorder::time`].
+pub struct PhaseTimer<'a, R: Recorder> {
+    recorder: &'a R,
+    phase: &'static str,
+    start: Option<Instant>,
+}
+
+impl<R: Recorder> Drop for PhaseTimer<'_, R> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            // Clamp to >= 1ns so a recorded phase is always distinguishable
+            // from one that never ran, even under coarse clocks.
+            let nanos = (start.elapsed().as_nanos() as u64).max(1);
+            self.recorder.record_duration(self.phase, nanos);
+        }
+    }
+}
+
+/// Recorder that records nothing. Zero-sized; every method is an empty
+/// `#[inline(always)]` body, so instrumented code paths compile down to the
+/// un-instrumented equivalent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn incr(&self, _counter: &'static str, _by: u64) {}
+
+    #[inline(always)]
+    fn observe(&self, _histogram: &'static str, _value: u64) {}
+
+    #[inline(always)]
+    fn record_duration(&self, _phase: &'static str, _nanos: u64) {}
+}
+
+struct AtomicHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl AtomicHistogram {
+    fn new() -> Self {
+        AtomicHistogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+}
+
+#[derive(Default)]
+struct PhaseStat {
+    calls: AtomicU64,
+    total_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+}
+
+/// Thread-safe recorder backed by atomics.
+///
+/// Counter/histogram/phase registries are `RwLock`-guarded maps consulted
+/// once per name lookup; the hot-path updates themselves are relaxed atomic
+/// operations, so an `AtomicRecorder` can be shared freely across the
+/// parallel harness's worker threads.
+#[derive(Default)]
+pub struct AtomicRecorder {
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<String, Arc<AtomicHistogram>>>,
+    phases: RwLock<BTreeMap<String, Arc<PhaseStat>>>,
+}
+
+fn handle<T>(
+    map: &RwLock<BTreeMap<String, Arc<T>>>,
+    name: &str,
+    make: impl FnOnce() -> T,
+) -> Arc<T> {
+    if let Some(h) = map.read().expect("obs registry poisoned").get(name) {
+        return Arc::clone(h);
+    }
+    Arc::clone(
+        map.write()
+            .expect("obs registry poisoned")
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(make())),
+    )
+}
+
+impl AtomicRecorder {
+    /// Fresh recorder with no registered metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Freeze the current state into a serializable [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .read()
+            .expect("obs registry poisoned")
+            .iter()
+            .map(|(name, v)| CounterSnapshot {
+                name: name.clone(),
+                value: v.load(Ordering::Relaxed),
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .expect("obs registry poisoned")
+            .iter()
+            .map(|(name, h)| {
+                let buckets: Vec<u64> = h
+                    .buckets
+                    .iter()
+                    .map(|b| b.load(Ordering::Relaxed))
+                    .collect();
+                let count = h.count.load(Ordering::Relaxed);
+                let min = if count == 0 {
+                    0
+                } else {
+                    h.min.load(Ordering::Relaxed)
+                };
+                let max = h.max.load(Ordering::Relaxed);
+                let mut trimmed = buckets.clone();
+                while trimmed.last() == Some(&0) {
+                    trimmed.pop();
+                }
+                HistogramSnapshot {
+                    name: name.clone(),
+                    count,
+                    sum: h.sum.load(Ordering::Relaxed),
+                    min,
+                    max,
+                    p50: percentile_from_buckets(&buckets, count, 0.50).clamp(min, max.max(min)),
+                    p90: percentile_from_buckets(&buckets, count, 0.90).clamp(min, max.max(min)),
+                    p99: percentile_from_buckets(&buckets, count, 0.99).clamp(min, max.max(min)),
+                    buckets: trimmed,
+                }
+            })
+            .collect();
+        let phases = self
+            .phases
+            .read()
+            .expect("obs registry poisoned")
+            .iter()
+            .map(|(name, p)| {
+                let calls = p.calls.load(Ordering::Relaxed);
+                let total_nanos = p.total_nanos.load(Ordering::Relaxed);
+                PhaseSnapshot {
+                    name: name.clone(),
+                    calls,
+                    total_nanos,
+                    max_nanos: p.max_nanos.load(Ordering::Relaxed),
+                    mean_nanos: total_nanos.checked_div(calls).unwrap_or(0),
+                }
+            })
+            .collect();
+        Snapshot {
+            schema_version: SCHEMA_VERSION,
+            counters,
+            histograms,
+            phases,
+        }
+    }
+
+    /// Fold another snapshot's totals into this recorder — used to aggregate
+    /// per-worker or per-run recorders into one report.
+    pub fn merge(&self, other: &Snapshot) {
+        for c in &other.counters {
+            handle(&self.counters, &c.name, || AtomicU64::new(0))
+                .fetch_add(c.value, Ordering::Relaxed);
+        }
+        for h in &other.histograms {
+            let hist = handle(&self.histograms, &h.name, AtomicHistogram::new);
+            for (i, &n) in h.buckets.iter().enumerate().take(BUCKETS) {
+                hist.buckets[i].fetch_add(n, Ordering::Relaxed);
+            }
+            hist.count.fetch_add(h.count, Ordering::Relaxed);
+            hist.sum.fetch_add(h.sum, Ordering::Relaxed);
+            if h.count > 0 {
+                hist.min.fetch_min(h.min, Ordering::Relaxed);
+                hist.max.fetch_max(h.max, Ordering::Relaxed);
+            }
+        }
+        for p in &other.phases {
+            let stat = handle(&self.phases, &p.name, PhaseStat::default);
+            stat.calls.fetch_add(p.calls, Ordering::Relaxed);
+            stat.total_nanos.fetch_add(p.total_nanos, Ordering::Relaxed);
+            stat.max_nanos.fetch_max(p.max_nanos, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Recorder for AtomicRecorder {
+    const ENABLED: bool = true;
+
+    fn incr(&self, counter: &'static str, by: u64) {
+        handle(&self.counters, counter, || AtomicU64::new(0)).fetch_add(by, Ordering::Relaxed);
+    }
+
+    fn observe(&self, histogram: &'static str, value: u64) {
+        handle(&self.histograms, histogram, AtomicHistogram::new).observe(value);
+    }
+
+    fn record_duration(&self, phase: &'static str, nanos: u64) {
+        let stat = handle(&self.phases, phase, PhaseStat::default);
+        stat.calls.fetch_add(1, Ordering::Relaxed);
+        stat.total_nanos.fetch_add(nanos, Ordering::Relaxed);
+        stat.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+}

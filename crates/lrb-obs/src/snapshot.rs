@@ -1,0 +1,168 @@
+//! Serializable, versioned view of a recorder's state.
+
+use serde::{Deserialize, Serialize};
+
+/// Version of the JSON telemetry schema emitted by [`Snapshot::to_json`].
+/// Bump when renaming fields or changing their meaning.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One monotonic counter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Dotted metric name, e.g. `greedy.moves`.
+    pub name: String,
+    /// Total accumulated value.
+    pub value: u64,
+}
+
+/// One log2-bucketed histogram. Percentiles are bucket-resolution estimates
+/// (upper bound of the bucket containing the rank, clamped to observed
+/// min/max), not exact order statistics.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Dotted metric name.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Estimated median.
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+    /// Per-bucket counts, trailing zero buckets trimmed; bucket 0 holds
+    /// value 0 and bucket `i >= 1` holds values in `[2^(i-1), 2^i)`.
+    #[serde(default)]
+    pub buckets: Vec<u64>,
+}
+
+/// One RAII-timed phase.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseSnapshot {
+    /// Dotted phase name, e.g. `ptas.dp`.
+    pub name: String,
+    /// Number of timed calls.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds across all calls.
+    pub total_nanos: u64,
+    /// Longest single call in nanoseconds.
+    pub max_nanos: u64,
+    /// `total_nanos / calls` (0 when no calls).
+    pub mean_nanos: u64,
+}
+
+/// Frozen recorder state: the unit of JSON telemetry export.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Telemetry schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// All counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// All histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// All phases, sorted by name.
+    pub phases: Vec<PhaseSnapshot>,
+}
+
+impl Snapshot {
+    /// Look up a counter total by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Look up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Look up a phase by name.
+    pub fn phase(&self, name: &str) -> Option<&PhaseSnapshot> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// Render as pretty-printed JSON.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Render a human-readable summary table (used by `--verbose`).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.phases.is_empty() {
+            out.push_str(
+                "phase                              calls      total      mean       max\n",
+            );
+            for p in &self.phases {
+                out.push_str(&format!(
+                    "{:<32} {:>7} {:>10} {:>10} {:>10}\n",
+                    p.name,
+                    p.calls,
+                    fmt_nanos(p.total_nanos),
+                    fmt_nanos(p.mean_nanos),
+                    fmt_nanos(p.max_nanos),
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counter                            value\n");
+            for c in &self.counters {
+                out.push_str(&format!("{:<32} {:>7}\n", c.name, c.value));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histogram                          count        min        p50        p90        p99        max\n");
+            for h in &self.histograms {
+                out.push_str(&format!(
+                    "{:<32} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                    h.name, h.count, h.min, h.p50, h.p90, h.p99, h.max,
+                ));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+fn fmt_nanos(ns: u64) -> String {
+    if ns < 10_000 {
+        format!("{ns}ns")
+    } else if ns < 10_000_000 {
+        format!("{}us", ns / 1_000)
+    } else if ns < 10_000_000_000 {
+        format!("{}ms", ns / 1_000_000)
+    } else {
+        format!("{}s", ns / 1_000_000_000)
+    }
+}
+
+/// Estimate the `q`-quantile from log2 bucket counts: returns the upper
+/// bound of the bucket containing the ceil(q * count) rank.
+pub(crate) fn percentile_from_buckets(buckets: &[u64], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cumulative = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        cumulative += c;
+        if cumulative >= rank {
+            return match i {
+                0 => 0,
+                64 => u64::MAX,
+                _ => (1u64 << i) - 1,
+            };
+        }
+    }
+    u64::MAX
+}

@@ -7,9 +7,12 @@
 //! a site is configurable (unit per site, or proportional to its load as a
 //! proxy for content size).
 
-use lrb_core::model::{Budget, Instance, Job};
+use std::time::Instant;
 
-use crate::metrics::{EpochMetrics, SimReport};
+use lrb_core::model::{Budget, Instance, Job};
+use lrb_obs::{NoopRecorder, Recorder};
+
+use crate::metrics::{DecisionCounters, EpochMetrics, SimReport};
 use crate::policy::Policy;
 use crate::workload::{Workload, WorkloadConfig};
 
@@ -62,11 +65,22 @@ impl FarmConfig {
 /// The initial placement is balanced (LPT on the initial loads): drift is
 /// what unbalances it, exactly the paper's story.
 pub fn run(cfg: &FarmConfig, policy: &mut dyn Policy) -> SimReport {
+    run_recorded(cfg, policy, &NoopRecorder)
+}
+
+/// [`run`] with instrumentation: besides the wall-time and decision data
+/// every report carries, feeds per-epoch timings into `sim.epoch` /
+/// `sim.epoch_nanos` and decision counts into `sim.epochs`,
+/// `sim.rebalanced`, and `sim.unchanged` on the recorder.
+pub fn run_recorded<R: Recorder>(cfg: &FarmConfig, policy: &mut dyn Policy, rec: &R) -> SimReport {
     let mut workload = Workload::new(cfg.workload, cfg.seed);
     let mut placement = lrb_core::lpt::schedule(workload.loads(), cfg.num_servers);
     let mut epochs = Vec::with_capacity(cfg.epochs);
+    let mut epoch_wall_nanos = Vec::with_capacity(cfg.epochs);
+    let mut decisions = DecisionCounters::default();
 
     for epoch in 0..cfg.epochs {
+        let started = Instant::now();
         workload.step();
         let inst = instance_for(workload.loads(), &placement, cfg);
         let new_assignment = policy.rebalance(&inst, cfg.budget);
@@ -93,11 +107,28 @@ pub fn run(cfg: &FarmConfig, policy: &mut dyn Policy) -> SimReport {
             migration_cost,
         });
         placement = new_assignment;
+
+        decisions.record(migrations);
+        let nanos = (started.elapsed().as_nanos() as u64).max(1);
+        epoch_wall_nanos.push(nanos);
+        rec.incr("sim.epochs", 1);
+        rec.incr(
+            if migrations > 0 {
+                "sim.rebalanced"
+            } else {
+                "sim.unchanged"
+            },
+            1,
+        );
+        rec.observe("sim.epoch_nanos", nanos);
+        rec.record_duration("sim.epoch", nanos);
     }
 
     SimReport {
         policy: policy.name().to_string(),
         epochs,
+        epoch_wall_nanos,
+        decisions,
     }
 }
 

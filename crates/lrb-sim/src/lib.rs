@@ -21,8 +21,8 @@ pub mod process;
 pub mod trace;
 pub mod workload;
 
-pub use farm::{run as run_farm, FarmConfig, MigrationCost};
-pub use metrics::{EpochMetrics, SimReport};
+pub use farm::{run as run_farm, run_recorded as run_farm_recorded, FarmConfig, MigrationCost};
+pub use metrics::{DecisionCounters, EpochMetrics, SimReport};
 pub use policy::{
     FullRebalance, GreedyPolicy, MPartitionPolicy, NoRebalance, Policy, ThresholdTriggered,
 };

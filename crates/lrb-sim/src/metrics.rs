@@ -1,9 +1,9 @@
 //! Per-epoch and aggregate metrics for simulation runs.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Metrics of one epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EpochMetrics {
     /// Epoch index.
     pub epoch: usize,
@@ -24,16 +24,65 @@ impl EpochMetrics {
     }
 }
 
+/// How often the policy actually changed the placement.
+///
+/// An epoch counts as `rebalanced` when the policy migrated at least one
+/// job, `unchanged` otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DecisionCounters {
+    /// Epochs where the policy migrated at least one job.
+    pub rebalanced: u64,
+    /// Epochs where the policy left the placement as-is.
+    pub unchanged: u64,
+}
+
+impl DecisionCounters {
+    /// Fold one epoch's migration count into the counters.
+    pub fn record(&mut self, migrations: usize) {
+        if migrations > 0 {
+            self.rebalanced += 1;
+        } else {
+            self.unchanged += 1;
+        }
+    }
+
+    /// Total decisions recorded.
+    pub fn total(&self) -> u64 {
+        self.rebalanced + self.unchanged
+    }
+}
+
 /// A full simulation trace plus aggregates.
-#[derive(Debug, Clone, Serialize)]
+///
+/// Wall-clock data lives here rather than in [`EpochMetrics`] so that
+/// deterministic-replay comparisons over `epochs` stay exact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
     /// The policy that produced the trace.
     pub policy: String,
     /// Per-epoch metrics.
     pub epochs: Vec<EpochMetrics>,
+    /// Wall-clock nanoseconds each epoch spent in the policy + bookkeeping
+    /// (parallel to `epochs`; empty in reports predating this field).
+    #[serde(default)]
+    pub epoch_wall_nanos: Vec<u64>,
+    /// Rebalance-vs-no-op decision counts across the run.
+    #[serde(default)]
+    pub decisions: DecisionCounters,
 }
 
 impl SimReport {
+    /// Build a report with empty timing/decision extras (they are folded in
+    /// by the simulators as the run progresses).
+    pub fn new(policy: impl Into<String>, epochs: Vec<EpochMetrics>) -> Self {
+        SimReport {
+            policy: policy.into(),
+            epochs,
+            epoch_wall_nanos: Vec::new(),
+            decisions: DecisionCounters::default(),
+        }
+    }
+
     /// Mean imbalance across epochs.
     pub fn mean_imbalance(&self) -> f64 {
         if self.epochs.is_empty() {
@@ -99,9 +148,9 @@ mod tests {
     use super::*;
 
     fn report() -> SimReport {
-        SimReport {
-            policy: "test".into(),
-            epochs: vec![
+        SimReport::new(
+            "test",
+            vec![
                 EpochMetrics {
                     epoch: 0,
                     makespan: 10,
@@ -124,7 +173,7 @@ mod tests {
                     migration_cost: 2,
                 },
             ],
-        }
+        )
     }
 
     #[test]
@@ -146,13 +195,68 @@ mod tests {
 
     #[test]
     fn empty_report_defaults() {
-        let r = SimReport {
-            policy: "x".into(),
-            epochs: vec![],
-        };
+        let r = SimReport::new("x", vec![]);
         assert_eq!(r.mean_imbalance(), 1.0);
         assert_eq!(r.percentile_imbalance(50.0), 1.0);
         assert_eq!(r.total_migrations(), 0);
+    }
+
+    #[test]
+    fn percentile_on_empty_and_single_epoch() {
+        let empty = SimReport::new("x", vec![]);
+        for p in [0.0, 50.0, 100.0] {
+            assert_eq!(empty.percentile_imbalance(p), 1.0);
+        }
+
+        let single = SimReport::new(
+            "x",
+            vec![EpochMetrics {
+                epoch: 0,
+                makespan: 30,
+                avg_load: 10,
+                migrations: 2,
+                migration_cost: 4,
+            }],
+        );
+        // With one epoch, every percentile is that epoch's imbalance.
+        for p in [0.0, 25.0, 50.0, 99.0, 100.0] {
+            assert!((single.percentile_imbalance(p) - 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn decision_counters_record_and_total() {
+        let mut d = DecisionCounters::default();
+        d.record(0);
+        d.record(3);
+        d.record(0);
+        d.record(1);
+        assert_eq!(d.rebalanced, 2);
+        assert_eq!(d.unchanged, 2);
+        assert_eq!(d.total(), 4);
+    }
+
+    #[test]
+    fn report_serde_round_trip() {
+        let mut r = report();
+        r.epoch_wall_nanos = vec![100, 250, 75];
+        r.decisions.record(0);
+        r.decisions.record(3);
+        r.decisions.record(1);
+        let json = r.to_json();
+        let back: SimReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn deserializes_reports_without_timing_fields() {
+        // Reports written before epoch_wall_nanos/decisions existed must
+        // still parse (the fields default).
+        let json = r#"{"policy":"old","epochs":[]}"#;
+        let r: SimReport = serde_json::from_str(json).unwrap();
+        assert_eq!(r.policy, "old");
+        assert!(r.epoch_wall_nanos.is_empty());
+        assert_eq!(r.decisions, DecisionCounters::default());
     }
 
     #[test]

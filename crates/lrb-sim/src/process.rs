@@ -9,11 +9,13 @@
 //! imbalance. Migration cost is the process's memory footprint, exercising
 //! the arbitrary-cost model (§3.2).
 
+use std::time::Instant;
+
 use lrb_core::model::{Budget, Instance, Job};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::metrics::{EpochMetrics, SimReport};
+use crate::metrics::{DecisionCounters, EpochMetrics, SimReport};
 use crate::policy::Policy;
 
 /// Parameters of the process-migration simulation.
@@ -70,8 +72,11 @@ pub fn run(cfg: &ProcessSimConfig, policy: &mut dyn Policy) -> SimReport {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut procs: Vec<Process> = Vec::new();
     let mut epochs = Vec::with_capacity(cfg.epochs);
+    let mut epoch_wall_nanos = Vec::with_capacity(cfg.epochs);
+    let mut decisions = DecisionCounters::default();
 
     for epoch in 0..cfg.epochs {
+        let started = Instant::now();
         // Departures.
         for p in &mut procs {
             p.remaining = p.remaining.saturating_sub(1);
@@ -127,11 +132,15 @@ pub fn run(cfg: &ProcessSimConfig, policy: &mut dyn Policy) -> SimReport {
             migrations,
             migration_cost,
         });
+        decisions.record(migrations);
+        epoch_wall_nanos.push((started.elapsed().as_nanos() as u64).max(1));
     }
 
     SimReport {
         policy: policy.name().to_string(),
         epochs,
+        epoch_wall_nanos,
+        decisions,
     }
 }
 

@@ -16,7 +16,9 @@
 //! Blank lines and `#` comments are ignored. Every row must have the same
 //! width.
 
-use crate::metrics::{EpochMetrics, SimReport};
+use std::time::Instant;
+
+use crate::metrics::{DecisionCounters, EpochMetrics, SimReport};
 use crate::policy::Policy;
 use lrb_core::model::{Budget, Instance, Job};
 
@@ -146,8 +148,11 @@ pub fn replay(
     assert!(num_servers > 0, "need at least one server");
     let mut placement = lrb_core::lpt::schedule(trace.loads(0), num_servers);
     let mut epochs = Vec::with_capacity(trace.num_epochs());
+    let mut epoch_wall_nanos = Vec::with_capacity(trace.num_epochs());
+    let mut decisions = DecisionCounters::default();
 
     for epoch in 0..trace.num_epochs() {
+        let started = Instant::now();
         let loads = trace.loads(epoch);
         let jobs: Vec<Job> = loads.iter().map(|&l| Job::unit(l)).collect();
         let inst = Instance::new(jobs, placement.clone(), num_servers)
@@ -162,19 +167,24 @@ pub fn replay(
             "policy {} exceeded the budget",
             policy.name()
         );
+        let migrations = inst.move_count(&new_assignment);
         epochs.push(EpochMetrics {
             epoch,
             makespan,
             avg_load: inst.avg_load_ceil(),
-            migrations: inst.move_count(&new_assignment),
+            migrations,
             migration_cost: inst.move_cost(&new_assignment),
         });
         placement = new_assignment;
+        decisions.record(migrations);
+        epoch_wall_nanos.push((started.elapsed().as_nanos() as u64).max(1));
     }
 
     SimReport {
         policy: policy.name().to_string(),
         epochs,
+        epoch_wall_nanos,
+        decisions,
     }
 }
 

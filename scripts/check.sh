@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Offline-friendly CI gate: build, test, format, lint.
+#
+# Everything runs against the vendored path dependencies in vendor/, so no
+# network or registry access is needed. Usage:
+#
+#   scripts/check.sh          # full gate
+#   SKIP_CLIPPY=1 scripts/check.sh   # skip the lint step (e.g. no clippy in toolchain)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --workspace --offline
+run cargo test -q --workspace --offline
+
+if command -v rustfmt >/dev/null 2>&1; then
+    run cargo fmt --all --check
+else
+    echo "==> rustfmt not installed; skipping format check"
+fi
+
+if [ "${SKIP_CLIPPY:-0}" != "1" ] && cargo clippy --version >/dev/null 2>&1; then
+    run cargo clippy --workspace --all-targets --offline -- -D warnings
+else
+    echo "==> clippy unavailable or skipped"
+fi
+
+echo "all checks passed"

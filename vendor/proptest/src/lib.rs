@@ -1,0 +1,354 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API used by this workspace:
+//! the [`Strategy`] trait with `prop_map`/`prop_flat_map` combinators,
+//! integer/float range strategies, tuple strategies, `collection::vec`,
+//! [`ProptestConfig::with_cases`], and the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` macros.
+//!
+//! Differences from upstream: cases are generated from a fixed master seed
+//! (fully deterministic, no persistence files) and failing cases are not
+//! shrunk — the failing input is printed as-is.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// RNG handed to strategies while generating a test case.
+pub type TestRng = StdRng;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of random values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Produce one value using `rng`.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build a dependent strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// `Just(v)` always generates a clone of `v`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Length specification for [`vec()`]: a fixed size or a range of sizes.
+    pub trait SizeRange {
+        /// Pick a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy generating a `Vec` of values from `element`.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// Generate vectors whose elements come from `element` and whose length
+    /// comes from `len` (a fixed `usize` or a range).
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a `proptest!` user normally imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    use super::TestRng;
+    use rand::SeedableRng;
+
+    /// Fixed master seed so runs are reproducible without persistence files.
+    const MASTER_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+    /// Deterministic per-case RNG.
+    pub fn case_rng(test_name: &str, case: u32) -> TestRng {
+        let mut h = MASTER_SEED;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x2545_f491_4f6c_dd1d))
+    }
+}
+
+/// Define property tests. Supports the form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(100))]
+///     #[test]
+///     fn my_prop((a, b) in my_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg); $($rest)*);
+    };
+    (@run ($cfg:expr); $($(#[$meta:meta])* fn $name:ident ($pat:pat in $strat:expr) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let strategy = $strat;
+                for case in 0..config.cases {
+                    let mut rng = $crate::__rt::case_rng(stringify!($name), case);
+                    let value = $crate::Strategy::generate(&strategy, &mut rng);
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        let $pat = value;
+                        $body
+                    }));
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest: {} failed at case {}/{} (no shrinking in offline stub)",
+                            stringify!($name),
+                            case,
+                            config.cases
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_maps_generate_in_bounds() {
+        let mut rng = crate::__rt::case_rng("smoke", 0);
+        let s = (1u64..=10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            let v = crate::Strategy::generate(&s, &mut rng);
+            assert!((2..=20).contains(&v) && v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn flat_map_and_vec_compose() {
+        let mut rng = crate::__rt::case_rng("compose", 0);
+        let s =
+            (1usize..=5).prop_flat_map(|n| collection::vec(0u64..100, n).prop_map(move |v| (n, v)));
+        for _ in 0..50 {
+            let (n, v) = crate::Strategy::generate(&s, &mut rng);
+            assert_eq!(v.len(), n);
+            assert!(v.iter().all(|&x| x < 100));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::__rt::case_rng("det", 7);
+        let mut b = crate::__rt::case_rng("det", 7);
+        let s = (0u64..1000, 0u64..1000);
+        assert_eq!(
+            crate::Strategy::generate(&s, &mut a),
+            crate::Strategy::generate(&s, &mut b)
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_smoke((a, b) in (0u64..50, 0u64..50)) {
+            prop_assert!(a < 50, "a out of range: {}", a);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! traits (which convert through a concrete JSON `Value` tree rather than
+//! visitor-based serializers). Implemented with hand-rolled token parsing —
+//! `syn`/`quote` are unavailable offline.
+//!
+//! Supported shapes: non-generic structs with named fields, and non-generic
+//! enums with unit and one-element tuple variants (externally tagged, like
+//! upstream). Supported field attributes: `#[serde(skip)]`,
+//! `#[serde(default)]`, `#[serde(default = "path")]`,
+//! `#[serde(skip_serializing_if = "path")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item.kind {
+        ItemKind::Struct(fields) => gen_struct_serialize(&item.name, fields),
+        ItemKind::Enum(variants) => gen_enum_serialize(&item.name, variants),
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item.kind {
+        ItemKind::Struct(fields) => gen_struct_deserialize(&item.name, fields),
+        ItemKind::Enum(variants) => gen_enum_deserialize(&item.name, variants),
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Default)]
+struct Field {
+    name: String,
+    /// `#[serde(skip)]`: omitted on serialize, defaulted on deserialize.
+    skip: bool,
+    /// `#[serde(default)]` or `#[serde(default = "path")]`; the path, or
+    /// `Default::default` for the bare form.
+    default: Option<String>,
+    /// `#[serde(skip_serializing_if = "path")]`.
+    skip_serializing_if: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    /// True for `Name(T)`; false for a unit variant.
+    has_payload: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+
+    // Outer attributes and visibility before the struct/enum keyword.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind_kw = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, got {other:?}"),
+    };
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde derive stand-in does not support generic type `{name}`")
+            }
+            Some(_) => continue,
+            None => panic!("serde derive: no body found for `{name}`"),
+        }
+    };
+
+    let kind = match kind_kw.as_str() {
+        "struct" => ItemKind::Struct(parse_fields(body)),
+        "enum" => ItemKind::Enum(parse_variants(body)),
+        other => panic!("serde derive: cannot derive for `{other} {name}`"),
+    };
+    Item { name, kind }
+}
+
+/// Attributes immediately preceding a field/variant; returns the parsed
+/// serde attrs and leaves the iterator at the next non-attribute token.
+fn parse_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> Field {
+    let mut attrs = Field::default();
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                let Some(TokenTree::Group(g)) = tokens.next() else {
+                    panic!("serde derive: malformed attribute");
+                };
+                apply_serde_attr(&g.stream(), &mut attrs);
+            }
+            _ => return attrs,
+        }
+    }
+}
+
+/// If `stream` is `serde(...)`, fold its directives into `attrs`.
+fn apply_serde_attr(stream: &TokenStream, attrs: &mut Field) {
+    let mut it = stream.clone().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return, // doc comment or other attribute
+    }
+    let Some(TokenTree::Group(args)) = it.next() else {
+        return;
+    };
+    let mut args = args.stream().into_iter().peekable();
+    while let Some(tok) = args.next() {
+        let TokenTree::Ident(directive) = tok else {
+            continue;
+        };
+        let has_value = matches!(args.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=');
+        let value = if has_value {
+            args.next(); // '='
+            match args.next() {
+                Some(TokenTree::Literal(lit)) => {
+                    Some(lit.to_string().trim_matches('"').to_string())
+                }
+                other => panic!("serde derive: expected string literal, got {other:?}"),
+            }
+        } else {
+            None
+        };
+        match directive.to_string().as_str() {
+            "skip" => attrs.skip = true,
+            "default" => {
+                attrs.default =
+                    Some(value.unwrap_or_else(|| "::core::default::Default::default".into()))
+            }
+            "skip_serializing_if" => {
+                attrs.skip_serializing_if = Some(value.expect("skip_serializing_if needs a value"))
+            }
+            other => panic!("serde derive stand-in: unsupported attribute `{other}`"),
+        }
+        // Trailing comma between directives.
+        if matches!(args.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            args.next();
+        }
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        if tokens.peek().is_none() {
+            return fields;
+        }
+        let mut field = parse_attrs(&mut tokens);
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.peek() {
+            if id.to_string() == "pub" {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+        }
+        field.name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde derive: expected field name, got {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected ':' after field name, got {other:?}"),
+        }
+        // Skip the type: commas nested in angle brackets don't end the field.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth -= 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+            }
+        }
+        fields.push(field);
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        if tokens.peek().is_none() {
+            return variants;
+        }
+        let attrs = parse_attrs(&mut tokens);
+        assert!(
+            !attrs.skip && attrs.default.is_none(),
+            "serde derive stand-in: variant attributes are unsupported"
+        );
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde derive: expected variant name, got {other:?}"),
+        };
+        let mut has_payload = false;
+        match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let payload: Vec<TokenTree> = g.stream().into_iter().collect();
+                let top_level_commas = payload
+                    .iter()
+                    .filter(|t| matches!(t, TokenTree::Punct(p) if p.as_char() == ','))
+                    .count();
+                assert!(
+                    top_level_commas == 0,
+                    "serde derive stand-in: variant `{name}` has multiple fields"
+                );
+                has_payload = true;
+                tokens.next();
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde derive stand-in: struct variant `{name}` is unsupported")
+            }
+            _ => {}
+        }
+        if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            tokens.next();
+        }
+        variants.push(Variant { name, has_payload });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_struct_serialize(name: &str, fields: &[Field]) -> String {
+    let mut pushes = String::new();
+    for f in fields {
+        if f.skip {
+            continue;
+        }
+        let push = format!(
+            "entries.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})));",
+            n = f.name
+        );
+        match &f.skip_serializing_if {
+            Some(pred) => {
+                pushes.push_str(&format!("if !{pred}(&self.{n}) {{ {push} }}\n", n = f.name))
+            }
+            None => {
+                pushes.push_str(&push);
+                pushes.push('\n');
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{
+            fn to_value(&self) -> ::serde::Value {{
+                let mut entries: Vec<(String, ::serde::Value)> = Vec::new();
+                {pushes}
+                ::serde::Value::Object(entries)
+            }}
+        }}"
+    )
+}
+
+fn gen_struct_deserialize(name: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let init = if f.skip {
+            format!("{n}: ::core::default::Default::default(),", n = f.name)
+        } else if let Some(default) = &f.default {
+            format!(
+                "{n}: ::serde::__private::field_or(v, \"{name}\", \"{n}\", {default})?,",
+                n = f.name
+            )
+        } else {
+            format!(
+                "{n}: ::serde::__private::field(v, \"{name}\", \"{n}\")?,",
+                n = f.name
+            )
+        };
+        inits.push_str(&init);
+        inits.push('\n');
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{
+            fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{
+                if v.as_object().is_none() {{
+                    return Err(::serde::DeError::expected(\"{name} object\", v));
+                }}
+                Ok({name} {{
+                    {inits}
+                }})
+            }}
+        }}"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        if v.has_payload {
+            arms.push_str(&format!(
+                "{name}::{v}(x) => ::serde::Value::Object(vec![(\"{v}\".to_string(), \
+                 ::serde::Serialize::to_value(x))]),\n",
+                v = v.name
+            ));
+        } else {
+            arms.push_str(&format!(
+                "{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),\n",
+                v = v.name
+            ));
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{
+            fn to_value(&self) -> ::serde::Value {{
+                match self {{
+                    {arms}
+                }}
+            }}
+        }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        if v.has_payload {
+            tagged_arms.push_str(&format!(
+                "\"{v}\" => return Ok({name}::{v}(::serde::Deserialize::from_value(payload)?)),\n",
+                v = v.name
+            ));
+        } else {
+            unit_arms.push_str(&format!("\"{v}\" => return Ok({name}::{v}),\n", v = v.name));
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{
+            fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{
+                if let Some(s) = v.as_str() {{
+                    match s {{
+                        {unit_arms}
+                        _ => {{}}
+                    }}
+                }}
+                if let Some(entries) = v.as_object() {{
+                    if entries.len() == 1 {{
+                        let (tag, payload) = &entries[0];
+                        match tag.as_str() {{
+                            {tagged_arms}
+                            _ => {{}}
+                        }}
+                    }}
+                }}
+                Err(::serde::DeError::new(format!(\"unrecognized {name} variant: {{v:?}}\")))
+            }}
+        }}"
+    )
+}
