@@ -1,4 +1,4 @@
-//! The CLI subcommands: `generate`, `info`, `solve`, `simulate`.
+//! The CLI subcommands: `generate`, `info`, `solve`, `simulate`, `chaos`.
 
 use lrb_core::greedy::ReinsertOrder;
 use lrb_core::model::Budget;
@@ -395,6 +395,112 @@ pub fn simulate(args: &Args) -> CmdResult {
     Ok(out)
 }
 
+/// `lrb chaos [--sites N] [--servers M] [--epochs E] [--moves K] [--seed S]
+/// [--crash-rate R] [--recovery-rate R] [--perturb-pct P] [--stale-rate R]
+/// [--drop-rate R] [--exhaust-rate R] [--out FILE]` — sweep fault rates
+/// through the web-farm simulator and report degradation curves. Prints a
+/// human table followed by the schema-versioned JSON report (also written
+/// to `--out` when given).
+pub fn chaos_cmd(args: &Args) -> CmdResult {
+    let sites: usize = args.get_or("sites", 60).map_err(|e| e.to_string())?;
+    let servers: usize = args.get_or("servers", 6).map_err(|e| e.to_string())?;
+    let epochs: usize = args.get_or("epochs", 50).map_err(|e| e.to_string())?;
+    let k: usize = args.get_or("moves", 4).map_err(|e| e.to_string())?;
+    let seed: u64 = args.get_or("seed", 0).map_err(|e| e.to_string())?;
+    let crash_rate: f64 = args.get_or("crash-rate", 0.1).map_err(|e| e.to_string())?;
+    let recovery_rate: f64 = args
+        .get_or("recovery-rate", 0.5)
+        .map_err(|e| e.to_string())?;
+    let perturb_pct: u32 = args.get_or("perturb-pct", 0).map_err(|e| e.to_string())?;
+    let stale_rate: f64 = args.get_or("stale-rate", 0.0).map_err(|e| e.to_string())?;
+    let drop_rate: f64 = args.get_or("drop-rate", 0.0).map_err(|e| e.to_string())?;
+    let exhaust_rate: f64 = args
+        .get_or("exhaust-rate", 0.0)
+        .map_err(|e| e.to_string())?;
+    let out_path = args.get("out").map(str::to_string);
+    let metrics_path = args.get("metrics").map(str::to_string);
+    let verbose = args.has("verbose");
+    args.reject_unknown().map_err(|e| e.to_string())?;
+    for (name, rate) in [
+        ("crash-rate", crash_rate),
+        ("recovery-rate", recovery_rate),
+        ("stale-rate", stale_rate),
+        ("drop-rate", drop_rate),
+        ("exhaust-rate", exhaust_rate),
+    ] {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("--{name} {rate}: expected a probability in [0, 1]"));
+        }
+    }
+
+    let farm = FarmConfig {
+        num_servers: servers,
+        epochs,
+        budget: Budget::Moves(k),
+        workload: WorkloadConfig::default_web(sites),
+        migration_cost: MigrationCost::Unit,
+        seed,
+    };
+    let base = lrb_faults::FaultConfig {
+        crash_rate,
+        recovery_rate,
+        perturb_pct,
+        stale_rate,
+        drop_rate,
+        exhaust_rate,
+        seed,
+    };
+    let rec = AtomicRecorder::new();
+    let report = crate::chaos::sweep(&farm, &base, k, &rec);
+
+    let mut table = Table::new(
+        format!(
+            "chaos sweep: {sites} sites / {servers} servers / {epochs} epochs / {k} moves per epoch"
+        ),
+        &[
+            "scenario",
+            "policy",
+            "mean imbalance",
+            "degraded",
+            "forced",
+            "fallbacks",
+            "rejected",
+            "regret",
+        ],
+    );
+    for p in &report.points {
+        table.row(&[
+            p.scenario.clone(),
+            p.policy.clone(),
+            format!("{:.3}", p.mean_imbalance),
+            p.epochs_degraded.to_string(),
+            p.forced_migrations.to_string(),
+            p.fallback_invocations.to_string(),
+            p.policy_rejections.to_string(),
+            format!("{:.3}", p.mean_oracle_regret),
+        ]);
+    }
+
+    let json =
+        serde_json::to_string_pretty(&report).map_err(|e| format!("report encode error: {e}"))?;
+    let mut out = table.render();
+    out.push('\n');
+    out.push_str(&json);
+    if let Some(path) = &out_path {
+        std::fs::write(path, &json).map_err(|e| format!("io error: {e}"))?;
+        out.push_str(&format!("\nchaos report written to {path}"));
+    }
+    if verbose {
+        out.push_str("\n\n");
+        out.push_str(&rec.snapshot().render_table());
+    }
+    if let Some(p) = &metrics_path {
+        out.push('\n');
+        out.push_str(&write_metrics(&rec, p)?);
+    }
+    Ok(out)
+}
+
 /// `lrb replay TRACE.csv --servers M [--moves K]` — replay a recorded load
 /// trace (one CSV row per epoch, one column per site) through every policy.
 pub fn replay_cmd(args: &Args, path: &str) -> CmdResult {
@@ -440,9 +546,17 @@ USAGE:
   lrb solve FILE (--moves K | --budget B) [--algorithm A] [--eps E] [--search binary|scan|incremental]
   lrb profile FILE [--moves K] [--eps E]
   lrb simulate [--sites N] [--servers M] [--epochs E] [--moves K] [--seed S] [--trace-dir D]
+  lrb chaos [--sites N] [--servers M] [--epochs E] [--moves K] [--seed S] [--out FILE]
+            [--crash-rate R] [--recovery-rate R] [--perturb-pct P]
+            [--stale-rate R] [--drop-rate R] [--exhaust-rate R]
   lrb replay TRACE.csv --servers M [--moves K]
 
-TELEMETRY (solve, profile, simulate):
+CHAOS:
+  sweeps the crash rate (0x, 0.5x, 1x, 2x, 4x of --crash-rate) through the
+  web-farm simulator under seeded fault injection and prints degradation
+  curves plus a schema-versioned JSON report
+
+TELEMETRY (solve, profile, simulate, chaos):
   --metrics OUT.json  write phase timings, counters, and histograms as JSON
   --verbose           print the same telemetry as a table
 
@@ -481,6 +595,7 @@ pub fn dispatch(tokens: Vec<String>) -> CmdResult {
             profile(&args, path)
         }
         Some("simulate") => simulate(&args),
+        Some("chaos") => chaos_cmd(&args),
         Some("replay") => {
             let path = pos.get(1).ok_or("replay needs a TRACE.csv argument")?;
             replay_cmd(&args, path)
@@ -602,6 +717,42 @@ mod tests {
         let out = run("simulate --sites 30 --servers 4 --epochs 10 --moves 2").unwrap();
         assert!(out.contains("m-partition"));
         assert!(out.contains("full-rebalance"));
+    }
+
+    #[test]
+    fn chaos_emits_a_schema_versioned_report() {
+        let out =
+            run("chaos --sites 20 --servers 4 --epochs 8 --moves 2 --crash-rate 0.2").unwrap();
+        assert!(out.contains("chaos sweep"), "{out}");
+        assert!(out.contains("fallback-chain"), "{out}");
+        // The JSON report follows the table and is parseable.
+        let json_start = out.find('{').unwrap();
+        let json_end = out.rfind('}').unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out[json_start..=json_end]).unwrap();
+        assert_eq!(v["schema_version"], 1u64);
+        // 5 sweep points x 2 policies.
+        assert_eq!(v["points"].as_array().unwrap().len(), 10);
+        // The 0x anchor point is degradation-free.
+        assert_eq!(v["points"][0]["epochs_degraded"], 0u64);
+    }
+
+    #[test]
+    fn chaos_writes_the_report_file_and_validates_rates() {
+        let path = tmpfile("chaos.json");
+        let out = run(&format!(
+            "chaos --sites 16 --servers 3 --epochs 5 --moves 2 --crash-rate 0.1 --exhaust-rate 0.4 --out {path}"
+        ))
+        .unwrap();
+        assert!(out.contains("chaos report written"));
+        let v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(v["schema_version"], 1u64);
+        assert_eq!(v["servers"], 3u64);
+        std::fs::remove_file(&path).ok();
+
+        assert!(run("chaos --crash-rate 1.5")
+            .unwrap_err()
+            .contains("probability"));
     }
 
     #[test]

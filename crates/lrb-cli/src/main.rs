@@ -4,6 +4,7 @@
 //! is fully unit-tested (the binary itself is a thin shell).
 
 mod args;
+mod chaos;
 mod commands;
 
 fn main() {

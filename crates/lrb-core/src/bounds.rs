@@ -93,6 +93,25 @@ mod tests {
     }
 
     #[test]
+    fn near_max_sizes_do_not_overflow_bounds() {
+        // Loads saturate at u64::MAX in the instance cache; every bound must
+        // survive that without aborting under overflow-checks.
+        let big = u64::MAX - 1;
+        let inst = Instance::from_sizes(&[big, big, 7], vec![0, 0, 1], 2).unwrap();
+        for k in 0..=3 {
+            let lb = lower_bound(&inst, Budget::Moves(k));
+            assert!(lb >= big, "k={k}");
+        }
+        // A cost budget near u64::MAX must not overflow the prefix sum.
+        let jobs = vec![
+            crate::model::Job::with_cost(1, big),
+            crate::model::Job::with_cost(1, big),
+        ];
+        let ci = Instance::new(jobs, vec![0, 0], 2).unwrap();
+        assert_eq!(max_moves_within(&ci, Budget::Cost(u64::MAX)), 1);
+    }
+
+    #[test]
     fn within_ratio_exact_arithmetic() {
         assert!(within_ratio(3, 2, 3, 2)); // 3 <= 1.5 * 2 exactly
         assert!(!within_ratio(4, 2, 3, 2)); // 4 > 3

@@ -28,6 +28,7 @@ use std::collections::BinaryHeap;
 
 use lrb_obs::{NoopRecorder, Recorder};
 
+use crate::deadline::WorkBudget;
 use crate::error::{Error, Result};
 use crate::knapsack::{max_cost_keep_bounded_recorded, Item, DEFAULT_NODE_BUDGET};
 use crate::model::{Cost, Instance, JobId, ProcId, Size};
@@ -96,6 +97,23 @@ pub fn rebalance_recorded<R: Recorder>(
     b: Cost,
     rec: &R,
 ) -> Result<CostPartitionRun> {
+    rebalance_impl(inst, b, rec, &WorkBudget::unlimited())
+}
+
+/// Run cost-PARTITION under a [`WorkBudget`]: `n` ticks are charged per
+/// binary-search guess (each guess runs two knapsacks per processor) plus
+/// `n` for the final build, so the search cancels with [`Error::Cancelled`]
+/// once the budget is exhausted.
+pub fn rebalance_budgeted(inst: &Instance, b: Cost, work: &WorkBudget) -> Result<CostPartitionRun> {
+    rebalance_impl(inst, b, &NoopRecorder, work)
+}
+
+fn rebalance_impl<R: Recorder>(
+    inst: &Instance,
+    b: Cost,
+    rec: &R,
+    work: &WorkBudget,
+) -> Result<CostPartitionRun> {
     if inst.num_jobs() == 0 {
         return Ok(CostPartitionRun {
             outcome: RebalanceOutcome::unchanged(inst),
@@ -113,6 +131,7 @@ pub fn rebalance_recorded<R: Recorder>(
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
         rec.incr("cost_partition.guesses", 1);
+        work.charge("cost_partition.guess", inst.num_jobs() as u64)?;
         let planned = build_plans(inst, mid, rec).map(|(plans, l_t)| select_cost(&plans, l_t));
         match planned {
             Some(cost) if cost <= b => hi = mid,
@@ -120,6 +139,7 @@ pub fn rebalance_recorded<R: Recorder>(
         }
     }
     drop(search_timer);
+    work.charge("cost_partition.build", inst.num_jobs() as u64)?;
     let _t = rec.time("cost_partition.build");
     run_at_recorded(inst, lo, rec).map(|mut run| {
         // No-regression clamp (mirrors M-PARTITION).
@@ -216,9 +236,9 @@ pub fn run_at_recorded<R: Recorder>(inst: &Instance, a: Size, rec: &R) -> Result
         .map(|(p, &l)| Reverse((l, p)))
         .collect();
     for &j in &removed_small {
-        let Reverse((load, p)) = heap.pop().expect("m >= 1");
+        let Reverse((load, p)) = heap.pop().ok_or(Error::NoProcessors)?;
         assignment[j] = p;
-        heap.push(Reverse((load + inst.size(j), p)));
+        heap.push(Reverse((load.saturating_add(inst.size(j)), p)));
     }
 
     let outcome = RebalanceOutcome::from_assignment(inst, assignment)?;
@@ -433,5 +453,20 @@ mod tests {
         let inst = Instance::from_sizes(&[], vec![], 2).unwrap();
         let run = rebalance(&inst, 5).unwrap();
         assert_eq!(run.outcome.makespan(), 0);
+    }
+
+    #[test]
+    fn budgeted_run_cancels_and_matches_unbudgeted() {
+        let inst = inst_with_costs(
+            &[(9, 4), (7, 2), (6, 5), (5, 1), (4, 3), (3, 2)],
+            vec![0, 0, 0, 1, 1, 2],
+            3,
+        );
+        let err = rebalance_budgeted(&inst, 6, &WorkBudget::new(1)).unwrap_err();
+        assert!(matches!(err, Error::Cancelled { .. }));
+
+        let budgeted = rebalance_budgeted(&inst, 6, &WorkBudget::unlimited()).unwrap();
+        let plain = rebalance(&inst, 6).unwrap();
+        assert_eq!(budgeted.outcome.assignment(), plain.outcome.assignment());
     }
 }

@@ -21,6 +21,18 @@ pub enum Error {
     BudgetExceeded { used: u64, budget: u64 },
     /// A makespan guess was infeasible (e.g. more large jobs than processors).
     InfeasibleGuess { guess: u64, reason: &'static str },
+    /// A solver hit its work budget / deadline and stopped at a cancellation
+    /// point before producing an answer (see [`crate::deadline::WorkBudget`]).
+    Cancelled {
+        /// The phase that was executing when the budget ran out.
+        phase: &'static str,
+        /// Work ticks consumed when the cancellation fired.
+        consumed: u64,
+        /// The work budget that was exhausted.
+        limit: u64,
+    },
+    /// An operation referenced a processor that is marked down / crashed.
+    ProcessorDown { proc: usize },
 }
 
 impl fmt::Display for Error {
@@ -45,6 +57,17 @@ impl fmt::Display for Error {
             Error::InfeasibleGuess { guess, reason } => {
                 write!(f, "makespan guess {guess} infeasible: {reason}")
             }
+            Error::Cancelled {
+                phase,
+                consumed,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "solver cancelled in {phase}: consumed {consumed} of {limit} work ticks"
+                )
+            }
+            Error::ProcessorDown { proc } => write!(f, "processor {proc} is down"),
         }
     }
 }
@@ -73,6 +96,21 @@ mod tests {
             budget: 10,
         };
         assert!(e.to_string().contains("11"));
+    }
+
+    #[test]
+    fn cancellation_and_outage_messages() {
+        let e = Error::Cancelled {
+            phase: "mpartition.search",
+            consumed: 120,
+            limit: 100,
+        };
+        let s = e.to_string();
+        assert!(s.contains("mpartition.search") && s.contains("120") && s.contains("100"));
+        assert_eq!(
+            Error::ProcessorDown { proc: 7 }.to_string(),
+            "processor 7 is down"
+        );
     }
 
     #[test]

@@ -21,7 +21,8 @@ use std::collections::BinaryHeap;
 
 use lrb_obs::{NoopRecorder, Recorder};
 
-use crate::error::Result;
+use crate::deadline::WorkBudget;
+use crate::error::{Error, Result};
 use crate::model::{Instance, JobId, ProcId, Size};
 use crate::outcome::RebalanceOutcome;
 
@@ -85,10 +86,32 @@ pub fn rebalance_with_order_recorded<R: Recorder>(
     order: ReinsertOrder,
     rec: &R,
 ) -> Result<(RebalanceOutcome, GreedyTrace)> {
+    rebalance_impl(inst, k, order, rec, &WorkBudget::unlimited())
+}
+
+/// Run `GREEDY` under a [`WorkBudget`]: one tick is charged per removal and
+/// per reinsertion step, so the run cancels with [`Error::Cancelled`] once
+/// the budget is exhausted instead of finishing late.
+pub fn rebalance_budgeted(
+    inst: &Instance,
+    k: usize,
+    order: ReinsertOrder,
+    work: &WorkBudget,
+) -> Result<(RebalanceOutcome, GreedyTrace)> {
+    rebalance_impl(inst, k, order, &NoopRecorder, work)
+}
+
+fn rebalance_impl<R: Recorder>(
+    inst: &Instance,
+    k: usize,
+    order: ReinsertOrder,
+    rec: &R,
+    work: &WorkBudget,
+) -> Result<(RebalanceOutcome, GreedyTrace)> {
     let mut assignment = inst.initial().clone();
     let (removed, g1, mut loads) = {
         let _t = rec.time("greedy.removal");
-        removal_phase(inst, k, rec)
+        removal_phase(inst, k, rec, work)?
     };
 
     // Phase 2: reinsert each removed job on the current minimum-loaded
@@ -109,8 +132,9 @@ pub fn rebalance_with_order_recorded<R: Recorder>(
         .map(|(p, &l)| Reverse((l, p)))
         .collect();
     for j in order_buf {
-        let Reverse((load, p)) = heap.pop().expect("m >= 1 processors");
-        let new_load = load + inst.size(j);
+        work.charge("greedy.reinsert", 1)?;
+        let Reverse((load, p)) = heap.pop().ok_or(Error::NoProcessors)?;
+        let new_load = load.saturating_add(inst.size(j));
         assignment[j] = p;
         loads[p] = new_load;
         heap.push(Reverse((new_load, p)));
@@ -131,7 +155,12 @@ pub fn rebalance_with_order_recorded<R: Recorder>(
 /// `k` times (stopping early once all loads are zero). Returns the removed
 /// jobs in removal order, the resulting makespan `G1`, and the residual
 /// per-processor loads.
-fn removal_phase<R: Recorder>(inst: &Instance, k: usize, rec: &R) -> (Vec<JobId>, Size, Vec<Size>) {
+fn removal_phase<R: Recorder>(
+    inst: &Instance,
+    k: usize,
+    rec: &R,
+    work: &WorkBudget,
+) -> Result<(Vec<JobId>, Size, Vec<Size>)> {
     let mut loads = inst.initial_loads().to_vec();
 
     // Per-processor job stacks sorted ascending by size, so the largest job
@@ -148,6 +177,7 @@ fn removal_phase<R: Recorder>(inst: &Instance, k: usize, rec: &R) -> (Vec<JobId>
 
     let mut removed = Vec::with_capacity(k.min(inst.num_jobs()));
     for _ in 0..k {
+        work.charge("greedy.removal", 1)?;
         let p = loop {
             match heap.pop() {
                 Some((l, p)) if loads[p] == l => break Some(p),
@@ -160,22 +190,27 @@ fn removal_phase<R: Recorder>(inst: &Instance, k: usize, rec: &R) -> (Vec<JobId>
             // All processors are empty; removing more jobs is pointless.
             break;
         }
-        let j = per_proc[p].pop().expect("nonzero load implies a job");
-        loads[p] -= inst.size(j);
+        // A nonzero load implies a job on the stack; treat a mismatch (an
+        // internal-invariant breach, not user input) as "nothing to remove"
+        // rather than panicking.
+        let Some(j) = per_proc[p].pop() else { break };
+        loads[p] = loads[p].saturating_sub(inst.size(j));
         removed.push(j);
         rec.incr("greedy.jobs_removed", 1);
         heap.push((loads[p], p));
     }
 
     let g1 = loads.iter().copied().max().unwrap_or(0);
-    (removed, g1, loads)
+    Ok((removed, g1, loads))
 }
 
 /// Lemma 1 as a lower bound: the makespan after removing the largest job
 /// from the max-loaded processor `k` times. Any rebalancing that moves at
 /// most `k` jobs has makespan at least this value.
 pub fn g1_lower_bound(inst: &Instance, k: usize) -> Size {
-    removal_phase(inst, k, &NoopRecorder).1
+    removal_phase(inst, k, &NoopRecorder, &WorkBudget::unlimited())
+        .expect("unlimited work budget never cancels")
+        .1
 }
 
 #[cfg(test)]
@@ -294,6 +329,24 @@ mod tests {
         let inst = Instance::from_sizes(&[3, 4], vec![0, 0], 1).unwrap();
         let out = rebalance(&inst, 2).unwrap();
         assert_eq!(out.makespan(), 7);
+    }
+
+    #[test]
+    fn budgeted_run_cancels_and_matches_unbudgeted() {
+        let inst = Instance::from_sizes(&[9, 1, 1, 1, 8], vec![0, 0, 0, 0, 1], 3).unwrap();
+        let err = rebalance_budgeted(&inst, 3, ReinsertOrder::Descending, &WorkBudget::new(1))
+            .unwrap_err();
+        assert!(matches!(err, crate::error::Error::Cancelled { .. }));
+
+        let (budgeted, _) = rebalance_budgeted(
+            &inst,
+            3,
+            ReinsertOrder::Descending,
+            &WorkBudget::unlimited(),
+        )
+        .unwrap();
+        let plain = rebalance(&inst, 3).unwrap();
+        assert_eq!(budgeted.assignment(), plain.assignment());
     }
 
     #[test]

@@ -50,6 +50,28 @@ pub fn max_cost_keep_bounded(items: &[Item], cap: u64, node_budget: u64) -> Keep
     max_cost_keep_bounded_recorded(items, cap, node_budget, &NoopRecorder)
 }
 
+/// [`max_cost_keep`] under a [`crate::deadline::WorkBudget`]: the
+/// branch-and-bound node budget is clamped to the remaining work, and if
+/// the clamped search could not prove optimality the consumed nodes are
+/// charged — cancelling with [`crate::error::Error::Cancelled`] when the
+/// work budget (rather than the default node budget) was the binding
+/// constraint.
+pub fn max_cost_keep_budgeted(
+    items: &[Item],
+    cap: u64,
+    work: &crate::deadline::WorkBudget,
+) -> crate::error::Result<KeepSolution> {
+    work.charge("knapsack.setup", items.len() as u64)?;
+    let node_budget = DEFAULT_NODE_BUDGET.min(work.remaining().max(1));
+    let sol = max_cost_keep_bounded(items, cap, node_budget);
+    if !sol.exact {
+        // The search walked (roughly) its whole node budget before falling
+        // back; charging it either records the expense or cancels the run.
+        work.charge("knapsack.branch_and_bound", node_budget)?;
+    }
+    Ok(sol)
+}
+
 /// [`max_cost_keep_bounded`] with instrumentation: counts branch-and-bound
 /// nodes expanded (`knapsack.bb_nodes`) and times the search
 /// (`knapsack.branch_and_bound`).
@@ -306,6 +328,19 @@ mod tests {
         let its = items(&[(5, 3)]);
         assert_eq!(max_cost_keep(&its, 4).kept_cost, 0);
         assert_eq!(max_cost_keep(&its, 5).kept_cost, 3);
+    }
+
+    #[test]
+    fn budgeted_matches_unbudgeted_and_cancels() {
+        use crate::deadline::WorkBudget;
+
+        let its = items(&[(6, 5), (5, 4), (4, 3), (3, 7), (2, 2)]);
+        let free = WorkBudget::unlimited();
+        let sol = max_cost_keep_budgeted(&its, 10, &free).unwrap();
+        assert_eq!(sol, max_cost_keep(&its, 10));
+
+        let err = max_cost_keep_budgeted(&its, 10, &WorkBudget::new(1)).unwrap_err();
+        assert!(matches!(err, crate::error::Error::Cancelled { .. }));
     }
 
     #[test]

@@ -31,6 +31,7 @@
 pub mod bounds;
 pub mod constrained;
 pub mod cost_partition;
+pub mod deadline;
 pub mod error;
 pub mod greedy;
 pub mod incremental;
@@ -48,6 +49,9 @@ pub mod prelude {
     pub use crate::bounds::{lower_bound, within_ratio};
     pub use crate::constrained::ConstrainedInstance;
     pub use crate::cost_partition;
+    pub use crate::deadline::{
+        DeadlineSolver, FallbackChain, FallbackReport, SolverKind, WorkBudget,
+    };
     pub use crate::error::{Error, Result};
     pub use crate::greedy;
     pub use crate::lpt;

@@ -122,8 +122,11 @@ impl Instance {
         let mut loads = vec![0u64; self.num_procs];
         let mut total = 0u64;
         for (job, &p) in self.jobs.iter().zip(&self.initial) {
-            loads[p] += job.size;
-            total += job.size;
+            // Saturating: pathological near-u64::MAX sizes clamp instead of
+            // aborting under overflow-checks; every derived bound stays a
+            // valid (if conservative) u64.
+            loads[p] = loads[p].saturating_add(job.size);
+            total = total.saturating_add(job.size);
         }
         self.cached_loads = loads;
         self.cached_total = total;
@@ -240,7 +243,7 @@ impl Instance {
                     num_procs: self.num_procs,
                 });
             }
-            loads[p] += self.jobs[j].size;
+            loads[p] = loads[p].saturating_add(self.jobs[j].size);
         }
         Ok(loads)
     }
@@ -279,7 +282,7 @@ impl Instance {
             .enumerate()
             .filter(|(_, (a, b))| a != b)
             .map(|(j, _)| self.jobs[j].cost)
-            .sum()
+            .fold(0u64, u64::saturating_add)
     }
 
     /// True if every job has unit relocation cost.
@@ -289,7 +292,10 @@ impl Instance {
 
     /// Sum of all relocation costs (an upper bound on any useful budget).
     pub fn total_cost(&self) -> Cost {
-        self.jobs.iter().map(|j| j.cost).sum()
+        self.jobs
+            .iter()
+            .map(|j| j.cost)
+            .fold(0u64, u64::saturating_add)
     }
 }
 
@@ -422,6 +428,25 @@ mod tests {
         assert_eq!(inst.initial_makespan(), 0);
         assert_eq!(inst.avg_load_ceil(), 0);
         assert_eq!(inst.max_job_size(), 0);
+    }
+
+    #[test]
+    fn near_max_job_sizes_saturate_instead_of_overflowing() {
+        // Two jobs near u64::MAX on one processor: the summed load would
+        // overflow; saturating accumulation must clamp, not abort (this is
+        // the regression test for running with overflow-checks on).
+        let big = u64::MAX - 3;
+        let inst = Instance::from_sizes(&[big, big, 1], vec![0, 0, 1], 2).unwrap();
+        assert_eq!(inst.initial_loads(), &[u64::MAX, 1]);
+        assert_eq!(inst.total_size(), u64::MAX);
+        assert_eq!(inst.initial_makespan(), u64::MAX);
+        assert_eq!(inst.loads_of(&[0, 0, 0]).unwrap(), vec![u64::MAX, 0]);
+
+        // Cost accumulation saturates too.
+        let jobs = vec![Job::with_cost(1, big), Job::with_cost(1, big)];
+        let ci = Instance::new(jobs, vec![0, 0], 2).unwrap();
+        assert_eq!(ci.total_cost(), u64::MAX);
+        assert_eq!(ci.move_cost(&[1, 1]), u64::MAX);
     }
 
     #[test]

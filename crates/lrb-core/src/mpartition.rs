@@ -23,6 +23,7 @@
 
 use lrb_obs::{NoopRecorder, Recorder};
 
+use crate::deadline::WorkBudget;
 use crate::error::{Error, Result};
 use crate::model::{Instance, Size};
 use crate::outcome::RebalanceOutcome;
@@ -90,6 +91,28 @@ pub fn rebalance_with_recorded<R: Recorder>(
     search: ThresholdSearch,
     rec: &R,
 ) -> Result<MPartitionRun> {
+    rebalance_impl(inst, k, search, rec, &WorkBudget::unlimited())
+}
+
+/// Run M-PARTITION under a [`WorkBudget`]: ticks are charged for profile
+/// construction, each probed threshold, and the final PARTITION run, so the
+/// search cancels with [`Error::Cancelled`] once the budget is exhausted.
+pub fn rebalance_budgeted(
+    inst: &Instance,
+    k: usize,
+    search: ThresholdSearch,
+    work: &WorkBudget,
+) -> Result<MPartitionRun> {
+    rebalance_impl(inst, k, search, &NoopRecorder, work)
+}
+
+fn rebalance_impl<R: Recorder>(
+    inst: &Instance,
+    k: usize,
+    search: ThresholdSearch,
+    rec: &R,
+    work: &WorkBudget,
+) -> Result<MPartitionRun> {
     if inst.num_jobs() == 0 {
         return Ok(MPartitionRun {
             outcome: RebalanceOutcome::unchanged(inst),
@@ -106,6 +129,7 @@ pub fn rebalance_with_recorded<R: Recorder>(
         });
     }
 
+    work.charge("mpartition.profiles", inst.num_jobs() as u64)?;
     let profiles = Profiles::new(inst);
     let candidates = profiles.candidates();
     // Start at the paper's average-load guess — but because the search only
@@ -123,9 +147,10 @@ pub fn rebalance_with_recorded<R: Recorder>(
     );
 
     let mut probes = 0usize;
-    let feasible = |t: Size, probes: &mut usize| -> bool {
+    let feasible = |t: Size, probes: &mut usize| -> Result<bool> {
         *probes += 1;
-        matches!(partition::planned_moves(&profiles, t), Some(moves) if moves <= k)
+        work.charge("mpartition.search", 1)?;
+        Ok(matches!(partition::planned_moves(&profiles, t), Some(moves) if moves <= k))
     };
 
     let search_timer = rec.time("mpartition.search");
@@ -133,7 +158,7 @@ pub fn rebalance_with_recorded<R: Recorder>(
         ThresholdSearch::Scan => {
             let mut idx = None;
             for (i, &t) in cands.iter().enumerate() {
-                if feasible(t, &mut probes) {
+                if feasible(t, &mut probes)? {
                     idx = Some(i);
                     break;
                 }
@@ -143,18 +168,25 @@ pub fn rebalance_with_recorded<R: Recorder>(
         ThresholdSearch::Incremental => {
             let mut scan =
                 crate::incremental::IncrementalScan::new(inst, &profiles, inst.avg_load_ceil())
-                    .expect("non-empty instance has candidates");
-            scan.first_feasible(k).map(|(t, visited)| {
-                probes += visited;
-                cands.partition_point(|&c| c < t)
-            })
+                    .ok_or(Error::InfeasibleGuess {
+                        guess: 0,
+                        reason: "no candidate thresholds",
+                    })?;
+            match scan.first_feasible(k) {
+                Some((t, visited)) => {
+                    probes += visited;
+                    work.charge("mpartition.search", visited as u64)?;
+                    Some(cands.partition_point(|&c| c < t))
+                }
+                None => None,
+            }
         }
         ThresholdSearch::Binary => {
             // partition_point over "still infeasible".
             let (mut lo, mut hi) = (0usize, cands.len());
             while lo < hi {
                 let mid = (lo + hi) / 2;
-                if feasible(cands[mid], &mut probes) {
+                if feasible(cands[mid], &mut probes)? {
                     hi = mid;
                 } else {
                     lo = mid + 1;
@@ -177,12 +209,13 @@ pub fn rebalance_with_recorded<R: Recorder>(
     let Some(idx) = idx else {
         // Cannot happen: the largest candidate always plans zero moves.
         return Err(Error::InfeasibleGuess {
-            guess: *cands.last().unwrap(),
+            guess: cands.last().copied().unwrap_or(0),
             reason: "no feasible threshold found",
         });
     };
 
     let t = cands[idx];
+    work.charge("mpartition.partition", inst.num_jobs() as u64)?;
     let run = {
         let _t = rec.time("mpartition.partition");
         partition::run_with_profiles_recorded(inst, &profiles, t, rec)?
@@ -306,6 +339,27 @@ mod tests {
         let inst = Instance::from_sizes(&[], vec![], 2).unwrap();
         let run = rebalance(&inst, 3).unwrap();
         assert_eq!(run.outcome.makespan(), 0);
+    }
+
+    #[test]
+    fn budgeted_run_cancels_and_matches_unbudgeted() {
+        let inst = Instance::from_sizes(&[10, 9, 8, 7, 1, 1], vec![0, 0, 0, 0, 1, 2], 3).unwrap();
+        for search in [
+            ThresholdSearch::Scan,
+            ThresholdSearch::Incremental,
+            ThresholdSearch::Binary,
+        ] {
+            let err = rebalance_budgeted(&inst, 2, search, &WorkBudget::new(1)).unwrap_err();
+            assert!(matches!(err, Error::Cancelled { .. }), "{search:?}");
+
+            let budgeted = rebalance_budgeted(&inst, 2, search, &WorkBudget::unlimited()).unwrap();
+            let plain = rebalance_with(&inst, 2, search).unwrap();
+            assert_eq!(
+                budgeted.outcome.assignment(),
+                plain.outcome.assignment(),
+                "{search:?}"
+            );
+        }
     }
 
     #[test]

@@ -235,9 +235,9 @@ pub fn run_with_profiles_recorded<R: Recorder>(
         .map(|(p, &l)| Reverse((l, p)))
         .collect();
     for &j in &removed_small {
-        let Reverse((load, p)) = heap.pop().expect("m >= 1");
+        let Reverse((load, p)) = heap.pop().ok_or(Error::NoProcessors)?;
         assignment[j] = p;
-        heap.push(Reverse((load + inst.size(j), p)));
+        heap.push(Reverse((load.saturating_add(inst.size(j)), p)));
     }
     drop(step6);
 

@@ -25,7 +25,8 @@ pub mod view;
 use lrb_obs::{NoopRecorder, Recorder};
 
 use crate::bounds;
-use crate::error::Result;
+use crate::deadline::WorkBudget;
+use crate::error::{Error, Result};
 use crate::model::{Budget, Cost, Instance, Size};
 use crate::outcome::RebalanceOutcome;
 use crate::ptas::dp::DpOutcome;
@@ -106,6 +107,29 @@ pub fn rebalance_recorded<R: Recorder>(
     precision: Precision,
     rec: &R,
 ) -> Result<PtasRun> {
+    rebalance_impl(inst, budget, precision, rec, &WorkBudget::unlimited())
+}
+
+/// Run the PTAS under a [`WorkBudget`]: `n` ticks are charged per guess for
+/// grid/view construction and one tick per DP state expanded (the DP's
+/// state budget is additionally clamped to the remaining work), so the run
+/// cancels with [`Error::Cancelled`] once the budget is exhausted.
+pub fn rebalance_budgeted(
+    inst: &Instance,
+    budget: Cost,
+    precision: Precision,
+    work: &WorkBudget,
+) -> Result<PtasRun> {
+    rebalance_impl(inst, budget, precision, &NoopRecorder, work)
+}
+
+fn rebalance_impl<R: Recorder>(
+    inst: &Instance,
+    budget: Cost,
+    precision: Precision,
+    rec: &R,
+    work: &WorkBudget,
+) -> Result<PtasRun> {
     let q = precision.q();
     if inst.num_jobs() == 0 || inst.total_size() == 0 {
         return Ok(PtasRun {
@@ -116,10 +140,15 @@ pub fn rebalance_recorded<R: Recorder>(
             probes: 0,
         });
     }
-    assert!(
-        inst.max_job_size() <= 1 << 40,
-        "PTAS supports sizes up to 2^40 (internal scaling headroom)"
-    );
+    if inst.max_job_size() > 1 << 40 {
+        // Refuse gracefully instead of panicking: the internal size scaling
+        // has 2^40 of headroom; callers (e.g. a fallback chain) can degrade
+        // to an algorithm without that limit.
+        return Err(Error::InfeasibleGuess {
+            guess: inst.max_job_size(),
+            reason: "PTAS supports sizes up to 2^40 (internal scaling headroom)",
+        });
+    }
 
     // Guess ladder: from the makespan lower bound up to the initial
     // makespan, multiplying by (1 + 1/q) each step.
@@ -138,16 +167,23 @@ pub fn rebalance_recorded<R: Recorder>(
     for &t in &guesses {
         probes += 1;
         rec.incr("ptas.guesses", 1);
+        work.charge("ptas.grid", inst.num_jobs() as u64)?;
         let view = {
             let _t = rec.time("ptas.grid");
             View::new(inst, t, q)
         };
+        // Clamp the DP's state budget to the remaining work so a tight
+        // deadline cannot be blown inside a single guess; one work tick is
+        // charged per state the DP actually expanded.
+        let state_budget =
+            dp::DEFAULT_STATE_BUDGET.min(usize::try_from(work.remaining()).unwrap_or(usize::MAX));
         let solved = {
             let _t = rec.time("ptas.dp");
-            dp::solve(&view)
+            dp::solve_bounded(&view, state_budget)
         };
         match solved {
             DpOutcome::Solved(sol) if sol.cost <= budget => {
+                work.charge("ptas.dp", sol.states as u64)?;
                 rec.incr("ptas.dp_states", sol.states as u64);
                 let _t = rec.time("ptas.assemble");
                 let outcome = assemble::assemble(inst, &view, &sol)?
@@ -161,9 +197,16 @@ pub fn rebalance_recorded<R: Recorder>(
                 });
             }
             DpOutcome::Solved(sol) => {
+                work.charge("ptas.dp", sol.states as u64)?;
                 rec.incr("ptas.dp_states", sol.states as u64);
             }
-            DpOutcome::Infeasible | DpOutcome::Exhausted => {}
+            DpOutcome::Infeasible => {
+                work.charge("ptas.dp", inst.num_jobs() as u64)?;
+            }
+            DpOutcome::Exhausted => {
+                // The DP visited (roughly) its whole state budget.
+                work.charge("ptas.dp", state_budget as u64)?;
+            }
         }
     }
 
@@ -237,5 +280,25 @@ mod tests {
         let inst = Instance::from_sizes(&[], vec![], 2).unwrap();
         let run = rebalance(&inst, 5, Precision::from_q(5)).unwrap();
         assert_eq!(run.outcome.makespan(), 0);
+    }
+
+    #[test]
+    fn oversized_jobs_error_instead_of_panicking() {
+        let inst = Instance::from_sizes(&[1 << 41, 1], vec![0, 0], 2).unwrap();
+        let err = rebalance(&inst, 1, Precision::from_q(5)).unwrap_err();
+        assert!(matches!(err, Error::InfeasibleGuess { .. }));
+    }
+
+    #[test]
+    fn budgeted_run_cancels_and_matches_unbudgeted() {
+        let inst = Instance::from_sizes(&[9, 7, 6, 5, 4, 3], vec![0, 0, 0, 1, 1, 2], 3).unwrap();
+        let err =
+            rebalance_budgeted(&inst, 3, Precision::from_q(5), &WorkBudget::new(1)).unwrap_err();
+        assert!(matches!(err, Error::Cancelled { .. }));
+
+        let budgeted =
+            rebalance_budgeted(&inst, 3, Precision::from_q(5), &WorkBudget::unlimited()).unwrap();
+        let plain = rebalance(&inst, 3, Precision::from_q(5)).unwrap();
+        assert_eq!(budgeted.outcome.assignment(), plain.outcome.assignment());
     }
 }

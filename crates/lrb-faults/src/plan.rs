@@ -1,0 +1,322 @@
+//! Seeded fault schedules.
+//!
+//! A [`FaultPlan`] is generated up front from a [`FaultConfig`] and is pure
+//! data afterwards: the simulator replays it epoch by epoch, so two runs
+//! with the same seed see byte-identical fault sequences regardless of what
+//! the policies do in between.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Rates and knobs for fault generation. All probabilities are per epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Probability that an *up* processor crashes this epoch.
+    pub crash_rate: f64,
+    /// Probability that a *down* processor recovers this epoch.
+    pub recovery_rate: f64,
+    /// Maximum job-size perturbation, in percent: the view multiplies each
+    /// size by a factor drawn from `[100 - p, 100 + p] / 100`. Zero
+    /// disables perturbation.
+    pub perturb_pct: u32,
+    /// Probability that an up processor's load report is stale this epoch
+    /// (the view replays the last value it reported).
+    pub stale_rate: f64,
+    /// Probability that an up processor's load report is dropped entirely
+    /// (the view reads its jobs as size zero).
+    pub drop_rate: f64,
+    /// Probability that an epoch's solver work budget is declared exhausted
+    /// (forcing the fallback chain to degrade).
+    pub exhaust_rate: f64,
+    /// Master seed for the whole plan.
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// A config that injects nothing (useful as a baseline sweep point).
+    pub fn none(seed: u64) -> Self {
+        FaultConfig {
+            crash_rate: 0.0,
+            recovery_rate: 1.0,
+            perturb_pct: 0,
+            stale_rate: 0.0,
+            drop_rate: 0.0,
+            exhaust_rate: 0.0,
+            seed,
+        }
+    }
+
+    /// A crash-only config: processors fail at `crash_rate` and recover at
+    /// `recovery_rate`; reports stay truthful.
+    pub fn crashes(crash_rate: f64, recovery_rate: f64, seed: u64) -> Self {
+        FaultConfig {
+            crash_rate,
+            recovery_rate,
+            ..Self::none(seed)
+        }
+    }
+}
+
+/// The faults in effect during one epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochFaults {
+    /// Per-processor outage mask (`true` = down). Never all-true.
+    pub down: Vec<bool>,
+    /// Per-processor stale-report mask.
+    pub stale: Vec<bool>,
+    /// Per-processor dropped-report mask.
+    pub dropped: Vec<bool>,
+    /// Seed for this epoch's size perturbation (0 disables, see
+    /// [`crate::FaultyView`]).
+    pub perturb_seed: u64,
+    /// Whether this epoch's solver budget is declared exhausted.
+    pub solver_exhausted: bool,
+}
+
+impl EpochFaults {
+    /// An all-clear epoch for `m` processors.
+    pub fn clear(m: usize) -> Self {
+        EpochFaults {
+            down: vec![false; m],
+            stale: vec![false; m],
+            dropped: vec![false; m],
+            perturb_seed: 0,
+            solver_exhausted: false,
+        }
+    }
+
+    /// Whether this epoch injects nothing at all.
+    pub fn is_clear(&self) -> bool {
+        !self.solver_exhausted
+            && self.perturb_seed == 0
+            && self.down.iter().all(|&d| !d)
+            && self.stale.iter().all(|&s| !s)
+            && self.dropped.iter().all(|&d| !d)
+    }
+
+    /// Number of processors currently down.
+    pub fn down_count(&self) -> usize {
+        self.down.iter().filter(|&&d| d).count()
+    }
+}
+
+/// A full fault schedule: one [`EpochFaults`] per epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    num_procs: usize,
+    epochs: Vec<EpochFaults>,
+    fault_free: bool,
+    #[serde(default)]
+    perturb_pct: u32,
+}
+
+impl FaultPlan {
+    /// The plan that injects nothing, for any number of epochs.
+    ///
+    /// [`FaultPlan::is_fault_free`] is `true` and [`FaultPlan::epoch`]
+    /// always returns an all-clear schedule, so simulators can run their
+    /// fault-aware path unconditionally and still be bit-for-bit identical
+    /// to a fault-oblivious run.
+    pub fn none(num_procs: usize) -> Self {
+        FaultPlan {
+            num_procs,
+            epochs: Vec::new(),
+            fault_free: true,
+            perturb_pct: 0,
+        }
+    }
+
+    /// Generate a deterministic plan for `num_procs` processors over
+    /// `epochs` epochs.
+    ///
+    /// Crash/recovery is a two-state Markov chain per processor; whenever a
+    /// sampled epoch would leave every processor down, one seeded survivor
+    /// is forced back up, so the invariant "at least one processor is up"
+    /// always holds.
+    pub fn generate(cfg: &FaultConfig, num_procs: usize, epochs: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut down = vec![false; num_procs];
+        let mut schedule = Vec::with_capacity(epochs);
+        let mut fault_free = true;
+        for _ in 0..epochs {
+            // Markov transitions, in fixed processor order.
+            for d in down.iter_mut() {
+                *d = if *d {
+                    !rng.gen_bool(cfg.recovery_rate)
+                } else {
+                    rng.gen_bool(cfg.crash_rate)
+                };
+            }
+            if num_procs > 0 && down.iter().all(|&d| d) {
+                let survivor = rng.gen_range(0..num_procs);
+                down[survivor] = false;
+            }
+
+            let mut stale = vec![false; num_procs];
+            let mut dropped = vec![false; num_procs];
+            for p in 0..num_procs {
+                // Reports from down processors are moot; only up processors
+                // mis-report.
+                if !down[p] {
+                    stale[p] = cfg.stale_rate > 0.0 && rng.gen_bool(cfg.stale_rate);
+                    dropped[p] = cfg.drop_rate > 0.0 && rng.gen_bool(cfg.drop_rate);
+                }
+            }
+
+            let perturb_seed = if cfg.perturb_pct > 0 {
+                // Draw unconditionally so downstream faults don't shift when
+                // only this knob changes; never zero (zero disables).
+                rng.next_u64() | 1
+            } else {
+                0
+            };
+            let solver_exhausted = cfg.exhaust_rate > 0.0 && rng.gen_bool(cfg.exhaust_rate);
+
+            let ef = EpochFaults {
+                down: down.clone(),
+                stale,
+                dropped,
+                perturb_seed,
+                solver_exhausted,
+            };
+            fault_free &= ef.is_clear();
+            schedule.push(ef);
+        }
+        FaultPlan {
+            num_procs,
+            epochs: schedule,
+            fault_free,
+            perturb_pct: cfg.perturb_pct,
+        }
+    }
+
+    /// The faults for epoch `e` (all-clear past the end of the schedule).
+    pub fn epoch(&self, e: usize) -> EpochFaults {
+        self.epochs
+            .get(e)
+            .cloned()
+            .unwrap_or_else(|| EpochFaults::clear(self.num_procs))
+    }
+
+    /// Whether the whole plan injects nothing.
+    pub fn is_fault_free(&self) -> bool {
+        self.fault_free
+    }
+
+    /// Number of processors the plan was generated for.
+    pub fn num_procs(&self) -> usize {
+        self.num_procs
+    }
+
+    /// Maximum job-size perturbation percentage the plan was generated
+    /// with (what [`crate::FaultyView::observe`] should be handed).
+    pub fn perturb_pct(&self) -> u32 {
+        self.perturb_pct
+    }
+
+    /// Number of scheduled epochs.
+    pub fn len(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.epochs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_is_fault_free_and_clear() {
+        let plan = FaultPlan::none(4);
+        assert!(plan.is_fault_free());
+        for e in [0, 1, 99] {
+            let f = plan.epoch(e);
+            assert!(f.is_clear());
+            assert_eq!(f.down.len(), 4);
+        }
+    }
+
+    #[test]
+    fn zero_rate_config_generates_fault_free_plan() {
+        let plan = FaultPlan::generate(&FaultConfig::none(42), 5, 30);
+        assert!(plan.is_fault_free());
+        assert!((0..30).all(|e| plan.epoch(e).is_clear()));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = FaultConfig {
+            crash_rate: 0.2,
+            recovery_rate: 0.5,
+            perturb_pct: 10,
+            stale_rate: 0.1,
+            drop_rate: 0.05,
+            exhaust_rate: 0.1,
+            seed: 7,
+        };
+        let a = FaultPlan::generate(&cfg, 6, 50);
+        let b = FaultPlan::generate(&cfg, 6, 50);
+        assert_eq!(a, b);
+        let c = FaultPlan::generate(&FaultConfig { seed: 8, ..cfg }, 6, 50);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn at_least_one_processor_always_up() {
+        let cfg = FaultConfig::crashes(0.95, 0.05, 3);
+        for m in 1..=5 {
+            let plan = FaultPlan::generate(&cfg, m, 200);
+            for e in 0..200 {
+                assert!(plan.epoch(e).down_count() < m, "m={m} e={e}");
+            }
+        }
+    }
+
+    #[test]
+    fn crash_rate_moves_outage_frequency() {
+        let calm = FaultPlan::generate(&FaultConfig::crashes(0.01, 0.9, 1), 8, 300);
+        let wild = FaultPlan::generate(&FaultConfig::crashes(0.4, 0.2, 1), 8, 300);
+        let outages = |p: &FaultPlan| (0..300).map(|e| p.epoch(e).down_count()).sum::<usize>();
+        assert!(outages(&calm) < outages(&wild));
+        assert!(!wild.is_fault_free());
+    }
+
+    #[test]
+    fn down_processors_do_not_misreport() {
+        let cfg = FaultConfig {
+            crash_rate: 0.5,
+            recovery_rate: 0.2,
+            stale_rate: 1.0,
+            drop_rate: 1.0,
+            ..FaultConfig::none(11)
+        };
+        let plan = FaultPlan::generate(&cfg, 4, 100);
+        for e in 0..100 {
+            let f = plan.epoch(e);
+            for p in 0..4 {
+                if f.down[p] {
+                    assert!(!f.stale[p] && !f.dropped[p], "e={e} p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_roundtrips_through_json() {
+        let cfg = FaultConfig {
+            crash_rate: 0.2,
+            recovery_rate: 0.5,
+            perturb_pct: 5,
+            ..FaultConfig::none(9)
+        };
+        let plan = FaultPlan::generate(&cfg, 3, 10);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+}

@@ -1,0 +1,178 @@
+//! Corrupted instance views.
+//!
+//! Policies never see the true [`Instance`] under faults — they see what
+//! the (possibly stale, dropped, or noisy) load reports claim. A
+//! [`FaultyView`] is the stateful observer that builds that claimed
+//! instance each epoch and remembers what it last reported, so stale
+//! reports replay old values exactly the way a real monitoring pipeline
+//! would.
+
+use lrb_core::model::{Instance, Job};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::plan::EpochFaults;
+
+/// Stateful observer translating the true instance into the corrupted one a
+/// policy sees. One view instance should live for a whole simulation run so
+/// stale reports have history to replay.
+#[derive(Debug, Clone, Default)]
+pub struct FaultyView {
+    /// Per-job size as last *reported* (not necessarily true), used when a
+    /// processor's report is stale. Re-initialized whenever the job
+    /// population changes size.
+    last_seen: Vec<u64>,
+}
+
+impl FaultyView {
+    /// A fresh view with no report history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observe the true `inst` through this epoch's faults, returning the
+    /// instance the policy should be handed.
+    ///
+    /// * Fault-free epochs return `inst` unchanged (identical clone), so
+    ///   the no-fault path is bit-for-bit reproducible.
+    /// * Jobs on a processor whose report was **dropped** read as size 0.
+    /// * Jobs on a processor whose report is **stale** replay the size this
+    ///   view last reported for them.
+    /// * Otherwise a nonzero `perturb_seed` multiplies each size by a
+    ///   deterministic factor in `[100 - pct, 100 + pct] / 100`.
+    ///
+    /// Placement, processor count, and relocation costs are never
+    /// corrupted — only sizes — so assignments produced against the view
+    /// remain structurally valid for the true instance.
+    pub fn observe(&mut self, inst: &Instance, faults: &EpochFaults, perturb_pct: u32) -> Instance {
+        let n = inst.num_jobs();
+        if self.last_seen.len() != n {
+            // Job population changed (new epoch workload): reset history to
+            // the truth, as a real pipeline would on re-registration.
+            self.last_seen = (0..n).map(|j| inst.size(j)).collect();
+        }
+
+        if faults.is_clear() {
+            for j in 0..n {
+                self.last_seen[j] = inst.size(j);
+            }
+            return inst.clone();
+        }
+
+        let mut rng = (faults.perturb_seed != 0 && perturb_pct > 0)
+            .then(|| StdRng::seed_from_u64(faults.perturb_seed));
+
+        let jobs: Vec<Job> = (0..n)
+            .map(|j| {
+                let p = inst.initial_proc(j);
+                let truth = inst.size(j);
+                // Perturbation is sampled unconditionally (in job order) so
+                // the noise stream doesn't shift with the stale/drop masks.
+                let noisy = match rng.as_mut() {
+                    Some(rng) => {
+                        let lo = 100u64.saturating_sub(perturb_pct as u64);
+                        let hi = 100u64 + perturb_pct as u64;
+                        let factor = rng.gen_range(lo..=hi);
+                        (truth / 100)
+                            .saturating_mul(factor)
+                            .saturating_add((truth % 100).saturating_mul(factor) / 100)
+                    }
+                    None => truth,
+                };
+                let reported = if faults.dropped.get(p).copied().unwrap_or(false) {
+                    0
+                } else if faults.stale.get(p).copied().unwrap_or(false) {
+                    self.last_seen[j]
+                } else {
+                    self.last_seen[j] = noisy;
+                    noisy
+                };
+                Job::with_cost(reported, inst.cost(j))
+            })
+            .collect();
+
+        Instance::new(jobs, inst.initial().clone(), inst.num_procs())
+            .expect("view preserves the true instance's placement shape")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::EpochFaults;
+
+    fn toy() -> Instance {
+        Instance::from_sizes(&[50, 30, 20, 10], vec![0, 0, 1, 2], 3).unwrap()
+    }
+
+    #[test]
+    fn clear_epoch_is_identity() {
+        let inst = toy();
+        let mut view = FaultyView::new();
+        let seen = view.observe(&inst, &EpochFaults::clear(3), 10);
+        assert_eq!(seen, inst);
+    }
+
+    #[test]
+    fn dropped_reports_read_zero() {
+        let inst = toy();
+        let mut view = FaultyView::new();
+        let mut f = EpochFaults::clear(3);
+        f.dropped[0] = true;
+        let seen = view.observe(&inst, &f, 0);
+        assert_eq!(seen.size(0), 0);
+        assert_eq!(seen.size(1), 0);
+        assert_eq!(seen.size(2), 20);
+        assert_eq!(seen.size(3), 10);
+        assert_eq!(seen.initial(), inst.initial());
+    }
+
+    #[test]
+    fn stale_reports_replay_last_seen() {
+        // Epoch 1: proc 0 reports a perturbed value; epoch 2: stale report
+        // must replay exactly that value even though truth changed.
+        let mut view = FaultyView::new();
+        let inst1 = toy();
+        let mut f1 = EpochFaults::clear(3);
+        f1.perturb_seed = 12345;
+        let seen1 = view.observe(&inst1, &f1, 20);
+        let reported_then = seen1.size(0);
+
+        let inst2 = Instance::from_sizes(&[70, 30, 20, 10], vec![0, 0, 1, 2], 3).unwrap();
+        let mut f2 = EpochFaults::clear(3);
+        f2.stale[0] = true;
+        let seen2 = view.observe(&inst2, &f2, 0);
+        assert_eq!(seen2.size(0), reported_then);
+        // Non-stale processors report truth.
+        assert_eq!(seen2.size(2), 20);
+    }
+
+    #[test]
+    fn perturbation_is_deterministic_and_bounded() {
+        let inst = Instance::from_sizes(&[1000, 500, 200], vec![0, 1, 2], 3).unwrap();
+        let mut f = EpochFaults::clear(3);
+        f.perturb_seed = 99;
+        let a = FaultyView::new().observe(&inst, &f, 10);
+        let b = FaultyView::new().observe(&inst, &f, 10);
+        assert_eq!(a, b);
+        for j in 0..3 {
+            let (truth, seen) = (inst.size(j), a.size(j));
+            assert!(
+                seen >= truth * 90 / 100 && seen <= truth * 110 / 100,
+                "j={j}"
+            );
+        }
+    }
+
+    #[test]
+    fn job_population_change_resets_history() {
+        let mut view = FaultyView::new();
+        let _ = view.observe(&toy(), &EpochFaults::clear(3), 0);
+        let bigger = Instance::from_sizes(&[5, 5, 5, 5, 5, 5], vec![0, 0, 0, 1, 1, 2], 3).unwrap();
+        let mut f = EpochFaults::clear(3);
+        f.stale[0] = true;
+        // Stale on a fresh population replays the (reset-to-truth) history.
+        let seen = view.observe(&bigger, &f, 0);
+        assert_eq!(seen.size(0), 5);
+    }
+}

@@ -7,12 +7,15 @@
 //! * [`table`] — aligned text tables + CSV, the one output format every
 //!   experiment uses;
 //! * [`runner`] — a crossbeam-scoped parallel sweep runner with
-//!   deterministic per-cell seeding.
+//!   deterministic per-cell seeding;
+//! * [`scenarios`] — the named fault-scenario table for chaos sweeps.
 
 pub mod runner;
+pub mod scenarios;
 pub mod stats;
 pub mod table;
 
 pub use runner::{default_threads, run_parallel, seed_for};
+pub use scenarios::{crash_sweep, standard_ladder, FaultScenario};
 pub use stats::{geo_mean, Summary};
 pub use table::Table;

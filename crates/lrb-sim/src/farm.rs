@@ -10,11 +10,19 @@
 use std::time::Instant;
 
 use lrb_core::model::{Budget, Instance, Job};
+use lrb_faults::{FaultPlan, FaultyView};
 use lrb_obs::{NoopRecorder, Recorder};
 
-use crate::metrics::{DecisionCounters, EpochMetrics, SimReport};
+use crate::metrics::{DecisionCounters, DegradationMetrics, EpochMetrics, SimReport};
 use crate::policy::Policy;
 use crate::workload::{Workload, WorkloadConfig};
+
+/// The solver work allowance handed to policies (via
+/// [`Policy::note_work_budget`]) on epochs whose fault plan declares the
+/// solver budget exhausted. Deliberately tight — a few hundred ticks is not
+/// enough for any real tier on a farm-sized instance, so fallback chains
+/// actually degrade.
+pub const EXHAUSTED_EPOCH_WORK_TICKS: u64 = 256;
 
 /// Migration cost model for websites.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,20 +137,239 @@ pub fn run_recorded<R: Recorder>(cfg: &FarmConfig, policy: &mut dyn Policy, rec:
         epochs,
         epoch_wall_nanos,
         decisions,
+        degradation: DegradationMetrics::default(),
+        provenance: Vec::new(),
     }
+}
+
+/// [`run_faulty_recorded`] without instrumentation.
+pub fn run_faulty(cfg: &FarmConfig, policy: &mut dyn Policy, plan: &FaultPlan) -> SimReport {
+    run_faulty_recorded(cfg, policy, plan, &NoopRecorder)
+}
+
+/// Run the simulation under a fault plan: crash-aware epoch stepping with
+/// graceful degradation instead of panics.
+///
+/// Each epoch:
+///
+/// 1. Sites stranded on crashed servers are **evacuated** to the
+///    least-loaded surviving server; those forced moves bill the epoch's
+///    relocation budget.
+/// 2. The policy is told about outages and any solver-work exhaustion
+///    ([`Policy::note_outages`] / [`Policy::note_work_budget`]), then handed
+///    the *corrupted* view of the farm ([`FaultyView`]: stale, dropped, or
+///    perturbed load reports), projected onto the surviving servers so no
+///    policy can place a site on a dead one.
+/// 3. The answer is validated against the **true** farm state; a malformed
+///    or over-budget answer is rejected (keeping the evacuated placement)
+///    rather than panicking — metrics always describe true loads.
+///
+/// Degradation is aggregated in [`SimReport::degradation`] and per-epoch
+/// answer provenance in [`SimReport::provenance`]. A fault-free plan takes
+/// the exact historical code path, so its report is bit-for-bit identical
+/// to [`run_recorded`].
+pub fn run_faulty_recorded<R: Recorder>(
+    cfg: &FarmConfig,
+    policy: &mut dyn Policy,
+    plan: &FaultPlan,
+    rec: &R,
+) -> SimReport {
+    if plan.is_fault_free() {
+        return run_recorded(cfg, policy, rec);
+    }
+    assert_eq!(
+        plan.num_procs(),
+        cfg.num_servers,
+        "fault plan covers {} processors but the farm has {} servers",
+        plan.num_procs(),
+        cfg.num_servers
+    );
+
+    let mut workload = Workload::new(cfg.workload, cfg.seed);
+    let mut placement = lrb_core::lpt::schedule(workload.loads(), cfg.num_servers);
+    let mut view = FaultyView::new();
+    let mut epochs = Vec::with_capacity(cfg.epochs);
+    let mut epoch_wall_nanos = Vec::with_capacity(cfg.epochs);
+    let mut provenance = Vec::with_capacity(cfg.epochs);
+    let mut decisions = DecisionCounters::default();
+    let mut degradation = DegradationMetrics::default();
+    let mut regret_sum = 0.0f64;
+
+    for epoch in 0..cfg.epochs {
+        let started = Instant::now();
+        workload.step();
+        let faults = plan.epoch(epoch);
+        let loads: Vec<u64> = workload.loads().to_vec();
+        let n = loads.len();
+        let up: Vec<usize> = (0..cfg.num_servers).filter(|&p| !faults.down[p]).collect();
+
+        // 1) Evacuate sites off crashed servers (forced, budget-billed).
+        let mut server_load = vec![0u64; cfg.num_servers];
+        for (site, &srv) in placement.iter().enumerate() {
+            server_load[srv] = server_load[srv].saturating_add(loads[site]);
+        }
+        let mut forced_moves = 0usize;
+        let mut forced_cost = 0u64;
+        for site in 0..n {
+            let from = placement[site];
+            if faults.down[from] {
+                let &to = up
+                    .iter()
+                    .min_by_key(|&&p| server_load[p])
+                    .expect("fault plans keep at least one processor up");
+                server_load[to] = server_load[to].saturating_add(loads[site]);
+                server_load[from] = server_load[from].saturating_sub(loads[site]);
+                placement[site] = to;
+                forced_moves += 1;
+                forced_cost =
+                    forced_cost.saturating_add(site_cost(loads[site], cfg.migration_cost));
+            }
+        }
+        let remaining_budget = match cfg.budget {
+            Budget::Moves(k) => Budget::Moves(k.saturating_sub(forced_moves)),
+            Budget::Cost(b) => Budget::Cost(b.saturating_sub(forced_cost)),
+        };
+
+        // 2) True state vs. the corrupted view the policy gets, projected
+        //    onto the surviving servers.
+        let true_inst = instance_for(&loads, &placement, cfg);
+        let seen = view.observe(&true_inst, &faults, plan.perturb_pct());
+        let mut up_index = vec![usize::MAX; cfg.num_servers];
+        for (q, &p) in up.iter().enumerate() {
+            up_index[p] = q;
+        }
+        let proj_jobs: Vec<Job> = (0..n)
+            .map(|j| Job::with_cost(seen.size(j), seen.cost(j)))
+            .collect();
+        let proj_init: Vec<usize> = placement.iter().map(|&p| up_index[p]).collect();
+        let proj_inst = Instance::new(proj_jobs, proj_init, up.len())
+            .expect("evacuated placement lives on up servers");
+
+        policy.note_outages(&faults.down);
+        policy.note_work_budget(
+            faults
+                .solver_exhausted
+                .then_some(EXHAUSTED_EPOCH_WORK_TICKS),
+        );
+        let proj_asg = policy.rebalance(&proj_inst, remaining_budget);
+
+        // 3) Validate against the true farm; reject instead of panicking.
+        let unlimited = policy.name() == "full-rebalance";
+        let shaped = proj_asg.len() == n && proj_asg.iter().all(|&q| q < up.len());
+        let accepted = shaped
+            .then(|| proj_asg.iter().map(|&q| up[q]).collect::<Vec<usize>>())
+            .filter(|mapped| {
+                true_inst.makespan_of(mapped).is_ok()
+                    && (unlimited || remaining_budget.allows(&true_inst, mapped))
+            });
+        let rejected = accepted.is_none();
+        let final_placement = accepted.unwrap_or_else(|| placement.clone());
+
+        let policy_moves = true_inst.move_count(&final_placement);
+        let makespan = true_inst
+            .makespan_of(&final_placement)
+            .expect("evacuated placement is well-formed");
+        let migrations = forced_moves + policy_moves;
+        let migration_cost = forced_cost.saturating_add(true_inst.move_cost(&final_placement));
+        // The honest per-epoch lower bound averages over *surviving*
+        // servers only.
+        let avg_load = true_inst.total_size().div_ceil(up.len() as u64).max(1);
+        let oracle = lpt_makespan(&loads, up.len()).max(1);
+        regret_sum += (makespan as f64 / oracle as f64 - 1.0).max(0.0);
+
+        let tier = if rejected {
+            "rejected"
+        } else {
+            policy.provenance()
+        };
+        let fallback = !rejected && tier != "policy";
+        let degraded = forced_moves > 0 || rejected || fallback || faults.solver_exhausted;
+        degradation.epochs_degraded += u64::from(degraded);
+        degradation.fallback_invocations += u64::from(fallback);
+        degradation.forced_migrations += forced_moves as u64;
+        degradation.forced_migration_cost = degradation
+            .forced_migration_cost
+            .saturating_add(forced_cost);
+        degradation.policy_rejections += u64::from(rejected);
+        degradation.budget_exhausted_epochs += u64::from(faults.solver_exhausted);
+        provenance.push(tier.to_string());
+
+        epochs.push(EpochMetrics {
+            epoch,
+            makespan,
+            avg_load,
+            migrations,
+            migration_cost,
+        });
+        placement = final_placement;
+
+        decisions.record(migrations);
+        let nanos = (started.elapsed().as_nanos() as u64).max(1);
+        epoch_wall_nanos.push(nanos);
+        rec.incr("sim.epochs", 1);
+        rec.incr(
+            if migrations > 0 {
+                "sim.rebalanced"
+            } else {
+                "sim.unchanged"
+            },
+            1,
+        );
+        rec.observe("sim.epoch_nanos", nanos);
+        rec.record_duration("sim.epoch", nanos);
+        if degraded {
+            rec.incr("sim.degraded_epochs", 1);
+        }
+        if forced_moves > 0 {
+            rec.incr("sim.forced_migrations", forced_moves as u64);
+        }
+        if rejected {
+            rec.incr("sim.policy_rejections", 1);
+        }
+        if fallback {
+            rec.incr("sim.fallbacks", 1);
+        }
+    }
+
+    degradation.mean_oracle_regret = if cfg.epochs > 0 {
+        regret_sum / cfg.epochs as f64
+    } else {
+        0.0
+    };
+    SimReport {
+        policy: policy.name().to_string(),
+        epochs,
+        epoch_wall_nanos,
+        decisions,
+        degradation,
+        provenance,
+    }
+}
+
+/// Migration cost of one site under the configured model.
+fn site_cost(load: u64, model: MigrationCost) -> u64 {
+    match model {
+        MigrationCost::Unit => 1,
+        MigrationCost::ProportionalToLoad { divisor } => (load / divisor.max(1)).max(1),
+    }
+}
+
+/// Makespan of a fresh LPT schedule of `loads` on `m` servers — the
+/// unconstrained oracle used for regret.
+fn lpt_makespan(loads: &[u64], m: usize) -> u64 {
+    let asg = lrb_core::lpt::schedule(loads, m);
+    let mut per = vec![0u64; m];
+    for (j, &p) in asg.iter().enumerate() {
+        per[p] = per[p].saturating_add(loads[j]);
+    }
+    per.into_iter().max().unwrap_or(0)
 }
 
 /// Snapshot the farm as a load rebalancing instance.
 fn instance_for(loads: &[u64], placement: &[usize], cfg: &FarmConfig) -> Instance {
     let jobs: Vec<Job> = loads
         .iter()
-        .map(|&l| {
-            let cost = match cfg.migration_cost {
-                MigrationCost::Unit => 1,
-                MigrationCost::ProportionalToLoad { divisor } => (l / divisor.max(1)).max(1),
-            };
-            Job::with_cost(l, cost)
-        })
+        .map(|&l| Job::with_cost(l, site_cost(l, cfg.migration_cost)))
         .collect();
     Instance::new(jobs, placement.to_vec(), cfg.num_servers)
         .expect("farm state is always a valid instance")
@@ -231,5 +458,108 @@ mod tests {
         for e in &r.epochs {
             assert!(e.migration_cost <= 6, "epoch {}", e.epoch);
         }
+    }
+
+    #[test]
+    fn no_fault_plan_reproduces_the_faultless_report_bit_for_bit() {
+        let c = cfg();
+        let clean = run(&c, &mut MPartitionPolicy);
+        let faulty = run_faulty(&c, &mut MPartitionPolicy, &FaultPlan::none(c.num_servers));
+        assert_eq!(clean.epochs, faulty.epochs);
+        assert_eq!(clean.decisions, faulty.decisions);
+        assert_eq!(clean.degradation, faulty.degradation);
+        assert!(faulty.degradation.is_clean());
+        assert!(faulty.provenance.is_empty());
+    }
+
+    #[test]
+    fn crashes_force_evacuations_and_every_epoch_stays_valid() {
+        let c = cfg();
+        let plan = lrb_faults::FaultPlan::generate(
+            &lrb_faults::FaultConfig::crashes(0.2, 0.5, 17),
+            c.num_servers,
+            c.epochs,
+        );
+        assert!(!plan.is_fault_free());
+        let r = run_faulty(&c, &mut MPartitionPolicy, &plan);
+        assert_eq!(r.epochs.len(), c.epochs);
+        assert_eq!(r.provenance.len(), c.epochs);
+        assert!(r.degradation.forced_migrations > 0, "{:?}", r.degradation);
+        assert!(r.degradation.epochs_degraded > 0);
+        // Every epoch still produced a finite, well-formed makespan.
+        for e in &r.epochs {
+            assert!(
+                e.makespan >= e.avg_load || e.makespan == 0,
+                "epoch {}",
+                e.epoch
+            );
+        }
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_per_seed() {
+        let c = cfg();
+        let mk = || {
+            lrb_faults::FaultPlan::generate(
+                &lrb_faults::FaultConfig {
+                    crash_rate: 0.15,
+                    recovery_rate: 0.4,
+                    perturb_pct: 10,
+                    stale_rate: 0.1,
+                    drop_rate: 0.05,
+                    exhaust_rate: 0.1,
+                    seed: 23,
+                },
+                c.num_servers,
+                c.epochs,
+            )
+        };
+        let a = run_faulty(&c, &mut crate::policy::FallbackPolicy::practical(), &mk());
+        let b = run_faulty(&c, &mut crate::policy::FallbackPolicy::practical(), &mk());
+        assert_eq!(a.epochs, b.epochs);
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.degradation, b.degradation);
+        assert_eq!(a.provenance, b.provenance);
+    }
+
+    #[test]
+    fn exhausted_solver_budgets_invoke_the_fallback_chain() {
+        let c = cfg();
+        let plan = lrb_faults::FaultPlan::generate(
+            &lrb_faults::FaultConfig {
+                exhaust_rate: 1.0,
+                ..lrb_faults::FaultConfig::none(5)
+            },
+            c.num_servers,
+            c.epochs,
+        );
+        let mut p = crate::policy::FallbackPolicy::standard();
+        let r = run_faulty(&c, &mut p, &plan);
+        assert_eq!(r.degradation.budget_exhausted_epochs, c.epochs as u64);
+        assert!(
+            r.degradation.fallback_invocations > 0,
+            "{:?}",
+            r.degradation
+        );
+        // The starved chain bottoms out at no-move, which is recorded as
+        // the answering tier.
+        assert!(
+            r.provenance.iter().any(|t| t == "no-move"),
+            "{:?}",
+            r.provenance
+        );
+    }
+
+    #[test]
+    fn oracle_regret_is_finite_and_nonnegative() {
+        let c = cfg();
+        let plan = lrb_faults::FaultPlan::generate(
+            &lrb_faults::FaultConfig::crashes(0.3, 0.3, 99),
+            c.num_servers,
+            c.epochs,
+        );
+        let r = run_faulty(&c, &mut GreedyPolicy, &plan);
+        assert!(r.degradation.mean_oracle_regret.is_finite());
+        assert!(r.degradation.mean_oracle_regret >= 0.0);
     }
 }

@@ -12,7 +12,13 @@
 //!
 //! Shared pieces: [`workload`] (drift + flash crowds), [`policy`]
 //! (pluggable rebalancers: none / GREEDY / M-PARTITION / full LPT /
-//! threshold-triggered), and [`metrics`] (imbalance traces).
+//! threshold-triggered / fallback-chain), and [`metrics`] (imbalance
+//! traces plus degradation aggregates).
+//!
+//! The farm simulator can also run under an `lrb-faults` fault plan
+//! ([`run_farm_faulty`]): crashed servers are evacuated, policies see a
+//! corrupted load view, and invalid answers degrade gracefully instead of
+//! panicking.
 
 pub mod farm;
 pub mod metrics;
@@ -21,10 +27,15 @@ pub mod process;
 pub mod trace;
 pub mod workload;
 
-pub use farm::{run as run_farm, run_recorded as run_farm_recorded, FarmConfig, MigrationCost};
-pub use metrics::{DecisionCounters, EpochMetrics, SimReport};
+pub use farm::{
+    run as run_farm, run_faulty as run_farm_faulty,
+    run_faulty_recorded as run_farm_faulty_recorded, run_recorded as run_farm_recorded, FarmConfig,
+    MigrationCost, EXHAUSTED_EPOCH_WORK_TICKS,
+};
+pub use metrics::{DecisionCounters, DegradationMetrics, EpochMetrics, SimReport};
 pub use policy::{
-    FullRebalance, GreedyPolicy, MPartitionPolicy, NoRebalance, Policy, ThresholdTriggered,
+    FallbackPolicy, FullRebalance, GreedyPolicy, MPartitionPolicy, NoRebalance, Policy,
+    ThresholdTriggered,
 };
 pub use process::{run as run_process, ProcessSimConfig};
 pub use trace::{replay, TraceWorkload};

@@ -52,6 +52,42 @@ impl DecisionCounters {
     }
 }
 
+/// Degradation bookkeeping for fault-injected runs.
+///
+/// All-zero (the [`Default`]) for fault-free runs; old JSON reports without
+/// the field parse to exactly that.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DegradationMetrics {
+    /// Epochs where anything degraded: forced evacuations, a rejected
+    /// policy answer, a fallback past the first tier, or an exhausted
+    /// solver budget.
+    pub epochs_degraded: u64,
+    /// Epochs answered by a fallback tier below the first choice.
+    pub fallback_invocations: u64,
+    /// Migrations forced by evacuating jobs off crashed processors (they
+    /// count against the epoch budget).
+    pub forced_migrations: u64,
+    /// Relocation cost of those forced migrations.
+    pub forced_migration_cost: u64,
+    /// Epochs whose policy answer was invalid or over budget and was
+    /// discarded in favor of the evacuated placement.
+    pub policy_rejections: u64,
+    /// Epochs whose solver work budget was declared exhausted by the fault
+    /// plan.
+    pub budget_exhausted_epochs: u64,
+    /// Mean makespan-vs-oracle regret across epochs: the oracle is a full
+    /// LPT rebalance over the *up* processors, so regret =
+    /// `mean(makespan / oracle − 1)` (0.0 when never behind the oracle).
+    pub mean_oracle_regret: f64,
+}
+
+impl DegradationMetrics {
+    /// Whether the run saw no degradation at all.
+    pub fn is_clean(&self) -> bool {
+        self == &DegradationMetrics::default()
+    }
+}
+
 /// A full simulation trace plus aggregates.
 ///
 /// Wall-clock data lives here rather than in [`EpochMetrics`] so that
@@ -69,6 +105,15 @@ pub struct SimReport {
     /// Rebalance-vs-no-op decision counts across the run.
     #[serde(default)]
     pub decisions: DecisionCounters,
+    /// Fault-handling aggregates (all-zero for fault-free runs; defaults
+    /// when parsing reports predating the field).
+    #[serde(default)]
+    pub degradation: DegradationMetrics,
+    /// Per-epoch provenance tags ("policy", or the answering fallback tier
+    /// such as "greedy"/"no-move"). Parallel to `epochs` for fault-injected
+    /// runs; empty for fault-free runs and old reports.
+    #[serde(default)]
+    pub provenance: Vec<String>,
 }
 
 impl SimReport {
@@ -80,6 +125,8 @@ impl SimReport {
             epochs,
             epoch_wall_nanos: Vec::new(),
             decisions: DecisionCounters::default(),
+            degradation: DegradationMetrics::default(),
+            provenance: Vec::new(),
         }
     }
 

@@ -141,6 +141,8 @@ pub fn run(cfg: &ProcessSimConfig, policy: &mut dyn Policy) -> SimReport {
         epochs,
         epoch_wall_nanos,
         decisions,
+        degradation: Default::default(),
+        provenance: Vec::new(),
     }
 }
 

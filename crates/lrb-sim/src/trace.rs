@@ -185,6 +185,8 @@ pub fn replay(
         epochs,
         epoch_wall_nanos,
         decisions,
+        degradation: Default::default(),
+        provenance: Vec::new(),
     }
 }
 

@@ -16,7 +16,19 @@ run() {
 }
 
 run cargo build --release --workspace --offline
+# The workspace [profile.test] sets overflow-checks = true, so this whole
+# suite runs with integer-overflow detection on.
 run cargo test -q --workspace --offline
+
+# Chaos smoke test: the fault-injection sweep must exit 0 and emit a
+# schema-versioned JSON degradation report.
+echo "==> chaos smoke test (lrb chaos --epochs 50 --crash-rate 0.1)"
+chaos_out="$(cargo run -q --release --offline -p lrb-cli --bin lrb -- \
+    chaos --epochs 50 --crash-rate 0.1)"
+if ! grep -q '"schema_version"' <<<"$chaos_out"; then
+    echo "chaos smoke test failed: no schema_version in output" >&2
+    exit 1
+fi
 
 if command -v rustfmt >/dev/null 2>&1; then
     run cargo fmt --all --check

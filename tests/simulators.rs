@@ -47,10 +47,7 @@ fn threshold_trigger_reduces_migrations() {
     let eager = run_farm(&farm(60, Budget::Moves(5)), &mut GreedyPolicy);
     let lazy = run_farm(
         &farm(60, Budget::Moves(5)),
-        &mut ThresholdTriggered {
-            inner: GreedyPolicy,
-            trigger_pct: 150,
-        },
+        &mut ThresholdTriggered::new(GreedyPolicy, 150),
     );
     assert!(
         lazy.total_migrations() <= eager.total_migrations(),
