@@ -1,0 +1,78 @@
+//! Batch-engine benchmarks: scratch reuse vs. fresh allocation, and the
+//! thread-scaling curve over the standard bench ladder.
+//!
+//! Complements `lrb bench` (which emits the machine-readable BENCH_3.json):
+//! this target is for interactive `cargo bench -p lrb-bench --bench
+//! engine_scaling` comparisons while hacking on the engine or the scratch
+//! arenas.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lrb_core::model::Budget;
+use lrb_core::scratch::Scratch;
+use lrb_core::{greedy, mpartition};
+use lrb_engine::{solve_batch, BatchItem, BatchSolver, EngineConfig};
+use lrb_harness::bench::{smoke_ladder, standard_ladder};
+
+fn bench_engine_scaling(c: &mut Criterion) {
+    // Scratch reuse vs. the allocating entry points on one rung.
+    let rung = &standard_ladder(7, 8)[2]; // n=128
+    let inst = &rung.instances[0];
+    let k = match rung.budget {
+        Budget::Moves(k) => k,
+        Budget::Cost(b) => b as usize,
+    };
+    c.bench_function("mpartition/fresh_alloc", |b| {
+        b.iter(|| {
+            mpartition::rebalance(black_box(inst), k)
+                .unwrap()
+                .outcome
+                .makespan()
+        })
+    });
+    c.bench_function("mpartition/scratch_reuse", |b| {
+        let mut scratch = Scratch::new();
+        b.iter(|| {
+            mpartition::rebalance_scratch(black_box(inst), k, &mut scratch)
+                .unwrap()
+                .outcome
+                .makespan()
+        })
+    });
+    c.bench_function("greedy/scratch_reuse", |b| {
+        let mut scratch = Scratch::new();
+        b.iter(|| {
+            greedy::rebalance_scratch(black_box(inst), k, &mut scratch)
+                .unwrap()
+                .makespan()
+        })
+    });
+
+    // Whole-batch throughput across thread counts on the smoke ladder
+    // (small enough for criterion's iteration counts).
+    let items: Vec<BatchItem> = smoke_ladder(7)
+        .into_iter()
+        .flat_map(|b| {
+            let budget = b.budget;
+            b.instances
+                .into_iter()
+                .map(move |instance| BatchItem { instance, budget })
+        })
+        .collect();
+    for threads in [1usize, 2, 4, 8] {
+        c.bench_function(format!("engine_batch/threads_{threads}"), |b| {
+            let cfg = EngineConfig::with_threads(threads);
+            b.iter(|| {
+                solve_batch(black_box(&items), BatchSolver::MPartition, &cfg)
+                    .outcomes
+                    .len()
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_engine_scaling
+}
+criterion_main!(benches);

@@ -549,7 +549,14 @@ USAGE:
   lrb chaos [--sites N] [--servers M] [--epochs E] [--moves K] [--seed S] [--out FILE]
             [--crash-rate R] [--recovery-rate R] [--perturb-pct P]
             [--stale-rate R] [--drop-rate R] [--exhaust-rate R]
+  lrb bench [--threads 1,2,4,8] [--seed S] [--repeat R] [--smoke] [--out FILE]
   lrb replay TRACE.csv --servers M [--moves K]
+
+BENCH:
+  drives the standard_ladder instance batches through the work-stealing
+  batch engine at each thread count and prints throughput, p50/p99 solve
+  latency, and the scaling curve; --out writes the schema-versioned JSON
+  report (BENCH_3.json), --smoke runs a seconds-long cut-down ladder
 
 CHAOS:
   sweeps the crash rate (0x, 0.5x, 1x, 2x, 4x of --crash-rate) through the
@@ -576,9 +583,54 @@ COSTS (--costs): unit | uniform | size"
         .to_string()
 }
 
+/// `lrb bench [--threads 1,2,4,8] [--seed S] [--repeat R] [--smoke]
+/// [--out FILE]`
+pub fn bench_cmd(args: &Args) -> CmdResult {
+    let threads_spec = args.get("threads").unwrap_or("1,2,4,8").to_string();
+    let seed: u64 = args.get_or("seed", 0).map_err(|e| e.to_string())?;
+    let smoke = args.has("smoke");
+    let repeats: usize = args
+        .get_or("repeat", if smoke { 1 } else { 3 })
+        .map_err(|e| e.to_string())?;
+    let out_path = args.get("out").map(str::to_string);
+    args.reject_unknown().map_err(|e| e.to_string())?;
+
+    let threads: Vec<usize> = threads_spec
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("--threads '{threads_spec}': expected e.g. 1,2,4,8"))
+                .and_then(|n| {
+                    if n == 0 {
+                        Err("--threads entries must be >= 1".to_string())
+                    } else {
+                        Ok(n)
+                    }
+                })
+        })
+        .collect::<Result<_, _>>()?;
+    if threads.is_empty() {
+        return Err("--threads needs at least one entry".to_string());
+    }
+    if repeats == 0 {
+        return Err("--repeat must be >= 1".to_string());
+    }
+
+    let report = crate::bench::run(&threads, seed, repeats, smoke);
+    let mut out = crate::bench::render(&report);
+    if let Some(p) = out_path {
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        std::fs::write(&p, json).map_err(|e| format!("writing {p}: {e}"))?;
+        out.push_str(&format!("\nreport written to {p}"));
+    }
+    Ok(out)
+}
+
 /// Dispatch a full command line (without the program name).
 pub fn dispatch(tokens: Vec<String>) -> CmdResult {
-    let args = Args::parse_with_switches(tokens, &["verbose"]).map_err(|e| e.to_string())?;
+    let args =
+        Args::parse_with_switches(tokens, &["verbose", "smoke"]).map_err(|e| e.to_string())?;
     let pos = args.positionals().to_vec();
     match pos.first().map(String::as_str) {
         Some("generate") => generate(&args),
@@ -595,6 +647,7 @@ pub fn dispatch(tokens: Vec<String>) -> CmdResult {
             profile(&args, path)
         }
         Some("simulate") => simulate(&args),
+        Some("bench") => bench_cmd(&args),
         Some("chaos") => chaos_cmd(&args),
         Some("replay") => {
             let path = pos.get(1).ok_or("replay needs a TRACE.csv argument")?;
@@ -717,6 +770,32 @@ mod tests {
         let out = run("simulate --sites 30 --servers 4 --epochs 10 --moves 2").unwrap();
         assert!(out.contains("m-partition"));
         assert!(out.contains("full-rebalance"));
+    }
+
+    #[test]
+    fn bench_smoke_writes_a_schema_versioned_report() {
+        let path = tmpfile("bench.json");
+        let out = run(&format!(
+            "bench --smoke --threads 1,2 --seed 3 --out {path}"
+        ))
+        .unwrap();
+        assert!(out.contains("engine bench"), "{out}");
+        assert!(out.contains("solves/s"), "{out}");
+        let v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(v["schema_version"], 3u64);
+        assert_eq!(v["scenario"], "smoke_ladder");
+        let curve = v["thread_curve"].as_array().unwrap();
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve[0]["threads"], 1u64);
+        assert_eq!(curve[1]["threads"], 2u64);
+    }
+
+    #[test]
+    fn bench_rejects_bad_thread_specs() {
+        assert!(run("bench --smoke --threads 0").is_err());
+        assert!(run("bench --smoke --threads nope").is_err());
+        assert!(run("bench --smoke --repeat 0").is_err());
     }
 
     #[test]

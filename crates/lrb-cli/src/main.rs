@@ -4,6 +4,7 @@
 //! is fully unit-tested (the binary itself is a thin shell).
 
 mod args;
+mod bench;
 mod chaos;
 mod commands;
 

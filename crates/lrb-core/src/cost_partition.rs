@@ -31,8 +31,9 @@ use lrb_obs::{NoopRecorder, Recorder};
 use crate::deadline::WorkBudget;
 use crate::error::{Error, Result};
 use crate::knapsack::{max_cost_keep_bounded_recorded, Item, DEFAULT_NODE_BUDGET};
-use crate::model::{Cost, Instance, JobId, ProcId, Size};
+use crate::model::{Cost, Instance, JobId, Size};
 use crate::outcome::RebalanceOutcome;
+use crate::scratch::{PartitionScratch, Scratch};
 
 /// Per-processor plan for one makespan guess.
 #[derive(Debug, Clone)]
@@ -97,7 +98,40 @@ pub fn rebalance_recorded<R: Recorder>(
     b: Cost,
     rec: &R,
 ) -> Result<CostPartitionRun> {
-    rebalance_impl(inst, b, rec, &WorkBudget::unlimited())
+    rebalance_impl(
+        inst,
+        b,
+        rec,
+        &WorkBudget::unlimited(),
+        &mut PartitionScratch::default(),
+    )
+}
+
+/// [`rebalance`] against a reusable [`Scratch`]: identical output, with the
+/// selection/reassignment buffers recycled across calls. The per-guess
+/// knapsack plans still allocate — they dominate the work here anyway.
+pub fn rebalance_scratch(
+    inst: &Instance,
+    b: Cost,
+    scratch: &mut Scratch,
+) -> Result<CostPartitionRun> {
+    rebalance_scratch_recorded(inst, b, &NoopRecorder, scratch)
+}
+
+/// [`rebalance_scratch`] with instrumentation threaded through.
+pub fn rebalance_scratch_recorded<R: Recorder>(
+    inst: &Instance,
+    b: Cost,
+    rec: &R,
+    scratch: &mut Scratch,
+) -> Result<CostPartitionRun> {
+    rebalance_impl(
+        inst,
+        b,
+        rec,
+        &WorkBudget::unlimited(),
+        &mut scratch.partition,
+    )
 }
 
 /// Run cost-PARTITION under a [`WorkBudget`]: `n` ticks are charged per
@@ -105,7 +139,13 @@ pub fn rebalance_recorded<R: Recorder>(
 /// `n` for the final build, so the search cancels with [`Error::Cancelled`]
 /// once the budget is exhausted.
 pub fn rebalance_budgeted(inst: &Instance, b: Cost, work: &WorkBudget) -> Result<CostPartitionRun> {
-    rebalance_impl(inst, b, &NoopRecorder, work)
+    rebalance_impl(
+        inst,
+        b,
+        &NoopRecorder,
+        work,
+        &mut PartitionScratch::default(),
+    )
 }
 
 fn rebalance_impl<R: Recorder>(
@@ -113,6 +153,7 @@ fn rebalance_impl<R: Recorder>(
     b: Cost,
     rec: &R,
     work: &WorkBudget,
+    s: &mut PartitionScratch,
 ) -> Result<CostPartitionRun> {
     if inst.num_jobs() == 0 {
         return Ok(CostPartitionRun {
@@ -141,7 +182,7 @@ fn rebalance_impl<R: Recorder>(
     drop(search_timer);
     work.charge("cost_partition.build", inst.num_jobs() as u64)?;
     let _t = rec.time("cost_partition.build");
-    run_at_recorded(inst, lo, rec).map(|mut run| {
+    run_at_impl(inst, lo, rec, s).map(|mut run| {
         // No-regression clamp (mirrors M-PARTITION).
         run.outcome = run
             .outcome
@@ -164,6 +205,15 @@ pub fn run_at(inst: &Instance, a: Size) -> Result<CostPartitionRun> {
 /// [`run_at`] with instrumentation threaded into the per-processor
 /// knapsacks.
 pub fn run_at_recorded<R: Recorder>(inst: &Instance, a: Size, rec: &R) -> Result<CostPartitionRun> {
+    run_at_impl(inst, a, rec, &mut PartitionScratch::default())
+}
+
+fn run_at_impl<R: Recorder>(
+    inst: &Instance,
+    a: Size,
+    rec: &R,
+    s: &mut PartitionScratch,
+) -> Result<CostPartitionRun> {
     let Some((plans, l_t)) = build_plans(inst, a, rec) else {
         return Err(Error::InfeasibleGuess {
             guess: a,
@@ -171,75 +221,70 @@ pub fn run_at_recorded<R: Recorder>(inst: &Instance, a: Size, rec: &R) -> Result
         });
     };
     let m = inst.num_procs();
+    s.reset(m);
 
     // Select the L_T processors with the smallest c = a_cost − b_cost,
     // preferring processors with large jobs on ties (paper's rule).
-    let mut order: Vec<(i64, bool, ProcId)> = (0..m)
-        .map(|p| {
-            (
-                plans[p].a_cost as i64 - plans[p].b_cost as i64,
-                !plans[p].has_large,
-                p,
-            )
-        })
-        .collect();
-    order.sort_unstable();
-    let mut is_selected = vec![false; m];
-    for &(_, _, p) in order.iter().take(l_t) {
-        is_selected[p] = true;
+    s.cs.extend((0..m).map(|p| {
+        (
+            plans[p].a_cost as i64 - plans[p].b_cost as i64,
+            !plans[p].has_large,
+            p,
+        )
+    }));
+    s.cs.sort_unstable();
+    for &(_, _, p) in s.cs.iter().take(l_t) {
+        s.is_selected[p] = true;
     }
 
     let mut assignment = inst.initial().clone();
-    let mut loads = inst.initial_loads().to_vec();
-    let mut homeless_large: Vec<JobId> = Vec::new();
-    let mut removed_small: Vec<JobId> = Vec::new();
+    s.loads.clear();
+    s.loads.extend_from_slice(inst.initial_loads());
     let mut planned_cost = 0u64;
-    let mut keeps_large = vec![false; m];
 
-    for p in 0..m {
-        let plan = &plans[p];
-        let removed = if is_selected[p] {
+    for (p, plan) in plans.iter().enumerate() {
+        let removed = if s.is_selected[p] {
             planned_cost += plan.a_cost;
-            keeps_large[p] = plan.has_large;
+            s.keeps_large[p] = plan.has_large;
             &plan.a_removed
         } else {
             planned_cost += plan.b_cost;
             &plan.b_removed
         };
         for &j in removed {
-            loads[p] -= inst.size(j);
+            s.loads[p] -= inst.size(j);
             if 2 * inst.size(j) > a {
-                homeless_large.push(j);
+                s.homeless_large.push(j);
             } else {
-                removed_small.push(j);
+                s.removed_small.push(j);
             }
         }
     }
 
     // Place homeless large jobs on distinct selected large-free processors.
-    let mut free_procs: Vec<ProcId> = (0..m)
-        .filter(|&p| is_selected[p] && !keeps_large[p])
-        .collect();
-    debug_assert_eq!(free_procs.len(), homeless_large.len());
-    free_procs.sort_by_key(|&p| (loads[p], p));
-    homeless_large.sort_by_key(|&j| Reverse(inst.size(j)));
-    for (&j, &p) in homeless_large.iter().zip(&free_procs) {
+    s.free_procs
+        .extend((0..m).filter(|&p| s.is_selected[p] && !s.keeps_large[p]));
+    debug_assert_eq!(s.free_procs.len(), s.homeless_large.len());
+    let loads = &s.loads;
+    s.free_procs.sort_by_key(|&p| (loads[p], p));
+    s.homeless_large.sort_by_key(|&j| Reverse(inst.size(j)));
+    for (&j, &p) in s.homeless_large.iter().zip(&s.free_procs) {
         assignment[j] = p;
-        loads[p] += inst.size(j);
+        s.loads[p] += inst.size(j);
     }
 
     // Greedy min-load reassignment of removed smalls, largest first.
-    removed_small.sort_by_key(|&j| Reverse(inst.size(j)));
-    let mut heap: BinaryHeap<Reverse<(Size, ProcId)>> = loads
-        .iter()
-        .enumerate()
-        .map(|(p, &l)| Reverse((l, p)))
-        .collect();
-    for &j in &removed_small {
+    s.removed_small.sort_by_key(|&j| Reverse(inst.size(j)));
+    let mut heap_buf = std::mem::take(&mut s.min_heap);
+    heap_buf.clear();
+    heap_buf.extend(s.loads.iter().enumerate().map(|(p, &l)| Reverse((l, p))));
+    let mut heap = BinaryHeap::from(heap_buf);
+    for &j in &s.removed_small {
         let Reverse((load, p)) = heap.pop().ok_or(Error::NoProcessors)?;
         assignment[j] = p;
         heap.push(Reverse((load.saturating_add(inst.size(j)), p)));
     }
+    s.min_heap = heap.into_vec();
 
     let outcome = RebalanceOutcome::from_assignment(inst, assignment)?;
     debug_assert!(outcome.cost() <= planned_cost);
@@ -453,6 +498,30 @@ mod tests {
         let inst = Instance::from_sizes(&[], vec![], 2).unwrap();
         let run = rebalance(&inst, 5).unwrap();
         assert_eq!(run.outcome.makespan(), 0);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_runs() {
+        let a = inst_with_costs(
+            &[(9, 4), (7, 2), (6, 5), (5, 1), (4, 3), (3, 2)],
+            vec![0, 0, 0, 1, 1, 2],
+            3,
+        );
+        let b = inst_with_costs(&[(10, 1), (10, 9)], vec![0, 0], 2);
+        let mut scratch = Scratch::new();
+        for inst in [&a, &b, &a] {
+            for budget in 0..=8 {
+                let fresh = rebalance(inst, budget).unwrap();
+                let reused = rebalance_scratch(inst, budget, &mut scratch).unwrap();
+                assert_eq!(fresh.guess, reused.guess, "b={budget}");
+                assert_eq!(fresh.planned_cost, reused.planned_cost, "b={budget}");
+                assert_eq!(
+                    fresh.outcome.assignment(),
+                    reused.outcome.assignment(),
+                    "b={budget}"
+                );
+            }
+        }
     }
 
     #[test]

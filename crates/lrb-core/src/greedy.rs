@@ -23,8 +23,9 @@ use lrb_obs::{NoopRecorder, Recorder};
 
 use crate::deadline::WorkBudget;
 use crate::error::{Error, Result};
-use crate::model::{Instance, JobId, ProcId, Size};
+use crate::model::{Instance, JobId, Size};
 use crate::outcome::RebalanceOutcome;
+use crate::scratch::{GreedyScratch, Scratch};
 
 /// Order in which the removal-phase jobs are reinserted in phase 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -86,7 +87,17 @@ pub fn rebalance_with_order_recorded<R: Recorder>(
     order: ReinsertOrder,
     rec: &R,
 ) -> Result<(RebalanceOutcome, GreedyTrace)> {
-    rebalance_impl(inst, k, order, rec, &WorkBudget::unlimited())
+    let mut scratch = Scratch::new();
+    let (outcome, g1, g2) = rebalance_impl(
+        inst,
+        k,
+        order,
+        rec,
+        &WorkBudget::unlimited(),
+        &mut scratch.greedy,
+    )?;
+    let removed = scratch.greedy.removed.clone();
+    Ok((outcome, GreedyTrace { g1, g2, removed }))
 }
 
 /// Run `GREEDY` under a [`WorkBudget`]: one tick is charged per removal and
@@ -98,7 +109,41 @@ pub fn rebalance_budgeted(
     order: ReinsertOrder,
     work: &WorkBudget,
 ) -> Result<(RebalanceOutcome, GreedyTrace)> {
-    rebalance_impl(inst, k, order, &NoopRecorder, work)
+    let mut scratch = Scratch::new();
+    let (outcome, g1, g2) =
+        rebalance_impl(inst, k, order, &NoopRecorder, work, &mut scratch.greedy)?;
+    let removed = scratch.greedy.removed.clone();
+    Ok((outcome, GreedyTrace { g1, g2, removed }))
+}
+
+/// [`rebalance`] against a reusable [`Scratch`]: identical output, but every
+/// working buffer (per-processor stacks, heaps, removal lists) lives in the
+/// scratch, so repeated calls allocate only the returned assignment.
+pub fn rebalance_scratch(
+    inst: &Instance,
+    k: usize,
+    scratch: &mut Scratch,
+) -> Result<RebalanceOutcome> {
+    rebalance_scratch_recorded(inst, k, ReinsertOrder::Descending, &NoopRecorder, scratch)
+}
+
+/// [`rebalance_scratch`] with an explicit reinsertion order and recorder.
+pub fn rebalance_scratch_recorded<R: Recorder>(
+    inst: &Instance,
+    k: usize,
+    order: ReinsertOrder,
+    rec: &R,
+    scratch: &mut Scratch,
+) -> Result<RebalanceOutcome> {
+    rebalance_impl(
+        inst,
+        k,
+        order,
+        rec,
+        &WorkBudget::unlimited(),
+        &mut scratch.greedy,
+    )
+    .map(|(outcome, _, _)| outcome)
 }
 
 fn rebalance_impl<R: Recorder>(
@@ -107,36 +152,37 @@ fn rebalance_impl<R: Recorder>(
     order: ReinsertOrder,
     rec: &R,
     work: &WorkBudget,
-) -> Result<(RebalanceOutcome, GreedyTrace)> {
+    s: &mut GreedyScratch,
+) -> Result<(RebalanceOutcome, Size, Size)> {
     let mut assignment = inst.initial().clone();
-    let (removed, g1, mut loads) = {
+    let g1 = {
         let _t = rec.time("greedy.removal");
-        removal_phase(inst, k, rec, work)?
+        removal_phase(inst, k, rec, work, s)?
     };
 
     // Phase 2: reinsert each removed job on the current minimum-loaded
     // processor, via a min-heap keyed on (load, proc).
     let _t = rec.time("greedy.reinsert");
-    let mut order_buf = removed.clone();
+    s.order_buf.clear();
+    s.order_buf.extend_from_slice(&s.removed);
     match order {
         ReinsertOrder::Descending => {
-            order_buf.sort_by_key(|&j| Reverse(inst.size(j)));
+            s.order_buf.sort_by_key(|&j| Reverse(inst.size(j)));
         }
-        ReinsertOrder::Ascending => order_buf.sort_by_key(|&j| inst.size(j)),
+        ReinsertOrder::Ascending => s.order_buf.sort_by_key(|&j| inst.size(j)),
         ReinsertOrder::RemovalOrder => {}
     }
 
-    let mut heap: BinaryHeap<Reverse<(Size, ProcId)>> = loads
-        .iter()
-        .enumerate()
-        .map(|(p, &l)| Reverse((l, p)))
-        .collect();
-    for j in order_buf {
+    let mut heap_buf = std::mem::take(&mut s.min_heap);
+    heap_buf.clear();
+    heap_buf.extend(s.loads.iter().enumerate().map(|(p, &l)| Reverse((l, p))));
+    let mut heap = BinaryHeap::from(heap_buf);
+    for &j in &s.order_buf {
         work.charge("greedy.reinsert", 1)?;
         let Reverse((load, p)) = heap.pop().ok_or(Error::NoProcessors)?;
         let new_load = load.saturating_add(inst.size(j));
         assignment[j] = p;
-        loads[p] = new_load;
+        s.loads[p] = new_load;
         heap.push(Reverse((new_load, p)));
         rec.incr("greedy.jobs_reinserted", 1);
         if p != inst.initial()[j] {
@@ -144,73 +190,93 @@ fn rebalance_impl<R: Recorder>(
             rec.observe("greedy.move_size", inst.size(j));
         }
     }
+    s.min_heap = heap.into_vec();
 
-    let g2 = loads.iter().copied().max().unwrap_or(0);
+    let g2 = s.loads.iter().copied().max().unwrap_or(0);
     let outcome = RebalanceOutcome::from_assignment(inst, assignment)?;
     debug_assert_eq!(outcome.makespan(), g2);
-    Ok((outcome, GreedyTrace { g1, g2, removed }))
+    Ok((outcome, g1, g2))
 }
 
 /// Phase 1 of `GREEDY`: remove the largest job from the max-loaded processor
-/// `k` times (stopping early once all loads are zero). Returns the removed
-/// jobs in removal order, the resulting makespan `G1`, and the residual
-/// per-processor loads.
+/// `k` times (stopping early once all loads are zero). Leaves the removed
+/// jobs (in removal order) in `s.removed` and the residual per-processor
+/// loads in `s.loads`; returns the resulting makespan `G1`.
 fn removal_phase<R: Recorder>(
     inst: &Instance,
     k: usize,
     rec: &R,
     work: &WorkBudget,
-) -> Result<(Vec<JobId>, Size, Vec<Size>)> {
-    let mut loads = inst.initial_loads().to_vec();
+    s: &mut GreedyScratch,
+) -> Result<Size> {
+    s.loads.clear();
+    s.loads.extend_from_slice(inst.initial_loads());
 
     // Per-processor job stacks sorted ascending by size, so the largest job
-    // is popped from the back in O(1).
-    let mut per_proc = inst.jobs_by_proc();
-    for jobs in &mut per_proc {
+    // is popped from the back in O(1). Stacks are filled in job-id order and
+    // stably sorted, matching a fresh `jobs_by_proc()` build exactly.
+    let m = inst.num_procs();
+    s.per_proc.truncate(m);
+    s.per_proc.resize_with(m, Vec::new);
+    for jobs in &mut s.per_proc {
+        jobs.clear();
+    }
+    for (j, &p) in inst.initial().iter().enumerate() {
+        s.per_proc[p].push(j);
+    }
+    for jobs in &mut s.per_proc {
         jobs.sort_by_key(|&j| inst.size(j));
     }
 
     // Lazy max-heap over (load, proc): stale entries are skipped when the
     // recorded load no longer matches the live load.
-    let mut heap: BinaryHeap<(Size, ProcId)> =
-        loads.iter().enumerate().map(|(p, &l)| (l, p)).collect();
+    let mut heap_buf = std::mem::take(&mut s.max_heap);
+    heap_buf.clear();
+    heap_buf.extend(s.loads.iter().enumerate().map(|(p, &l)| (l, p)));
+    let mut heap = BinaryHeap::from(heap_buf);
 
-    let mut removed = Vec::with_capacity(k.min(inst.num_jobs()));
+    s.removed.clear();
     for _ in 0..k {
         work.charge("greedy.removal", 1)?;
         let p = loop {
             match heap.pop() {
-                Some((l, p)) if loads[p] == l => break Some(p),
+                Some((l, p)) if s.loads[p] == l => break Some(p),
                 Some(_) => continue,
                 None => break None,
             }
         };
         let Some(p) = p else { break };
-        if loads[p] == 0 {
+        if s.loads[p] == 0 {
             // All processors are empty; removing more jobs is pointless.
             break;
         }
         // A nonzero load implies a job on the stack; treat a mismatch (an
         // internal-invariant breach, not user input) as "nothing to remove"
         // rather than panicking.
-        let Some(j) = per_proc[p].pop() else { break };
-        loads[p] = loads[p].saturating_sub(inst.size(j));
-        removed.push(j);
+        let Some(j) = s.per_proc[p].pop() else { break };
+        s.loads[p] = s.loads[p].saturating_sub(inst.size(j));
+        s.removed.push(j);
         rec.incr("greedy.jobs_removed", 1);
-        heap.push((loads[p], p));
+        heap.push((s.loads[p], p));
     }
+    s.max_heap = heap.into_vec();
 
-    let g1 = loads.iter().copied().max().unwrap_or(0);
-    Ok((removed, g1, loads))
+    Ok(s.loads.iter().copied().max().unwrap_or(0))
 }
 
 /// Lemma 1 as a lower bound: the makespan after removing the largest job
 /// from the max-loaded processor `k` times. Any rebalancing that moves at
 /// most `k` jobs has makespan at least this value.
 pub fn g1_lower_bound(inst: &Instance, k: usize) -> Size {
-    removal_phase(inst, k, &NoopRecorder, &WorkBudget::unlimited())
-        .expect("unlimited work budget never cancels")
-        .1
+    let mut scratch = GreedyScratch::default();
+    removal_phase(
+        inst,
+        k,
+        &NoopRecorder,
+        &WorkBudget::unlimited(),
+        &mut scratch,
+    )
+    .expect("unlimited work budget never cancels")
 }
 
 #[cfg(test)]
@@ -355,5 +421,27 @@ mod tests {
         let out = rebalance(&inst, 3).unwrap();
         assert_eq!(out.makespan(), 0);
         assert_eq!(out.moves(), 0);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_runs() {
+        // One scratch reused across differently-shaped instances must match
+        // a fresh solve on every call — growing and shrinking shapes stress
+        // stale-buffer bugs.
+        let insts = [
+            Instance::from_sizes(&[9, 1, 1, 1, 8], vec![0, 0, 0, 0, 1], 3).unwrap(),
+            Instance::from_sizes(&[5, 3], vec![0, 0], 2).unwrap(),
+            Instance::from_sizes(&[7, 7, 7, 2, 2, 2, 1], vec![0, 0, 0, 1, 1, 1, 2], 4).unwrap(),
+            Instance::from_sizes(&[], vec![], 2).unwrap(),
+        ];
+        let mut scratch = Scratch::new();
+        for inst in &insts {
+            for k in 0..=inst.num_jobs() {
+                let fresh = rebalance(inst, k).unwrap();
+                let reused = rebalance_scratch(inst, k, &mut scratch).unwrap();
+                assert_eq!(fresh.assignment(), reused.assignment(), "k={k}");
+                assert_eq!(fresh.makespan(), reused.makespan(), "k={k}");
+            }
+        }
     }
 }

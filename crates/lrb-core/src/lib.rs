@@ -43,6 +43,7 @@ pub mod outcome;
 pub mod partition;
 pub mod profiles;
 pub mod ptas;
+pub mod scratch;
 
 /// Convenient glob-import of the commonly used types and entry points.
 pub mod prelude {
@@ -60,4 +61,5 @@ pub mod prelude {
     pub use crate::outcome::RebalanceOutcome;
     pub use crate::partition;
     pub use crate::ptas::{self, Precision};
+    pub use crate::scratch::Scratch;
 }

@@ -28,7 +28,7 @@ use crate::error::{Error, Result};
 use crate::model::{Instance, Size};
 use crate::outcome::RebalanceOutcome;
 use crate::partition::{self, PartitionStats};
-use crate::profiles::Profiles;
+use crate::scratch::Scratch;
 
 /// How M-PARTITION locates the smallest feasible threshold.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -91,7 +91,33 @@ pub fn rebalance_with_recorded<R: Recorder>(
     search: ThresholdSearch,
     rec: &R,
 ) -> Result<MPartitionRun> {
-    rebalance_impl(inst, k, search, rec, &WorkBudget::unlimited())
+    let mut scratch = Scratch::new();
+    rebalance_impl(inst, k, search, rec, &WorkBudget::unlimited(), &mut scratch)
+}
+
+/// Run M-PARTITION against a reusable [`Scratch`] (default binary search).
+///
+/// Identical output to [`rebalance`], but profiles, the candidate ladder,
+/// and every PARTITION working buffer live in `scratch` and are recycled
+/// across calls — including the multiset-keyed threshold-ladder cache, so a
+/// batch of same-job-multiset instances sorts the global size array once.
+pub fn rebalance_scratch(
+    inst: &Instance,
+    k: usize,
+    scratch: &mut Scratch,
+) -> Result<MPartitionRun> {
+    rebalance_scratch_recorded(inst, k, ThresholdSearch::default(), &NoopRecorder, scratch)
+}
+
+/// [`rebalance_scratch`] with an explicit search strategy and recorder.
+pub fn rebalance_scratch_recorded<R: Recorder>(
+    inst: &Instance,
+    k: usize,
+    search: ThresholdSearch,
+    rec: &R,
+    scratch: &mut Scratch,
+) -> Result<MPartitionRun> {
+    rebalance_impl(inst, k, search, rec, &WorkBudget::unlimited(), scratch)
 }
 
 /// Run M-PARTITION under a [`WorkBudget`]: ticks are charged for profile
@@ -103,7 +129,8 @@ pub fn rebalance_budgeted(
     search: ThresholdSearch,
     work: &WorkBudget,
 ) -> Result<MPartitionRun> {
-    rebalance_impl(inst, k, search, &NoopRecorder, work)
+    let mut scratch = Scratch::new();
+    rebalance_impl(inst, k, search, &NoopRecorder, work, &mut scratch)
 }
 
 fn rebalance_impl<R: Recorder>(
@@ -112,6 +139,7 @@ fn rebalance_impl<R: Recorder>(
     search: ThresholdSearch,
     rec: &R,
     work: &WorkBudget,
+    scratch: &mut Scratch,
 ) -> Result<MPartitionRun> {
     if inst.num_jobs() == 0 {
         return Ok(MPartitionRun {
@@ -130,8 +158,15 @@ fn rebalance_impl<R: Recorder>(
     }
 
     work.charge("mpartition.profiles", inst.num_jobs() as u64)?;
-    let profiles = Profiles::new(inst);
-    let candidates = profiles.candidates();
+    let Scratch {
+        profiles,
+        candidates,
+        partition: pscratch,
+        ladder,
+        ..
+    } = scratch;
+    profiles.rebuild(inst, ladder);
+    profiles.candidates_into(candidates);
     // Start at the paper's average-load guess — but because the search only
     // evaluates candidate thresholds and behavior is constant *between*
     // candidates, the region containing OPT may begin at the last candidate
@@ -147,10 +182,13 @@ fn rebalance_impl<R: Recorder>(
     );
 
     let mut probes = 0usize;
-    let feasible = |t: Size, probes: &mut usize| -> Result<bool> {
+    let mut feasible = |t: Size, probes: &mut usize| -> Result<bool> {
         *probes += 1;
         work.charge("mpartition.search", 1)?;
-        Ok(matches!(partition::planned_moves(&profiles, t), Some(moves) if moves <= k))
+        Ok(matches!(
+            partition::planned_moves_with(profiles, t, &mut pscratch.cs),
+            Some(moves) if moves <= k
+        ))
     };
 
     let search_timer = rec.time("mpartition.search");
@@ -167,7 +205,7 @@ fn rebalance_impl<R: Recorder>(
         }
         ThresholdSearch::Incremental => {
             let mut scan =
-                crate::incremental::IncrementalScan::new(inst, &profiles, inst.avg_load_ceil())
+                crate::incremental::IncrementalScan::new(inst, profiles, inst.avg_load_ceil())
                     .ok_or(Error::InfeasibleGuess {
                         guess: 0,
                         reason: "no candidate thresholds",
@@ -218,7 +256,7 @@ fn rebalance_impl<R: Recorder>(
     work.charge("mpartition.partition", inst.num_jobs() as u64)?;
     let run = {
         let _t = rec.time("mpartition.partition");
-        partition::run_with_profiles_recorded(inst, &profiles, t, rec)?
+        partition::run_impl(inst, profiles, t, rec, pscratch)?
     };
     debug_assert!(run.stats.planned_moves <= k);
 
@@ -360,6 +398,33 @@ mod tests {
                 "{search:?}"
             );
         }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_and_caches_ladder() {
+        let base = Instance::from_sizes(&[9, 7, 5, 4, 3, 2, 1, 8], vec![0, 0, 0, 0, 1, 1, 2, 2], 3)
+            .unwrap();
+        // Same job multiset, different placement: must hit the ladder cache.
+        let alt = Instance::from_sizes(&[9, 7, 5, 4, 3, 2, 1, 8], vec![2, 1, 0, 2, 1, 0, 0, 1], 3)
+            .unwrap();
+        // Different multiset (and shape): must invalidate it.
+        let other = Instance::from_sizes(&[6, 6, 5], vec![0, 0, 1], 2).unwrap();
+        let mut scratch = crate::scratch::Scratch::new();
+        for inst in [&base, &alt, &base, &other] {
+            for k in 0..=4 {
+                let fresh = rebalance(inst, k).unwrap();
+                let reused = rebalance_scratch(inst, k, &mut scratch).unwrap();
+                assert_eq!(fresh.threshold, reused.threshold, "k={k}");
+                assert_eq!(fresh.probes, reused.probes, "k={k}");
+                assert_eq!(
+                    fresh.outcome.assignment(),
+                    reused.outcome.assignment(),
+                    "k={k}"
+                );
+            }
+        }
+        assert!(scratch.ladder_hits() > 0);
+        assert!(scratch.ladder_misses() >= 2);
     }
 
     #[test]

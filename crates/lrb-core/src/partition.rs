@@ -29,9 +29,10 @@ use std::collections::BinaryHeap;
 use lrb_obs::{NoopRecorder, Recorder};
 
 use crate::error::{Error, Result};
-use crate::model::{Instance, JobId, ProcId, Size};
+use crate::model::{Instance, ProcId, Size};
 use crate::outcome::RebalanceOutcome;
 use crate::profiles::Profiles;
+use crate::scratch::{PartitionScratch, Scratch};
 
 /// Diagnostics of a PARTITION run, exposing the paper's named quantities.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,6 +68,16 @@ pub struct PartitionRun {
 /// This is the quantity `M-PARTITION` thresholds on: `L_E + Σ_selected a_i +
 /// Σ_unselected b_i`, with the selection minimizing the total.
 pub fn planned_moves(profiles: &Profiles, t: Size) -> Option<usize> {
+    planned_moves_with(profiles, t, &mut Vec::new())
+}
+
+/// [`planned_moves`] against a caller-owned ranking buffer, so M-PARTITION's
+/// threshold probes reuse one allocation across the whole search.
+pub(crate) fn planned_moves_with(
+    profiles: &Profiles,
+    t: Size,
+    cs: &mut Vec<(i64, bool, ProcId)>,
+) -> Option<usize> {
     let m = profiles.num_procs();
     let l_t = profiles.l_t(t);
     if l_t > m {
@@ -77,12 +88,11 @@ pub fn planned_moves(profiles: &Profiles, t: Size) -> Option<usize> {
 
     let mut base = l_e;
     // Σ b_i over all processors, plus the selected processors' c_i.
-    let mut cs: Vec<(i64, bool, ProcId)> = (0..m)
-        .map(|p| {
-            base += profiles.b(p, t);
-            (profiles.c(p, t), !profiles.has_large(p, t), p)
-        })
-        .collect();
+    cs.clear();
+    cs.extend((0..m).map(|p| {
+        base += profiles.b(p, t);
+        (profiles.c(p, t), !profiles.has_large(p, t), p)
+    }));
     // Smallest c first; ties prefer large-holding processors (false < true).
     cs.sort_unstable();
     let selected_extra: i64 = cs.iter().take(l_t).map(|&(c, _, _)| c).sum();
@@ -117,6 +127,29 @@ pub fn run_with_profiles_recorded<R: Recorder>(
     t: Size,
     rec: &R,
 ) -> Result<PartitionRun> {
+    run_impl(inst, profiles, t, rec, &mut PartitionScratch::default())
+}
+
+/// [`run_with_profiles_recorded`] against a reusable [`Scratch`]: identical
+/// output, with every working buffer (selection ranking, removal lists, the
+/// reinsertion heap) recycled across calls.
+pub fn run_with_profiles_scratch_recorded<R: Recorder>(
+    inst: &Instance,
+    profiles: &Profiles,
+    t: Size,
+    rec: &R,
+    scratch: &mut Scratch,
+) -> Result<PartitionRun> {
+    run_impl(inst, profiles, t, rec, &mut scratch.partition)
+}
+
+pub(crate) fn run_impl<R: Recorder>(
+    inst: &Instance,
+    profiles: &Profiles,
+    t: Size,
+    rec: &R,
+    s: &mut PartitionScratch,
+) -> Result<PartitionRun> {
     let m = inst.num_procs();
     let l_t = profiles.l_t(t);
     if l_t > m {
@@ -129,9 +162,9 @@ pub fn run_with_profiles_recorded<R: Recorder>(
     let l_e = l_t - m_l;
 
     let mut assignment = inst.initial().clone();
-    let mut loads = inst.initial_loads().to_vec();
-    let mut homeless_large: Vec<JobId> = Vec::new();
-    let mut removed_small: Vec<JobId> = Vec::new();
+    s.reset(m);
+    s.loads.clear();
+    s.loads.extend_from_slice(inst.initial_loads());
     let mut planned = 0usize;
 
     // Step 1: strip extra large jobs, keeping the smallest large per
@@ -139,15 +172,14 @@ pub fn run_with_profiles_recorded<R: Recorder>(
     // large is the first one past the small prefix.
     // kept_large[p] = Some(job) for processors holding a large after Step 1.
     let step1 = rec.time("partition.step1_strip");
-    let mut kept_large: Vec<Option<JobId>> = vec![None; m];
     for p in 0..m {
         let prof = profiles.proc(p);
         let sc = profiles.small_count(p, t);
         if sc < prof.len() {
-            kept_large[p] = Some(prof.jobs_asc[sc]);
+            s.kept_large[p] = Some(prof.jobs_asc[sc]);
             for &j in &prof.jobs_asc[sc + 1..] {
-                homeless_large.push(j);
-                loads[p] -= inst.size(j);
+                s.homeless_large.push(j);
+                s.loads[p] -= inst.size(j);
                 planned += 1;
             }
         }
@@ -157,28 +189,26 @@ pub fn run_with_profiles_recorded<R: Recorder>(
 
     // Step 2 + 3: rank processors by c_i and select L_T of them.
     let step2 = rec.time("partition.step2_rank");
-    let mut cs: Vec<(i64, bool, ProcId)> = (0..m)
-        .map(|p| (profiles.c(p, t), kept_large[p].is_none(), p))
-        .collect();
-    cs.sort_unstable();
-    let mut is_selected = vec![false; m];
-    for &(_, _, p) in cs.iter().take(l_t) {
-        is_selected[p] = true;
+    s.cs.clear();
+    s.cs.extend((0..m).map(|p| (profiles.c(p, t), s.kept_large[p].is_none(), p)));
+    s.cs.sort_unstable();
+    for &(_, _, p) in s.cs.iter().take(l_t) {
+        s.is_selected[p] = true;
     }
-    let selected: Vec<ProcId> = (0..m).filter(|&p| is_selected[p]).collect();
+    let selected: Vec<ProcId> = (0..m).filter(|&p| s.is_selected[p]).collect();
     drop(step2);
 
     for p in 0..m {
         let prof = profiles.proc(p);
         let sc = profiles.small_count(p, t);
-        if is_selected[p] {
+        if s.is_selected[p] {
             // Step 3: shed the a_i largest small jobs (end of the small
             // prefix), keeping the large job if present.
             let _t = rec.time("partition.step3_shed_selected");
             let a = profiles.a(p, t);
             for &j in &prof.jobs_asc[sc - a..sc] {
-                removed_small.push(j);
-                loads[p] -= inst.size(j);
+                s.removed_small.push(j);
+                s.loads[p] -= inst.size(j);
                 planned += 1;
             }
         } else {
@@ -187,58 +217,60 @@ pub fn run_with_profiles_recorded<R: Recorder>(
             let _t = rec.time("partition.step4_shed_unselected");
             let b = profiles.b(p, t);
             let mut small_removals = b;
-            if let Some(j) = kept_large[p] {
-                homeless_large.push(j);
-                loads[p] -= inst.size(j);
-                kept_large[p] = None;
+            if let Some(j) = s.kept_large[p] {
+                s.homeless_large.push(j);
+                s.loads[p] -= inst.size(j);
+                s.kept_large[p] = None;
                 small_removals -= 1;
             }
             for &j in &prof.jobs_asc[sc - small_removals..sc] {
-                removed_small.push(j);
-                loads[p] -= inst.size(j);
+                s.removed_small.push(j);
+                s.loads[p] -= inst.size(j);
             }
             planned += b;
         }
     }
-    rec.incr("partition.large_removed", homeless_large.len() as u64);
-    rec.incr("partition.small_removed", removed_small.len() as u64);
+    rec.incr("partition.large_removed", s.homeless_large.len() as u64);
+    rec.incr("partition.small_removed", s.removed_small.len() as u64);
 
     // Step 5 (covers the paper's Steps 4-5 reassignments): place homeless
     // large jobs on distinct selected large-free processors — largest job
     // onto the least-loaded such processor first.
     let step5 = rec.time("partition.step5_place_large");
-    let mut free_procs: Vec<ProcId> = selected
-        .iter()
-        .copied()
-        .filter(|&p| kept_large[p].is_none())
-        .collect();
+    s.free_procs.extend(
+        selected
+            .iter()
+            .copied()
+            .filter(|&p| s.kept_large[p].is_none()),
+    );
     debug_assert_eq!(
-        free_procs.len(),
-        homeless_large.len(),
+        s.free_procs.len(),
+        s.homeless_large.len(),
         "large-free slot count must match homeless large jobs"
     );
-    free_procs.sort_by_key(|&p| (loads[p], p));
-    homeless_large.sort_by_key(|&j| Reverse(inst.size(j)));
-    for (&j, &p) in homeless_large.iter().zip(&free_procs) {
+    let loads = &s.loads;
+    s.free_procs.sort_by_key(|&p| (loads[p], p));
+    s.homeless_large.sort_by_key(|&j| Reverse(inst.size(j)));
+    for (&j, &p) in s.homeless_large.iter().zip(&s.free_procs) {
         assignment[j] = p;
-        loads[p] += inst.size(j);
+        s.loads[p] += inst.size(j);
     }
     drop(step5);
 
     // Step 6: greedy min-load placement of the removed small jobs,
     // largest first.
     let step6 = rec.time("partition.step6_reinsert");
-    removed_small.sort_by_key(|&j| Reverse(inst.size(j)));
-    let mut heap: BinaryHeap<Reverse<(Size, ProcId)>> = loads
-        .iter()
-        .enumerate()
-        .map(|(p, &l)| Reverse((l, p)))
-        .collect();
-    for &j in &removed_small {
+    s.removed_small.sort_by_key(|&j| Reverse(inst.size(j)));
+    let mut heap_buf = std::mem::take(&mut s.min_heap);
+    heap_buf.clear();
+    heap_buf.extend(s.loads.iter().enumerate().map(|(p, &l)| Reverse((l, p))));
+    let mut heap = BinaryHeap::from(heap_buf);
+    for &j in &s.removed_small {
         let Reverse((load, p)) = heap.pop().ok_or(Error::NoProcessors)?;
         assignment[j] = p;
         heap.push(Reverse((load.saturating_add(inst.size(j)), p)));
     }
+    s.min_heap = heap.into_vec();
     drop(step6);
 
     let outcome = RebalanceOutcome::from_assignment(inst, assignment)?;

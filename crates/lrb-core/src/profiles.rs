@@ -27,10 +27,11 @@
 //! and doubled prefix sums (`a_i` steps).
 
 use crate::model::{Instance, JobId, ProcId, Size};
+use crate::scratch::ThresholdLadder;
 
 /// Size profile of one processor: its jobs in ascending size order plus
 /// prefix sums.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ProcProfile {
     /// Job ids on this processor, ascending by size (ties by id).
     pub jobs_asc: Vec<JobId>,
@@ -57,7 +58,7 @@ impl ProcProfile {
 
 /// Precomputed profiles for a whole instance, supporting `O(log n)` queries
 /// of every PARTITION quantity at any makespan guess.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Profiles {
     per_proc: Vec<ProcProfile>,
     /// All job sizes, ascending — for the global large-job count.
@@ -67,27 +68,36 @@ pub struct Profiles {
 impl Profiles {
     /// Build profiles for an instance (`O(n log n)`).
     pub fn new(inst: &Instance) -> Self {
-        let mut per_proc = Vec::with_capacity(inst.num_procs());
-        for mut jobs in inst.jobs_by_proc() {
-            jobs.sort_by_key(|&j| (inst.size(j), j));
-            let mut prefix = Vec::with_capacity(jobs.len() + 1);
-            prefix.push(0);
+        let mut profiles = Profiles::default();
+        profiles.rebuild(inst, &mut ThresholdLadder::default());
+        profiles
+    }
+
+    /// Rebuild the profiles for `inst` in place, reusing this value's
+    /// buffers and the ladder's cached multiset sort (see
+    /// [`crate::scratch::Scratch`]). Equivalent to [`Profiles::new`] but
+    /// allocation-free once the buffers have grown to the instance shape.
+    pub fn rebuild(&mut self, inst: &Instance, ladder: &mut ThresholdLadder) {
+        let m = inst.num_procs();
+        self.per_proc.truncate(m);
+        self.per_proc.resize_with(m, ProcProfile::default);
+        for prof in &mut self.per_proc {
+            prof.jobs_asc.clear();
+            prof.prefix.clear();
+        }
+        for (j, &p) in inst.initial().iter().enumerate() {
+            self.per_proc[p].jobs_asc.push(j);
+        }
+        for prof in &mut self.per_proc {
+            prof.jobs_asc.sort_by_key(|&j| (inst.size(j), j));
+            prof.prefix.push(0);
             let mut acc = 0u64;
-            for &j in &jobs {
+            for &j in &prof.jobs_asc {
                 acc += inst.size(j);
-                prefix.push(acc);
+                prof.prefix.push(acc);
             }
-            per_proc.push(ProcProfile {
-                jobs_asc: jobs,
-                prefix,
-            });
         }
-        let mut sizes_asc: Vec<Size> = inst.jobs().iter().map(|j| j.size).collect();
-        sizes_asc.sort_unstable();
-        Profiles {
-            per_proc,
-            sizes_asc,
-        }
+        ladder.sizes_asc_into(inst.jobs(), &mut self.sizes_asc);
     }
 
     /// Profile of processor `p`.
@@ -173,19 +183,27 @@ impl Profiles {
     /// `2·p_j` for every job and `B_l`, `2·B_l` for every per-processor
     /// ascending prefix sum.
     pub fn candidates(&self) -> Vec<Size> {
-        let mut cands = Vec::with_capacity(3 * self.sizes_asc.len() + 1);
+        let mut cands = Vec::new();
+        self.candidates_into(&mut cands);
+        cands
+    }
+
+    /// [`Profiles::candidates`] into a caller-owned buffer (cleared first),
+    /// so batch solvers reuse the allocation across instances.
+    pub fn candidates_into(&self, out: &mut Vec<Size>) {
+        out.clear();
+        out.reserve(3 * self.sizes_asc.len());
         for &s in &self.sizes_asc {
-            cands.push(2 * s);
+            out.push(2 * s);
         }
         for prof in &self.per_proc {
             for &b in &prof.prefix[1..] {
-                cands.push(b);
-                cands.push(2 * b);
+                out.push(b);
+                out.push(2 * b);
             }
         }
-        cands.sort_unstable();
-        cands.dedup();
-        cands
+        out.sort_unstable();
+        out.dedup();
     }
 }
 
@@ -315,6 +333,29 @@ mod tests {
         for proc in 0..2 {
             assert_eq!(p.a(proc, t), 0);
             assert_eq!(p.b(proc, t), 0);
+        }
+    }
+
+    #[test]
+    fn rebuild_reuses_buffers_and_matches_fresh_construction() {
+        let mut ladder = ThresholdLadder::default();
+        let mut p = Profiles::default();
+        let a = inst();
+        // A different placement of the same size multiset, then a different
+        // multiset entirely; each rebuild must match a fresh build.
+        let b = Instance::from_sizes(&[7, 2, 3, 4], vec![1, 1, 0, 0], 2).unwrap();
+        let c = Instance::from_sizes(&[5, 5], vec![0, 1], 3).unwrap();
+        for inst in [&a, &b, &c] {
+            p.rebuild(inst, &mut ladder);
+            let fresh = Profiles::new(inst);
+            assert_eq!(p.candidates(), fresh.candidates());
+            for proc in 0..inst.num_procs() {
+                assert_eq!(p.proc(proc).jobs_asc, fresh.proc(proc).jobs_asc);
+                assert_eq!(p.proc(proc).prefix, fresh.proc(proc).prefix);
+            }
+            for t in [0u64, 3, 7, 10, 24] {
+                assert_eq!(p.l_t(t), fresh.l_t(t), "t={t}");
+            }
         }
     }
 

@@ -1,0 +1,240 @@
+//! Reusable scratch arenas for the rebalancing hot paths.
+//!
+//! Solving one instance allocates a handful of short-lived buffers: sorted
+//! per-processor job stacks, prefix-sum profiles, heap storage, removal
+//! lists, the candidate-threshold ladder. A batch executor solving thousands
+//! of instances per second pays that allocator traffic on every call. A
+//! [`Scratch`] owns all of those buffers so a worker can clear-and-refill
+//! them across calls: after the first solve of a given shape, the GREEDY /
+//! M-PARTITION hot paths perform no heap allocation beyond the returned
+//! assignment itself (and, for cost-PARTITION, its knapsack plans).
+//!
+//! The scratch also carries a [`ThresholdLadder`]: M-PARTITION's candidate
+//! thresholds depend on the *job-size multiset* (doubled sizes) and on the
+//! *placement* (prefix sums). The multiset part — the global ascending size
+//! array — is cached across calls keyed by an order-independent fingerprint,
+//! so a batch of same-multiset instances (e.g. the same jobs under many
+//! candidate placements) re-sorts the sizes once instead of per instance.
+//! See DESIGN.md §9 for the memory layout and invalidation rules.
+
+use std::cmp::Reverse;
+
+use crate::model::{Job, JobId, ProcId, Size};
+use crate::profiles::Profiles;
+
+/// Per-worker reusable buffers for the core solvers.
+///
+/// Create one per thread (it is deliberately `!Sync`-agnostic plain data —
+/// share nothing, reuse everything) and pass it to the `*_scratch` entry
+/// points of [`crate::greedy`], [`crate::mpartition`], [`crate::partition`],
+/// and [`crate::cost_partition`]. Buffers grow to the largest instance seen
+/// and stay at that capacity; call sites never need to size anything.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    pub(crate) greedy: GreedyScratch,
+    pub(crate) partition: PartitionScratch,
+    pub(crate) profiles: Profiles,
+    pub(crate) candidates: Vec<Size>,
+    pub(crate) ladder: ThresholdLadder,
+}
+
+impl Scratch {
+    /// A fresh scratch with empty (unallocated) buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How often the threshold-ladder cache was reused across calls.
+    pub fn ladder_hits(&self) -> u64 {
+        self.ladder.hits
+    }
+
+    /// How often the threshold-ladder cache had to be rebuilt.
+    pub fn ladder_misses(&self) -> u64 {
+        self.ladder.misses
+    }
+}
+
+/// Buffers for GREEDY's removal and reinsertion phases.
+#[derive(Debug, Default)]
+pub(crate) struct GreedyScratch {
+    /// Live per-processor loads.
+    pub loads: Vec<Size>,
+    /// Per-processor job stacks, ascending by size (largest popped first).
+    pub per_proc: Vec<Vec<JobId>>,
+    /// Backing storage for the removal-phase lazy max-heap.
+    pub max_heap: Vec<(Size, ProcId)>,
+    /// Backing storage for the reinsertion min-heap.
+    pub min_heap: Vec<Reverse<(Size, ProcId)>>,
+    /// Jobs removed in phase 1, in removal order.
+    pub removed: Vec<JobId>,
+    /// Removed jobs re-sorted into the requested reinsertion order.
+    pub order_buf: Vec<JobId>,
+}
+
+/// Buffers for PARTITION's six steps (shared by the cost variant).
+#[derive(Debug, Default)]
+pub(crate) struct PartitionScratch {
+    /// Live per-processor loads.
+    pub loads: Vec<Size>,
+    /// Step 1: the kept (smallest) large job per processor, if any.
+    pub kept_large: Vec<Option<JobId>>,
+    /// Step 2/3 ranking buffer: `(c_i, no-large tiebreak, proc)`.
+    pub cs: Vec<(i64, bool, ProcId)>,
+    /// Step 3 selection flags.
+    pub is_selected: Vec<bool>,
+    /// Cost variant: which selected processors keep their large job.
+    pub keeps_large: Vec<bool>,
+    /// Large jobs awaiting a Step 5 slot.
+    pub homeless_large: Vec<JobId>,
+    /// Small jobs awaiting Step 6 reinsertion.
+    pub removed_small: Vec<JobId>,
+    /// Step 5: selected large-free processors.
+    pub free_procs: Vec<ProcId>,
+    /// Backing storage for the Step 6 min-heap.
+    pub min_heap: Vec<Reverse<(Size, ProcId)>>,
+}
+
+impl PartitionScratch {
+    /// Reset the per-run buffers for an instance with `m` processors.
+    pub(crate) fn reset(&mut self, m: usize) {
+        self.kept_large.clear();
+        self.kept_large.resize(m, None);
+        self.is_selected.clear();
+        self.is_selected.resize(m, false);
+        self.keeps_large.clear();
+        self.keeps_large.resize(m, false);
+        self.cs.clear();
+        self.homeless_large.clear();
+        self.removed_small.clear();
+        self.free_procs.clear();
+    }
+}
+
+/// Cache of the multiset-dependent half of M-PARTITION's threshold ladder.
+///
+/// The Lemma 5 candidate set is `{2·p_j} ∪ {B_l, 2·B_l}`: the doubled job
+/// sizes depend only on the job-size *multiset*, the prefix sums on the
+/// placement. This cache keys the sorted global size array on an
+/// order-independent fingerprint of the multiset, so consecutive solves over
+/// the same jobs (a batch of candidate placements, an epoch of what-if
+/// probes) skip the `O(n log n)` re-sort.
+///
+/// Invalidation: the fingerprint folds the job count, the total size, and a
+/// commutative hash of each size, so *any* change to the multiset — adding,
+/// removing, or resizing a job — misses and rebuilds. Hash collisions would
+/// reuse a stale ladder; the fingerprint has 64 bits of mixing, and debug
+/// builds additionally verify the cached array against a fresh sort.
+#[derive(Debug, Default)]
+pub struct ThresholdLadder {
+    fingerprint: Option<u64>,
+    pub(crate) sizes_asc: Vec<Size>,
+    pub(crate) hits: u64,
+    pub(crate) misses: u64,
+}
+
+impl ThresholdLadder {
+    /// Order-independent fingerprint of the job-size multiset.
+    pub(crate) fn fingerprint_of(jobs: &[Job]) -> u64 {
+        let mut acc = 0u64;
+        let mut total = 0u64;
+        for j in jobs {
+            acc = acc.wrapping_add(mix(j.size.wrapping_add(0x9E37_79B9_7F4A_7C15)));
+            total = total.wrapping_add(j.size);
+        }
+        mix(acc ^ mix(total) ^ (jobs.len() as u64).rotate_left(32))
+    }
+
+    /// Fill `out` with the instance's sizes in ascending order, reusing the
+    /// cached sort when the multiset fingerprint matches.
+    pub(crate) fn sizes_asc_into(&mut self, jobs: &[Job], out: &mut Vec<Size>) {
+        let fp = Self::fingerprint_of(jobs);
+        if self.fingerprint == Some(fp) && self.sizes_asc.len() == jobs.len() {
+            self.hits += 1;
+            out.clone_from(&self.sizes_asc);
+            debug_assert_eq!(
+                {
+                    let mut check: Vec<Size> = jobs.iter().map(|j| j.size).collect();
+                    check.sort_unstable();
+                    check
+                },
+                *out,
+                "threshold-ladder fingerprint collision"
+            );
+            return;
+        }
+        self.misses += 1;
+        out.clear();
+        out.extend(jobs.iter().map(|j| j.size));
+        out.sort_unstable();
+        self.sizes_asc.clone_from(out);
+        self.fingerprint = Some(fp);
+    }
+}
+
+/// splitmix64 finalizer — the same mixer the harness uses for seeds.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Instance;
+
+    fn jobs_of(sizes: &[u64]) -> Vec<Job> {
+        sizes.iter().map(|&s| Job::unit(s)).collect()
+    }
+
+    #[test]
+    fn fingerprint_is_order_independent() {
+        let a = ThresholdLadder::fingerprint_of(&jobs_of(&[3, 1, 4, 1, 5]));
+        let b = ThresholdLadder::fingerprint_of(&jobs_of(&[5, 4, 3, 1, 1]));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_multisets() {
+        let base = ThresholdLadder::fingerprint_of(&jobs_of(&[3, 1, 4]));
+        for other in [&[3u64, 1, 5][..], &[3, 1], &[3, 1, 4, 4], &[3, 2, 3]] {
+            assert_ne!(base, ThresholdLadder::fingerprint_of(&jobs_of(other)));
+        }
+        // Same sum, same count, different multiset.
+        assert_ne!(
+            ThresholdLadder::fingerprint_of(&jobs_of(&[2, 2])),
+            ThresholdLadder::fingerprint_of(&jobs_of(&[1, 3])),
+        );
+    }
+
+    #[test]
+    fn ladder_hits_on_same_multiset_misses_on_change() {
+        let mut ladder = ThresholdLadder::default();
+        let mut out = Vec::new();
+        ladder.sizes_asc_into(&jobs_of(&[4, 2, 9]), &mut out);
+        assert_eq!(out, vec![2, 4, 9]);
+        assert_eq!((ladder.hits, ladder.misses), (0, 1));
+
+        // Same multiset, different order: hit, same answer.
+        ladder.sizes_asc_into(&jobs_of(&[9, 4, 2]), &mut out);
+        assert_eq!(out, vec![2, 4, 9]);
+        assert_eq!((ladder.hits, ladder.misses), (1, 1));
+
+        // Changed multiset: miss, rebuilt.
+        ladder.sizes_asc_into(&jobs_of(&[9, 4, 3]), &mut out);
+        assert_eq!(out, vec![3, 4, 9]);
+        assert_eq!((ladder.hits, ladder.misses), (1, 2));
+    }
+
+    #[test]
+    fn scratch_reuse_grows_but_never_shrinks_buffers() {
+        let mut scratch = Scratch::new();
+        let big = Instance::from_sizes(&[9, 8, 7, 6, 5, 4, 3, 2], vec![0; 8], 4).unwrap();
+        let small = Instance::from_sizes(&[2, 1], vec![0, 0], 2).unwrap();
+        crate::greedy::rebalance_scratch(&big, 4, &mut scratch).unwrap();
+        let cap = scratch.greedy.removed.capacity();
+        crate::greedy::rebalance_scratch(&small, 1, &mut scratch).unwrap();
+        assert!(scratch.greedy.removed.capacity() >= cap);
+    }
+}

@@ -1,0 +1,461 @@
+//! # lrb-engine — batched multi-core rebalancing
+//!
+//! Solves many [`Instance`]s concurrently on `std::thread::scope` workers.
+//! Two ideas carry the throughput:
+//!
+//! * **Scratch reuse.** Every worker owns one [`lrb_core::Scratch`] and
+//!   drives the `*_scratch` entry points of the core solvers, so after
+//!   warm-up the GREEDY / M-PARTITION hot paths allocate nothing per solve
+//!   beyond the returned assignment. The scratch's threshold-ladder cache
+//!   additionally amortizes the global size sort across same-job-multiset
+//!   instances in a batch.
+//! * **Work stealing.** The batch is split into contiguous per-worker
+//!   stripes; a worker drains its own stripe with a single `fetch_add` and,
+//!   when empty, steals from the victim with the most remaining items. This
+//!   keeps same-multiset neighbors on the same worker (warm ladder cache)
+//!   while still absorbing skewed per-item solve times.
+//!
+//! Results are written into input-order slots, and each item's outcome
+//! depends only on the item itself (the scratch entry points are
+//! bit-identical to their allocating twins — enforced by tests in
+//! `lrb-core`), so a batch result is **bit-identical for any thread
+//! count**. That property is what lets `lrb-sim` run epoch batches through
+//! the engine without perturbing simulation traces, and it is re-checked
+//! here and by the metamorphic suite at the workspace root.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use lrb_core::model::{Budget, Instance};
+use lrb_core::outcome::RebalanceOutcome;
+use lrb_core::scratch::Scratch;
+use lrb_core::{cost_partition, greedy, mpartition};
+use lrb_obs::{names, NoopRecorder, Recorder};
+
+/// How the engine solves each item of a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchSolver {
+    /// GREEDY (`2 − 1/m`): fastest, weakest guarantee.
+    Greedy,
+    /// M-PARTITION (1.5) for move budgets; cost budgets fall through to the
+    /// §3.2 cost algorithm — mirroring `lrb-sim`'s `MPartitionPolicy`.
+    #[default]
+    MPartition,
+    /// Cost-PARTITION (§3.2) regardless of budget kind; move budgets are
+    /// treated as unit-cost budgets.
+    CostPartition,
+}
+
+/// One unit of work: an instance plus the relocation budget to solve under.
+#[derive(Debug, Clone)]
+pub struct BatchItem {
+    /// The rebalancing instance.
+    pub instance: Instance,
+    /// Move or cost budget.
+    pub budget: Budget,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineConfig {
+    /// Worker threads; `0` (the default) means the host's available
+    /// parallelism (capped at 16). `1` solves inline on the calling thread.
+    pub threads: usize,
+}
+
+impl EngineConfig {
+    /// A config with an explicit thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        EngineConfig { threads }
+    }
+
+    fn resolved_threads(&self, items: usize) -> usize {
+        let t = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min(16)
+        } else {
+            self.threads
+        };
+        t.clamp(1, items.max(1))
+    }
+}
+
+/// Result of a batch run: per-item outcomes in input order plus engine
+/// telemetry for the bench pipeline.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// One outcome per input item, in input order.
+    pub outcomes: Vec<RebalanceOutcome>,
+    /// Per-item solve wall time in nanoseconds, in input order.
+    pub solve_nanos: Vec<u64>,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Items claimed from another worker's stripe.
+    pub steals: u64,
+    /// Threshold-ladder cache hits summed over workers.
+    pub ladder_hits: u64,
+    /// Threshold-ladder cache misses summed over workers.
+    pub ladder_misses: u64,
+}
+
+/// Solve every item with the default (uninstrumented) recorder.
+pub fn solve_batch(items: &[BatchItem], solver: BatchSolver, cfg: &EngineConfig) -> BatchReport {
+    solve_batch_recorded(items, solver, cfg, &NoopRecorder)
+}
+
+/// [`solve_batch`] with instrumentation: emits the `engine.*` counters and
+/// histograms named in [`lrb_obs::names`] (steals, queue depth at steal
+/// time, per-item solve latency, ladder cache traffic).
+pub fn solve_batch_recorded<R: Recorder + Sync>(
+    items: &[BatchItem],
+    solver: BatchSolver,
+    cfg: &EngineConfig,
+    rec: &R,
+) -> BatchReport {
+    let _batch = rec.time(names::ENGINE_BATCH);
+    let n = items.len();
+    rec.incr(names::ENGINE_ITEMS, n as u64);
+    let threads = cfg.resolved_threads(n);
+    rec.incr(names::ENGINE_WORKERS, threads as u64);
+
+    if threads <= 1 || n <= 1 {
+        let mut scratch = Scratch::new();
+        let mut outcomes = Vec::with_capacity(n);
+        let mut solve_nanos = Vec::with_capacity(n);
+        for item in items {
+            let start = Instant::now();
+            outcomes.push(solve_one(item, solver, &mut scratch));
+            let nanos = (start.elapsed().as_nanos() as u64).max(1);
+            rec.observe(names::ENGINE_SOLVE_NANOS, nanos);
+            solve_nanos.push(nanos);
+        }
+        rec.incr(names::ENGINE_LADDER_HITS, scratch.ladder_hits());
+        rec.incr(names::ENGINE_LADDER_MISSES, scratch.ladder_misses());
+        return BatchReport {
+            outcomes,
+            solve_nanos,
+            workers: 1,
+            steals: 0,
+            ladder_hits: scratch.ladder_hits(),
+            ladder_misses: scratch.ladder_misses(),
+        };
+    }
+
+    let queue = StealQueue::new(n, threads);
+    let steals = AtomicU64::new(0);
+    let ladder_hits = AtomicU64::new(0);
+    let ladder_misses = AtomicU64::new(0);
+
+    let mut slots: Vec<Option<(RebalanceOutcome, u64)>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let queue = &queue;
+                let steals = &steals;
+                let ladder_hits = &ladder_hits;
+                let ladder_misses = &ladder_misses;
+                scope.spawn(move || {
+                    let mut scratch = Scratch::new();
+                    let mut local: Vec<(usize, RebalanceOutcome, u64)> = Vec::new();
+                    loop {
+                        let i = match queue.claim_own(w) {
+                            Some(i) => i,
+                            None => match queue.steal(w) {
+                                Some((i, depth)) => {
+                                    steals.fetch_add(1, Ordering::Relaxed);
+                                    if R::ENABLED {
+                                        rec.incr(names::ENGINE_STEALS, 1);
+                                        rec.observe(names::ENGINE_QUEUE_DEPTH, depth as u64);
+                                    }
+                                    i
+                                }
+                                None => break,
+                            },
+                        };
+                        let start = Instant::now();
+                        let out = solve_one(&items[i], solver, &mut scratch);
+                        let nanos = (start.elapsed().as_nanos() as u64).max(1);
+                        if R::ENABLED {
+                            rec.observe(names::ENGINE_SOLVE_NANOS, nanos);
+                        }
+                        local.push((i, out, nanos));
+                    }
+                    ladder_hits.fetch_add(scratch.ladder_hits(), Ordering::Relaxed);
+                    ladder_misses.fetch_add(scratch.ladder_misses(), Ordering::Relaxed);
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, out, nanos) in handle.join().expect("engine worker panicked") {
+                slots[i] = Some((out, nanos));
+            }
+        }
+    });
+
+    let ladder_hits = ladder_hits.into_inner();
+    let ladder_misses = ladder_misses.into_inner();
+    rec.incr(names::ENGINE_LADDER_HITS, ladder_hits);
+    rec.incr(names::ENGINE_LADDER_MISSES, ladder_misses);
+
+    let mut outcomes = Vec::with_capacity(n);
+    let mut solve_nanos = Vec::with_capacity(n);
+    for slot in slots {
+        let (out, nanos) = slot.expect("every item solved");
+        outcomes.push(out);
+        solve_nanos.push(nanos);
+    }
+    BatchReport {
+        outcomes,
+        solve_nanos,
+        workers: threads,
+        steals: steals.into_inner(),
+        ladder_hits,
+        ladder_misses,
+    }
+}
+
+/// Solve one item against a worker's scratch. Errors degrade to "no moves"
+/// (the initial assignment), mirroring `lrb-sim`'s policy fallback, so a
+/// pathological item never poisons its batch.
+fn solve_one(item: &BatchItem, solver: BatchSolver, scratch: &mut Scratch) -> RebalanceOutcome {
+    let inst = &item.instance;
+    let unchanged = || RebalanceOutcome::unchanged(inst);
+    match (solver, item.budget) {
+        (BatchSolver::Greedy, budget) => {
+            let k = match budget {
+                Budget::Moves(k) => k,
+                Budget::Cost(b) => b as usize,
+            };
+            greedy::rebalance_scratch(inst, k, scratch).unwrap_or_else(|_| unchanged())
+        }
+        (BatchSolver::MPartition, Budget::Moves(k)) => {
+            mpartition::rebalance_scratch(inst, k, scratch)
+                .map(|run| run.outcome)
+                .unwrap_or_else(|_| unchanged())
+        }
+        (BatchSolver::MPartition, Budget::Cost(b))
+        | (BatchSolver::CostPartition, Budget::Cost(b)) => {
+            cost_partition::rebalance_scratch(inst, b, scratch)
+                .map(|run| run.outcome)
+                .unwrap_or_else(|_| unchanged())
+        }
+        (BatchSolver::CostPartition, Budget::Moves(k)) => {
+            cost_partition::rebalance_scratch(inst, k as u64, scratch)
+                .map(|run| run.outcome)
+                .unwrap_or_else(|_| unchanged())
+        }
+    }
+}
+
+/// Striped work queue with stealing.
+///
+/// Item indices `0..n` are split into `workers` contiguous stripes. Each
+/// stripe has an atomic head; claiming is one `fetch_add`. A claim whose
+/// index lands past the stripe end is a lost race — heads may overshoot
+/// their end by at most the number of concurrent claimants, which the
+/// remaining-count arithmetic saturates away.
+struct StealQueue {
+    heads: Vec<AtomicUsize>,
+    ends: Vec<usize>,
+}
+
+impl StealQueue {
+    fn new(n: usize, workers: usize) -> Self {
+        let mut heads = Vec::with_capacity(workers);
+        let mut ends = Vec::with_capacity(workers);
+        // Balanced partition: the first `n % workers` stripes get one extra.
+        let base = n / workers;
+        let extra = n % workers;
+        let mut start = 0;
+        for w in 0..workers {
+            let len = base + usize::from(w < extra);
+            heads.push(AtomicUsize::new(start));
+            start += len;
+            ends.push(start);
+        }
+        debug_assert_eq!(start, n);
+        StealQueue { heads, ends }
+    }
+
+    /// Claim the next item of worker `w`'s own stripe.
+    fn claim_own(&self, w: usize) -> Option<usize> {
+        let i = self.heads[w].fetch_add(1, Ordering::Relaxed);
+        (i < self.ends[w]).then_some(i)
+    }
+
+    /// Steal from the victim with the most remaining items. Returns the
+    /// claimed index and the victim's remaining count *before* the steal
+    /// (the queue depth observed). Retries while any stripe looks
+    /// non-empty; `None` once all work is claimed.
+    fn steal(&self, thief: usize) -> Option<(usize, usize)> {
+        loop {
+            let mut best: Option<(usize, usize)> = None; // (victim, remaining)
+            for v in 0..self.heads.len() {
+                if v == thief {
+                    continue;
+                }
+                let head = self.heads[v].load(Ordering::Relaxed);
+                let remaining = self.ends[v].saturating_sub(head);
+                if remaining > 0 && best.is_none_or(|(_, r)| remaining > r) {
+                    best = Some((v, remaining));
+                }
+            }
+            let (victim, remaining) = best?;
+            let i = self.heads[victim].fetch_add(1, Ordering::Relaxed);
+            if i < self.ends[victim] {
+                return Some((i, remaining));
+            }
+            // Lost the race for that stripe's tail; rescan.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrb_instances::GeneratorConfig;
+
+    fn batch(n_items: usize, seed: u64) -> Vec<BatchItem> {
+        (0..n_items)
+            .map(|i| {
+                let cfg = GeneratorConfig::uniform(24, 4);
+                BatchItem {
+                    instance: cfg.generate(seed ^ (i as u64).wrapping_mul(0x9E37)),
+                    budget: Budget::Moves(3 + i % 5),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn results_are_bit_identical_across_thread_counts() {
+        let items = batch(40, 7);
+        for solver in [
+            BatchSolver::Greedy,
+            BatchSolver::MPartition,
+            BatchSolver::CostPartition,
+        ] {
+            let seq = solve_batch(&items, solver, &EngineConfig::with_threads(1));
+            for threads in [2, 4, 8] {
+                let par = solve_batch(&items, solver, &EngineConfig::with_threads(threads));
+                assert_eq!(par.outcomes.len(), seq.outcomes.len());
+                for (i, (a, b)) in seq.outcomes.iter().zip(&par.outcomes).enumerate() {
+                    assert_eq!(
+                        a.assignment(),
+                        b.assignment(),
+                        "{solver:?} item {i} at {threads} threads"
+                    );
+                    assert_eq!(a.makespan(), b.makespan());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn outcomes_respect_budgets() {
+        let items = batch(20, 99);
+        let report = solve_batch(&items, BatchSolver::MPartition, &EngineConfig::default());
+        for (item, out) in items.iter().zip(&report.outcomes) {
+            match item.budget {
+                Budget::Moves(k) => assert!(out.moves() <= k),
+                Budget::Cost(b) => assert!(out.cost() <= b),
+            }
+            assert!(out.makespan() <= item.instance.initial_makespan());
+        }
+        assert_eq!(report.solve_nanos.len(), items.len());
+        assert!(report.solve_nanos.iter().all(|&ns| ns > 0));
+    }
+
+    #[test]
+    fn ladder_cache_hits_on_same_multiset_batches() {
+        // One multiset under many placements: every solve after the first
+        // (per worker) must hit the ladder cache.
+        let cfg = GeneratorConfig::uniform(24, 4);
+        let base = cfg.generate(5);
+        let m = base.num_procs();
+        let items: Vec<BatchItem> = (0..16)
+            .map(|v| {
+                let placement: Vec<usize> = (0..base.num_jobs()).map(|j| (j * 7 + v) % m).collect();
+                BatchItem {
+                    instance: Instance::new(base.jobs().to_vec(), placement, m).unwrap(),
+                    budget: Budget::Moves(4),
+                }
+            })
+            .collect();
+        let report = solve_batch(
+            &items,
+            BatchSolver::MPartition,
+            &EngineConfig::with_threads(1),
+        );
+        assert_eq!(report.ladder_misses, 1);
+        assert_eq!(report.ladder_hits, 15);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let report = solve_batch(&[], BatchSolver::MPartition, &EngineConfig::default());
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.steals, 0);
+    }
+
+    #[test]
+    fn engine_emits_counters_when_recorded() {
+        let rec = lrb_obs::AtomicRecorder::new();
+        let items = batch(10, 3);
+        let report = solve_batch_recorded(
+            &items,
+            BatchSolver::MPartition,
+            &EngineConfig::with_threads(2),
+            &rec,
+        );
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter(names::ENGINE_ITEMS), Some(10));
+        assert_eq!(snap.counter(names::ENGINE_WORKERS), Some(2));
+        assert_eq!(snap.histogram(names::ENGINE_SOLVE_NANOS).unwrap().count, 10);
+        assert_eq!(
+            snap.counter(names::ENGINE_LADDER_MISSES).unwrap_or(0),
+            report.ladder_misses
+        );
+    }
+
+    #[test]
+    fn steal_queue_hands_out_every_index_exactly_once() {
+        let q = StealQueue::new(13, 4);
+        let mut seen = [false; 13];
+        // Worker 0 drains everything: its own stripe, then steals.
+        loop {
+            let i = match q.claim_own(0) {
+                Some(i) => i,
+                None => match q.steal(0) {
+                    Some((i, depth)) => {
+                        assert!(depth > 0);
+                        i
+                    }
+                    None => break,
+                },
+            };
+            assert!(!seen[i], "index {i} claimed twice");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn steal_prefers_fullest_victim() {
+        let q = StealQueue::new(12, 3); // stripes: 0..4, 4..8, 8..12
+                                        // Drain worker 1's stripe fully and half of worker 2's.
+        for _ in 0..4 {
+            q.claim_own(1);
+        }
+        for _ in 0..2 {
+            q.claim_own(2);
+        }
+        // Worker 1 steals: victim 0 has 4 remaining, victim 2 has 2.
+        let (i, depth) = q.steal(1).unwrap();
+        assert_eq!(depth, 4);
+        assert!(i < 4, "stole from stripe 0, got {i}");
+    }
+}

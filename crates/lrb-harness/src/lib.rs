@@ -10,11 +10,13 @@
 //!   deterministic per-cell seeding;
 //! * [`scenarios`] — the named fault-scenario table for chaos sweeps.
 
+pub mod bench;
 pub mod runner;
 pub mod scenarios;
 pub mod stats;
 pub mod table;
 
+pub use bench::BenchBatch;
 pub use runner::{default_threads, run_parallel, seed_for};
 pub use scenarios::{crash_sweep, standard_ladder, FaultScenario};
 pub use stats::{geo_mean, Summary};

@@ -16,6 +16,7 @@
 //! per-phase wall-clock totals — which the CLI exports as JSON via
 //! `--metrics` and renders as a table with `--verbose`.
 
+pub mod names;
 mod recorder;
 mod snapshot;
 

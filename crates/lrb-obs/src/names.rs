@@ -1,0 +1,23 @@
+//! Canonical metric names shared across crates.
+//!
+//! The recorder API is stringly keyed; producers and consumers that live in
+//! different crates (the batch engine emits, the CLI bench reads) must agree
+//! on the exact spelling. Centralizing the names here turns a typo into a
+//! compile error instead of a silently empty metric.
+
+/// Items solved by the batch engine.
+pub const ENGINE_ITEMS: &str = "engine.items";
+/// Worker threads the engine actually spawned.
+pub const ENGINE_WORKERS: &str = "engine.workers";
+/// Successful steals: items claimed from another worker's stripe.
+pub const ENGINE_STEALS: &str = "engine.steals";
+/// Remaining items in the victim stripe at each steal (histogram).
+pub const ENGINE_QUEUE_DEPTH: &str = "engine.queue_depth";
+/// Per-item solve wall time in nanoseconds (histogram).
+pub const ENGINE_SOLVE_NANOS: &str = "engine.solve_nanos";
+/// Threshold-ladder cache hits across all workers.
+pub const ENGINE_LADDER_HITS: &str = "engine.ladder_hits";
+/// Threshold-ladder cache misses across all workers.
+pub const ENGINE_LADDER_MISSES: &str = "engine.ladder_misses";
+/// Whole-batch wall-clock phase.
+pub const ENGINE_BATCH: &str = "engine.batch";

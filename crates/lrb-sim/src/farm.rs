@@ -366,7 +366,7 @@ fn lpt_makespan(loads: &[u64], m: usize) -> u64 {
 }
 
 /// Snapshot the farm as a load rebalancing instance.
-fn instance_for(loads: &[u64], placement: &[usize], cfg: &FarmConfig) -> Instance {
+pub(crate) fn instance_for(loads: &[u64], placement: &[usize], cfg: &FarmConfig) -> Instance {
     let jobs: Vec<Job> = loads
         .iter()
         .map(|&l| Job::with_cost(l, site_cost(l, cfg.migration_cost)))

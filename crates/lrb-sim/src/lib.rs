@@ -21,6 +21,7 @@
 //! panicking.
 
 pub mod farm;
+pub mod fleet;
 pub mod metrics;
 pub mod policy;
 pub mod process;
@@ -32,6 +33,7 @@ pub use farm::{
     run_faulty_recorded as run_farm_faulty_recorded, run_recorded as run_farm_recorded, FarmConfig,
     MigrationCost, EXHAUSTED_EPOCH_WORK_TICKS,
 };
+pub use fleet::{run_fleet, run_fleet_recorded, FleetConfig};
 pub use metrics::{DecisionCounters, DegradationMetrics, EpochMetrics, SimReport};
 pub use policy::{
     FallbackPolicy, FullRebalance, GreedyPolicy, MPartitionPolicy, NoRebalance, Policy,

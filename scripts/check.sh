@@ -20,6 +20,29 @@ run cargo build --release --workspace --offline
 # suite runs with integer-overflow detection on.
 run cargo test -q --workspace --offline
 
+# Certification suites: the exact-oracle differential tests and the
+# metamorphic property tests are the PR-3 quality gate — run them explicitly
+# (they are part of the workspace run above, but a bare name here makes a
+# regression impossible to miss in the log).
+run cargo test -q --release --offline --test differential
+run cargo test -q --release --offline --test metamorphic
+
+# Bench smoke test: `lrb bench --smoke` must finish quickly and emit a
+# schema-versioned BENCH_3-style report with a thread-scaling curve.
+echo "==> bench smoke test (lrb bench --smoke)"
+bench_tmp="$(mktemp)"
+trap 'rm -f "$bench_tmp"' EXIT
+cargo run -q --release --offline -p lrb-cli --bin lrb -- \
+    bench --smoke --threads 1,2 --out "$bench_tmp" >/dev/null
+if ! grep -q '"schema_version": 3' "$bench_tmp"; then
+    echo "bench smoke test failed: schema_version 3 missing" >&2
+    exit 1
+fi
+if ! grep -q '"thread_curve"' "$bench_tmp"; then
+    echo "bench smoke test failed: no thread_curve in report" >&2
+    exit 1
+fi
+
 # Chaos smoke test: the fault-injection sweep must exit 0 and emit a
 # schema-versioned JSON degradation report.
 echo "==> chaos smoke test (lrb chaos --epochs 50 --crash-rate 0.1)"

@@ -1,0 +1,118 @@
+//! Metamorphic properties: relations that must hold between the outputs of
+//! *related* inputs, with no oracle in the loop.
+//!
+//! Three families:
+//!
+//! * **Job-index permutation invariance** — relabeling jobs (keeping each
+//!   job's size and initial processor) must not change any reported scalar:
+//!   makespan, move count, or the M-PARTITION threshold. Tie-breaking inside
+//!   the algorithms may pick a different same-size job, but never one that
+//!   changes the load profile.
+//! * **Size scaling** — multiplying every size by a constant `c` multiplies
+//!   the makespan and threshold by exactly `c` and leaves the move count
+//!   unchanged, because every comparison the algorithms make is preserved
+//!   under the scaling (including ties).
+//! * **Engine determinism** — a batch solved through `lrb-engine` is
+//!   bit-identical (full `RebalanceOutcome` equality) for every thread
+//!   count, i.e. work stealing only changes *who* solves an item, never the
+//!   answer.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use load_rebalance::core::model::{Budget, Instance};
+use load_rebalance::core::{greedy, mpartition};
+use load_rebalance::engine::{solve_batch, BatchItem, BatchSolver, EngineConfig};
+
+/// Strategy: sizes, placement, budget, and random sort keys used to derive a
+/// job-index permutation.
+#[allow(clippy::type_complexity)]
+fn raw_instance() -> impl Strategy<Value = (Vec<u64>, Vec<usize>, usize, usize, Vec<u64>)> {
+    (2usize..=4).prop_flat_map(|m| {
+        (1usize..=9).prop_flat_map(move |n| {
+            (
+                vec(1u64..=50, n),
+                vec(0usize..m, n),
+                0usize..=n,
+                Just(m),
+                vec(0u64..=1_000_000, n),
+            )
+        })
+    })
+}
+
+/// Permutation of `0..keys.len()` obtained by sorting indices by their key.
+fn perm_from_keys(keys: &[u64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..keys.len()).collect();
+    idx.sort_by_key(|&i| (keys[i], i));
+    idx
+}
+
+fn permuted(sizes: &[u64], placement: &[usize], perm: &[usize], m: usize) -> Instance {
+    let psizes: Vec<u64> = perm.iter().map(|&i| sizes[i]).collect();
+    let pplace: Vec<usize> = perm.iter().map(|&i| placement[i]).collect();
+    Instance::from_sizes(&psizes, pplace, m).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Relabeling jobs changes no reported scalar of GREEDY or M-PARTITION.
+    #[test]
+    fn permutation_invariance((sizes, placement, k, m, keys) in raw_instance()) {
+        let base = Instance::from_sizes(&sizes, placement.clone(), m).unwrap();
+        let perm = perm_from_keys(&keys);
+        let shuf = permuted(&sizes, &placement, &perm, m);
+
+        let g0 = greedy::rebalance(&base, k).unwrap();
+        let g1 = greedy::rebalance(&shuf, k).unwrap();
+        prop_assert_eq!(g0.makespan(), g1.makespan());
+        prop_assert_eq!(g0.moves(), g1.moves());
+
+        let p0 = mpartition::rebalance(&base, k).unwrap();
+        let p1 = mpartition::rebalance(&shuf, k).unwrap();
+        prop_assert_eq!(p0.outcome.makespan(), p1.outcome.makespan());
+        prop_assert_eq!(p0.outcome.moves(), p1.outcome.moves());
+        prop_assert_eq!(p0.threshold, p1.threshold);
+    }
+
+    /// s_i → c·s_i scales makespan and threshold by exactly c and preserves
+    /// the move count.
+    #[test]
+    fn size_scaling_is_exact(((sizes, placement, k, m, _), c) in (raw_instance(), 1u64..=7)) {
+        let base = Instance::from_sizes(&sizes, placement.clone(), m).unwrap();
+        let scaled_sizes: Vec<u64> = sizes.iter().map(|s| s * c).collect();
+        let scaled = Instance::from_sizes(&scaled_sizes, placement, m).unwrap();
+
+        let g0 = greedy::rebalance(&base, k).unwrap();
+        let g1 = greedy::rebalance(&scaled, k).unwrap();
+        prop_assert_eq!(c * g0.makespan(), g1.makespan());
+        prop_assert_eq!(g0.moves(), g1.moves());
+
+        let p0 = mpartition::rebalance(&base, k).unwrap();
+        let p1 = mpartition::rebalance(&scaled, k).unwrap();
+        prop_assert_eq!(c * p0.outcome.makespan(), p1.outcome.makespan());
+        prop_assert_eq!(p0.outcome.moves(), p1.outcome.moves());
+        prop_assert_eq!(c * p0.threshold, p1.threshold);
+    }
+
+    /// Engine batches are bit-identical for every thread count, for both the
+    /// default M-PARTITION solver and GREEDY.
+    #[test]
+    fn engine_is_thread_count_invariant(batch in vec(raw_instance(), 1..=10)) {
+        let items: Vec<BatchItem> = batch
+            .into_iter()
+            .map(|(sizes, placement, k, m, _)| BatchItem {
+                instance: Instance::from_sizes(&sizes, placement, m).unwrap(),
+                budget: Budget::Moves(k),
+            })
+            .collect();
+        for solver in [BatchSolver::MPartition, BatchSolver::Greedy] {
+            let baseline = solve_batch(&items, solver, &EngineConfig::with_threads(1));
+            for threads in [2usize, 4, 8] {
+                let got = solve_batch(&items, solver, &EngineConfig::with_threads(threads));
+                prop_assert_eq!(&baseline.outcomes, &got.outcomes);
+            }
+        }
+    }
+}
