@@ -1,4 +1,5 @@
-//! The CLI subcommands: `generate`, `info`, `solve`, `simulate`, `chaos`.
+//! The CLI subcommands: `generate`, `info`, `solve`, `simulate`, `chaos`,
+//! `online`.
 
 use lrb_core::greedy::ReinsertOrder;
 use lrb_core::model::Budget;
@@ -10,8 +11,8 @@ use lrb_instances::generators::{CostModel, GeneratorConfig, PlacementModel, Size
 use lrb_instances::spec;
 use lrb_obs::AtomicRecorder;
 use lrb_sim::{
-    FarmConfig, FullRebalance, GreedyPolicy, MPartitionPolicy, MigrationCost, NoRebalance, Policy,
-    WorkloadConfig,
+    FarmConfig, FullRebalance, GreedyPolicy, MPartitionPolicy, MigrationCost, NoRebalance,
+    OnlineWorkloadConfig, Policy, WorkloadConfig,
 };
 
 use crate::args::Args;
@@ -481,8 +482,7 @@ pub fn chaos_cmd(args: &Args) -> CmdResult {
         ]);
     }
 
-    let json =
-        serde_json::to_string_pretty(&report).map_err(|e| format!("report encode error: {e}"))?;
+    let json = crate::report::to_validated_json(&report, crate::report::validate_chaos)?;
     let mut out = table.render();
     out.push('\n');
     out.push_str(&json);
@@ -550,6 +550,9 @@ USAGE:
             [--crash-rate R] [--recovery-rate R] [--perturb-pct P]
             [--stale-rate R] [--drop-rate R] [--exhaust-rate R]
   lrb bench [--threads 1,2,4,8] [--seed S] [--repeat R] [--smoke] [--out FILE]
+  lrb online [--servers M] [--epochs E] [--initial-jobs J] [--arrival-rate R]
+             [--lifetime L] [--moves K | --budget B] [--seed S] [--out FILE]
+             [--bank-accrual A] [--bank-cap C] [--bank-initial I]
   lrb replay TRACE.csv --servers M [--moves K]
 
 BENCH:
@@ -563,7 +566,13 @@ CHAOS:
   web-farm simulator under seeded fault injection and prints degradation
   curves plus a schema-versioned JSON report
 
-TELEMETRY (solve, profile, simulate, chaos):
+ONLINE:
+  streams a churning job population (Poisson-ish arrivals with heavy-tailed
+  sizes, geometric lifetimes) through the online rebalancer; each epoch's
+  requested budget is clamped by an amortized move bank (--bank-* knobs).
+  Prints a summary plus the schema-versioned JSON report (ONLINE_1.json)
+
+TELEMETRY (solve, profile, simulate, chaos, online):
   --metrics OUT.json  write phase timings, counters, and histograms as JSON
   --verbose           print the same telemetry as a table
 
@@ -620,9 +629,102 @@ pub fn bench_cmd(args: &Args) -> CmdResult {
     let report = crate::bench::run(&threads, seed, repeats, smoke);
     let mut out = crate::bench::render(&report);
     if let Some(p) = out_path {
-        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        let json = crate::report::to_validated_json(&report, crate::report::validate_bench)?;
         std::fs::write(&p, json).map_err(|e| format!("writing {p}: {e}"))?;
         out.push_str(&format!("\nreport written to {p}"));
+    }
+    Ok(out)
+}
+
+/// `lrb online [--servers M] [--epochs E] [--initial-jobs J]
+/// [--arrival-rate R] [--lifetime L] [--moves K | --budget B]
+/// [--bank-accrual A] [--bank-cap C] [--bank-initial I] [--seed S]
+/// [--out FILE] [--metrics OUT.json] [--verbose]` — stream a churning job
+/// population (Poisson-ish arrivals, heavy-tailed sizes, geometric
+/// lifetimes) through the online rebalancer with its amortized move bank.
+/// Prints a human summary followed by the schema-versioned JSON report
+/// (also written to `--out` when given).
+pub fn online_cmd(args: &Args) -> CmdResult {
+    let servers: usize = args.get_or("servers", 6).map_err(|e| e.to_string())?;
+    let mut cfg = OnlineWorkloadConfig::default_online(servers);
+    cfg.epochs = args.get_or("epochs", 40).map_err(|e| e.to_string())?;
+    cfg.initial_jobs = args
+        .get_or("initial-jobs", cfg.initial_jobs)
+        .map_err(|e| e.to_string())?;
+    cfg.arrival_rate = args
+        .get_or("arrival-rate", cfg.arrival_rate)
+        .map_err(|e| e.to_string())?;
+    cfg.mean_lifetime = args
+        .get_or("lifetime", cfg.mean_lifetime)
+        .map_err(|e| e.to_string())?;
+    cfg.bank.accrual = args
+        .get_or("bank-accrual", cfg.bank.accrual)
+        .map_err(|e| e.to_string())?;
+    cfg.bank.cap = args
+        .get_or("bank-cap", cfg.bank.cap)
+        .map_err(|e| e.to_string())?;
+    cfg.bank.initial = args
+        .get_or("bank-initial", cfg.bank.initial)
+        .map_err(|e| e.to_string())?;
+    cfg.seed = args.get_or("seed", 0).map_err(|e| e.to_string())?;
+    let moves: Option<usize> = match args.get("moves") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("--moves {v}: expected integer"))?,
+        ),
+        None => None,
+    };
+    let budget: Option<u64> = match args.get("budget") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("--budget {v}: expected integer"))?,
+        ),
+        None => None,
+    };
+    let out_path = args.get("out").map(str::to_string);
+    let metrics_path = args.get("metrics").map(str::to_string);
+    let verbose = args.has("verbose");
+    args.reject_unknown().map_err(|e| e.to_string())?;
+
+    cfg.budget = match (moves, budget) {
+        (Some(k), None) => Budget::Moves(k),
+        (None, Some(b)) => Budget::Cost(b),
+        (None, None) => cfg.budget,
+        (Some(_), Some(_)) => return Err("--moves and --budget are mutually exclusive".into()),
+    };
+    if servers == 0 {
+        return Err("--servers must be >= 1".to_string());
+    }
+    if cfg.arrival_rate.is_nan() || cfg.arrival_rate < 0.0 {
+        return Err(format!(
+            "--arrival-rate {}: expected a non-negative number",
+            cfg.arrival_rate
+        ));
+    }
+    if cfg.mean_lifetime.is_nan() || cfg.mean_lifetime < 1.0 {
+        return Err(format!(
+            "--lifetime {}: expected a number >= 1",
+            cfg.mean_lifetime
+        ));
+    }
+
+    let rec = AtomicRecorder::new();
+    let report = crate::online::run(&cfg, &rec);
+    let json = crate::report::to_validated_json(&report, crate::report::validate_online)?;
+    let mut out = crate::online::render(&report);
+    out.push('\n');
+    out.push_str(&json);
+    if let Some(path) = &out_path {
+        std::fs::write(path, &json).map_err(|e| format!("io error: {e}"))?;
+        out.push_str(&format!("\nonline report written to {path}"));
+    }
+    if verbose {
+        out.push_str("\n\n");
+        out.push_str(&rec.snapshot().render_table());
+    }
+    if let Some(p) = &metrics_path {
+        out.push('\n');
+        out.push_str(&write_metrics(&rec, p)?);
     }
     Ok(out)
 }
@@ -649,6 +751,7 @@ pub fn dispatch(tokens: Vec<String>) -> CmdResult {
         Some("simulate") => simulate(&args),
         Some("bench") => bench_cmd(&args),
         Some("chaos") => chaos_cmd(&args),
+        Some("online") => online_cmd(&args),
         Some("replay") => {
             let path = pos.get(1).ok_or("replay needs a TRACE.csv argument")?;
             replay_cmd(&args, path)
@@ -832,6 +935,44 @@ mod tests {
         assert!(run("chaos --crash-rate 1.5")
             .unwrap_err()
             .contains("probability"));
+    }
+
+    #[test]
+    fn online_emits_a_schema_versioned_report() {
+        let path = tmpfile("online.json");
+        let out = run(&format!(
+            "online --servers 4 --epochs 12 --moves 3 --seed 11 --out {path}"
+        ))
+        .unwrap();
+        assert!(out.contains("online farm"), "{out}");
+        assert!(out.contains("online report written"), "{out}");
+        let v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(v["schema_version"], 1u64);
+        assert_eq!(v["servers"], 4u64);
+        assert_eq!(v["budget_kind"], "moves");
+        assert_eq!(v["epoch_curve"].as_array().unwrap().len(), 12);
+        crate::report::validate_online(&v).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn online_cost_budget_and_bad_flags() {
+        let out = run("online --servers 3 --epochs 6 --budget 9").unwrap();
+        assert!(out.contains("online-cost-partition"), "{out}");
+        assert!(run("online --moves 2 --budget 3")
+            .unwrap_err()
+            .contains("mutually exclusive"));
+        assert!(run("online --servers 0").unwrap_err().contains("--servers"));
+        assert!(run("online --lifetime 0.2")
+            .unwrap_err()
+            .contains("--lifetime"));
+        assert!(run("online --arrival-rate -1")
+            .unwrap_err()
+            .contains("--arrival-rate"));
+        assert!(run("online --bogus 1")
+            .unwrap_err()
+            .contains("unknown flags"));
     }
 
     #[test]

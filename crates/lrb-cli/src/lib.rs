@@ -1,0 +1,13 @@
+//! Library surface of the `lrb` CLI.
+//!
+//! The binary in `main.rs` is a thin shell over [`commands::dispatch`];
+//! exposing the modules as a library lets the integration tests (see
+//! `tests/golden.rs`) drive full command lines and pin the JSON report
+//! schemas ([`report`]) without spawning a subprocess.
+
+pub mod args;
+pub mod bench;
+pub mod chaos;
+pub mod commands;
+pub mod online;
+pub mod report;

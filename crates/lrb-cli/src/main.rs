@@ -1,16 +1,12 @@
 //! `lrb` — command-line interface for the load rebalancing toolkit.
 //!
-//! See `lrb help` for usage; the heavy lifting lives in [`commands`], which
-//! is fully unit-tested (the binary itself is a thin shell).
-
-mod args;
-mod bench;
-mod chaos;
-mod commands;
+//! See `lrb help` for usage; the heavy lifting lives in
+//! [`lrb_cli::commands`], which is fully unit-tested (the binary itself is
+//! a thin shell).
 
 fn main() {
     let tokens: Vec<String> = std::env::args().skip(1).collect();
-    match commands::dispatch(tokens) {
+    match lrb_cli::commands::dispatch(tokens) {
         Ok(msg) => println!("{msg}"),
         Err(msg) => {
             eprintln!("error: {msg}");

@@ -1,0 +1,241 @@
+//! Pinned JSON schemas for the CLI's machine-readable reports.
+//!
+//! The vendored serde stub has no `deny_unknown_fields`, so schema
+//! discipline is enforced by hand: each report kind pins its exact key set
+//! (top level and per nested record) plus its `schema_version`, and
+//! [`validate_bench`] / [`validate_chaos`] / [`validate_online`] reject any
+//! document whose key sets drift — unknown *or* missing fields are both
+//! errors. The CLI validates its own output before printing it, and the
+//! golden tests (`tests/golden.rs`) validate from the consumer side, so a
+//! field rename without a version bump fails in both directions.
+
+use serde_json::Value;
+
+use crate::bench::BENCH_SCHEMA_VERSION;
+use crate::chaos::CHAOS_SCHEMA_VERSION;
+use crate::online::ONLINE_SCHEMA_VERSION;
+
+/// Top-level keys of a bench report ([`crate::bench::BenchReport`]).
+pub const BENCH_TOP_KEYS: &[&str] = &[
+    "available_parallelism",
+    "repeats",
+    "rungs",
+    "scenario",
+    "schema_version",
+    "seed",
+    "solver",
+    "thread_curve",
+];
+/// Keys of one `rungs` entry ([`crate::bench::RungInfo`]).
+pub const BENCH_RUNG_KEYS: &[&str] = &["instances", "jobs", "name", "procs"];
+/// Keys of one `thread_curve` entry ([`crate::bench::ThreadPoint`]).
+pub const BENCH_POINT_KEYS: &[&str] = &[
+    "ladder_hits",
+    "ladder_misses",
+    "p50_solve_nanos",
+    "p99_solve_nanos",
+    "speedup_vs_1t",
+    "steals",
+    "threads",
+    "throughput_per_sec",
+    "wall_nanos",
+];
+
+/// Top-level keys of a chaos report ([`crate::chaos::ChaosReport`]).
+pub const CHAOS_TOP_KEYS: &[&str] = &[
+    "epochs",
+    "moves",
+    "points",
+    "schema_version",
+    "seed",
+    "servers",
+    "sites",
+];
+/// Keys of one `points` entry ([`crate::chaos::ChaosPoint`]).
+pub const CHAOS_POINT_KEYS: &[&str] = &[
+    "budget_exhausted_epochs",
+    "crash_rate",
+    "epochs_degraded",
+    "fallback_invocations",
+    "forced_migrations",
+    "mean_imbalance",
+    "mean_oracle_regret",
+    "p95_imbalance",
+    "policy",
+    "policy_rejections",
+    "scenario",
+    "total_migrations",
+];
+
+/// Top-level keys of an online report ([`crate::online::OnlineReport`]).
+pub const ONLINE_TOP_KEYS: &[&str] = &[
+    "arrival_rate",
+    "arrivals",
+    "bank_accrual",
+    "bank_cap",
+    "bank_initial",
+    "budget_amount",
+    "budget_kind",
+    "departures",
+    "epoch_curve",
+    "epochs",
+    "events",
+    "final_loads",
+    "final_makespan",
+    "full_rebuilds",
+    "incremental_updates",
+    "initial_jobs",
+    "mean_imbalance",
+    "mean_lifetime",
+    "moves_performed",
+    "p95_imbalance",
+    "policy",
+    "rebalances",
+    "schema_version",
+    "seed",
+    "servers",
+    "total_migration_cost",
+    "total_migrations",
+];
+/// Keys of one `epoch_curve` entry ([`crate::online::OnlineEpochPoint`]).
+pub const ONLINE_POINT_KEYS: &[&str] = &[
+    "arrivals",
+    "avg_load",
+    "banked",
+    "departures",
+    "epoch",
+    "makespan",
+    "migration_cost",
+    "migrations",
+];
+
+/// Require `value` to be an object carrying *exactly* `keys` — an unknown
+/// key and a missing key are both schema violations.
+fn expect_exact_keys(value: &Value, ctx: &str, keys: &[&str]) -> Result<(), String> {
+    let Some(entries) = value.as_object() else {
+        return Err(format!("{ctx}: expected a JSON object"));
+    };
+    for (k, _) in entries {
+        if !keys.contains(&k.as_str()) {
+            return Err(format!("{ctx}: unknown field '{k}'"));
+        }
+    }
+    for k in keys {
+        if !entries.iter().any(|(name, _)| name == k) {
+            return Err(format!("{ctx}: missing field '{k}'"));
+        }
+    }
+    Ok(())
+}
+
+/// Require `schema_version` to equal `expected`.
+fn expect_version(value: &Value, ctx: &str, expected: u32) -> Result<(), String> {
+    match value.get("schema_version").and_then(Value::as_u64) {
+        Some(v) if v == expected as u64 => Ok(()),
+        Some(v) => Err(format!("{ctx}: schema_version {v}, expected {expected}")),
+        None => Err(format!("{ctx}: schema_version missing or not an integer")),
+    }
+}
+
+/// Validate every element of the array at `field` against `keys`.
+fn expect_array_of(value: &Value, ctx: &str, field: &str, keys: &[&str]) -> Result<(), String> {
+    let Some(arr) = value.get(field).and_then(Value::as_array) else {
+        return Err(format!("{ctx}: '{field}' is not an array"));
+    };
+    for (i, item) in arr.iter().enumerate() {
+        expect_exact_keys(item, &format!("{ctx}.{field}[{i}]"), keys)?;
+    }
+    Ok(())
+}
+
+/// Validate a bench report document against the pinned schema.
+pub fn validate_bench(value: &Value) -> Result<(), String> {
+    expect_exact_keys(value, "bench", BENCH_TOP_KEYS)?;
+    expect_version(value, "bench", BENCH_SCHEMA_VERSION)?;
+    expect_array_of(value, "bench", "rungs", BENCH_RUNG_KEYS)?;
+    expect_array_of(value, "bench", "thread_curve", BENCH_POINT_KEYS)
+}
+
+/// Validate a chaos report document against the pinned schema.
+pub fn validate_chaos(value: &Value) -> Result<(), String> {
+    expect_exact_keys(value, "chaos", CHAOS_TOP_KEYS)?;
+    expect_version(value, "chaos", CHAOS_SCHEMA_VERSION)?;
+    expect_array_of(value, "chaos", "points", CHAOS_POINT_KEYS)
+}
+
+/// Validate an online report document against the pinned schema.
+pub fn validate_online(value: &Value) -> Result<(), String> {
+    expect_exact_keys(value, "online", ONLINE_TOP_KEYS)?;
+    expect_version(value, "online", ONLINE_SCHEMA_VERSION)?;
+    expect_array_of(value, "online", "epoch_curve", ONLINE_POINT_KEYS)
+}
+
+/// Serialize a report and self-check it against its validator before the
+/// JSON leaves the process; a schema drift becomes a loud CLI error
+/// instead of a silently changed file.
+pub fn to_validated_json<T: serde::Serialize>(
+    report: &T,
+    validate: fn(&Value) -> Result<(), String>,
+) -> Result<String, String> {
+    let json = serde_json::to_string_pretty(report).map_err(|e| format!("encode error: {e}"))?;
+    let value: Value = serde_json::from_str(&json).map_err(|e| format!("self-parse error: {e}"))?;
+    validate(&value).map_err(|e| format!("report failed its own schema: {e}"))?;
+    Ok(json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chaos_doc(version: u64, points: &str) -> Value {
+        serde_json::from_str(&format!(
+            r#"{{"schema_version": {version}, "sites": 1, "servers": 1,
+                "epochs": 1, "moves": 1, "seed": 0, "points": {points}}}"#
+        ))
+        .unwrap()
+    }
+
+    fn push_field(v: &mut Value, key: &str, val: Value) {
+        match v {
+            Value::Object(entries) => entries.push((key.to_string(), val)),
+            _ => panic!("expected object"),
+        }
+    }
+
+    fn remove_field(v: &mut Value, key: &str) {
+        match v {
+            Value::Object(entries) => entries.retain(|(k, _)| k != key),
+            _ => panic!("expected object"),
+        }
+    }
+
+    #[test]
+    fn unknown_and_missing_fields_are_both_rejected() {
+        let mut v = chaos_doc(1, "[]");
+        validate_chaos(&v).unwrap();
+        push_field(&mut v, "surprise", Value::Bool(true));
+        assert!(validate_chaos(&v)
+            .unwrap_err()
+            .contains("unknown field 'surprise'"));
+        remove_field(&mut v, "surprise");
+        remove_field(&mut v, "sites");
+        assert!(validate_chaos(&v)
+            .unwrap_err()
+            .contains("missing field 'sites'"));
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let v = chaos_doc(99, "[]");
+        assert!(validate_chaos(&v)
+            .unwrap_err()
+            .contains("schema_version 99"));
+    }
+
+    #[test]
+    fn nested_points_are_checked() {
+        let v = chaos_doc(1, r#"[{"bogus": 1}]"#);
+        let err = validate_chaos(&v).unwrap_err();
+        assert!(err.contains("points[0]"), "{err}");
+    }
+}

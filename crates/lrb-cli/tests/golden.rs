@@ -1,0 +1,187 @@
+//! Golden-output tests for the CLI's machine-readable JSON reports.
+//!
+//! Each schema-versioned report (`lrb bench`, `lrb chaos`, `lrb online`) is
+//! produced through the real command dispatcher, parsed back, and compared
+//! against the pinned key sets in `lrb_cli::report` — the exact sorted key
+//! list at the top level and at every nested record. A field added, removed,
+//! or renamed without bumping the schema version fails here; an injected
+//! unknown field is rejected by the validators (the vendored serde has no
+//! `deny_unknown_fields`, so the hand-rolled validation is what consumers
+//! rely on).
+
+use lrb_cli::commands::dispatch;
+use lrb_cli::report;
+use serde_json::Value;
+
+fn run(cmd: &str) -> Result<String, String> {
+    dispatch(cmd.split_whitespace().map(str::to_string).collect())
+}
+
+fn tmpfile(name: &str) -> String {
+    let dir = std::env::temp_dir().join("lrb-cli-golden");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+/// The object's keys, sorted — the "golden" shape of a record.
+fn sorted_keys(v: &Value) -> Vec<String> {
+    let mut keys: Vec<String> = v
+        .as_object()
+        .unwrap()
+        .iter()
+        .map(|(k, _)| k.clone())
+        .collect();
+    keys.sort();
+    keys
+}
+
+/// Mutable entries of an object (the vendored `Value` has no `IndexMut`).
+fn entries_mut(v: &mut Value) -> &mut Vec<(String, Value)> {
+    match v {
+        Value::Object(entries) => entries,
+        _ => panic!("expected a JSON object"),
+    }
+}
+
+/// Mutable reference to a named field.
+fn field_mut<'a>(v: &'a mut Value, key: &str) -> &'a mut Value {
+    entries_mut(v)
+        .iter_mut()
+        .find(|(k, _)| k == key)
+        .map(|(_, val)| val)
+        .unwrap_or_else(|| panic!("missing field '{key}'"))
+}
+
+fn read_json(path: &str) -> Value {
+    serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap()
+}
+
+#[test]
+fn bench_report_matches_the_pinned_schema() {
+    let path = tmpfile("bench.json");
+    run(&format!(
+        "bench --smoke --threads 1,2 --seed 3 --out {path}"
+    ))
+    .unwrap();
+    let v = read_json(&path);
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(v["schema_version"], 3u64);
+    assert_eq!(sorted_keys(&v), report::BENCH_TOP_KEYS);
+    for rung in v["rungs"].as_array().unwrap() {
+        assert_eq!(sorted_keys(rung), report::BENCH_RUNG_KEYS);
+    }
+    let curve = v["thread_curve"].as_array().unwrap();
+    assert_eq!(curve.len(), 2);
+    for point in curve {
+        assert_eq!(sorted_keys(point), report::BENCH_POINT_KEYS);
+    }
+    report::validate_bench(&v).unwrap();
+}
+
+#[test]
+fn chaos_report_matches_the_pinned_schema() {
+    let path = tmpfile("chaos.json");
+    run(&format!(
+        "chaos --sites 16 --servers 3 --epochs 6 --moves 2 --crash-rate 0.2 --out {path}"
+    ))
+    .unwrap();
+    let v = read_json(&path);
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(v["schema_version"], 1u64);
+    assert_eq!(sorted_keys(&v), report::CHAOS_TOP_KEYS);
+    let points = v["points"].as_array().unwrap();
+    assert!(!points.is_empty());
+    for point in points {
+        assert_eq!(sorted_keys(point), report::CHAOS_POINT_KEYS);
+    }
+    report::validate_chaos(&v).unwrap();
+}
+
+#[test]
+fn online_report_matches_the_pinned_schema() {
+    let path = tmpfile("online.json");
+    run(&format!(
+        "online --servers 4 --epochs 10 --moves 3 --seed 5 --out {path}"
+    ))
+    .unwrap();
+    let v = read_json(&path);
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(v["schema_version"], 1u64);
+    assert_eq!(sorted_keys(&v), report::ONLINE_TOP_KEYS);
+    let curve = v["epoch_curve"].as_array().unwrap();
+    assert_eq!(curve.len(), 10);
+    for point in curve {
+        assert_eq!(sorted_keys(point), report::ONLINE_POINT_KEYS);
+    }
+    report::validate_online(&v).unwrap();
+
+    // The curve's banked balances respect the bank cap, and churn totals
+    // reconcile with the summary counters (initial jobs arrive pre-epoch-0).
+    let cap = v["bank_cap"].as_u64().unwrap();
+    let mut arrivals = v["initial_jobs"].as_u64().unwrap();
+    let mut departures = 0u64;
+    for point in curve {
+        assert!(point["banked"].as_u64().unwrap() <= cap);
+        arrivals += point["arrivals"].as_u64().unwrap();
+        departures += point["departures"].as_u64().unwrap();
+    }
+    assert_eq!(arrivals, v["arrivals"].as_u64().unwrap());
+    assert_eq!(departures, v["departures"].as_u64().unwrap());
+}
+
+#[test]
+fn validators_reject_injected_unknown_fields() {
+    let online_path = tmpfile("inject-online.json");
+    run(&format!(
+        "online --servers 3 --epochs 4 --moves 2 --out {online_path}"
+    ))
+    .unwrap();
+    let mut v = read_json(&online_path);
+    std::fs::remove_file(&online_path).ok();
+
+    report::validate_online(&v).unwrap();
+    entries_mut(&mut v).push(("smuggled".to_string(), Value::Bool(true)));
+    let err = report::validate_online(&v).unwrap_err();
+    assert!(err.contains("unknown field 'smuggled'"), "{err}");
+    entries_mut(&mut v).retain(|(k, _)| k != "smuggled");
+
+    // Nested injection is caught too.
+    let first_point = match field_mut(&mut v, "epoch_curve") {
+        Value::Array(points) => &mut points[0],
+        _ => panic!("epoch_curve is not an array"),
+    };
+    entries_mut(first_point).push(("smuggled".to_string(), Value::Bool(true)));
+    let err = report::validate_online(&v).unwrap_err();
+    assert!(err.contains("epoch_curve[0]"), "{err}");
+    assert!(err.contains("unknown field 'smuggled'"), "{err}");
+
+    // A renamed (hence missing) field is a schema violation as well.
+    let first_point = match field_mut(&mut v, "epoch_curve") {
+        Value::Array(points) => &mut points[0],
+        _ => panic!("epoch_curve is not an array"),
+    };
+    entries_mut(first_point).retain(|(k, _)| k != "smuggled" && k != "banked");
+    let err = report::validate_online(&v).unwrap_err();
+    assert!(err.contains("missing field 'banked'"), "{err}");
+}
+
+#[test]
+fn online_runs_are_seed_deterministic_through_the_cli() {
+    let a = tmpfile("det-a.json");
+    let b = tmpfile("det-b.json");
+    for path in [&a, &b] {
+        run(&format!(
+            "online --servers 4 --epochs 8 --moves 3 --seed 42 --out {path}"
+        ))
+        .unwrap();
+    }
+    assert_eq!(
+        std::fs::read_to_string(&a).unwrap(),
+        std::fs::read_to_string(&b).unwrap()
+    );
+    std::fs::remove_file(&a).ok();
+    std::fs::remove_file(&b).ok();
+}

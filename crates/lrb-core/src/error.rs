@@ -33,6 +33,10 @@ pub enum Error {
     },
     /// An operation referenced a processor that is marked down / crashed.
     ProcessorDown { proc: usize },
+    /// An online event referenced a job key that is not live.
+    UnknownJob { key: u64 },
+    /// An online arrival reused a job key that is still live.
+    DuplicateJob { key: u64 },
 }
 
 impl fmt::Display for Error {
@@ -68,6 +72,10 @@ impl fmt::Display for Error {
                 )
             }
             Error::ProcessorDown { proc } => write!(f, "processor {proc} is down"),
+            Error::UnknownJob { key } => write!(f, "no live job with key {key}"),
+            Error::DuplicateJob { key } => {
+                write!(f, "job key {key} is already live")
+            }
         }
     }
 }
@@ -110,6 +118,18 @@ mod tests {
         assert_eq!(
             Error::ProcessorDown { proc: 7 }.to_string(),
             "processor 7 is down"
+        );
+    }
+
+    #[test]
+    fn online_job_key_messages() {
+        assert_eq!(
+            Error::UnknownJob { key: 42 }.to_string(),
+            "no live job with key 42"
+        );
+        assert_eq!(
+            Error::DuplicateJob { key: 7 }.to_string(),
+            "job key 7 is already live"
         );
     }
 

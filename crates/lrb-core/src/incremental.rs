@@ -22,6 +22,75 @@
 
 use crate::model::{Instance, Size};
 use crate::profiles::Profiles;
+use crate::scratch::{finalize_fingerprint, size_term};
+
+/// Incrementally maintained sorted job-size multiset with a running
+/// [`crate::scratch::ThresholdLadder`] fingerprint.
+///
+/// The online rebalancer keeps one of these in lockstep with its live job
+/// set: each arrival/departure is an `O(n)` shifted insert/remove into the
+/// sorted array plus an `O(1)` wrapping update of the commutative
+/// fingerprint accumulator. Priming the ladder with
+/// ([`Self::fingerprint`], [`Self::sizes_asc`]) then lets every rebalance
+/// hit the ladder cache instead of re-sorting — the fingerprint here is
+/// bit-identical to `ThresholdLadder::fingerprint_of` over the same
+/// multiset by construction (both fold [`size_term`] terms through
+/// [`finalize_fingerprint`]).
+#[derive(Debug, Clone, Default)]
+pub struct SizeMultiset {
+    sizes_asc: Vec<Size>,
+    /// Commutative Σ `size_term(size)` accumulator (wrapping).
+    acc: u64,
+    /// Σ sizes (wrapping, matching the fingerprint's total fold).
+    total: u64,
+}
+
+impl SizeMultiset {
+    /// An empty multiset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert one size, keeping the array sorted.
+    pub fn insert(&mut self, size: Size) {
+        let at = self.sizes_asc.partition_point(|&s| s <= size);
+        self.sizes_asc.insert(at, size);
+        self.acc = self.acc.wrapping_add(size_term(size));
+        self.total = self.total.wrapping_add(size);
+    }
+
+    /// Remove one occurrence of `size`; returns false when absent.
+    pub fn remove(&mut self, size: Size) -> bool {
+        let at = self.sizes_asc.partition_point(|&s| s < size);
+        if self.sizes_asc.get(at) != Some(&size) {
+            return false;
+        }
+        self.sizes_asc.remove(at);
+        self.acc = self.acc.wrapping_sub(size_term(size));
+        self.total = self.total.wrapping_sub(size);
+        true
+    }
+
+    /// The ladder fingerprint of the current multiset.
+    pub fn fingerprint(&self) -> u64 {
+        finalize_fingerprint(self.acc, self.total, self.sizes_asc.len())
+    }
+
+    /// The sizes in ascending order.
+    pub fn sizes_asc(&self) -> &[Size] {
+        &self.sizes_asc
+    }
+
+    /// Number of sizes held.
+    pub fn len(&self) -> usize {
+        self.sizes_asc.len()
+    }
+
+    /// True when the multiset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sizes_asc.is_empty()
+    }
+}
 
 /// Fenwick tree over the `c`-value domain holding counts and sums, for
 /// "sum of the `k` smallest values" queries.
@@ -312,6 +381,47 @@ mod tests {
             let reference = rebalance_with(&inst, k, ThresholdSearch::Scan).unwrap();
             assert_eq!(inc, Some(reference.threshold), "n={n} m={m} k={k}");
         }
+    }
+
+    #[test]
+    fn size_multiset_fingerprint_matches_fresh_fingerprint() {
+        use crate::model::Job;
+        use crate::scratch::ThresholdLadder;
+        use rand::{Rng, SeedableRng};
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        for _ in 0..40 {
+            let mut ms = SizeMultiset::new();
+            let mut live: Vec<u64> = Vec::new();
+            for _ in 0..rng.gen_range(0..40) {
+                if !live.is_empty() && rng.gen_bool(0.4) {
+                    let at = rng.gen_range(0..live.len());
+                    let s = live.swap_remove(at);
+                    assert!(ms.remove(s));
+                } else {
+                    let s = rng.gen_range(1..=30u64);
+                    live.push(s);
+                    ms.insert(s);
+                }
+            }
+            live.sort_unstable();
+            assert_eq!(ms.sizes_asc(), &live[..]);
+            let jobs: Vec<Job> = live.iter().map(|&s| Job::unit(s)).collect();
+            assert_eq!(ms.fingerprint(), ThresholdLadder::fingerprint_of(&jobs));
+        }
+    }
+
+    #[test]
+    fn size_multiset_remove_absent_is_false() {
+        let mut ms = SizeMultiset::new();
+        ms.insert(5);
+        ms.insert(5);
+        ms.insert(9);
+        assert!(!ms.remove(4));
+        assert!(ms.remove(5));
+        assert_eq!(ms.sizes_asc(), &[5, 9]);
+        assert_eq!(ms.len(), 2);
+        assert!(!ms.is_empty());
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod knapsack;
 pub mod lpt;
 pub mod model;
 pub mod mpartition;
+pub mod online;
 pub mod outcome;
 pub mod partition;
 pub mod profiles;
@@ -58,6 +59,9 @@ pub mod prelude {
     pub use crate::lpt;
     pub use crate::model::{Assignment, Budget, Cost, Instance, Job, JobId, ProcId, Size};
     pub use crate::mpartition::{self, ThresholdSearch};
+    pub use crate::online::{
+        BankConfig, Event, JobKey, MoveBank, OnlineRebalancer, OnlineStats, RebalanceStep,
+    };
     pub use crate::outcome::RebalanceOutcome;
     pub use crate::partition;
     pub use crate::ptas::{self, Precision};

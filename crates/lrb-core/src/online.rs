@@ -1,0 +1,709 @@
+//! Online rebalancing: arrivals, departures, and budget-banked rebalances.
+//!
+//! The paper solves a one-shot rebalance, but its motivating web-farm
+//! scenario is online: jobs arrive and depart between rebalance rounds, and
+//! migration stays scarce. This module maintains a live instance
+//! incrementally — sorted job-key index, per-processor loads, and a
+//! [`SizeMultiset`] that keeps the M-PARTITION threshold ladder warm across
+//! events — and runs the batch solvers at rebalance events under an
+//! *amortized* move budget: a [`MoveBank`] accrues a configurable number of
+//! budget units per rebalance event up to a cap, and each rebalance may
+//! spend at most `min(requested, banked)` units (the amortized-migration
+//! lens of Albers & Hellwig and of Westbrook's earlier formulation).
+//!
+//! ## Equivalence invariant
+//!
+//! At any point, [`OnlineRebalancer::instance`] is a plain [`Instance`] and
+//! a rebalance is *exactly* a batch solve of that snapshot with the
+//! effective budget: the incremental structures (ladder priming, sorted
+//! multiset) change only performance, never the answer. Tests replay event
+//! streams and assert checkpoint-by-checkpoint bit-identity against
+//! from-scratch batch solves; see DESIGN.md §10.
+
+use crate::cost_partition;
+use crate::error::{Error, Result};
+use crate::incremental::SizeMultiset;
+use crate::model::{Budget, Instance, Job, ProcId, Size};
+use crate::mpartition;
+use crate::outcome::RebalanceOutcome;
+use crate::scratch::Scratch;
+
+/// Stable identifier for a live job, chosen by the event source. Keys may be
+/// reused after the job departs, but never while it is live.
+pub type JobKey = u64;
+
+/// One event in an online stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A new job lands on processor `proc`.
+    Arrive { key: JobKey, job: Job, proc: ProcId },
+    /// A live job finishes and leaves the system.
+    Depart { key: JobKey },
+    /// Run the solver with at most `min(budget, banked)` effective budget.
+    Rebalance { budget: Budget },
+}
+
+/// Accrual policy for the amortized move budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankConfig {
+    /// Units credited at each rebalance event (before spending).
+    pub accrual: u64,
+    /// Ceiling on the banked balance; accrual beyond it is forfeited.
+    pub cap: u64,
+    /// Starting balance (clamped to `cap`).
+    pub initial: u64,
+}
+
+impl Default for BankConfig {
+    fn default() -> Self {
+        BankConfig {
+            accrual: 4,
+            cap: 16,
+            initial: 4,
+        }
+    }
+}
+
+impl BankConfig {
+    /// A bank that never constrains the requested budget.
+    pub fn unlimited() -> Self {
+        BankConfig {
+            accrual: u64::MAX,
+            cap: u64::MAX,
+            initial: u64::MAX,
+        }
+    }
+}
+
+/// Banked budget units with saturating accrual and audited spending.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MoveBank {
+    balance: u64,
+    accrual: u64,
+    cap: u64,
+    total_accrued: u64,
+    total_spent: u64,
+}
+
+impl MoveBank {
+    /// A bank following `cfg`, starting at `cfg.initial` (clamped to cap).
+    pub fn new(cfg: BankConfig) -> Self {
+        MoveBank {
+            balance: cfg.initial.min(cfg.cap),
+            accrual: cfg.accrual,
+            cap: cfg.cap,
+            total_accrued: 0,
+            total_spent: 0,
+        }
+    }
+
+    /// Credit one rebalance event's accrual, forfeiting overflow past cap.
+    fn accrue(&mut self) {
+        let credited = self.accrual.min(self.cap - self.balance);
+        self.balance += credited;
+        self.total_accrued = self.total_accrued.saturating_add(credited);
+    }
+
+    /// Debit `units`; callers never spend past the balance.
+    fn spend(&mut self, units: u64) {
+        debug_assert!(units <= self.balance, "bank overdraft");
+        self.balance -= units.min(self.balance);
+        self.total_spent = self.total_spent.saturating_add(units);
+    }
+
+    /// Currently banked units.
+    pub fn balance(&self) -> u64 {
+        self.balance
+    }
+
+    /// Units credited over the bank's lifetime (excluding the initial grant).
+    pub fn total_accrued(&self) -> u64 {
+        self.total_accrued
+    }
+
+    /// Units debited over the bank's lifetime.
+    pub fn total_spent(&self) -> u64 {
+        self.total_spent
+    }
+}
+
+/// Event and solver counters maintained by the rebalancer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OnlineStats {
+    /// Total events applied (arrivals + departures + rebalances).
+    pub events: u64,
+    /// Arrive events applied.
+    pub arrivals: u64,
+    /// Depart events applied.
+    pub departures: u64,
+    /// Rebalance events applied.
+    pub rebalances: u64,
+    /// Rebalances that reused the incrementally maintained threshold ladder.
+    pub incremental_updates: u64,
+    /// Rebalances that rebuilt solver state from scratch.
+    pub full_rebuilds: u64,
+    /// Jobs actually migrated (solver moves plus forced moves).
+    pub moves_performed: u64,
+}
+
+/// What one rebalance event did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RebalanceStep {
+    /// The solver's outcome over the pre-rebalance snapshot.
+    pub outcome: RebalanceOutcome,
+    /// The budget the event asked for.
+    pub requested: Budget,
+    /// The budget actually granted: `min(requested, banked)`.
+    pub effective: Budget,
+    /// Bank balance before this event's accrual.
+    pub banked_before: u64,
+    /// Bank balance after accrual and spending.
+    pub banked_after: u64,
+    /// Whether the solver reused the incrementally maintained ladder.
+    pub incremental: bool,
+}
+
+/// Result of committing an externally solved assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Commit {
+    /// Jobs whose processor changed.
+    pub moves: u64,
+    /// Total relocation cost of the moved jobs.
+    pub cost: u64,
+    /// Bank units debited (moves or cost, per the billed budget's kind).
+    pub spent: u64,
+}
+
+/// Incrementally maintained online instance with banked-budget rebalancing.
+///
+/// Jobs are addressed by caller-chosen [`JobKey`]s. Internally the
+/// rebalancer keeps parallel arrays sorted by key (so snapshots are
+/// canonical regardless of event order within an epoch), per-processor
+/// loads, and a [`SizeMultiset`] priming the threshold-ladder cache of its
+/// private [`Scratch`].
+#[derive(Debug)]
+pub struct OnlineRebalancer {
+    num_procs: usize,
+    /// Live job keys, ascending; `jobs` and `assignment` are parallel.
+    keys: Vec<JobKey>,
+    jobs: Vec<Job>,
+    assignment: Vec<ProcId>,
+    loads: Vec<Size>,
+    multiset: SizeMultiset,
+    bank: MoveBank,
+    scratch: Scratch,
+    stats: OnlineStats,
+}
+
+impl OnlineRebalancer {
+    /// An empty online instance over `num_procs` processors.
+    pub fn new(num_procs: usize, bank: BankConfig) -> Result<Self> {
+        if num_procs == 0 {
+            return Err(Error::NoProcessors);
+        }
+        Ok(OnlineRebalancer {
+            num_procs,
+            keys: Vec::new(),
+            jobs: Vec::new(),
+            assignment: Vec::new(),
+            loads: vec![0; num_procs],
+            multiset: SizeMultiset::new(),
+            bank: MoveBank::new(bank),
+            scratch: Scratch::new(),
+            stats: OnlineStats::default(),
+        })
+    }
+
+    /// Apply one event; rebalances return their step, other events `None`.
+    pub fn apply(&mut self, event: Event) -> Result<Option<RebalanceStep>> {
+        match event {
+            Event::Arrive { key, job, proc } => self.arrive(key, job, proc).map(|_| None),
+            Event::Depart { key } => self.depart(key).map(|_| None),
+            Event::Rebalance { budget } => self.rebalance(budget).map(Some),
+        }
+    }
+
+    /// Admit a new job onto `proc`.
+    pub fn arrive(&mut self, key: JobKey, job: Job, proc: ProcId) -> Result<()> {
+        let at = match self.keys.binary_search(&key) {
+            Ok(_) => return Err(Error::DuplicateJob { key }),
+            Err(at) => at,
+        };
+        if proc >= self.num_procs {
+            return Err(Error::ProcOutOfRange {
+                job: at,
+                proc,
+                num_procs: self.num_procs,
+            });
+        }
+        self.keys.insert(at, key);
+        self.jobs.insert(at, job);
+        self.assignment.insert(at, proc);
+        self.loads[proc] = self.loads[proc].saturating_add(job.size);
+        self.multiset.insert(job.size);
+        self.stats.events += 1;
+        self.stats.arrivals += 1;
+        Ok(())
+    }
+
+    /// Retire the live job with `key`, returning it.
+    pub fn depart(&mut self, key: JobKey) -> Result<Job> {
+        let at = self
+            .keys
+            .binary_search(&key)
+            .map_err(|_| Error::UnknownJob { key })?;
+        self.keys.remove(at);
+        let job = self.jobs.remove(at);
+        let proc = self.assignment.remove(at);
+        self.loads[proc] = self.loads[proc].saturating_sub(job.size);
+        let removed = self.multiset.remove(job.size);
+        debug_assert!(removed, "multiset missing a live job's size");
+        self.stats.events += 1;
+        self.stats.departures += 1;
+        Ok(job)
+    }
+
+    /// Accrue the bank and clamp `requested` to the banked balance. Counts
+    /// the rebalance event; pair with [`Self::commit_assignment`] when the
+    /// solve happens externally (e.g. in the batch engine).
+    pub fn begin_rebalance(&mut self, requested: Budget) -> Budget {
+        self.stats.events += 1;
+        self.stats.rebalances += 1;
+        self.bank.accrue();
+        match requested {
+            Budget::Moves(k) => Budget::Moves((k as u64).min(self.bank.balance) as usize),
+            Budget::Cost(b) => Budget::Cost(b.min(self.bank.balance)),
+        }
+    }
+
+    /// Install `new_assignment` (solved elsewhere over [`Self::instance`]),
+    /// billing the bank in `billing`'s units. Rejects assignments that are
+    /// malformed or exceed `billing` without changing any state.
+    pub fn commit_assignment(
+        &mut self,
+        new_assignment: &[ProcId],
+        billing: Budget,
+    ) -> Result<Commit> {
+        if new_assignment.len() != self.keys.len() {
+            return Err(Error::AssignmentLength {
+                expected: self.keys.len(),
+                got: new_assignment.len(),
+            });
+        }
+        let mut moves = 0u64;
+        let mut cost = 0u64;
+        for (j, (&to, &from)) in new_assignment.iter().zip(&self.assignment).enumerate() {
+            if to >= self.num_procs {
+                return Err(Error::ProcOutOfRange {
+                    job: j,
+                    proc: to,
+                    num_procs: self.num_procs,
+                });
+            }
+            if to != from {
+                moves += 1;
+                cost = cost.saturating_add(self.jobs[j].cost);
+            }
+        }
+        let spent = match billing {
+            Budget::Moves(k) => {
+                if moves > k as u64 {
+                    return Err(Error::BudgetExceeded {
+                        used: moves,
+                        budget: k as u64,
+                    });
+                }
+                moves
+            }
+            Budget::Cost(b) => {
+                if cost > b {
+                    return Err(Error::BudgetExceeded {
+                        used: cost,
+                        budget: b,
+                    });
+                }
+                cost
+            }
+        };
+        for (j, (&to, from)) in new_assignment
+            .iter()
+            .zip(self.assignment.iter_mut())
+            .enumerate()
+        {
+            if to != *from {
+                let size = self.jobs[j].size;
+                self.loads[*from] = self.loads[*from].saturating_sub(size);
+                self.loads[to] = self.loads[to].saturating_add(size);
+                *from = to;
+            }
+        }
+        self.bank.spend(spent);
+        self.stats.moves_performed += moves;
+        Ok(Commit { moves, cost, spent })
+    }
+
+    /// Run a full rebalance event: accrue the bank, solve the current
+    /// snapshot with the effective budget, and commit the result.
+    ///
+    /// `Budget::Moves` solves via [`mpartition`] (and reuses the primed
+    /// threshold ladder — an *incremental update*); `Budget::Cost` solves
+    /// via [`cost_partition`] (a *full rebuild*, since the cost solver's
+    /// knapsack state is not cached across events).
+    pub fn rebalance(&mut self, requested: Budget) -> Result<RebalanceStep> {
+        let banked_before = self.bank.balance();
+        let effective = self.begin_rebalance(requested);
+        let inst = self.instance();
+        if inst.num_jobs() == 0 {
+            let outcome = RebalanceOutcome::unchanged(&inst);
+            return Ok(RebalanceStep {
+                outcome,
+                requested,
+                effective,
+                banked_before,
+                banked_after: self.bank.balance(),
+                incremental: false,
+            });
+        }
+        // Prime the ladder from the incrementally maintained multiset so the
+        // solver skips its O(n log n) re-sort. This is a pure cache warm-up:
+        // a wrong prime would trip the ladder's debug cross-check, and the
+        // solve below is bit-identical either way.
+        self.scratch
+            .ladder
+            .prime(self.multiset.fingerprint(), self.multiset.sizes_asc());
+        let hits_before = self.scratch.ladder_hits();
+        let outcome = match effective {
+            Budget::Moves(k) => mpartition::rebalance_scratch(&inst, k, &mut self.scratch)?.outcome,
+            Budget::Cost(b) => {
+                cost_partition::rebalance_scratch(&inst, b, &mut self.scratch)?.outcome
+            }
+        };
+        let incremental = self.scratch.ladder_hits() > hits_before;
+        if incremental {
+            self.stats.incremental_updates += 1;
+        } else {
+            self.stats.full_rebuilds += 1;
+        }
+        self.commit_assignment(&outcome.assignment().to_vec(), effective)?;
+        Ok(RebalanceStep {
+            outcome,
+            requested,
+            effective,
+            banked_before,
+            banked_after: self.bank.balance(),
+            incremental,
+        })
+    }
+
+    /// Move one live job unconditionally (e.g. evacuating a crashed
+    /// processor). Does not touch the bank; bill separately via
+    /// [`Self::bill`] if the move should count against the budget.
+    pub fn force_move(&mut self, key: JobKey, to: ProcId) -> Result<()> {
+        let at = self
+            .keys
+            .binary_search(&key)
+            .map_err(|_| Error::UnknownJob { key })?;
+        if to >= self.num_procs {
+            return Err(Error::ProcOutOfRange {
+                job: at,
+                proc: to,
+                num_procs: self.num_procs,
+            });
+        }
+        let from = self.assignment[at];
+        if from == to {
+            return Ok(());
+        }
+        let size = self.jobs[at].size;
+        self.loads[from] = self.loads[from].saturating_sub(size);
+        self.loads[to] = self.loads[to].saturating_add(size);
+        self.assignment[at] = to;
+        self.stats.moves_performed += 1;
+        Ok(())
+    }
+
+    /// Debit up to `units` from the bank; returns what was actually debited.
+    pub fn bill(&mut self, units: u64) -> u64 {
+        let debited = units.min(self.bank.balance());
+        self.bank.spend(debited);
+        debited
+    }
+
+    /// A from-scratch [`Instance`] snapshot of the live state, with jobs in
+    /// ascending key order (canonical regardless of event arrival order).
+    pub fn instance(&self) -> Instance {
+        Instance::new(self.jobs.clone(), self.assignment.clone(), self.num_procs)
+            .expect("online state is always a valid instance")
+    }
+
+    /// Number of processors.
+    pub fn num_procs(&self) -> usize {
+        self.num_procs
+    }
+
+    /// Number of live jobs.
+    pub fn num_jobs(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Live job keys, ascending.
+    pub fn keys(&self) -> &[JobKey] {
+        &self.keys
+    }
+
+    /// The live job with `key`, if any.
+    pub fn job(&self, key: JobKey) -> Option<&Job> {
+        self.keys.binary_search(&key).ok().map(|at| &self.jobs[at])
+    }
+
+    /// The processor currently hosting `key`, if live.
+    pub fn proc_of(&self, key: JobKey) -> Option<ProcId> {
+        self.keys
+            .binary_search(&key)
+            .ok()
+            .map(|at| self.assignment[at])
+    }
+
+    /// Current assignment, parallel to [`Self::keys`].
+    pub fn assignment(&self) -> &[ProcId] {
+        &self.assignment
+    }
+
+    /// Current per-processor loads.
+    pub fn loads(&self) -> &[Size] {
+        &self.loads
+    }
+
+    /// Current makespan (0 when no jobs are live).
+    pub fn makespan(&self) -> Size {
+        self.loads.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The move bank.
+    pub fn bank(&self) -> &MoveBank {
+        &self.bank
+    }
+
+    /// Event and solver counters.
+    pub fn stats(&self) -> &OnlineStats {
+        &self.stats
+    }
+
+    /// Threshold-ladder cache hits in this rebalancer's private scratch.
+    pub fn ladder_hits(&self) -> u64 {
+        self.scratch.ladder_hits()
+    }
+
+    /// Threshold-ladder cache misses in this rebalancer's private scratch.
+    pub fn ladder_misses(&self) -> u64 {
+        self.scratch.ladder_misses()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arrive(r: &mut OnlineRebalancer, key: JobKey, size: Size, proc: ProcId) {
+        r.arrive(key, Job::unit(size), proc).unwrap();
+    }
+
+    #[test]
+    fn constructor_rejects_zero_processors() {
+        assert_eq!(
+            OnlineRebalancer::new(0, BankConfig::default()).unwrap_err(),
+            Error::NoProcessors
+        );
+    }
+
+    #[test]
+    fn arrivals_and_departures_maintain_loads_and_snapshot() {
+        let mut r = OnlineRebalancer::new(2, BankConfig::default()).unwrap();
+        arrive(&mut r, 10, 5, 0);
+        arrive(&mut r, 3, 4, 1);
+        arrive(&mut r, 7, 3, 0);
+        assert_eq!(r.loads(), &[8, 4]);
+        assert_eq!(r.keys(), &[3, 7, 10]);
+        assert_eq!(r.makespan(), 8);
+
+        let inst = r.instance();
+        assert_eq!(inst.num_jobs(), 3);
+        assert_eq!(inst.initial_loads(), vec![8, 4]);
+
+        let gone = r.depart(7).unwrap();
+        assert_eq!(gone.size, 3);
+        assert_eq!(r.loads(), &[5, 4]);
+        assert_eq!(r.keys(), &[3, 10]);
+        assert_eq!(r.stats().events, 4);
+        assert_eq!(r.stats().arrivals, 3);
+        assert_eq!(r.stats().departures, 1);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_keys_are_rejected() {
+        let mut r = OnlineRebalancer::new(2, BankConfig::default()).unwrap();
+        arrive(&mut r, 1, 5, 0);
+        assert_eq!(
+            r.arrive(1, Job::unit(2), 1).unwrap_err(),
+            Error::DuplicateJob { key: 1 }
+        );
+        assert_eq!(r.depart(99).unwrap_err(), Error::UnknownJob { key: 99 });
+        assert!(matches!(
+            r.arrive(2, Job::unit(1), 5).unwrap_err(),
+            Error::ProcOutOfRange { proc: 5, .. }
+        ));
+        // Failed events leave state and counters untouched.
+        assert_eq!(r.num_jobs(), 1);
+        assert_eq!(r.stats().events, 1);
+    }
+
+    #[test]
+    fn rebalance_matches_batch_solve_of_snapshot() {
+        let mut r = OnlineRebalancer::new(2, BankConfig::unlimited()).unwrap();
+        for (key, size) in [(0u64, 4u64), (1, 3), (2, 3), (3, 2)] {
+            arrive(&mut r, key, size, 0);
+        }
+        let snapshot = r.instance();
+        let step = r.rebalance(Budget::Moves(2)).unwrap();
+        let batch = mpartition::rebalance(&snapshot, 2).unwrap();
+        assert_eq!(step.outcome, batch.outcome);
+        assert_eq!(r.assignment(), batch.outcome.assignment());
+        assert_eq!(r.makespan(), batch.outcome.makespan());
+        assert_eq!(r.makespan(), 6);
+        // The primed ladder made this an incremental update.
+        assert!(step.incremental);
+        assert_eq!(r.stats().incremental_updates, 1);
+        assert_eq!(r.stats().moves_performed, batch.outcome.moves() as u64);
+    }
+
+    #[test]
+    fn bank_clamps_requested_budget_and_accrues_over_events() {
+        let cfg = BankConfig {
+            accrual: 1,
+            cap: 3,
+            initial: 0,
+        };
+        let mut r = OnlineRebalancer::new(2, cfg).unwrap();
+        for (key, size) in [(0u64, 4u64), (1, 3), (2, 3), (3, 2)] {
+            arrive(&mut r, key, size, 0);
+        }
+        // First rebalance: bank accrues to 1, so only one move is allowed.
+        let step = r.rebalance(Budget::Moves(4)).unwrap();
+        assert_eq!(step.effective, Budget::Moves(1));
+        assert!(step.outcome.moves() <= 1);
+        assert_eq!(step.banked_before, 0);
+        // Idle rebalances accrue the rest up to the cap.
+        let step = r.rebalance(Budget::Moves(0)).unwrap();
+        assert_eq!(step.outcome.moves(), 0);
+        r.rebalance(Budget::Moves(0)).unwrap();
+        let step = r.rebalance(Budget::Moves(0)).unwrap();
+        assert_eq!(step.banked_after, 3);
+        let step = r.rebalance(Budget::Moves(0)).unwrap();
+        assert_eq!(step.banked_after, 3); // capped
+        let step = r.rebalance(Budget::Moves(4)).unwrap();
+        assert_eq!(step.effective, Budget::Moves(3));
+    }
+
+    #[test]
+    fn cost_budget_rebalance_counts_as_full_rebuild() {
+        let mut r = OnlineRebalancer::new(2, BankConfig::unlimited()).unwrap();
+        for (key, size, cost) in [(0u64, 4u64, 2u64), (1, 3, 1), (2, 3, 1), (3, 2, 5)] {
+            r.arrive(key, Job::with_cost(size, cost), 0).unwrap();
+        }
+        let snapshot = r.instance();
+        let step = r.rebalance(Budget::Cost(3)).unwrap();
+        let batch = cost_partition::rebalance(&snapshot, 3).unwrap();
+        assert_eq!(step.outcome, batch.outcome);
+        assert!(!step.incremental);
+        assert_eq!(r.stats().full_rebuilds, 1);
+        assert!(snapshot.move_cost(r.assignment()) <= 3);
+    }
+
+    #[test]
+    fn depart_after_arrive_is_a_no_op_on_snapshot_and_fingerprint() {
+        let mut r = OnlineRebalancer::new(3, BankConfig::default()).unwrap();
+        arrive(&mut r, 0, 7, 0);
+        arrive(&mut r, 1, 2, 1);
+        let before_inst = r.instance();
+        let before_loads = r.loads().to_vec();
+        arrive(&mut r, 50, 9, 2);
+        r.depart(50).unwrap();
+        assert_eq!(r.instance(), before_inst);
+        assert_eq!(r.loads(), &before_loads[..]);
+    }
+
+    #[test]
+    fn force_move_and_bill_support_evacuations() {
+        let cfg = BankConfig {
+            accrual: 0,
+            cap: 10,
+            initial: 5,
+        };
+        let mut r = OnlineRebalancer::new(2, cfg).unwrap();
+        arrive(&mut r, 0, 6, 0);
+        r.force_move(0, 1).unwrap();
+        assert_eq!(r.loads(), &[0, 6]);
+        assert_eq!(r.proc_of(0), Some(1));
+        assert_eq!(r.bill(2), 2);
+        assert_eq!(r.bank().balance(), 3);
+        assert_eq!(r.bill(100), 3); // clamped to balance
+        assert_eq!(r.bank().balance(), 0);
+        r.force_move(0, 1).unwrap(); // same-proc move is a no-op
+        assert_eq!(r.stats().moves_performed, 1);
+    }
+
+    #[test]
+    fn commit_rejects_malformed_or_over_budget_assignments() {
+        let mut r = OnlineRebalancer::new(2, BankConfig::unlimited()).unwrap();
+        arrive(&mut r, 0, 4, 0);
+        arrive(&mut r, 1, 4, 0);
+        assert!(matches!(
+            r.commit_assignment(&[1], Budget::Moves(2)).unwrap_err(),
+            Error::AssignmentLength { .. }
+        ));
+        assert!(matches!(
+            r.commit_assignment(&[1, 2], Budget::Moves(2)).unwrap_err(),
+            Error::ProcOutOfRange { .. }
+        ));
+        assert!(matches!(
+            r.commit_assignment(&[1, 1], Budget::Moves(1)).unwrap_err(),
+            Error::BudgetExceeded { .. }
+        ));
+        // Rejections leave state untouched.
+        assert_eq!(r.assignment(), &[0, 0]);
+        assert_eq!(r.loads(), &[8, 0]);
+        let commit = r.commit_assignment(&[1, 0], Budget::Moves(1)).unwrap();
+        assert_eq!((commit.moves, commit.spent), (1, 1));
+        assert_eq!(r.loads(), &[4, 4]);
+    }
+
+    #[test]
+    fn apply_dispatches_all_event_kinds() {
+        let mut r = OnlineRebalancer::new(2, BankConfig::unlimited()).unwrap();
+        assert!(r
+            .apply(Event::Arrive {
+                key: 0,
+                job: Job::unit(5),
+                proc: 0,
+            })
+            .unwrap()
+            .is_none());
+        assert!(r
+            .apply(Event::Rebalance {
+                budget: Budget::Moves(1),
+            })
+            .unwrap()
+            .is_some());
+        assert!(r.apply(Event::Depart { key: 0 }).unwrap().is_none());
+        assert_eq!(r.stats().events, 3);
+    }
+
+    #[test]
+    fn empty_rebalance_is_an_unchanged_outcome() {
+        let mut r = OnlineRebalancer::new(3, BankConfig::default()).unwrap();
+        let step = r.rebalance(Budget::Moves(5)).unwrap();
+        assert_eq!(step.outcome.moves(), 0);
+        assert_eq!(step.outcome.makespan(), 0);
+        assert_eq!(r.stats().rebalances, 1);
+    }
+}

@@ -139,10 +139,23 @@ impl ThresholdLadder {
         let mut acc = 0u64;
         let mut total = 0u64;
         for j in jobs {
-            acc = acc.wrapping_add(mix(j.size.wrapping_add(0x9E37_79B9_7F4A_7C15)));
+            acc = acc.wrapping_add(size_term(j.size));
             total = total.wrapping_add(j.size);
         }
-        mix(acc ^ mix(total) ^ (jobs.len() as u64).rotate_left(32))
+        finalize_fingerprint(acc, total, jobs.len())
+    }
+
+    /// Install an externally maintained sorted size array and its fingerprint
+    /// so the next [`Self::sizes_asc_into`] over the same multiset hits the
+    /// cache without re-sorting. Callers maintaining the multiset
+    /// incrementally (see [`crate::incremental::SizeMultiset`]) use this to
+    /// keep a warm ladder across arrivals and departures. Neither a hit nor a
+    /// miss is counted; debug builds verify primed data on the next lookup.
+    pub(crate) fn prime(&mut self, fingerprint: u64, sizes_asc: &[Size]) {
+        debug_assert!(sizes_asc.windows(2).all(|w| w[0] <= w[1]));
+        self.sizes_asc.clear();
+        self.sizes_asc.extend_from_slice(sizes_asc);
+        self.fingerprint = Some(fingerprint);
     }
 
     /// Fill `out` with the instance's sizes in ascending order, reusing the
@@ -170,6 +183,18 @@ impl ThresholdLadder {
         self.sizes_asc.clone_from(out);
         self.fingerprint = Some(fp);
     }
+}
+
+/// Per-size contribution to the commutative multiset fingerprint. Incremental
+/// maintainers add this on insert and subtract it (wrapping) on remove.
+pub(crate) fn size_term(size: Size) -> u64 {
+    mix(size.wrapping_add(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Fold the commutative accumulator, total size, and count into the final
+/// fingerprint. Must stay in lockstep with [`ThresholdLadder::fingerprint_of`].
+pub(crate) fn finalize_fingerprint(acc: u64, total: u64, len: usize) -> u64 {
+    mix(acc ^ mix(total) ^ (len as u64).rotate_left(32))
 }
 
 /// splitmix64 finalizer — the same mixer the harness uses for seeds.
@@ -225,6 +250,17 @@ mod tests {
         ladder.sizes_asc_into(&jobs_of(&[9, 4, 3]), &mut out);
         assert_eq!(out, vec![3, 4, 9]);
         assert_eq!((ladder.hits, ladder.misses), (1, 2));
+    }
+
+    #[test]
+    fn primed_ladder_hits_without_a_prior_miss() {
+        let jobs = jobs_of(&[9, 4, 2]);
+        let mut ladder = ThresholdLadder::default();
+        ladder.prime(ThresholdLadder::fingerprint_of(&jobs), &[2, 4, 9]);
+        let mut out = Vec::new();
+        ladder.sizes_asc_into(&jobs, &mut out);
+        assert_eq!(out, vec![2, 4, 9]);
+        assert_eq!((ladder.hits, ladder.misses), (1, 0));
     }
 
     #[test]

@@ -114,50 +114,140 @@ pub fn solve_batch_recorded<R: Recorder + Sync>(
     cfg: &EngineConfig,
     rec: &R,
 ) -> BatchReport {
+    let threads = cfg.resolved_threads(items.len());
+    let mut scratches: Vec<Scratch> = (0..threads).map(|_| Scratch::new()).collect();
+    run_batch(items, solver, threads, &mut scratches, rec)
+}
+
+/// Persistent streaming executor: [`solve_batch`] semantics, epoch after
+/// epoch, with per-worker [`Scratch`]es that survive across epochs.
+///
+/// An online fleet feeds every farm's per-epoch solve through one of these
+/// in lockstep: the warm threshold-ladder and profile buffers amortize
+/// allocation and sorting across the whole stream, while per-epoch results
+/// stay **bit-identical for any thread count** (and to [`solve_batch`])
+/// because the scratch entry points never change answers, only speed.
+#[derive(Debug)]
+pub struct StreamEngine {
+    solver: BatchSolver,
+    threads: usize,
+    scratches: Vec<Scratch>,
+    epochs: u64,
+}
+
+impl StreamEngine {
+    /// A streaming executor with `cfg.threads` persistent workers.
+    pub fn new(solver: BatchSolver, cfg: &EngineConfig) -> Self {
+        let threads = cfg.resolved_threads(usize::MAX);
+        StreamEngine {
+            solver,
+            threads,
+            scratches: (0..threads).map(|_| Scratch::new()).collect(),
+            epochs: 0,
+        }
+    }
+
+    /// Solve one epoch's batch with the default recorder.
+    pub fn solve_epoch(&mut self, items: &[BatchItem]) -> BatchReport {
+        self.solve_epoch_recorded(items, &NoopRecorder)
+    }
+
+    /// Solve one epoch's batch; ladder hit/miss telemetry in the returned
+    /// report is the *delta* contributed by this epoch (warm scratches carry
+    /// cache state across epochs).
+    pub fn solve_epoch_recorded<R: Recorder + Sync>(
+        &mut self,
+        items: &[BatchItem],
+        rec: &R,
+    ) -> BatchReport {
+        self.epochs += 1;
+        let threads = self.threads.clamp(1, items.len().max(1));
+        run_batch(items, self.solver, threads, &mut self.scratches, rec)
+    }
+
+    /// The solver every epoch runs with.
+    pub fn solver(&self) -> BatchSolver {
+        self.solver
+    }
+
+    /// Persistent worker count.
+    pub fn workers(&self) -> usize {
+        self.threads
+    }
+
+    /// Epochs solved so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Cumulative threshold-ladder hits across all epochs and workers.
+    pub fn ladder_hits(&self) -> u64 {
+        self.scratches.iter().map(Scratch::ladder_hits).sum()
+    }
+
+    /// Cumulative threshold-ladder misses across all epochs and workers.
+    pub fn ladder_misses(&self) -> u64 {
+        self.scratches.iter().map(Scratch::ladder_misses).sum()
+    }
+}
+
+/// Shared batch runner: solve `items` on up to `threads` workers drawing
+/// from `scratches` (one per worker; `threads <= scratches.len()`). Ladder
+/// telemetry in the report is the delta accumulated by this call, so warm
+/// scratches ([`StreamEngine`]) report per-epoch cache traffic.
+fn run_batch<R: Recorder + Sync>(
+    items: &[BatchItem],
+    solver: BatchSolver,
+    threads: usize,
+    scratches: &mut [Scratch],
+    rec: &R,
+) -> BatchReport {
     let _batch = rec.time(names::ENGINE_BATCH);
     let n = items.len();
     rec.incr(names::ENGINE_ITEMS, n as u64);
-    let threads = cfg.resolved_threads(n);
     rec.incr(names::ENGINE_WORKERS, threads as u64);
+    debug_assert!(threads >= 1 && threads <= scratches.len());
+    let before_hits: u64 = scratches.iter().map(Scratch::ladder_hits).sum();
+    let before_misses: u64 = scratches.iter().map(Scratch::ladder_misses).sum();
 
     if threads <= 1 || n <= 1 {
-        let mut scratch = Scratch::new();
+        let scratch = &mut scratches[0];
         let mut outcomes = Vec::with_capacity(n);
         let mut solve_nanos = Vec::with_capacity(n);
         for item in items {
             let start = Instant::now();
-            outcomes.push(solve_one(item, solver, &mut scratch));
+            outcomes.push(solve_one(item, solver, scratch));
             let nanos = (start.elapsed().as_nanos() as u64).max(1);
             rec.observe(names::ENGINE_SOLVE_NANOS, nanos);
             solve_nanos.push(nanos);
         }
-        rec.incr(names::ENGINE_LADDER_HITS, scratch.ladder_hits());
-        rec.incr(names::ENGINE_LADDER_MISSES, scratch.ladder_misses());
+        let ladder_hits = scratches.iter().map(Scratch::ladder_hits).sum::<u64>() - before_hits;
+        let ladder_misses =
+            scratches.iter().map(Scratch::ladder_misses).sum::<u64>() - before_misses;
+        rec.incr(names::ENGINE_LADDER_HITS, ladder_hits);
+        rec.incr(names::ENGINE_LADDER_MISSES, ladder_misses);
         return BatchReport {
             outcomes,
             solve_nanos,
             workers: 1,
             steals: 0,
-            ladder_hits: scratch.ladder_hits(),
-            ladder_misses: scratch.ladder_misses(),
+            ladder_hits,
+            ladder_misses,
         };
     }
 
     let queue = StealQueue::new(n, threads);
     let steals = AtomicU64::new(0);
-    let ladder_hits = AtomicU64::new(0);
-    let ladder_misses = AtomicU64::new(0);
 
     let mut slots: Vec<Option<(RebalanceOutcome, u64)>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|w| {
+        let handles: Vec<_> = scratches[..threads]
+            .iter_mut()
+            .enumerate()
+            .map(|(w, scratch)| {
                 let queue = &queue;
                 let steals = &steals;
-                let ladder_hits = &ladder_hits;
-                let ladder_misses = &ladder_misses;
                 scope.spawn(move || {
-                    let mut scratch = Scratch::new();
                     let mut local: Vec<(usize, RebalanceOutcome, u64)> = Vec::new();
                     loop {
                         let i = match queue.claim_own(w) {
@@ -175,15 +265,13 @@ pub fn solve_batch_recorded<R: Recorder + Sync>(
                             },
                         };
                         let start = Instant::now();
-                        let out = solve_one(&items[i], solver, &mut scratch);
+                        let out = solve_one(&items[i], solver, scratch);
                         let nanos = (start.elapsed().as_nanos() as u64).max(1);
                         if R::ENABLED {
                             rec.observe(names::ENGINE_SOLVE_NANOS, nanos);
                         }
                         local.push((i, out, nanos));
                     }
-                    ladder_hits.fetch_add(scratch.ladder_hits(), Ordering::Relaxed);
-                    ladder_misses.fetch_add(scratch.ladder_misses(), Ordering::Relaxed);
                     local
                 })
             })
@@ -195,8 +283,8 @@ pub fn solve_batch_recorded<R: Recorder + Sync>(
         }
     });
 
-    let ladder_hits = ladder_hits.into_inner();
-    let ladder_misses = ladder_misses.into_inner();
+    let ladder_hits = scratches.iter().map(Scratch::ladder_hits).sum::<u64>() - before_hits;
+    let ladder_misses = scratches.iter().map(Scratch::ladder_misses).sum::<u64>() - before_misses;
     rec.incr(names::ENGINE_LADDER_HITS, ladder_hits);
     rec.incr(names::ENGINE_LADDER_MISSES, ladder_misses);
 
@@ -419,6 +507,68 @@ mod tests {
             snap.counter(names::ENGINE_LADDER_MISSES).unwrap_or(0),
             report.ladder_misses
         );
+    }
+
+    #[test]
+    fn stream_engine_matches_solve_batch_each_epoch_at_any_thread_count() {
+        let epochs: Vec<Vec<BatchItem>> = (0..4).map(|e| batch(10 + e, 31 + e as u64)).collect();
+        let reference: Vec<_> = epochs
+            .iter()
+            .map(|items| {
+                solve_batch(
+                    items,
+                    BatchSolver::MPartition,
+                    &EngineConfig::with_threads(1),
+                )
+            })
+            .collect();
+        for threads in [1, 2, 4, 8] {
+            let mut stream = StreamEngine::new(
+                BatchSolver::MPartition,
+                &EngineConfig::with_threads(threads),
+            );
+            for (items, want) in epochs.iter().zip(&reference) {
+                let got = stream.solve_epoch(items);
+                assert_eq!(got.outcomes, want.outcomes, "{threads} threads");
+            }
+            assert_eq!(stream.epochs(), epochs.len() as u64);
+        }
+    }
+
+    #[test]
+    fn stream_engine_keeps_ladder_warm_across_epochs() {
+        // The same single-farm multiset arrives every epoch (placements
+        // drift); after the first epoch every solve must hit the warm ladder.
+        let cfg = GeneratorConfig::uniform(24, 4);
+        let base = cfg.generate(5);
+        let m = base.num_procs();
+        let mut stream = StreamEngine::new(BatchSolver::MPartition, &EngineConfig::with_threads(1));
+        for epoch in 0..5 {
+            let placement: Vec<usize> = (0..base.num_jobs()).map(|j| (j + epoch) % m).collect();
+            let items = [BatchItem {
+                instance: Instance::new(base.jobs().to_vec(), placement, m).unwrap(),
+                budget: Budget::Moves(4),
+            }];
+            let report = stream.solve_epoch(&items);
+            if epoch == 0 {
+                assert_eq!((report.ladder_hits, report.ladder_misses), (0, 1));
+            } else {
+                assert_eq!((report.ladder_hits, report.ladder_misses), (1, 0));
+            }
+        }
+        assert_eq!((stream.ladder_hits(), stream.ladder_misses()), (4, 1));
+    }
+
+    #[test]
+    fn stream_engine_handles_empty_and_tiny_epochs() {
+        let mut stream = StreamEngine::new(BatchSolver::MPartition, &EngineConfig::with_threads(4));
+        assert_eq!(stream.workers(), 4);
+        let report = stream.solve_epoch(&[]);
+        assert!(report.outcomes.is_empty());
+        let items = batch(1, 9);
+        let report = stream.solve_epoch(&items);
+        assert_eq!(report.outcomes.len(), 1);
+        assert_eq!(report.workers, 1); // clamped to the epoch's size
     }
 
     #[test]

@@ -21,3 +21,22 @@ pub const ENGINE_LADDER_HITS: &str = "engine.ladder_hits";
 pub const ENGINE_LADDER_MISSES: &str = "engine.ladder_misses";
 /// Whole-batch wall-clock phase.
 pub const ENGINE_BATCH: &str = "engine.batch";
+
+/// Online events applied (arrivals + departures + rebalances).
+pub const ONLINE_EVENTS: &str = "online.events";
+/// Online arrival events applied.
+pub const ONLINE_ARRIVALS: &str = "online.arrivals";
+/// Online departure events applied.
+pub const ONLINE_DEPARTURES: &str = "online.departures";
+/// Online rebalance events applied.
+pub const ONLINE_REBALANCES: &str = "online.rebalances";
+/// Online rebalances served by the incrementally maintained ladder.
+pub const ONLINE_INCREMENTAL: &str = "online.incremental_updates";
+/// Online rebalances that rebuilt solver state from scratch.
+pub const ONLINE_REBUILDS: &str = "online.full_rebuilds";
+/// Jobs migrated by online rebalances and evacuations.
+pub const ONLINE_MOVES: &str = "online.moves";
+/// Banked-budget balance after each rebalance event (histogram).
+pub const ONLINE_BANKED: &str = "online.banked_balance";
+/// Per-event apply wall time in nanoseconds (histogram).
+pub const ONLINE_EVENT_NANOS: &str = "online.event_nanos";

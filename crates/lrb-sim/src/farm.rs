@@ -355,8 +355,8 @@ fn site_cost(load: u64, model: MigrationCost) -> u64 {
 }
 
 /// Makespan of a fresh LPT schedule of `loads` on `m` servers — the
-/// unconstrained oracle used for regret.
-fn lpt_makespan(loads: &[u64], m: usize) -> u64 {
+/// unconstrained oracle used for regret (shared with the online driver).
+pub(crate) fn lpt_makespan(loads: &[u64], m: usize) -> u64 {
     let asg = lrb_core::lpt::schedule(loads, m);
     let mut per = vec![0u64; m];
     for (j, &p) in asg.iter().enumerate() {

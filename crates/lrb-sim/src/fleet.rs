@@ -103,8 +103,15 @@ pub fn run_fleet_recorded<R: Recorder + Sync>(cfg: &FleetConfig, rec: &R) -> Vec
 
             let migrations = inst.move_count(&new_assignment);
             let migration_cost = inst.move_cost(&new_assignment);
+            // Epoch indices are per *farm*, contiguous from 0 — every farm
+            // starts at the global tick 0 and only ever drops out at its
+            // own end, so its local count and the global loop index agree.
+            // Recording the local count keeps traces comparable with solo
+            // runs even if the scheduling of farms ever changes.
+            let farm_epoch = state.epochs.len();
+            debug_assert_eq!(farm_epoch, epoch);
             state.epochs.push(EpochMetrics {
-                epoch,
+                epoch: farm_epoch,
                 makespan,
                 avg_load: inst.avg_load_ceil(),
                 migrations,
@@ -128,6 +135,11 @@ pub fn run_fleet_recorded<R: Recorder + Sync>(cfg: &FleetConfig, rec: &R) -> Vec
         }
     }
 
+    for state in &farms {
+        for (e, m) in state.epochs.iter().enumerate() {
+            assert_eq!(m.epoch, e, "per-farm epoch indices must be contiguous");
+        }
+    }
     farms
         .into_iter()
         .map(|state| SimReport {
@@ -175,6 +187,17 @@ mod tests {
             assert_eq!(fleet_report.policy, solo.policy);
             assert_eq!(fleet_report.epochs, solo.epochs);
             assert_eq!(fleet_report.decisions, solo.decisions);
+        }
+    }
+
+    #[test]
+    fn per_farm_epoch_indices_are_contiguous_despite_mixed_lengths() {
+        let reports = run_fleet(&fleet());
+        for (fc, report) in fleet().farms.iter().zip(&reports) {
+            assert_eq!(report.epochs.len(), fc.epochs);
+            for (e, m) in report.epochs.iter().enumerate() {
+                assert_eq!(m.epoch, e);
+            }
         }
     }
 

@@ -23,6 +23,7 @@
 pub mod farm;
 pub mod fleet;
 pub mod metrics;
+pub mod online;
 pub mod policy;
 pub mod process;
 pub mod trace;
@@ -35,6 +36,11 @@ pub use farm::{
 };
 pub use fleet::{run_fleet, run_fleet_recorded, FleetConfig};
 pub use metrics::{DecisionCounters, DegradationMetrics, EpochMetrics, SimReport};
+pub use online::{
+    run_farm_online, run_farm_online_faulty, run_farm_online_faulty_recorded,
+    run_farm_online_recorded, run_online_fleet, run_online_fleet_recorded, OnlineFleetConfig,
+    OnlineRunReport, OnlineWorkload, OnlineWorkloadConfig,
+};
 pub use policy::{
     FallbackPolicy, FullRebalance, GreedyPolicy, MPartitionPolicy, NoRebalance, Policy,
     ThresholdTriggered,

@@ -26,6 +26,11 @@ run cargo test -q --workspace --offline
 # regression impossible to miss in the log).
 run cargo test -q --release --offline --test differential
 run cargo test -q --release --offline --test metamorphic
+# Online-vs-batch equivalence (PR-5): every checkpoint of the streaming
+# subsystem must be bit-identical to a from-scratch batch solve at every
+# engine thread count. Seeded streams, ~a second in release — well inside
+# the gate's wall-clock budget.
+run cargo test -q --release --offline --test online_equivalence
 
 # Bench smoke test: `lrb bench --smoke` must finish quickly and emit a
 # schema-versioned BENCH_3-style report with a thread-scaling curve.
@@ -50,6 +55,23 @@ chaos_out="$(cargo run -q --release --offline -p lrb-cli --bin lrb -- \
     chaos --epochs 50 --crash-rate 0.1)"
 if ! grep -q '"schema_version"' <<<"$chaos_out"; then
     echo "chaos smoke test failed: no schema_version in output" >&2
+    exit 1
+fi
+
+# Online smoke test: a short streaming run must emit a schema-versioned
+# ONLINE_1-style report with a per-epoch curve. 10 epochs on 4 servers
+# finishes in well under a second.
+echo "==> online smoke test (lrb online --servers 4 --epochs 10 --moves 3)"
+online_tmp="$(mktemp)"
+trap 'rm -f "$bench_tmp" "$online_tmp"' EXIT
+cargo run -q --release --offline -p lrb-cli --bin lrb -- \
+    online --servers 4 --epochs 10 --moves 3 --out "$online_tmp" >/dev/null
+if ! grep -q '"schema_version": 1' "$online_tmp"; then
+    echo "online smoke test failed: schema_version 1 missing" >&2
+    exit 1
+fi
+if ! grep -q '"epoch_curve"' "$online_tmp"; then
+    echo "online smoke test failed: no epoch_curve in report" >&2
     exit 1
 fi
 

@@ -16,9 +16,9 @@
 //! m = 4 oracle limit with canonical set-partition placements (restricted
 //! growth strings), strided to keep the suite inside a few seconds.
 
-use load_rebalance::core::model::{Budget, Instance};
+use load_rebalance::core::model::{Budget, Instance, Job};
 use load_rebalance::core::profiles::Profiles;
-use load_rebalance::core::{greedy, mpartition, partition};
+use load_rebalance::core::{cost_partition, greedy, mpartition, partition};
 use load_rebalance::exact;
 
 /// All non-decreasing size multisets of length `n` over `1..=max_size`.
@@ -205,6 +205,106 @@ fn family_b_move_minimality() {
         let inst = Instance::from_sizes(sizes, placement, 4).unwrap();
         certify_move_minimality(&inst);
     }
+}
+
+/// All cost vectors over `{1, 3}`^n: cheap and expensive relocations mixed
+/// in every pattern, so the knapsack's keep/shed trade-off is exercised in
+/// both directions.
+fn cost_vectors(n: usize) -> Vec<Vec<u64>> {
+    let mut out = vec![vec![]];
+    for _ in 0..n {
+        out = out
+            .into_iter()
+            .flat_map(|c| {
+                [1u64, 3].into_iter().map(move |cost| {
+                    let mut c = c.clone();
+                    c.push(cost);
+                    c
+                })
+            })
+            .collect();
+    }
+    out
+}
+
+/// Assert the §3.2 guarantees on one (instance, cost budget) cell: the plan
+/// respects the budget exactly, and the makespan is within the paper's
+/// 1.5-factor of the *cost-constrained* exact optimum (integer sizes
+/// collapse the `(1+α)` guessing error and the knapsack on these tiny cells
+/// is exact, so the `ε`/`α` slack terms vanish — checked as
+/// `2·cp ≤ 3·OPT_B` in exact integers).
+fn certify_cost(inst: &Instance, b: u64) {
+    let opt = exact::optimal_makespan_cost(inst, b);
+    let run = cost_partition::rebalance(inst, b).expect("cost-partition solves every instance");
+    assert!(
+        run.outcome.cost() <= b,
+        "cost budget violated: paid {} > {b} on {inst:?}",
+        run.outcome.cost(),
+    );
+    assert!(
+        2 * run.outcome.makespan() <= 3 * opt,
+        "1.5 cost ratio violated: {} > 1.5·{opt} on {inst:?} b={b}",
+        run.outcome.makespan(),
+    );
+}
+
+#[test]
+fn family_c_exhaustive_arbitrary_cost_cells() {
+    // Exhaustive at the small end, like family A but over the cost model
+    // too: every size multiset over {1,2,3}, every {1,3}-cost vector, every
+    // placement, and every cost budget from 0 to the total relocation cost
+    // (any larger budget is equivalent to the total).
+    let mut cells = 0usize;
+    for m in 2..=3usize {
+        for n in 1..=3usize {
+            for sizes in size_multisets(n, 3) {
+                for costs in cost_vectors(n) {
+                    let jobs: Vec<Job> = sizes
+                        .iter()
+                        .zip(&costs)
+                        .map(|(&s, &c)| Job::with_cost(s, c))
+                        .collect();
+                    let total: u64 = costs.iter().sum();
+                    for placement in all_placements(n, m) {
+                        let inst = Instance::new(jobs.clone(), placement, m).unwrap();
+                        for b in 0..=total {
+                            certify_cost(&inst, b);
+                            cells += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Exhaustiveness guard: the family must not silently shrink.
+    assert_eq!(cells, 21_250, "family C cell count drifted");
+}
+
+#[test]
+fn family_c_oracle_limit_cost_instances() {
+    // Larger mixed-cost instances at the oracle's comfort zone: expensive
+    // big jobs and cheap small ones (and one inverted pattern), canonical
+    // strided placements, a cost-budget ladder.
+    let families: [(&[u64], &[u64]); 2] = [
+        (&[9, 7, 5, 4, 3, 2], &[5, 4, 3, 2, 1, 1]),
+        (&[8, 6, 5, 3, 2, 1], &[1, 1, 2, 3, 4, 5]),
+    ];
+    let mut cells = 0usize;
+    for (sizes, costs) in families {
+        let jobs: Vec<Job> = sizes
+            .iter()
+            .zip(costs)
+            .map(|(&s, &c)| Job::with_cost(s, c))
+            .collect();
+        for placement in rgs_placements(sizes.len(), 3, 3) {
+            let inst = Instance::new(jobs.clone(), placement, 3).unwrap();
+            for b in [0u64, 1, 2, 4, 8] {
+                certify_cost(&inst, b);
+                cells += 1;
+            }
+        }
+    }
+    assert!(cells > 200, "only {cells} cells enumerated");
 }
 
 #[test]

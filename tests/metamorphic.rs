@@ -16,13 +16,21 @@
 //!   bit-identical (full `RebalanceOutcome` equality) for every thread
 //!   count, i.e. work stealing only changes *who* solves an item, never the
 //!   answer.
+//! * **Online identities** — the streaming rebalancer's state is a pure
+//!   function of the live job set: replaying only the surviving arrivals
+//!   reproduces it; churn events within an epoch commute (departures target
+//!   jobs alive at the epoch's start, arrivals carry fresh keys);
+//!   `depart(arrive(x))` is a no-op; and an online fleet's traces are
+//!   bit-identical at every engine thread count.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use load_rebalance::core::model::{Budget, Instance};
+use load_rebalance::core::model::{Budget, Instance, Job};
+use load_rebalance::core::online::{BankConfig, OnlineRebalancer};
 use load_rebalance::core::{greedy, mpartition};
 use load_rebalance::engine::{solve_batch, BatchItem, BatchSolver, EngineConfig};
+use load_rebalance::sim::{run_online_fleet, OnlineFleetConfig, OnlineWorkloadConfig};
 
 /// Strategy: sizes, placement, budget, and random sort keys used to derive a
 /// job-index permutation.
@@ -112,6 +120,178 @@ proptest! {
             for threads in [2usize, 4, 8] {
                 let got = solve_batch(&items, solver, &EngineConfig::with_threads(threads));
                 prop_assert_eq!(&baseline.outcomes, &got.outcomes);
+            }
+        }
+    }
+}
+
+/// Strategy for an online churn script: `m` processors, a batch of arrivals
+/// (size, initial processor), a departure flag per arrival (0/1; the
+/// vendored proptest has no `any::<bool>()`), and a budget.
+#[allow(clippy::type_complexity)]
+fn online_script() -> impl Strategy<Value = (usize, Vec<(u64, usize)>, Vec<u8>, usize)> {
+    (2usize..=4).prop_flat_map(|m| {
+        (1usize..=12).prop_flat_map(move |n| {
+            (
+                Just(m),
+                vec((1u64..=30, 0usize..m), n),
+                vec(0u8..=1, n),
+                0usize..=4,
+            )
+        })
+    })
+}
+
+/// Populate a fresh rebalancer with `jobs[i]` under key `i`.
+fn populated(m: usize, jobs: &[(u64, usize)]) -> OnlineRebalancer {
+    let mut r = OnlineRebalancer::new(m, BankConfig::unlimited()).unwrap();
+    for (key, &(size, proc)) in jobs.iter().enumerate() {
+        r.arrive(key as u64, Job::unit(size), proc).unwrap();
+    }
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    /// The online state is a pure function of the live job set: arriving
+    /// everything and departing a subset leaves exactly the state of a
+    /// fresh rebalancer fed only the survivors — and both rebalance to the
+    /// same outcome as a from-scratch batch solve of the shared snapshot.
+    #[test]
+    fn online_state_is_replay_of_survivors((m, jobs, departs, k) in online_script()) {
+        let mut churned = populated(m, &jobs);
+        for (key, &gone) in departs.iter().enumerate() {
+            if gone == 1 {
+                churned.depart(key as u64).unwrap();
+            }
+        }
+        let mut replayed = OnlineRebalancer::new(m, BankConfig::unlimited()).unwrap();
+        for (key, &(size, proc)) in jobs.iter().enumerate() {
+            if departs[key] == 0 {
+                replayed.arrive(key as u64, Job::unit(size), proc).unwrap();
+            }
+        }
+        let snapshot = churned.instance();
+        prop_assert_eq!(&snapshot, &replayed.instance());
+
+        let a = churned.rebalance(Budget::Moves(k)).unwrap();
+        let b = replayed.rebalance(Budget::Moves(k)).unwrap();
+        prop_assert_eq!(&a.outcome, &b.outcome);
+        if snapshot.num_jobs() > 0 {
+            let batch = mpartition::rebalance(&snapshot, k).unwrap();
+            prop_assert_eq!(&a.outcome, &batch.outcome);
+        }
+    }
+
+    /// Churn events commute within an epoch: departures (of jobs alive at
+    /// the epoch's start) and arrivals (with fresh keys) can be applied in
+    /// any order without changing the resulting state or solve.
+    #[test]
+    fn epoch_churn_is_permutation_invariant(
+        ((m, jobs, departs, k), fresh, keys) in (
+            online_script(),
+            vec((1u64..=30, 0usize..4), 0..=6),
+            vec(0u64..=1_000_000, 18),
+        )
+    ) {
+        // The epoch's event list in canonical order: departures first, then
+        // arrivals with fresh keys (clamping each arrival's processor to m).
+        enum Ev { Depart(u64), Arrive(u64, u64, usize) }
+        let mut events = Vec::new();
+        for (key, &gone) in departs.iter().enumerate() {
+            if gone == 1 {
+                events.push(Ev::Depart(key as u64));
+            }
+        }
+        for (i, &(size, proc)) in fresh.iter().enumerate() {
+            events.push(Ev::Arrive((jobs.len() + i) as u64, size, proc % m));
+        }
+
+        let apply = |r: &mut OnlineRebalancer, order: &[usize]| {
+            for &i in order {
+                match events[i] {
+                    Ev::Depart(key) => { r.depart(key).unwrap(); }
+                    Ev::Arrive(key, size, proc) => {
+                        r.arrive(key, Job::unit(size), proc).unwrap();
+                    }
+                }
+            }
+        };
+
+        let canonical: Vec<usize> = (0..events.len()).collect();
+        let shuffled = perm_from_keys(&keys[..events.len()]);
+
+        let mut a = populated(m, &jobs);
+        apply(&mut a, &canonical);
+        let mut b = populated(m, &jobs);
+        apply(&mut b, &shuffled);
+
+        prop_assert_eq!(&a.instance(), &b.instance());
+        let ra = a.rebalance(Budget::Moves(k)).unwrap();
+        let rb = b.rebalance(Budget::Moves(k)).unwrap();
+        prop_assert_eq!(&ra.outcome, &rb.outcome);
+    }
+
+    /// `depart(arrive(x))` is a no-op: the snapshot is restored exactly and
+    /// the next rebalance answers as if the pair never happened.
+    #[test]
+    fn arrive_then_depart_is_identity(
+        ((m, jobs, _, k), size, proc_key) in (online_script(), 1u64..=30, 0usize..4)
+    ) {
+        let mut r = populated(m, &jobs);
+        let before = r.instance();
+        let fresh_key = jobs.len() as u64;
+        r.arrive(fresh_key, Job::unit(size), proc_key % m).unwrap();
+        r.depart(fresh_key).unwrap();
+        prop_assert_eq!(&before, &r.instance());
+
+        let step = r.rebalance(Budget::Moves(k)).unwrap();
+        if before.num_jobs() > 0 {
+            let batch = mpartition::rebalance(&before, k).unwrap();
+            prop_assert_eq!(&step.outcome, &batch.outcome);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Online fleet traces are bit-identical at every engine thread count
+    /// (the streaming extension of `engine_is_thread_count_invariant`):
+    /// only per-epoch wall clocks may differ.
+    #[test]
+    fn online_fleet_is_thread_count_invariant(
+        farms in vec(
+            (2usize..=4, 1usize..=5, 0usize..=8, 0usize..=3, 0u64..=1_000_000),
+            1..=3,
+        )
+    ) {
+        use load_rebalance::instances::SizeDistribution;
+        let farms: Vec<OnlineWorkloadConfig> = farms
+            .into_iter()
+            .map(|(m, epochs, initial, k, seed)| {
+                let mut cfg = OnlineWorkloadConfig::default_online(m);
+                cfg.epochs = epochs;
+                cfg.initial_jobs = initial;
+                cfg.arrival_rate = 2.0;
+                cfg.mean_lifetime = 4.0;
+                cfg.sizes = SizeDistribution::Uniform { lo: 1, hi: 20 };
+                cfg.budget = Budget::Moves(k);
+                cfg.seed = seed;
+                cfg
+            })
+            .collect();
+        let base = run_online_fleet(&OnlineFleetConfig { farms: farms.clone(), threads: 1 });
+        for threads in [2usize, 4] {
+            let got = run_online_fleet(&OnlineFleetConfig { farms: farms.clone(), threads });
+            prop_assert_eq!(base.len(), got.len());
+            for (a, b) in base.iter().zip(&got) {
+                let mut a = a.clone();
+                let mut b = b.clone();
+                a.sim.epoch_wall_nanos.clear();
+                b.sim.epoch_wall_nanos.clear();
+                prop_assert_eq!(a, b, "threads={}", threads);
             }
         }
     }
