@@ -123,6 +123,7 @@ pub fn greedy(cinst: &ConstrainedInstance, k: usize) -> Result<RebalanceOutcome>
         if loads[p] == 0 {
             break;
         }
+        // lint: allow(no-panic-core, loads[p] > 0 is checked above, so the stack is non-empty)
         let j = per_proc[p].pop().expect("nonzero load implies a job");
         loads[p] -= inst.size(j);
         removed.push(j);
@@ -137,6 +138,7 @@ pub fn greedy(cinst: &ConstrainedInstance, k: usize) -> Result<RebalanceOutcome>
             .iter()
             .copied()
             .min_by_key(|&p| (loads[p], p))
+            // lint: allow(no-panic-core, ConstrainedInstance::new rejects empty eligibility lists)
             .expect("eligibility lists are non-empty");
         assignment[j] = p;
         loads[p] += inst.size(j);

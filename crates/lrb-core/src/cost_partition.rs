@@ -26,7 +26,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use lrb_obs::{NoopRecorder, Recorder};
+use lrb_obs::{names, NoopRecorder, Recorder};
 
 use crate::deadline::WorkBudget;
 use crate::error::{Error, Result};
@@ -165,13 +165,13 @@ fn rebalance_impl<R: Recorder>(
     }
     // Integer binary search for the smallest guess whose plan fits the
     // budget. The initial makespan always fits (cost 0), so `hi` is valid.
-    let search_timer = rec.time("cost_partition.search");
+    let search_timer = rec.time(names::COST_PARTITION_SEARCH);
     let lo0 = inst.avg_load_ceil().min(inst.initial_makespan());
     let hi0 = inst.initial_makespan();
     let (mut lo, mut hi) = (lo0, hi0);
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        rec.incr("cost_partition.guesses", 1);
+        rec.incr(names::COST_PARTITION_GUESSES, 1);
         work.charge("cost_partition.guess", inst.num_jobs() as u64)?;
         let planned = build_plans(inst, mid, rec).map(|(plans, l_t)| select_cost(&plans, l_t));
         match planned {
@@ -180,8 +180,8 @@ fn rebalance_impl<R: Recorder>(
         }
     }
     drop(search_timer);
-    work.charge("cost_partition.build", inst.num_jobs() as u64)?;
-    let _t = rec.time("cost_partition.build");
+    work.charge(names::COST_PARTITION_BUILD, inst.num_jobs() as u64)?;
+    let _t = rec.time(names::COST_PARTITION_BUILD);
     run_at_impl(inst, lo, rec, s).map(|mut run| {
         // No-regression clamp (mirrors M-PARTITION).
         run.outcome = run

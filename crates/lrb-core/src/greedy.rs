@@ -19,7 +19,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use lrb_obs::{NoopRecorder, Recorder};
+use lrb_obs::{names, NoopRecorder, Recorder};
 
 use crate::deadline::WorkBudget;
 use crate::error::{Error, Result};
@@ -156,13 +156,13 @@ fn rebalance_impl<R: Recorder>(
 ) -> Result<(RebalanceOutcome, Size, Size)> {
     let mut assignment = inst.initial().clone();
     let g1 = {
-        let _t = rec.time("greedy.removal");
+        let _t = rec.time(names::GREEDY_REMOVAL);
         removal_phase(inst, k, rec, work, s)?
     };
 
     // Phase 2: reinsert each removed job on the current minimum-loaded
     // processor, via a min-heap keyed on (load, proc).
-    let _t = rec.time("greedy.reinsert");
+    let _t = rec.time(names::GREEDY_REINSERT);
     s.order_buf.clear();
     s.order_buf.extend_from_slice(&s.removed);
     match order {
@@ -178,16 +178,16 @@ fn rebalance_impl<R: Recorder>(
     heap_buf.extend(s.loads.iter().enumerate().map(|(p, &l)| Reverse((l, p))));
     let mut heap = BinaryHeap::from(heap_buf);
     for &j in &s.order_buf {
-        work.charge("greedy.reinsert", 1)?;
+        work.charge(names::GREEDY_REINSERT, 1)?;
         let Reverse((load, p)) = heap.pop().ok_or(Error::NoProcessors)?;
         let new_load = load.saturating_add(inst.size(j));
         assignment[j] = p;
         s.loads[p] = new_load;
         heap.push(Reverse((new_load, p)));
-        rec.incr("greedy.jobs_reinserted", 1);
+        rec.incr(names::GREEDY_JOBS_REINSERTED, 1);
         if p != inst.initial()[j] {
-            rec.incr("greedy.moves", 1);
-            rec.observe("greedy.move_size", inst.size(j));
+            rec.incr(names::GREEDY_MOVES, 1);
+            rec.observe(names::GREEDY_MOVE_SIZE, inst.size(j));
         }
     }
     s.min_heap = heap.into_vec();
@@ -237,7 +237,7 @@ fn removal_phase<R: Recorder>(
 
     s.removed.clear();
     for _ in 0..k {
-        work.charge("greedy.removal", 1)?;
+        work.charge(names::GREEDY_REMOVAL, 1)?;
         let p = loop {
             match heap.pop() {
                 Some((l, p)) if s.loads[p] == l => break Some(p),
@@ -256,7 +256,7 @@ fn removal_phase<R: Recorder>(
         let Some(j) = s.per_proc[p].pop() else { break };
         s.loads[p] = s.loads[p].saturating_sub(inst.size(j));
         s.removed.push(j);
-        rec.incr("greedy.jobs_removed", 1);
+        rec.incr(names::GREEDY_JOBS_REMOVED, 1);
         heap.push((s.loads[p], p));
     }
     s.max_heap = heap.into_vec();
@@ -276,6 +276,7 @@ pub fn g1_lower_bound(inst: &Instance, k: usize) -> Size {
         &WorkBudget::unlimited(),
         &mut scratch,
     )
+    // lint: allow(no-panic-core, WorkBudget::unlimited() makes cancellation unreachable)
     .expect("unlimited work budget never cancels")
 }
 

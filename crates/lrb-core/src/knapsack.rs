@@ -13,7 +13,7 @@
 //! *over*-estimates removal costs — always safe for budget checks, see the
 //! discussion in `cost_partition`).
 
-use lrb_obs::{NoopRecorder, Recorder};
+use lrb_obs::{names, NoopRecorder, Recorder};
 
 /// An item that may be kept: its size (capacity consumption) and the value
 /// of keeping it (the relocation cost we avoid paying).
@@ -67,7 +67,7 @@ pub fn max_cost_keep_budgeted(
     if !sol.exact {
         // The search walked (roughly) its whole node budget before falling
         // back; charging it either records the expense or cancels the run.
-        work.charge("knapsack.branch_and_bound", node_budget)?;
+        work.charge(names::KNAPSACK_BB, node_budget)?;
     }
     Ok(sol)
 }
@@ -81,7 +81,7 @@ pub fn max_cost_keep_bounded_recorded<R: Recorder>(
     node_budget: u64,
     rec: &R,
 ) -> KeepSolution {
-    let _t = rec.time("knapsack.branch_and_bound");
+    let _t = rec.time(names::KNAPSACK_BB);
     // Zero-size items are always kept; oversized items never can be.
     let mut forced: Vec<usize> = Vec::new();
     let mut forced_cost = 0u64;
@@ -112,7 +112,7 @@ pub fn max_cost_keep_bounded_recorded<R: Recorder>(
         exact: true,
     };
     search.dfs(0, cap, 0);
-    rec.incr("knapsack.bb_nodes", node_budget - search.nodes_left);
+    rec.incr(names::KNAPSACK_BB_NODES, node_budget - search.nodes_left);
 
     let mut kept = forced;
     kept.extend(search.best_set.iter().map(|&i| order[i]));
@@ -227,7 +227,7 @@ pub fn max_cost_keep_fptas_recorded<R: Recorder>(
     // dp[v] = minimum size achieving scaled cost exactly v, with parent
     // pointers for reconstruction.
     const INF: u64 = u64::MAX;
-    let dp_timer = rec.time("knapsack.fptas_dp");
+    let dp_timer = rec.time(names::KNAPSACK_FPTAS_DP);
     let mut dp_cells = 0u64;
     let mut dp = vec![INF; total_scaled + 1];
     let mut choice: Vec<Vec<bool>> = Vec::with_capacity(feasible.len());
@@ -245,7 +245,7 @@ pub fn max_cost_keep_fptas_recorded<R: Recorder>(
         dp_cells += (total_scaled + 1 - c) as u64;
         choice.push(took);
     }
-    rec.incr("knapsack.dp_cells", dp_cells);
+    rec.incr(names::KNAPSACK_DP_CELLS, dp_cells);
     drop(dp_timer);
     let best_v = (0..=total_scaled)
         .rev()

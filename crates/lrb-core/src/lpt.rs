@@ -27,6 +27,7 @@ pub fn schedule(sizes: &[Size], m: usize) -> Vec<ProcId> {
     let mut heap: BinaryHeap<Reverse<(Size, ProcId)>> = (0..m).map(|p| Reverse((0, p))).collect();
     let mut assignment = vec![0usize; sizes.len()];
     for j in order {
+        // lint: allow(no-panic-core, the heap is seeded with m entries and m > 0 is asserted above)
         let Reverse((load, p)) = heap.pop().expect("m >= 1");
         assignment[j] = p;
         heap.push(Reverse((load + sizes[j], p)));

@@ -21,7 +21,7 @@
 //! Either way, the produced assignment is *always* valid and within budget;
 //! the search strategy affects only which threshold is chosen.
 
-use lrb_obs::{NoopRecorder, Recorder};
+use lrb_obs::{names, NoopRecorder, Recorder};
 
 use crate::deadline::WorkBudget;
 use crate::error::{Error, Result};
@@ -184,14 +184,14 @@ fn rebalance_impl<R: Recorder>(
     let mut probes = 0usize;
     let mut feasible = |t: Size, probes: &mut usize| -> Result<bool> {
         *probes += 1;
-        work.charge("mpartition.search", 1)?;
+        work.charge(names::MPARTITION_SEARCH, 1)?;
         Ok(matches!(
             partition::planned_moves_with(profiles, t, &mut pscratch.cs),
             Some(moves) if moves <= k
         ))
     };
 
-    let search_timer = rec.time("mpartition.search");
+    let search_timer = rec.time(names::MPARTITION_SEARCH);
     let idx = match search {
         ThresholdSearch::Scan => {
             let mut idx = None;
@@ -213,7 +213,7 @@ fn rebalance_impl<R: Recorder>(
             match scan.first_feasible(k) {
                 Some((t, visited)) => {
                     probes += visited;
-                    work.charge("mpartition.search", visited as u64)?;
+                    work.charge(names::MPARTITION_SEARCH, visited as u64)?;
                     Some(cands.partition_point(|&c| c < t))
                 }
                 None => None,
@@ -237,10 +237,10 @@ fn rebalance_impl<R: Recorder>(
 
     // Every probe evaluated one candidate threshold; the rest of the
     // candidate list was never touched by this search strategy.
-    rec.incr("mpartition.candidates_total", cands.len() as u64);
-    rec.incr("mpartition.candidates_examined", probes as u64);
+    rec.incr(names::MPARTITION_CANDIDATES_TOTAL, cands.len() as u64);
+    rec.incr(names::MPARTITION_CANDIDATES_EXAMINED, probes as u64);
     rec.incr(
-        "mpartition.candidates_skipped",
+        names::MPARTITION_CANDIDATES_SKIPPED,
         cands.len().saturating_sub(probes) as u64,
     );
 
@@ -253,9 +253,9 @@ fn rebalance_impl<R: Recorder>(
     };
 
     let t = cands[idx];
-    work.charge("mpartition.partition", inst.num_jobs() as u64)?;
+    work.charge(names::MPARTITION_PARTITION, inst.num_jobs() as u64)?;
     let run = {
-        let _t = rec.time("mpartition.partition");
+        let _t = rec.time(names::MPARTITION_PARTITION);
         partition::run_impl(inst, profiles, t, rec, pscratch)?
     };
     debug_assert!(run.stats.planned_moves <= k);

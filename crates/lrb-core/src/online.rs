@@ -433,6 +433,7 @@ impl OnlineRebalancer {
     /// ascending key order (canonical regardless of event arrival order).
     pub fn instance(&self) -> Instance {
         Instance::new(self.jobs.clone(), self.assignment.clone(), self.num_procs)
+            // lint: allow(no-panic-core, apply() validates every event, so the state stays well-formed)
             .expect("online state is always a valid instance")
     }
 

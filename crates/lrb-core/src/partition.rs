@@ -26,7 +26,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use lrb_obs::{NoopRecorder, Recorder};
+use lrb_obs::{names, NoopRecorder, Recorder};
 
 use crate::error::{Error, Result};
 use crate::model::{Instance, ProcId, Size};
@@ -171,7 +171,7 @@ pub(crate) fn run_impl<R: Recorder>(
     // processor. Profiles sort each processor's jobs ascending, so the kept
     // large is the first one past the small prefix.
     // kept_large[p] = Some(job) for processors holding a large after Step 1.
-    let step1 = rec.time("partition.step1_strip");
+    let step1 = rec.time(names::PARTITION_STEP1_STRIP);
     for p in 0..m {
         let prof = profiles.proc(p);
         let sc = profiles.small_count(p, t);
@@ -188,7 +188,7 @@ pub(crate) fn run_impl<R: Recorder>(
     drop(step1);
 
     // Step 2 + 3: rank processors by c_i and select L_T of them.
-    let step2 = rec.time("partition.step2_rank");
+    let step2 = rec.time(names::PARTITION_STEP2_RANK);
     s.cs.clear();
     s.cs.extend((0..m).map(|p| (profiles.c(p, t), s.kept_large[p].is_none(), p)));
     s.cs.sort_unstable();
@@ -204,7 +204,7 @@ pub(crate) fn run_impl<R: Recorder>(
         if s.is_selected[p] {
             // Step 3: shed the a_i largest small jobs (end of the small
             // prefix), keeping the large job if present.
-            let _t = rec.time("partition.step3_shed_selected");
+            let _t = rec.time(names::PARTITION_STEP3_SHED_SELECTED);
             let a = profiles.a(p, t);
             for &j in &prof.jobs_asc[sc - a..sc] {
                 s.removed_small.push(j);
@@ -214,7 +214,7 @@ pub(crate) fn run_impl<R: Recorder>(
         } else {
             // Step 4: shed the kept large (mandatory) plus largest-first
             // small jobs until the small total fits in t.
-            let _t = rec.time("partition.step4_shed_unselected");
+            let _t = rec.time(names::PARTITION_STEP4_SHED_UNSELECTED);
             let b = profiles.b(p, t);
             let mut small_removals = b;
             if let Some(j) = s.kept_large[p] {
@@ -230,13 +230,16 @@ pub(crate) fn run_impl<R: Recorder>(
             planned += b;
         }
     }
-    rec.incr("partition.large_removed", s.homeless_large.len() as u64);
-    rec.incr("partition.small_removed", s.removed_small.len() as u64);
+    rec.incr(
+        names::PARTITION_LARGE_REMOVED,
+        s.homeless_large.len() as u64,
+    );
+    rec.incr(names::PARTITION_SMALL_REMOVED, s.removed_small.len() as u64);
 
     // Step 5 (covers the paper's Steps 4-5 reassignments): place homeless
     // large jobs on distinct selected large-free processors — largest job
     // onto the least-loaded such processor first.
-    let step5 = rec.time("partition.step5_place_large");
+    let step5 = rec.time(names::PARTITION_STEP5_PLACE_LARGE);
     s.free_procs.extend(
         selected
             .iter()
@@ -259,7 +262,7 @@ pub(crate) fn run_impl<R: Recorder>(
 
     // Step 6: greedy min-load placement of the removed small jobs,
     // largest first.
-    let step6 = rec.time("partition.step6_reinsert");
+    let step6 = rec.time(names::PARTITION_STEP6_REINSERT);
     s.removed_small.sort_by_key(|&j| Reverse(inst.size(j)));
     let mut heap_buf = std::mem::take(&mut s.min_heap);
     heap_buf.clear();

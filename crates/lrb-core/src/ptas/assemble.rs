@@ -44,6 +44,7 @@ pub fn assemble(inst: &Instance, view: &View, sol: &Solution) -> Result<Rebalanc
         let mut iter = pool[c].drain(..);
         for &(p, need) in &deficits[c] {
             for _ in 0..need {
+                // lint: allow(no-panic-core, pool sizes equal summed deficits by conservation of class counts)
                 let j = iter.next().expect("class pools exactly match deficits");
                 assignment[j] = p;
             }
@@ -76,6 +77,7 @@ pub fn assemble(inst: &Instance, view: &View, sol: &Solution) -> Result<Rebalanc
         let p = (0..m)
             .filter(|&p| view.grid.units(actual[p]) < alloc[p])
             .min_by_key(|&p| actual[p])
+            // lint: allow(no-panic-core, Lemma 10/11 volume accounting guarantees headroom exists)
             .expect("some processor has small-volume headroom (Lemma 10/11)");
         assignment[j] = p;
         actual[p] += sz;

@@ -13,6 +13,7 @@
 //! until the kept rounded volume fits `V′ + 1` units. Reassignments are
 //! free and are materialized later by [`super::assemble`].
 
+// lint: allow(no-nondeterminism, memo tables are keyed lookups only, never iterated)
 use std::collections::HashMap;
 
 use crate::ptas::view::View;
@@ -71,7 +72,9 @@ pub fn solve_bounded(view: &View, state_budget: usize) -> DpOutcome {
     let m = view.procs.len();
     let mut solver = Solver {
         view,
+        // lint: allow(no-nondeterminism, keyed memo lookups only, never iterated)
         memo: HashMap::new(),
+        // lint: allow(no-nondeterminism, keyed memo lookups only, never iterated)
         choice: HashMap::new(),
         state_budget,
         exhausted: false,
@@ -96,6 +99,7 @@ pub fn solve_bounded(view: &View, state_budget: usize) -> DpOutcome {
         let cfg = solver
             .choice
             .get(&state)
+            // lint: allow(no-panic-core, solve() memoizes a choice for every reachable state)
             .expect("solved states record a choice")
             .clone();
         let mut counts = state.counts.clone();
@@ -121,7 +125,9 @@ pub fn solve_bounded(view: &View, state_budget: usize) -> DpOutcome {
 
 struct Solver<'a> {
     view: &'a View,
+    // lint: allow(no-nondeterminism, keyed memo lookups only, never iterated)
     memo: HashMap<StateKey, Option<u64>>,
+    // lint: allow(no-nondeterminism, keyed memo lookups only, never iterated)
     choice: HashMap<StateKey, Config>,
     state_budget: usize,
     exhausted: bool,
@@ -233,7 +239,7 @@ impl Solver<'_> {
             };
             if let Some(rest) = self.solve(&child) {
                 let total = local + rest;
-                if best.is_none() || total < best.unwrap() {
+                if best.is_none_or(|b| total < b) {
                     *best = Some(total);
                     *best_cfg = Some(Config {
                         x: x.to_vec(),

@@ -22,7 +22,7 @@ pub mod dp;
 pub mod grid;
 pub mod view;
 
-use lrb_obs::{NoopRecorder, Recorder};
+use lrb_obs::{names, NoopRecorder, Recorder};
 
 use crate::bounds;
 use crate::deadline::WorkBudget;
@@ -166,10 +166,10 @@ fn rebalance_impl<R: Recorder>(
     let mut probes = 0usize;
     for &t in &guesses {
         probes += 1;
-        rec.incr("ptas.guesses", 1);
-        work.charge("ptas.grid", inst.num_jobs() as u64)?;
+        rec.incr(names::PTAS_GUESSES, 1);
+        work.charge(names::PTAS_GRID, inst.num_jobs() as u64)?;
         let view = {
-            let _t = rec.time("ptas.grid");
+            let _t = rec.time(names::PTAS_GRID);
             View::new(inst, t, q)
         };
         // Clamp the DP's state budget to the remaining work so a tight
@@ -178,14 +178,14 @@ fn rebalance_impl<R: Recorder>(
         let state_budget =
             dp::DEFAULT_STATE_BUDGET.min(usize::try_from(work.remaining()).unwrap_or(usize::MAX));
         let solved = {
-            let _t = rec.time("ptas.dp");
+            let _t = rec.time(names::PTAS_DP);
             dp::solve_bounded(&view, state_budget)
         };
         match solved {
             DpOutcome::Solved(sol) if sol.cost <= budget => {
-                work.charge("ptas.dp", sol.states as u64)?;
-                rec.incr("ptas.dp_states", sol.states as u64);
-                let _t = rec.time("ptas.assemble");
+                work.charge(names::PTAS_DP, sol.states as u64)?;
+                rec.incr(names::PTAS_DP_STATES, sol.states as u64);
+                let _t = rec.time(names::PTAS_ASSEMBLE);
                 let outcome = assemble::assemble(inst, &view, &sol)?
                     .better(RebalanceOutcome::unchanged(inst));
                 return Ok(PtasRun {
@@ -197,15 +197,15 @@ fn rebalance_impl<R: Recorder>(
                 });
             }
             DpOutcome::Solved(sol) => {
-                work.charge("ptas.dp", sol.states as u64)?;
-                rec.incr("ptas.dp_states", sol.states as u64);
+                work.charge(names::PTAS_DP, sol.states as u64)?;
+                rec.incr(names::PTAS_DP_STATES, sol.states as u64);
             }
             DpOutcome::Infeasible => {
-                work.charge("ptas.dp", inst.num_jobs() as u64)?;
+                work.charge(names::PTAS_DP, inst.num_jobs() as u64)?;
             }
             DpOutcome::Exhausted => {
                 // The DP visited (roughly) its whole state budget.
-                work.charge("ptas.dp", state_budget as u64)?;
+                work.charge(names::PTAS_DP, state_budget as u64)?;
             }
         }
     }

@@ -80,10 +80,12 @@ impl View {
     /// are ample and asserted by the caller).
     pub fn new(inst: &Instance, t: u64, q: u64) -> Self {
         let scale = 16 * q * q;
+        // lint: allow(no-panic-core, documented panic; callers assert sizes <= 2^40 and q <= 64)
         let ts = t.checked_mul(scale).expect("scaled guess overflows");
         let max_scaled = inst
             .jobs()
             .iter()
+            // lint: allow(no-panic-core, documented panic; callers assert sizes <= 2^40 and q <= 64)
             .map(|j| j.size.checked_mul(scale).expect("scaled size overflows"))
             .max()
             .unwrap_or(1)

@@ -23,6 +23,8 @@
 //! the engine without perturbing simulation traces, and it is re-checked
 //! here and by the metamorphic suite at the workspace root.
 
+pub mod schedule;
+
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -31,6 +33,8 @@ use lrb_core::outcome::RebalanceOutcome;
 use lrb_core::scratch::Scratch;
 use lrb_core::{cost_partition, greedy, mpartition};
 use lrb_obs::{names, NoopRecorder, Recorder};
+
+use crate::schedule::{NoopShim, ScheduleShim, YieldPoint};
 
 /// How the engine solves each item of a batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -119,6 +123,21 @@ pub fn solve_batch_recorded<R: Recorder + Sync>(
     run_batch(items, solver, threads, &mut scratches, rec)
 }
 
+/// [`solve_batch`] under an explicit [`ScheduleShim`] — the entry point for
+/// adversarial schedule exploration (`lrb-lint --schedules`). Results must
+/// be bit-identical to [`solve_batch`] for *any* shim: outcomes depend only
+/// on the item and land in input-order slots, never on claim order.
+pub fn solve_batch_shimmed<S: ScheduleShim>(
+    items: &[BatchItem],
+    solver: BatchSolver,
+    cfg: &EngineConfig,
+    shim: &S,
+) -> BatchReport {
+    let threads = cfg.resolved_threads(items.len());
+    let mut scratches: Vec<Scratch> = (0..threads).map(|_| Scratch::new()).collect();
+    run_batch_with(items, solver, threads, &mut scratches, &NoopRecorder, shim)
+}
+
 /// Persistent streaming executor: [`solve_batch`] semantics, epoch after
 /// epoch, with per-worker [`Scratch`]es that survive across epochs.
 ///
@@ -202,6 +221,19 @@ fn run_batch<R: Recorder + Sync>(
     scratches: &mut [Scratch],
     rec: &R,
 ) -> BatchReport {
+    run_batch_with(items, solver, threads, scratches, rec, &NoopShim)
+}
+
+/// [`run_batch`] with schedule-injection hooks; `NoopShim` compiles them
+/// away, so the production path is unchanged.
+fn run_batch_with<R: Recorder + Sync, S: ScheduleShim>(
+    items: &[BatchItem],
+    solver: BatchSolver,
+    threads: usize,
+    scratches: &mut [Scratch],
+    rec: &R,
+    shim: &S,
+) -> BatchReport {
     let _batch = rec.time(names::ENGINE_BATCH);
     let n = items.len();
     rec.incr(names::ENGINE_ITEMS, n as u64);
@@ -215,6 +247,7 @@ fn run_batch<R: Recorder + Sync>(
         let mut outcomes = Vec::with_capacity(n);
         let mut solve_nanos = Vec::with_capacity(n);
         for item in items {
+            // lint: allow(no-nondeterminism, clock feeds solve-latency telemetry only)
             let start = Instant::now();
             outcomes.push(solve_one(item, solver, scratch));
             let nanos = (start.elapsed().as_nanos() as u64).max(1);
@@ -236,7 +269,14 @@ fn run_batch<R: Recorder + Sync>(
         };
     }
 
-    let queue = StealQueue::new(n, threads);
+    let queue = match if S::ACTIVE {
+        shim.stripes(n, threads)
+    } else {
+        None
+    } {
+        Some(ends) => StealQueue::with_ends(n, threads, ends),
+        None => StealQueue::new(n, threads),
+    };
     let steals = AtomicU64::new(0);
 
     let mut slots: Vec<Option<(RebalanceOutcome, u64)>> = (0..n).map(|_| None).collect();
@@ -250,20 +290,45 @@ fn run_batch<R: Recorder + Sync>(
                 scope.spawn(move || {
                     let mut local: Vec<(usize, RebalanceOutcome, u64)> = Vec::new();
                     loop {
-                        let i = match queue.claim_own(w) {
-                            Some(i) => i,
-                            None => match queue.steal(w) {
-                                Some((i, depth)) => {
-                                    steals.fetch_add(1, Ordering::Relaxed);
-                                    if R::ENABLED {
-                                        rec.incr(names::ENGINE_STEALS, 1);
-                                        rec.observe(names::ENGINE_QUEUE_DEPTH, depth as u64);
-                                    }
-                                    i
-                                }
-                                None => break,
-                            },
+                        if S::ACTIVE {
+                            shim.yield_point(w, YieldPoint::BeforeClaim);
+                        }
+                        let own = if S::ACTIVE && shim.steal_first(w) {
+                            None
+                        } else {
+                            queue.claim_own(w)
                         };
+                        let i = match own {
+                            Some(i) => i,
+                            None => {
+                                if S::ACTIVE {
+                                    shim.yield_point(w, YieldPoint::BeforeSteal);
+                                }
+                                match queue.steal(w) {
+                                    Some((i, depth)) => {
+                                        steals.fetch_add(1, Ordering::Relaxed);
+                                        if R::ENABLED {
+                                            rec.incr(names::ENGINE_STEALS, 1);
+                                            rec.observe(names::ENGINE_QUEUE_DEPTH, depth as u64);
+                                        }
+                                        i
+                                    }
+                                    None => {
+                                        // A steal-first worker may still own
+                                        // unclaimed items; drain them before
+                                        // exiting so no index is orphaned.
+                                        match queue.claim_own(w) {
+                                            Some(i) => i,
+                                            None => break,
+                                        }
+                                    }
+                                }
+                            }
+                        };
+                        if S::ACTIVE {
+                            shim.yield_point(w, YieldPoint::AfterClaim);
+                        }
+                        // lint: allow(no-nondeterminism, clock feeds solve-latency telemetry only)
                         let start = Instant::now();
                         let out = solve_one(&items[i], solver, scratch);
                         let nanos = (start.elapsed().as_nanos() as u64).max(1);
@@ -271,6 +336,9 @@ fn run_batch<R: Recorder + Sync>(
                             rec.observe(names::ENGINE_SOLVE_NANOS, nanos);
                         }
                         local.push((i, out, nanos));
+                        if S::ACTIVE {
+                            shim.yield_point(w, YieldPoint::AfterSolve);
+                        }
                     }
                     local
                 })
@@ -365,6 +433,25 @@ impl StealQueue {
             ends.push(start);
         }
         debug_assert_eq!(start, n);
+        StealQueue { heads, ends }
+    }
+
+    /// A queue with an explicit stripe layout (`ends[w]` is the exclusive
+    /// end of stripe `w`; stripe `w` starts where `w - 1` ends). Used by
+    /// schedule exploration to force pathological layouts; an invalid
+    /// layout falls back to the balanced default.
+    fn with_ends(n: usize, workers: usize, ends: Vec<usize>) -> Self {
+        let valid = ends.len() == workers
+            && ends.last() == Some(&n)
+            && ends.windows(2).all(|w| w[0] <= w[1])
+            && ends.first().is_none_or(|&e| e <= n);
+        if !valid {
+            debug_assert!(false, "invalid stripe layout {ends:?} for n={n}");
+            return StealQueue::new(n, workers);
+        }
+        let heads = (0..workers)
+            .map(|w| AtomicUsize::new(if w == 0 { 0 } else { ends[w - 1] }))
+            .collect();
         StealQueue { heads, ends }
     }
 
@@ -569,6 +656,57 @@ mod tests {
         let report = stream.solve_epoch(&items);
         assert_eq!(report.outcomes.len(), 1);
         assert_eq!(report.workers, 1); // clamped to the epoch's size
+    }
+
+    #[test]
+    fn adversarial_schedules_preserve_bit_identity() {
+        use crate::schedule::AdversarialShim;
+        let items = batch(24, 11);
+        for solver in [BatchSolver::Greedy, BatchSolver::MPartition] {
+            let seq = solve_batch(&items, solver, &EngineConfig::with_threads(1));
+            for seed in 0..3 {
+                let shim = AdversarialShim::full(seed);
+                let adv =
+                    solve_batch_shimmed(&items, solver, &EngineConfig::with_threads(3), &shim);
+                assert_eq!(adv.outcomes, seq.outcomes, "{solver:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn steal_storm_forces_steals() {
+        use crate::schedule::AdversarialShim;
+        let items = batch(32, 5);
+        let shim = AdversarialShim::new(1, true, true, false);
+        let rep = solve_batch_shimmed(
+            &items,
+            BatchSolver::MPartition,
+            &EngineConfig::with_threads(4),
+            &shim,
+        );
+        assert_eq!(rep.outcomes.len(), items.len());
+        assert!(rep.steals > 0, "storm mode must exercise the steal path");
+    }
+
+    #[test]
+    fn custom_stripe_layouts_hand_out_every_index_exactly_once() {
+        let q = StealQueue::with_ends(10, 3, vec![1, 2, 10]);
+        let mut seen = [false; 10];
+        for w in [0, 1] {
+            while let Some(i) = q.claim_own(w) {
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        while let Some((i, _)) = q.steal(0) {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        while let Some(i) = q.claim_own(2) {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use lrb_obs::{NoopRecorder, Recorder};
+use lrb_obs::{names, NoopRecorder, Recorder};
 
 /// Run `f` over every input cell, in parallel, returning outputs in input
 /// order. `threads = 0` or `1` runs inline (useful under test).
@@ -36,11 +36,11 @@ where
     F: Fn(&I) -> O + Sync,
     R: Recorder + Sync,
 {
-    let _phase = rec.time("harness.run_parallel");
-    rec.incr("harness.cells", inputs.len() as u64);
+    let _phase = rec.time(names::HARNESS_RUN_PARALLEL);
+    rec.incr(names::HARNESS_CELLS, inputs.len() as u64);
 
     if threads <= 1 || inputs.len() <= 1 {
-        rec.incr("harness.workers", 1);
+        rec.incr(names::HARNESS_WORKERS, 1);
         return inputs
             .iter()
             .map(|input| {
@@ -48,8 +48,8 @@ where
                 let out = f(input);
                 if let Some(t) = start {
                     let nanos = (t.elapsed().as_nanos() as u64).max(1);
-                    rec.observe("harness.cell_nanos", nanos);
-                    rec.record_duration("harness.cell", nanos);
+                    rec.observe(names::HARNESS_CELL_NANOS, nanos);
+                    rec.record_duration(names::HARNESS_CELL, nanos);
                 }
                 out
             })
@@ -58,7 +58,7 @@ where
 
     let n = inputs.len();
     let threads = threads.min(n);
-    rec.incr("harness.workers", threads as u64);
+    rec.incr(names::HARNESS_WORKERS, threads as u64);
     let next = AtomicUsize::new(0);
 
     // Workers claim cell indices from the atomic counter and buffer
@@ -77,14 +77,17 @@ where
                             break;
                         }
                         if let Some(t) = idle_since {
-                            rec.observe("harness.queue_wait_nanos", t.elapsed().as_nanos() as u64);
+                            rec.observe(
+                                names::HARNESS_QUEUE_WAIT_NANOS,
+                                t.elapsed().as_nanos() as u64,
+                            );
                         }
                         let start = R::ENABLED.then(Instant::now);
                         let out = f(&inputs[i]);
                         if let Some(t) = start {
                             let nanos = (t.elapsed().as_nanos() as u64).max(1);
-                            rec.observe("harness.cell_nanos", nanos);
-                            rec.record_duration("harness.cell", nanos);
+                            rec.observe(names::HARNESS_CELL_NANOS, nanos);
+                            rec.record_duration(names::HARNESS_CELL, nanos);
                         }
                         local.push((i, out));
                         idle_since = R::ENABLED.then(Instant::now);
@@ -182,11 +185,11 @@ mod tests {
         let out = run_parallel_recorded(inputs, 4, &rec, |&x| x + 1);
         assert_eq!(out.len(), 40);
         let snap = rec.snapshot();
-        assert_eq!(snap.counter("harness.cells"), Some(40));
-        assert_eq!(snap.counter("harness.workers"), Some(4));
-        assert_eq!(snap.histogram("harness.cell_nanos").unwrap().count, 40);
-        assert_eq!(snap.phase("harness.run_parallel").unwrap().calls, 1);
-        assert!(snap.phase("harness.run_parallel").unwrap().total_nanos > 0);
+        assert_eq!(snap.counter(names::HARNESS_CELLS), Some(40));
+        assert_eq!(snap.counter(names::HARNESS_WORKERS), Some(4));
+        assert_eq!(snap.histogram(names::HARNESS_CELL_NANOS).unwrap().count, 40);
+        assert_eq!(snap.phase(names::HARNESS_RUN_PARALLEL).unwrap().calls, 1);
+        assert!(snap.phase(names::HARNESS_RUN_PARALLEL).unwrap().total_nanos > 0);
     }
 
     #[test]

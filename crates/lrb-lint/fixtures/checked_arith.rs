@@ -1,0 +1,15 @@
+//! Fixture: bare arithmetic on load-typed values in a bounds/model file.
+//! Linted under the virtual path `crates/lrb-core/src/model.rs`.
+
+pub fn total_load(load: u64, size: u64) -> u64 {
+    load + size
+}
+
+pub fn widened_is_fine(load: u64, size: u64) -> u128 {
+    (load as u128) * (size as u128)
+}
+
+pub fn suppressed(load: u64, size: u64) -> u64 {
+    // lint: allow(checked-arith, fixture demonstrates a proven-in-range sum)
+    load + size
+}

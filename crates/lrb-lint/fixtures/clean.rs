@@ -1,0 +1,16 @@
+//! Fixture: code that satisfies every rule under the strictest scope.
+//! Linted under the virtual path `crates/lrb-core/src/model.rs`.
+
+use std::collections::BTreeMap;
+
+pub fn total_load(load: u64, size: u64) -> Option<u64> {
+    load.checked_add(size)
+}
+
+pub fn index(pairs: &[(u64, u64)]) -> BTreeMap<u64, u64> {
+    pairs.iter().copied().collect()
+}
+
+pub fn first(xs: &[u64]) -> Option<u64> {
+    xs.first().copied()
+}

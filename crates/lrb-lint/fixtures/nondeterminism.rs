@@ -1,0 +1,16 @@
+//! Fixture: nondeterministic constructs inside a solver crate.
+//! Linted under the virtual path `crates/lrb-core/src/fixture.rs`.
+
+use std::collections::HashMap;
+
+pub fn leaky_timing() -> u64 {
+    let started = std::time::Instant::now();
+    let mut memo: HashMap<u64, u64> = HashMap::new();
+    memo.insert(1, 2);
+    started.elapsed().as_nanos() as u64
+}
+
+pub fn suppressed_timing() -> std::time::Instant {
+    // lint: allow(no-nondeterminism, fixture demonstrates a justified clock read)
+    std::time::Instant::now()
+}

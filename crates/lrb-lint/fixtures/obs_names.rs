@@ -1,0 +1,9 @@
+//! Fixture: an inline metric-name literal handed to a Recorder call.
+//! Linted under the virtual path `crates/lrb-sim/src/fixture.rs`.
+
+use lrb_obs::{names, Recorder};
+
+pub fn emit<R: Recorder>(rec: &R) {
+    rec.incr("sim.epochz", 1);
+    rec.incr(names::SIM_EPOCHS, 1);
+}

@@ -1,0 +1,23 @@
+//! Fixture: panicking constructs in non-test lrb-core code.
+//! Linted under the virtual path `crates/lrb-core/src/fixture.rs`.
+
+pub fn first(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}
+
+pub fn last(xs: &[u64]) -> u64 {
+    *xs.last().expect("non-empty")
+}
+
+pub fn never() -> ! {
+    unreachable!("fixture")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let xs = [1u64];
+        assert_eq!(*xs.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: a report key-set const that drifted from the pinned schema.
+//! Linted under the virtual path `crates/lrb-cli/src/report.rs`.
+
+pub const BENCH_TOP_KEYS: &[&str] = &[
+    "available_parallelism",
+    "repeats",
+    "rungs",
+    "scenario",
+    "schema_version",
+    "seed",
+    "solver",
+    "surprise_key",
+];

@@ -1,0 +1,11 @@
+//! Fixture: an `unsafe` block with no preceding `// SAFETY:` comment.
+//! Linted under the virtual path `crates/lrb-sim/src/fixture.rs`.
+
+pub fn undocumented(xs: &[u64]) -> u64 {
+    unsafe { *xs.get_unchecked(0) }
+}
+
+pub fn documented(xs: &[u64]) -> u64 {
+    // SAFETY: callers guarantee xs is non-empty.
+    unsafe { *xs.get_unchecked(0) }
+}

@@ -1,0 +1,372 @@
+//! A hand-rolled Rust lexer, just rich enough for lexical lint rules.
+//!
+//! The token stream preserves comments (suppression directives and
+//! `// SAFETY:` audits live there) and classifies every literal flavor the
+//! language has — plain/raw/byte strings, char literals vs. lifetimes,
+//! nested block comments — so no rule ever fires on text inside a string or
+//! a comment. Multi-character operators are lexed greedily (`+=` is one
+//! token, never `+` then `=`), which is what lets the arithmetic rule
+//! distinguish a bare `+` from a compound assignment.
+
+/// Classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`foo`, `unsafe`, `r#match`).
+    Ident,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal (`42`, `0xff`, `1.5`).
+    Num,
+    /// String literal of any flavor (`"x"`, `r#"x"#`, `b"x"`, `c"x"`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Operator or delimiter, possibly multi-character (`+=`, `::`, `{`).
+    Punct,
+    /// `// ...` comment, including `///` and `//!` doc comments.
+    LineComment,
+    /// `/* ... */` comment, nesting handled.
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token's exact source text.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in chars) of the token's first character.
+    pub col: u32,
+}
+
+impl Tok {
+    /// True for line and block comments.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Multi-character operators, longest first so lexing is greedy.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn peek(&self, k: usize) -> Option<char> {
+        self.chars.get(self.i + k).copied()
+    }
+
+    fn bump(&mut self, out: &mut String) {
+        if let Some(c) = self.chars.get(self.i).copied() {
+            out.push(c);
+            self.i += 1;
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+    }
+
+    fn bump_n(&mut self, n: usize, out: &mut String) {
+        for _ in 0..n {
+            self.bump(out);
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Length of a raw-string prefix (`r"`, `r#"`, `br##"`, `c"`) starting at
+/// offset `at`, or `None` if the text there is not a raw/byte string start.
+/// Returns `(prefix_len_before_quote, hashes)` where the quote itself sits at
+/// `at + prefix_len_before_quote`.
+fn raw_string_start(lx: &Lexer, at: usize) -> Option<(usize, usize)> {
+    let mut k = at;
+    match lx.peek(k) {
+        Some('b') | Some('c') if lx.peek(k + 1) == Some('r') => k += 2,
+        Some('r') => k += 1,
+        _ => return None,
+    }
+    let mut hashes = 0;
+    while lx.peek(k + hashes) == Some('#') {
+        hashes += 1;
+    }
+    if lx.peek(k + hashes) == Some('"') {
+        Some((k + hashes - at, hashes))
+    } else {
+        None
+    }
+}
+
+/// Lex `src` into a token vector. Never fails: unterminated constructs are
+/// swallowed to end-of-file, which is the forgiving behavior a linter wants.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut toks = Vec::new();
+
+    while let Some(c) = lx.peek(0) {
+        let (line, col) = (lx.line, lx.col);
+        let mut text = String::new();
+
+        if c.is_whitespace() {
+            lx.bump(&mut text);
+            continue;
+        }
+
+        let kind = if c == '/' && lx.peek(1) == Some('/') {
+            while lx.peek(0).is_some_and(|c| c != '\n') {
+                lx.bump(&mut text);
+            }
+            TokKind::LineComment
+        } else if c == '/' && lx.peek(1) == Some('*') {
+            lx.bump_n(2, &mut text);
+            let mut depth = 1usize;
+            while depth > 0 && lx.peek(0).is_some() {
+                if lx.peek(0) == Some('/') && lx.peek(1) == Some('*') {
+                    depth += 1;
+                    lx.bump_n(2, &mut text);
+                } else if lx.peek(0) == Some('*') && lx.peek(1) == Some('/') {
+                    depth -= 1;
+                    lx.bump_n(2, &mut text);
+                } else {
+                    lx.bump(&mut text);
+                }
+            }
+            TokKind::BlockComment
+        } else if let Some((prefix, hashes)) = raw_string_start(&lx, 0) {
+            // Raw (possibly byte/C) string: scan to `"` followed by `hashes`
+            // `#`s.
+            lx.bump_n(prefix + 1, &mut text); // prefix + opening quote
+            loop {
+                match lx.peek(0) {
+                    None => break,
+                    Some('"') => {
+                        let closed = (0..hashes).all(|h| lx.peek(1 + h) == Some('#'));
+                        lx.bump_n(1 + if closed { hashes } else { 0 }, &mut text);
+                        if closed {
+                            break;
+                        }
+                    }
+                    Some(_) => lx.bump(&mut text),
+                }
+            }
+            TokKind::Str
+        } else if c == '"' || ((c == 'b' || c == 'c') && lx.peek(1) == Some('"')) {
+            if c != '"' {
+                lx.bump(&mut text); // b / c prefix
+            }
+            lx.bump(&mut text); // opening quote
+            loop {
+                match lx.peek(0) {
+                    None => break,
+                    Some('\\') => lx.bump_n(2, &mut text),
+                    Some('"') => {
+                        lx.bump(&mut text);
+                        break;
+                    }
+                    Some(_) => lx.bump(&mut text),
+                }
+            }
+            TokKind::Str
+        } else if c == '\'' || (c == 'b' && lx.peek(1) == Some('\'')) {
+            let quote_at = usize::from(c == 'b');
+            // Lifetime vs char literal: after the quote, an identifier not
+            // followed by a closing quote is a lifetime.
+            let mut j = quote_at + 1;
+            let lead = lx.peek(j);
+            if c != 'b' && lead.is_some_and(is_ident_start) && lead != Some('\\') {
+                while lx.peek(j).is_some_and(is_ident_continue) {
+                    j += 1;
+                }
+                if lx.peek(j) != Some('\'') {
+                    lx.bump_n(j, &mut text);
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text,
+                        line,
+                        col,
+                    });
+                    continue;
+                }
+            }
+            // Char/byte literal: consume through the closing quote.
+            lx.bump_n(quote_at + 1, &mut text);
+            loop {
+                match lx.peek(0) {
+                    None => break,
+                    Some('\\') => lx.bump_n(2, &mut text),
+                    Some('\'') => {
+                        lx.bump(&mut text);
+                        break;
+                    }
+                    Some(_) => lx.bump(&mut text),
+                }
+            }
+            TokKind::Char
+        } else if is_ident_start(c) {
+            // `r#ident` raw identifiers lex as one ident token.
+            if c == 'r' && lx.peek(1) == Some('#') && lx.peek(2).is_some_and(is_ident_start) {
+                lx.bump_n(2, &mut text);
+            }
+            while lx.peek(0).is_some_and(is_ident_continue) {
+                lx.bump(&mut text);
+            }
+            TokKind::Ident
+        } else if c.is_ascii_digit() {
+            while lx.peek(0).is_some_and(is_ident_continue) {
+                lx.bump(&mut text);
+            }
+            // Fractional part: `1.5` but not `0..8` or `1.max(2)`.
+            if lx.peek(0) == Some('.') && lx.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+                lx.bump(&mut text);
+                while lx.peek(0).is_some_and(is_ident_continue) {
+                    lx.bump(&mut text);
+                }
+            }
+            TokKind::Num
+        } else {
+            let matched = PUNCTS
+                .iter()
+                .find(|p| p.chars().enumerate().all(|(k, pc)| lx.peek(k) == Some(pc)));
+            match matched {
+                Some(p) => lx.bump_n(p.chars().count(), &mut text),
+                None => lx.bump(&mut text),
+            }
+            TokKind::Punct
+        };
+
+        toks.push(Tok {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_puncts() {
+        let toks = kinds("let x += 2 - y.z;");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "let".into()),
+                (TokKind::Ident, "x".into()),
+                (TokKind::Punct, "+=".into()),
+                (TokKind::Num, "2".into()),
+                (TokKind::Punct, "-".into()),
+                (TokKind::Ident, "y".into()),
+                (TokKind::Punct, ".".into()),
+                (TokKind::Ident, "z".into()),
+                (TokKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"incr("panic! + unwrap()")"#);
+        assert_eq!(toks[2].0, TokKind::Str);
+        assert_eq!(toks.len(), 4); // incr ( "..." )
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r##"let s = r#"quote " inside"#;"##);
+        assert_eq!(toks[3].0, TokKind::Str);
+        assert_eq!(toks[3].1, r##"r#"quote " inside"#"##);
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        assert_eq!(kinds(r#"b"x""#)[0].0, TokKind::Str);
+        assert_eq!(kinds(r#"c"x""#)[0].0, TokKind::Str);
+        assert_eq!(kinds(r##"br#"x"#"##)[0].0, TokKind::Str);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokKind::BlockComment);
+        assert_eq!(toks[2].1, "b");
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let toks = kinds("&'a str; 'x'; '\\n'; b'y'");
+        assert_eq!(toks[1].0, TokKind::Lifetime);
+        assert_eq!(toks[1].1, "'a");
+        assert_eq!(toks[4].0, TokKind::Char);
+        assert_eq!(toks[4].1, "'x'");
+        assert_eq!(toks[6].0, TokKind::Char);
+        assert_eq!(toks[8].0, TokKind::Char);
+        assert_eq!(toks[8].1, "b'y'");
+    }
+
+    #[test]
+    fn static_lifetime_and_ranges() {
+        let toks = kinds("&'static str");
+        assert_eq!(toks[1].0, TokKind::Lifetime);
+        let toks = kinds("0..8");
+        assert_eq!(
+            toks.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![TokKind::Num, TokKind::Punct, TokKind::Num]
+        );
+        assert_eq!(toks[1].1, "..");
+    }
+
+    #[test]
+    fn float_literals() {
+        let toks = kinds("1.5 + 2.0e3");
+        assert_eq!(toks[0].1, "1.5");
+        assert_eq!(toks[2].1, "2.0e3");
+    }
+
+    #[test]
+    fn line_and_col_are_tracked() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let toks = lex("/// has unwrap() in prose\nfn f() {}");
+        assert_eq!(toks[0].kind, TokKind::LineComment);
+        assert_eq!(toks[1].text, "fn");
+    }
+}

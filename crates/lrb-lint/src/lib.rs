@@ -1,0 +1,84 @@
+//! # lrb-lint — workspace invariant checker
+//!
+//! The differential and equivalence suites *test* the workspace's core
+//! invariants (solver determinism, panic-freedom, overflow discipline,
+//! schema stability); this crate *statically certifies* the code patterns
+//! those invariants depend on, and adversarially stress-tests the one
+//! genuinely racy subsystem:
+//!
+//! * [`rules`] — a lexical rule engine over a hand-rolled Rust lexer
+//!   ([`lexer`]) with six rules and per-site
+//!   `// lint: allow(<rule>, <reason>)` suppressions.
+//! * [`schedules`] — seeded pathological-scheduler exploration of the
+//!   `lrb-engine` work-stealing executor, asserting result bit-identity
+//!   across adversarial schedules.
+//!
+//! Both run as hard gates in `scripts/check.sh`. See `DESIGN.md` §11.
+
+pub mod lexer;
+pub mod rules;
+pub mod schedules;
+
+use std::path::{Path, PathBuf};
+
+use rules::Finding;
+
+/// Directory names never descended into when walking a workspace.
+const SKIP_DIRS: &[&str] = &[
+    "target",
+    "vendor",
+    ".git",
+    "fixtures",
+    "benches",
+    "node_modules",
+];
+
+/// Workspace directories that are linted (relative to the root).
+const LINT_ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
+
+/// Collect every lintable `.rs` file under `root`, workspace-relative.
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for top in LINT_ROOTS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                walk(&path, files)?;
+            }
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every workspace file under `root`; findings carry root-relative
+/// paths so rule scoping is independent of where the tool is invoked from.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for file in collect_files(root)? {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&file)?;
+        findings.extend(rules::lint_source(&rel, &src));
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
+    Ok(findings)
+}

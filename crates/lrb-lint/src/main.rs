@@ -1,0 +1,139 @@
+//! `lrb-lint` CLI: lint the workspace, or explore adversarial engine
+//! schedules. Exit code 0 means every gate passed; 1 means findings (or
+//! schedule divergence); 2 means usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lrb_lint::{lint_workspace, rules, schedules};
+
+const USAGE: &str = "\
+lrb-lint — workspace invariant checker
+
+USAGE:
+  lrb-lint [--root DIR]                 lint every workspace .rs file
+  lrb-lint --schedules [--seeds A..B]   adversarial engine schedule gate
+           [--threads N,N,...]
+  lrb-lint --list-rules                 print the rule registry
+
+A finding is suppressed by a same-line or preceding-line comment:
+  // lint: allow(<rule>, <reason>)
+";
+
+struct Args {
+    root: PathBuf,
+    schedules: bool,
+    seeds: std::ops::Range<u64>,
+    threads: Vec<usize>,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        schedules: false,
+        seeds: 0..8,
+        threads: vec![2, 4],
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--schedules" => args.schedules = true,
+            "--seeds" | "--seed" => {
+                let spec = it.next().ok_or("--seeds needs A..B or N")?;
+                args.seeds = match spec.split_once("..") {
+                    Some((a, b)) => {
+                        let a = a.parse::<u64>().map_err(|e| format!("bad seed {a}: {e}"))?;
+                        let b = b.parse::<u64>().map_err(|e| format!("bad seed {b}: {e}"))?;
+                        a..b
+                    }
+                    None => {
+                        let n = spec
+                            .parse::<u64>()
+                            .map_err(|e| format!("bad seed {spec}: {e}"))?;
+                        n..n + 1
+                    }
+                };
+            }
+            "--threads" => {
+                let spec = it.next().ok_or("--threads needs N,N,...")?;
+                args.threads = spec
+                    .split(',')
+                    .map(|t| t.trim().parse::<usize>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| format!("bad thread list {spec}: {e}"))?;
+            }
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}\n\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("lrb-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for (name, rationale) in rules::RULES {
+            println!("{name}\n    {rationale}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if args.schedules {
+        let report = schedules::explore(args.seeds.clone(), &args.threads);
+        for failure in &report.failures {
+            eprintln!("lrb-lint schedules: {failure}");
+        }
+        println!(
+            "lrb-lint schedules: {} adversarial schedules (seeds {:?}, threads {:?}), \
+             {} steals, {}",
+            report.schedules_run,
+            args.seeds,
+            args.threads,
+            report.total_steals,
+            if report.passed() {
+                "all bit-identical to the 1-thread reference"
+            } else {
+                "BIT-IDENTITY VIOLATED"
+            }
+        );
+        return if report.passed() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    let findings = match lint_workspace(&args.root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("lrb-lint: walking {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("lrb-lint: workspace clean ({} rules)", rules::RULES.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("lrb-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

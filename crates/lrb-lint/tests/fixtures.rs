@@ -1,0 +1,162 @@
+//! Each rule is proven live against a fixture that must trip it, with the
+//! exact line/column pinned, and proven suppressible via an allow
+//! directive inside the same fixture. The fixtures live under
+//! `fixtures/`, which the workspace walker skips, and are linted under
+//! *virtual* paths so rule scoping (solver crate, model file, report file)
+//! is exercised without touching real sources.
+
+use lrb_lint::rules::{lint_source, Finding};
+
+fn lint(fixture: &str, virtual_path: &str) -> Vec<Finding> {
+    lint_source(virtual_path, fixture)
+}
+
+fn triples(findings: &[Finding]) -> Vec<(&'static str, u32, u32)> {
+    findings.iter().map(|f| (f.rule, f.line, f.col)).collect()
+}
+
+#[test]
+fn nondeterminism_fixture_trips_and_suppresses() {
+    let findings = lint(
+        include_str!("../fixtures/nondeterminism.rs"),
+        "crates/lrb-core/src/fixture.rs",
+    );
+    // Three HashMap mentions and one Instant::now; the allow-annotated
+    // Instant::now at the bottom of the fixture must NOT appear.
+    assert_eq!(
+        triples(&findings),
+        vec![
+            ("no-nondeterminism", 4, 23),
+            ("no-nondeterminism", 7, 30),
+            ("no-nondeterminism", 8, 19),
+            ("no-nondeterminism", 8, 39),
+        ],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn nondeterminism_fixture_is_clean_outside_solver_crates() {
+    let findings = lint(
+        include_str!("../fixtures/nondeterminism.rs"),
+        "crates/lrb-cli/src/fixture.rs",
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn panic_fixture_trips_outside_tests_only() {
+    let findings = lint(
+        include_str!("../fixtures/panic.rs"),
+        "crates/lrb-core/src/fixture.rs",
+    );
+    // unwrap, expect, unreachable! in live code; the unwrap inside
+    // `#[cfg(test)] mod tests` is masked.
+    assert_eq!(
+        triples(&findings),
+        vec![
+            ("no-panic-core", 5, 17),
+            ("no-panic-core", 9, 16),
+            ("no-panic-core", 13, 5),
+        ],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn checked_arith_fixture_trips_once() {
+    let findings = lint(
+        include_str!("../fixtures/checked_arith.rs"),
+        "crates/lrb-core/src/model.rs",
+    );
+    // `load + size` trips; the u128-widened product and the allow-annotated
+    // sum do not.
+    assert_eq!(
+        triples(&findings),
+        vec![("checked-arith", 5, 10)],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn checked_arith_scope_is_model_and_bounds_only() {
+    let findings = lint(
+        include_str!("../fixtures/checked_arith.rs"),
+        "crates/lrb-core/src/greedy.rs",
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn obs_names_fixture_flags_inline_literal_only() {
+    let findings = lint(
+        include_str!("../fixtures/obs_names.rs"),
+        "crates/lrb-sim/src/fixture.rs",
+    );
+    // The inline "sim.epochz" literal trips; the names::SIM_EPOCHS call
+    // on the next line is the sanctioned form.
+    assert_eq!(
+        triples(&findings),
+        vec![("obs-name-registry", 7, 14)],
+        "{findings:#?}"
+    );
+    assert!(findings[0].message.contains("sim.epochz"));
+}
+
+#[test]
+fn unsafe_fixture_requires_safety_comment() {
+    let findings = lint(
+        include_str!("../fixtures/unsafe_audit.rs"),
+        "crates/lrb-sim/src/fixture.rs",
+    );
+    // The undocumented block trips; the `// SAFETY:`-prefixed one passes.
+    assert_eq!(
+        triples(&findings),
+        vec![("unsafe-audit", 5, 5)],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn schema_fixture_reports_drift_and_missing_consts() {
+    let findings = lint(
+        include_str!("../fixtures/schema_keys.rs"),
+        "crates/lrb-cli/src/report.rs",
+    );
+    let drift: Vec<_> = findings
+        .iter()
+        .filter(|f| f.message.contains("drifted"))
+        .collect();
+    assert_eq!(drift.len(), 1, "{findings:#?}");
+    assert_eq!((drift[0].line, drift[0].col), (4, 11));
+    assert!(drift[0].message.contains("missing [\"thread_curve\"]"));
+    assert!(drift[0].message.contains("unexpected [\"surprise_key\"]"));
+    // The fixture defines only BENCH_TOP_KEYS, so the other six pinned
+    // consts are reported missing.
+    let missing = findings
+        .iter()
+        .filter(|f| f.message.contains("is missing from report.rs"))
+        .count();
+    assert_eq!(missing, 6, "{findings:#?}");
+}
+
+#[test]
+fn clean_fixture_passes_strictest_scope() {
+    let findings = lint(
+        include_str!("../fixtures/clean.rs"),
+        "crates/lrb-core/src/model.rs",
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    // The repo itself must satisfy its own linter; run from the crate dir,
+    // the workspace root is two levels up.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists");
+    let findings = lrb_lint::lint_workspace(&root).expect("workspace walk succeeds");
+    assert!(findings.is_empty(), "{findings:#?}");
+}

@@ -5,6 +5,106 @@
 //! on the exact spelling. Centralizing the names here turns a typo into a
 //! compile error instead of a silently empty metric.
 
+/// GREEDY removal phase wall time.
+pub const GREEDY_REMOVAL: &str = "greedy.removal";
+/// GREEDY reinsertion phase wall time.
+pub const GREEDY_REINSERT: &str = "greedy.reinsert";
+/// Jobs reinserted by GREEDY.
+pub const GREEDY_JOBS_REINSERTED: &str = "greedy.jobs_reinserted";
+/// Jobs that ended up on a different processor after GREEDY.
+pub const GREEDY_MOVES: &str = "greedy.moves";
+/// Size of each job GREEDY moved (histogram).
+pub const GREEDY_MOVE_SIZE: &str = "greedy.move_size";
+/// Jobs removed by GREEDY's removal phase.
+pub const GREEDY_JOBS_REMOVED: &str = "greedy.jobs_removed";
+
+/// PARTITION step 1 (strip) wall time.
+pub const PARTITION_STEP1_STRIP: &str = "partition.step1_strip";
+/// PARTITION step 2 (rank) wall time.
+pub const PARTITION_STEP2_RANK: &str = "partition.step2_rank";
+/// PARTITION step 3 (shed selected) wall time.
+pub const PARTITION_STEP3_SHED_SELECTED: &str = "partition.step3_shed_selected";
+/// PARTITION step 4 (shed unselected) wall time.
+pub const PARTITION_STEP4_SHED_UNSELECTED: &str = "partition.step4_shed_unselected";
+/// Large jobs removed by PARTITION.
+pub const PARTITION_LARGE_REMOVED: &str = "partition.large_removed";
+/// Small jobs removed by PARTITION.
+pub const PARTITION_SMALL_REMOVED: &str = "partition.small_removed";
+/// PARTITION step 5 (place large) wall time.
+pub const PARTITION_STEP5_PLACE_LARGE: &str = "partition.step5_place_large";
+/// PARTITION step 6 (reinsert) wall time.
+pub const PARTITION_STEP6_REINSERT: &str = "partition.step6_reinsert";
+
+/// M-PARTITION threshold search wall time.
+pub const MPARTITION_SEARCH: &str = "mpartition.search";
+/// Candidate thresholds in the M-PARTITION ladder.
+pub const MPARTITION_CANDIDATES_TOTAL: &str = "mpartition.candidates_total";
+/// Candidate thresholds actually examined by the binary search.
+pub const MPARTITION_CANDIDATES_EXAMINED: &str = "mpartition.candidates_examined";
+/// Candidate thresholds skipped by the binary search.
+pub const MPARTITION_CANDIDATES_SKIPPED: &str = "mpartition.candidates_skipped";
+/// Per-threshold PARTITION invocation wall time under M-PARTITION.
+pub const MPARTITION_PARTITION: &str = "mpartition.partition";
+
+/// Cost-PARTITION threshold search wall time.
+pub const COST_PARTITION_SEARCH: &str = "cost_partition.search";
+/// Threshold guesses tried by cost-PARTITION.
+pub const COST_PARTITION_GUESSES: &str = "cost_partition.guesses";
+/// Cost-PARTITION knapsack build wall time.
+pub const COST_PARTITION_BUILD: &str = "cost_partition.build";
+
+/// Knapsack branch-and-bound wall time.
+pub const KNAPSACK_BB: &str = "knapsack.branch_and_bound";
+/// Branch-and-bound nodes explored.
+pub const KNAPSACK_BB_NODES: &str = "knapsack.bb_nodes";
+/// Knapsack FPTAS dynamic program wall time.
+pub const KNAPSACK_FPTAS_DP: &str = "knapsack.fptas_dp";
+/// FPTAS DP cells filled.
+pub const KNAPSACK_DP_CELLS: &str = "knapsack.dp_cells";
+
+/// PTAS threshold guesses tried.
+pub const PTAS_GUESSES: &str = "ptas.guesses";
+/// PTAS grid construction wall time.
+pub const PTAS_GRID: &str = "ptas.grid";
+/// PTAS dynamic program wall time.
+pub const PTAS_DP: &str = "ptas.dp";
+/// PTAS DP states expanded.
+pub const PTAS_DP_STATES: &str = "ptas.dp_states";
+/// PTAS assembly phase wall time.
+pub const PTAS_ASSEMBLE: &str = "ptas.assemble";
+
+/// Simulated epochs executed.
+pub const SIM_EPOCHS: &str = "sim.epochs";
+/// Epochs whose policy moved at least one job.
+pub const SIM_REBALANCED: &str = "sim.rebalanced";
+/// Epochs whose policy moved nothing.
+pub const SIM_UNCHANGED: &str = "sim.unchanged";
+/// Per-epoch wall time in nanoseconds (histogram).
+pub const SIM_EPOCH_NANOS: &str = "sim.epoch_nanos";
+/// Per-epoch wall-clock phase.
+pub const SIM_EPOCH: &str = "sim.epoch";
+/// Epochs that ran in degraded (fault-affected) mode.
+pub const SIM_DEGRADED_EPOCHS: &str = "sim.degraded_epochs";
+/// Migrations forced by crash evacuations.
+pub const SIM_FORCED_MIGRATIONS: &str = "sim.forced_migrations";
+/// Policy answers rejected as invalid against the true instance.
+pub const SIM_POLICY_REJECTIONS: &str = "sim.policy_rejections";
+/// Fallback-chain invocations.
+pub const SIM_FALLBACKS: &str = "sim.fallbacks";
+
+/// Whole parallel-run wall-clock phase in the harness.
+pub const HARNESS_RUN_PARALLEL: &str = "harness.run_parallel";
+/// Experiment cells submitted to the harness.
+pub const HARNESS_CELLS: &str = "harness.cells";
+/// Harness worker threads spawned.
+pub const HARNESS_WORKERS: &str = "harness.workers";
+/// Per-cell wall time in nanoseconds (histogram).
+pub const HARNESS_CELL_NANOS: &str = "harness.cell_nanos";
+/// Per-cell wall-clock phase.
+pub const HARNESS_CELL: &str = "harness.cell";
+/// Time a worker waited between cells (histogram).
+pub const HARNESS_QUEUE_WAIT_NANOS: &str = "harness.queue_wait_nanos";
+
 /// Items solved by the batch engine.
 pub const ENGINE_ITEMS: &str = "engine.items";
 /// Worker threads the engine actually spawned.

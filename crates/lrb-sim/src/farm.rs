@@ -11,7 +11,7 @@ use std::time::Instant;
 
 use lrb_core::model::{Budget, Instance, Job};
 use lrb_faults::{FaultPlan, FaultyView};
-use lrb_obs::{NoopRecorder, Recorder};
+use lrb_obs::{names, NoopRecorder, Recorder};
 
 use crate::metrics::{DecisionCounters, DegradationMetrics, EpochMetrics, SimReport};
 use crate::policy::Policy;
@@ -119,17 +119,17 @@ pub fn run_recorded<R: Recorder>(cfg: &FarmConfig, policy: &mut dyn Policy, rec:
         decisions.record(migrations);
         let nanos = (started.elapsed().as_nanos() as u64).max(1);
         epoch_wall_nanos.push(nanos);
-        rec.incr("sim.epochs", 1);
+        rec.incr(names::SIM_EPOCHS, 1);
         rec.incr(
             if migrations > 0 {
-                "sim.rebalanced"
+                names::SIM_REBALANCED
             } else {
-                "sim.unchanged"
+                names::SIM_UNCHANGED
             },
             1,
         );
-        rec.observe("sim.epoch_nanos", nanos);
-        rec.record_duration("sim.epoch", nanos);
+        rec.observe(names::SIM_EPOCH_NANOS, nanos);
+        rec.record_duration(names::SIM_EPOCH, nanos);
     }
 
     SimReport {
@@ -306,28 +306,28 @@ pub fn run_faulty_recorded<R: Recorder>(
         decisions.record(migrations);
         let nanos = (started.elapsed().as_nanos() as u64).max(1);
         epoch_wall_nanos.push(nanos);
-        rec.incr("sim.epochs", 1);
+        rec.incr(names::SIM_EPOCHS, 1);
         rec.incr(
             if migrations > 0 {
-                "sim.rebalanced"
+                names::SIM_REBALANCED
             } else {
-                "sim.unchanged"
+                names::SIM_UNCHANGED
             },
             1,
         );
-        rec.observe("sim.epoch_nanos", nanos);
-        rec.record_duration("sim.epoch", nanos);
+        rec.observe(names::SIM_EPOCH_NANOS, nanos);
+        rec.record_duration(names::SIM_EPOCH, nanos);
         if degraded {
-            rec.incr("sim.degraded_epochs", 1);
+            rec.incr(names::SIM_DEGRADED_EPOCHS, 1);
         }
         if forced_moves > 0 {
-            rec.incr("sim.forced_migrations", forced_moves as u64);
+            rec.incr(names::SIM_FORCED_MIGRATIONS, forced_moves as u64);
         }
         if rejected {
-            rec.incr("sim.policy_rejections", 1);
+            rec.incr(names::SIM_POLICY_REJECTIONS, 1);
         }
         if fallback {
-            rec.incr("sim.fallbacks", 1);
+            rec.incr(names::SIM_FALLBACKS, 1);
         }
     }
 

@@ -14,7 +14,7 @@
 //! different farms interleave inside a batch.
 
 use lrb_engine::{solve_batch_recorded, BatchItem, BatchSolver, EngineConfig};
-use lrb_obs::{NoopRecorder, Recorder};
+use lrb_obs::{names, NoopRecorder, Recorder};
 
 use crate::farm::{instance_for, FarmConfig};
 use crate::metrics::{DecisionCounters, DegradationMetrics, EpochMetrics, SimReport};
@@ -122,16 +122,16 @@ pub fn run_fleet_recorded<R: Recorder + Sync>(cfg: &FleetConfig, rec: &R) -> Vec
 
             let nanos = batch.solve_nanos[slot].max(1);
             state.epoch_wall_nanos.push(nanos);
-            rec.incr("sim.epochs", 1);
+            rec.incr(names::SIM_EPOCHS, 1);
             rec.incr(
                 if migrations > 0 {
-                    "sim.rebalanced"
+                    names::SIM_REBALANCED
                 } else {
-                    "sim.unchanged"
+                    names::SIM_UNCHANGED
                 },
                 1,
             );
-            rec.observe("sim.epoch_nanos", nanos);
+            rec.observe(names::SIM_EPOCH_NANOS, nanos);
         }
     }
 

@@ -333,16 +333,16 @@ pub fn run_farm_online_recorded<R: Recorder>(
 
         let nanos = (started.elapsed().as_nanos() as u64).max(1);
         trace.epoch_wall_nanos.push(nanos);
-        rec.incr("sim.epochs", 1);
+        rec.incr(names::SIM_EPOCHS, 1);
         rec.incr(
             if step.outcome.moves() > 0 {
-                "sim.rebalanced"
+                names::SIM_REBALANCED
             } else {
-                "sim.unchanged"
+                names::SIM_UNCHANGED
             },
             1,
         );
-        rec.observe("sim.epoch_nanos", nanos);
+        rec.observe(names::SIM_EPOCH_NANOS, nanos);
         rec.observe(names::ONLINE_BANKED, step.banked_after);
     }
 
@@ -509,25 +509,25 @@ pub fn run_farm_online_faulty_recorded<R: Recorder>(
 
         let nanos = (started.elapsed().as_nanos() as u64).max(1);
         trace.epoch_wall_nanos.push(nanos);
-        rec.incr("sim.epochs", 1);
+        rec.incr(names::SIM_EPOCHS, 1);
         rec.incr(
             if migrations > 0 {
-                "sim.rebalanced"
+                names::SIM_REBALANCED
             } else {
-                "sim.unchanged"
+                names::SIM_UNCHANGED
             },
             1,
         );
-        rec.observe("sim.epoch_nanos", nanos);
+        rec.observe(names::SIM_EPOCH_NANOS, nanos);
         rec.observe(names::ONLINE_BANKED, banked_after);
         if degraded {
-            rec.incr("sim.degraded_epochs", 1);
+            rec.incr(names::SIM_DEGRADED_EPOCHS, 1);
         }
         if forced_moves > 0 {
-            rec.incr("sim.forced_migrations", forced_moves as u64);
+            rec.incr(names::SIM_FORCED_MIGRATIONS, forced_moves as u64);
         }
         if rejected {
-            rec.incr("sim.policy_rejections", 1);
+            rec.incr(names::SIM_POLICY_REJECTIONS, 1);
         }
     }
 
@@ -665,16 +665,16 @@ pub fn run_online_fleet_recorded<R: Recorder + Sync>(
 
             let nanos = batch.solve_nanos[slot].max(1);
             state.trace.epoch_wall_nanos.push(nanos);
-            rec.incr("sim.epochs", 1);
+            rec.incr(names::SIM_EPOCHS, 1);
             rec.incr(
                 if commit.moves > 0 {
-                    "sim.rebalanced"
+                    names::SIM_REBALANCED
                 } else {
-                    "sim.unchanged"
+                    names::SIM_UNCHANGED
                 },
                 1,
             );
-            rec.observe("sim.epoch_nanos", nanos);
+            rec.observe(names::SIM_EPOCH_NANOS, nanos);
             rec.observe(names::ONLINE_BANKED, state.rebalancer.bank().balance());
         }
     }

@@ -2,10 +2,9 @@
 # Offline-friendly CI gate: build, test, format, lint.
 #
 # Everything runs against the vendored path dependencies in vendor/, so no
-# network or registry access is needed. Usage:
+# network or registry access is needed. Every step is a hard gate.
 #
 #   scripts/check.sh          # full gate
-#   SKIP_CLIPPY=1 scripts/check.sh   # skip the lint step (e.g. no clippy in toolchain)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -15,7 +14,9 @@ run() {
     "$@"
 }
 
-run cargo build --release --workspace --offline
+# --locked doubles as the lockfile-drift gate: a stale Cargo.lock fails the
+# build instead of being silently rewritten.
+run cargo build --release --workspace --offline --locked
 # The workspace [profile.test] sets overflow-checks = true, so this whole
 # suite runs with integer-overflow detection on.
 run cargo test -q --workspace --offline
@@ -75,16 +76,19 @@ if ! grep -q '"epoch_curve"' "$online_tmp"; then
     exit 1
 fi
 
-if command -v rustfmt >/dev/null 2>&1; then
-    run cargo fmt --all --check
-else
-    echo "==> rustfmt not installed; skipping format check"
-fi
+# Static invariant gate (PR-6): lrb-lint must find zero violations of the
+# workspace rules (no-nondeterminism, no-panic-core, checked-arith,
+# obs-name-registry, unsafe-audit, schema-key-pinning).
+run cargo run -q --release --offline -p lrb-lint --bin lrb-lint -- --root .
 
-if [ "${SKIP_CLIPPY:-0}" != "1" ] && cargo clippy --version >/dev/null 2>&1; then
-    run cargo clippy --workspace --all-targets --offline -- -D warnings
-else
-    echo "==> clippy unavailable or skipped"
-fi
+# Concurrency-schedule gate (PR-6): the work-stealing engine must produce
+# bit-identical results under seeded pathological schedules (steal storms,
+# single-slot stripes, adversarial yields) across 8 seeds.
+run cargo run -q --release --offline -p lrb-lint --bin lrb-lint -- \
+    --schedules --seeds 0..8 --threads 2,4
+
+run cargo fmt --all --check
+
+run cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "all checks passed"
