@@ -1,7 +1,7 @@
 //! Batch-engine benchmarks: scratch reuse vs. fresh allocation, and the
 //! thread-scaling curve over the standard bench ladder.
 //!
-//! Complements `lrb bench` (which emits the machine-readable BENCH_3.json):
+//! Complements `lrb bench` (which emits the machine-readable BENCH_4.json):
 //! this target is for interactive `cargo bench -p lrb-bench --bench
 //! engine_scaling` comparisons while hacking on the engine or the scratch
 //! arenas.

@@ -1,0 +1,118 @@
+//! Zero-cost check for `NoopTracer`: span-instrumented code paths, when
+//! monomorphized over the no-op tracer, must run at the same speed as
+//! untraced code. Measures a hot loop with per-iteration span guards and
+//! instants against the identical loop without them and asserts the
+//! medians agree within 2%, then benchmarks the traced batch engine under
+//! both tracers for context.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lrb_engine::{solve_batch, solve_batch_traced, BatchItem, BatchSolver, EngineConfig};
+use lrb_harness::bench::smoke_ladder;
+use lrb_obs::{NoopTracer, TraceCollector, Tracer};
+
+/// The untraced hot loop.
+fn plain_sum(data: &[u64]) -> u64 {
+    let mut acc = 0u64;
+    for &v in data {
+        acc = acc.wrapping_add(v).rotate_left(7) ^ v;
+    }
+    acc
+}
+
+/// The same loop with per-iteration span traffic: a guard opened and
+/// dropped, plus an instant. With `NoopTracer` every call monomorphizes to
+/// nothing.
+fn traced_sum<T: Tracer>(data: &[u64], tracer: &T) -> u64 {
+    let mut acc = 0u64;
+    for &v in data {
+        let _span = tracer.span_with("bench.iteration", v, false);
+        tracer.instant("bench.value", v, false);
+        acc = acc.wrapping_add(v).rotate_left(7) ^ v;
+    }
+    acc
+}
+
+/// Median wall time of `runs` timed executions of `f`.
+fn median_nanos(runs: usize, mut f: impl FnMut() -> u64) -> u64 {
+    let mut samples: Vec<u64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn assert_noop_tracer_is_free(data: &[u64]) {
+    // Warm up, then compare independent medians over many runs so a single
+    // scheduler hiccup cannot decide the outcome.
+    let runs = 101;
+    for _ in 0..10 {
+        black_box(plain_sum(black_box(data)));
+        black_box(traced_sum(black_box(data), &NoopTracer));
+    }
+    let plain = median_nanos(runs, || plain_sum(black_box(data)));
+    let noop = median_nanos(runs, || traced_sum(black_box(data), &NoopTracer));
+    // 2% tolerance plus a 20us absolute floor to absorb timer granularity.
+    let limit = plain + plain / 50 + 20_000;
+    assert!(
+        noop <= limit,
+        "NoopTracer overhead above 2%: plain {plain}ns vs traced {noop}ns"
+    );
+    println!("noop tracer check: plain {plain}ns, traced {noop}ns (limit {limit}ns) — ok");
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let data: Vec<u64> = (0..65_536u64)
+        .map(|i| i.wrapping_mul(2_654_435_761) % 1_000)
+        .collect();
+    assert_noop_tracer_is_free(&data);
+
+    c.bench_function("hot_loop/plain", |b| b.iter(|| plain_sum(black_box(&data))));
+    c.bench_function("hot_loop/noop_traced", |b| {
+        b.iter(|| traced_sum(black_box(&data), &NoopTracer))
+    });
+
+    // The batch engine untraced vs. under a live collector.
+    let batch = &smoke_ladder(7)[0];
+    let items: Vec<BatchItem> = batch
+        .instances
+        .iter()
+        .map(|inst| BatchItem {
+            instance: inst.clone(),
+            budget: batch.budget,
+        })
+        .collect();
+    let cfg = EngineConfig::with_threads(2);
+    c.bench_function("engine_batch/untraced", |b| {
+        b.iter(|| {
+            solve_batch(black_box(&items), BatchSolver::MPartition, &cfg)
+                .outcomes
+                .len()
+        })
+    });
+    c.bench_function("engine_batch/live_collector", |b| {
+        b.iter(|| {
+            let mut collector = TraceCollector::new(2);
+            solve_batch_traced(
+                black_box(&items),
+                BatchSolver::MPartition,
+                &cfg,
+                &mut collector,
+            )
+            .outcomes
+            .len()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_trace_overhead
+}
+criterion_main!(benches);

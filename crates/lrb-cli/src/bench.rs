@@ -2,7 +2,7 @@
 //!
 //! Runs the [`lrb_harness::bench::standard_ladder`] batches through the
 //! batch engine at each requested thread count and emits a schema-versioned
-//! JSON report (`BENCH_3.json` by convention) carrying throughput, p50/p99
+//! JSON report (`BENCH_4.json` by convention) carrying throughput, p50/p99
 //! per-solve latency, the thread-scaling curve, and the engine's steal /
 //! ladder-cache telemetry. `--smoke` swaps in a cut-down ladder so CI can
 //! validate the schema in seconds.
@@ -22,7 +22,10 @@ use lrb_obs::AtomicRecorder;
 use serde::Serialize;
 
 /// Version stamp on every [`BenchReport`]; bump on breaking field changes.
-pub const BENCH_SCHEMA_VERSION: u32 = 3;
+/// v4: thread-curve points carry `oversubscribed` (threads beyond the
+/// host's available parallelism), and such points are excluded from the
+/// headline speedup.
+pub const BENCH_SCHEMA_VERSION: u32 = 4;
 
 /// Metadata for one ladder rung.
 #[derive(Debug, Clone, Serialize)]
@@ -52,6 +55,12 @@ pub struct ThreadPoint {
     pub p99_solve_nanos: f64,
     /// Wall-time speedup relative to the single-thread point.
     pub speedup_vs_1t: f64,
+    /// Whether this point asked for more workers than the host can actually
+    /// run in parallel. Oversubscribed points still report their numbers but
+    /// are excluded from the headline speedup and never gate a
+    /// `--baseline` comparison — they measure scheduler contention, not
+    /// scaling.
+    pub oversubscribed: bool,
     /// Items claimed from another worker's stripe.
     pub steals: u64,
     /// Threshold-ladder cache hits.
@@ -112,6 +121,9 @@ pub fn run(threads: &[usize], seed: u64, repeats: usize, smoke: bool) -> BenchRe
         .collect();
     let items_per_pass: usize = batches.iter().map(Vec::len).sum();
 
+    let available = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     let mut thread_curve = Vec::with_capacity(threads.len());
     let mut base_wall: Option<u64> = None;
     for &t in threads {
@@ -148,6 +160,7 @@ pub fn run(threads: &[usize], seed: u64, repeats: usize, smoke: bool) -> BenchRe
             p50_solve_nanos: percentile_sorted(&latencies, 50.0),
             p99_solve_nanos: percentile_sorted(&latencies, 99.0),
             speedup_vs_1t: base as f64 / wall_nanos as f64,
+            oversubscribed: t > available,
             steals,
             ladder_hits,
             ladder_misses,
@@ -165,9 +178,7 @@ pub fn run(threads: &[usize], seed: u64, repeats: usize, smoke: bool) -> BenchRe
         seed,
         repeats,
         solver: "m-partition".to_string(),
-        available_parallelism: std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1),
+        available_parallelism: available,
         rungs,
         thread_curve,
     }
@@ -182,8 +193,9 @@ pub fn render(report: &BenchReport) -> String {
     out.push_str("threads  wall_ms  solves/s  p50_us  p99_us  speedup  steals  ladder h/m\n");
     for p in &report.thread_curve {
         out.push_str(&format!(
-            "{:>7}  {:>7.1}  {:>8.0}  {:>6.1}  {:>6.1}  {:>6.2}x  {:>6}  {}/{}\n",
+            "{:>6}{}  {:>7.1}  {:>8.0}  {:>6.1}  {:>6.1}  {:>6.2}x  {:>6}  {}/{}\n",
             p.threads,
+            if p.oversubscribed { '*' } else { ' ' },
             p.wall_nanos as f64 / 1e6,
             p.throughput_per_sec,
             p.p50_solve_nanos / 1e3,
@@ -192,6 +204,24 @@ pub fn render(report: &BenchReport) -> String {
             p.steals,
             p.ladder_hits,
             p.ladder_misses,
+        ));
+    }
+    if report.thread_curve.iter().any(|p| p.oversubscribed) {
+        out.push_str(
+            "* oversubscribed: more workers than host parallelism (excluded from the headline)\n",
+        );
+    }
+    if let Some(best) = report
+        .thread_curve
+        .iter()
+        .filter(|p| !p.oversubscribed)
+        .max_by(|a, b| a.speedup_vs_1t.total_cmp(&b.speedup_vs_1t))
+    {
+        out.push_str(&format!(
+            "best speedup: {:.2}x at {} thread{}\n",
+            best.speedup_vs_1t,
+            best.threads,
+            if best.threads == 1 { "" } else { "s" },
         ));
     }
     out
@@ -212,8 +242,9 @@ mod tests {
         assert!(report.thread_curve.iter().all(|p| p.p50_solve_nanos > 0.0));
         assert!(report.available_parallelism >= 1);
         let json = serde_json::to_string_pretty(&report).unwrap();
-        assert!(json.contains("\"schema_version\": 3"));
+        assert!(json.contains("\"schema_version\": 4"));
         assert!(json.contains("thread_curve"));
+        assert!(json.contains("oversubscribed"));
     }
 
     #[test]
@@ -222,5 +253,25 @@ mod tests {
         let table = render(&report);
         assert!(table.contains("engine bench"));
         assert!(table.contains("solves/s"));
+        assert!(table.contains("best speedup"));
+    }
+
+    #[test]
+    fn oversubscribed_points_are_flagged_and_dropped_from_the_headline() {
+        // Force oversubscription regardless of host size by asking for an
+        // absurd worker count; the 1-thread point never oversubscribes.
+        let mut report = run(&[1], 5, 1, true);
+        assert!(!report.thread_curve[0].oversubscribed);
+        report.thread_curve.push(ThreadPoint {
+            threads: 4096,
+            oversubscribed: true,
+            speedup_vs_1t: 99.0,
+            ..report.thread_curve[0].clone()
+        });
+        let table = render(&report);
+        assert!(table.contains("4096*"), "{table}");
+        assert!(table.contains("oversubscribed"), "{table}");
+        // The headline ignores the fake 99x point.
+        assert!(!table.contains("best speedup: 99.00x"), "{table}");
     }
 }

@@ -550,6 +550,9 @@ USAGE:
             [--crash-rate R] [--recovery-rate R] [--perturb-pct P]
             [--stale-rate R] [--drop-rate R] [--exhaust-rate R]
   lrb bench [--threads 1,2,4,8] [--seed S] [--repeat R] [--smoke] [--out FILE]
+            [--baseline FILE [--threshold T] [--compare FILE]]
+  lrb trace [--scenario smoke_ladder|standard_ladder|chaos|online] [--threads T]
+            [--seed S] [--out FILE]
   lrb online [--servers M] [--epochs E] [--initial-jobs J] [--arrival-rate R]
              [--lifetime L] [--moves K | --budget B] [--seed S] [--out FILE]
              [--bank-accrual A] [--bank-cap C] [--bank-initial I]
@@ -559,7 +562,19 @@ BENCH:
   drives the standard_ladder instance batches through the work-stealing
   batch engine at each thread count and prints throughput, p50/p99 solve
   latency, and the scaling curve; --out writes the schema-versioned JSON
-  report (BENCH_3.json), --smoke runs a seconds-long cut-down ladder
+  report (BENCH_4.json), --smoke runs a seconds-long cut-down ladder.
+  Thread counts beyond the host's parallelism are marked oversubscribed
+  and excluded from the headline speedup. --baseline FILE compares against
+  a pinned report and exits nonzero when throughput drops or p99 rises by
+  more than --threshold (default 0.2); --compare FILE checks two existing
+  reports without running anything (oversubscribed points never gate)
+
+TRACE:
+  runs a scenario under the structured span tracer (engine worker
+  claim/steal/solve spans, simulator epoch and fault events) and exports a
+  Chrome trace-event JSON timeline (TRACE_1.json) loadable in Perfetto;
+  prints per-span totals, the attributed wall-time fraction, and the
+  thread-count-invariant determinism hash
 
 CHAOS:
   sweeps the crash rate (0x, 0.5x, 1x, 2x, 4x of --crash-rate) through the
@@ -592,8 +607,14 @@ COSTS (--costs): unit | uniform | size"
         .to_string()
 }
 
+/// Read and parse a JSON report file.
+fn read_json(path: &str) -> Result<serde_json::Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
 /// `lrb bench [--threads 1,2,4,8] [--seed S] [--repeat R] [--smoke]
-/// [--out FILE]`
+/// [--out FILE] [--baseline FILE [--threshold T] [--compare FILE]]`
 pub fn bench_cmd(args: &Args) -> CmdResult {
     let threads_spec = args.get("threads").unwrap_or("1,2,4,8").to_string();
     let seed: u64 = args.get_or("seed", 0).map_err(|e| e.to_string())?;
@@ -602,7 +623,31 @@ pub fn bench_cmd(args: &Args) -> CmdResult {
         .get_or("repeat", if smoke { 1 } else { 3 })
         .map_err(|e| e.to_string())?;
     let out_path = args.get("out").map(str::to_string);
+    let baseline_path = args.get("baseline").map(str::to_string);
+    let compare_path = args.get("compare").map(str::to_string);
+    let threshold: f64 = args
+        .get_or("threshold", crate::compare::DEFAULT_THRESHOLD)
+        .map_err(|e| e.to_string())?;
     args.reject_unknown().map_err(|e| e.to_string())?;
+    if compare_path.is_some() && baseline_path.is_none() {
+        return Err("--compare requires --baseline".to_string());
+    }
+    if !(0.0..1.0).contains(&threshold) {
+        return Err(format!(
+            "--threshold {threshold}: expected a fraction in [0, 1)"
+        ));
+    }
+
+    // Pure-file mode: compare two existing reports, no live run.
+    if let (Some(base), Some(cur)) = (&baseline_path, &compare_path) {
+        let cmp = crate::compare::compare(&read_json(base)?, &read_json(cur)?, threshold)?;
+        let table = crate::compare::render(&cmp);
+        return if cmp.regressed() {
+            Err(format!("{table}bench regression against {base}"))
+        } else {
+            Ok(table)
+        };
+    }
 
     let threads: Vec<usize> = threads_spec
         .split(',')
@@ -632,6 +677,45 @@ pub fn bench_cmd(args: &Args) -> CmdResult {
         let json = crate::report::to_validated_json(&report, crate::report::validate_bench)?;
         std::fs::write(&p, json).map_err(|e| format!("writing {p}: {e}"))?;
         out.push_str(&format!("\nreport written to {p}"));
+    }
+    if let Some(base) = &baseline_path {
+        let json = crate::report::to_validated_json(&report, crate::report::validate_bench)?;
+        let current: serde_json::Value =
+            serde_json::from_str(&json).map_err(|e| format!("self-parse error: {e}"))?;
+        let cmp = crate::compare::compare(&read_json(base)?, &current, threshold)?;
+        out.push('\n');
+        out.push_str(&crate::compare::render(&cmp));
+        if cmp.regressed() {
+            return Err(format!("{out}\nbench regression against {base}"));
+        }
+    }
+    Ok(out)
+}
+
+/// `lrb trace [--scenario smoke_ladder|standard_ladder|chaos|online]
+/// [--threads T] [--seed S] [--out FILE]` — run a scenario under the span
+/// tracer and export the timeline as Chrome trace-event JSON (loadable in
+/// Perfetto / `chrome://tracing`). Prints the per-span summary; `--out`
+/// writes the schema-versioned export (`TRACE_1.json` by convention).
+pub fn trace_cmd(args: &Args) -> CmdResult {
+    let scenario = args.get("scenario").unwrap_or("smoke_ladder").to_string();
+    let threads: usize = args.get_or("threads", 4).map_err(|e| e.to_string())?;
+    let seed: u64 = args.get_or("seed", 0).map_err(|e| e.to_string())?;
+    let out_path = args.get("out").map(str::to_string);
+    args.reject_unknown().map_err(|e| e.to_string())?;
+    if threads == 0 {
+        return Err("--threads must be >= 1".to_string());
+    }
+
+    let run = crate::trace::run(&scenario, threads, seed)?;
+    let mut out = crate::trace::render(&run);
+    if let Some(p) = out_path {
+        let doc = crate::trace::chrome_json(&run);
+        crate::report::validate_trace(&doc)
+            .map_err(|e| format!("trace failed its own schema: {e}"))?;
+        let json = serde_json::to_string_pretty(&doc).map_err(|e| format!("encode error: {e}"))?;
+        std::fs::write(&p, json).map_err(|e| format!("writing {p}: {e}"))?;
+        out.push_str(&format!("trace written to {p}"));
     }
     Ok(out)
 }
@@ -750,6 +834,7 @@ pub fn dispatch(tokens: Vec<String>) -> CmdResult {
         }
         Some("simulate") => simulate(&args),
         Some("bench") => bench_cmd(&args),
+        Some("trace") => trace_cmd(&args),
         Some("chaos") => chaos_cmd(&args),
         Some("online") => online_cmd(&args),
         Some("replay") => {
@@ -886,12 +971,13 @@ mod tests {
         assert!(out.contains("solves/s"), "{out}");
         let v: serde_json::Value =
             serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
-        assert_eq!(v["schema_version"], 3u64);
+        assert_eq!(v["schema_version"], 4u64);
         assert_eq!(v["scenario"], "smoke_ladder");
         let curve = v["thread_curve"].as_array().unwrap();
         assert_eq!(curve.len(), 2);
         assert_eq!(curve[0]["threads"], 1u64);
         assert_eq!(curve[1]["threads"], 2u64);
+        assert_eq!(curve[0]["oversubscribed"], false);
     }
 
     #[test]
@@ -899,6 +985,87 @@ mod tests {
         assert!(run("bench --smoke --threads 0").is_err());
         assert!(run("bench --smoke --threads nope").is_err());
         assert!(run("bench --smoke --repeat 0").is_err());
+        assert!(run("bench --compare somewhere.json")
+            .unwrap_err()
+            .contains("--compare requires --baseline"));
+        assert!(
+            run("bench --baseline somewhere.json --compare x.json --threshold 2")
+                .unwrap_err()
+                .contains("--threshold")
+        );
+    }
+
+    #[test]
+    fn bench_baseline_comparison_gates_through_the_cli() {
+        let path = tmpfile("bench-base.json");
+        run(&format!("bench --smoke --threads 1 --seed 3 --out {path}")).unwrap();
+        // A report compared against itself passes.
+        let ok = run(&format!("bench --baseline {path} --compare {path}")).unwrap();
+        assert!(ok.contains("verdict: ok"), "{ok}");
+        // Inject a 1000x throughput collapse: the comparison must fail.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut doc: serde_json::Value = serde_json::from_str(&text).unwrap();
+        if let serde_json::Value::Object(entries) = &mut doc {
+            for (k, v) in entries.iter_mut() {
+                if k == "thread_curve" {
+                    if let serde_json::Value::Array(points) = v {
+                        for p in points {
+                            if let serde_json::Value::Object(fields) = p {
+                                for (pk, pv) in fields.iter_mut() {
+                                    if pk == "throughput_per_sec" {
+                                        *pv = serde_json::Value::Number(serde_json::Number::F64(
+                                            0.001,
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let slow = tmpfile("bench-slow.json");
+        std::fs::write(&slow, serde_json::to_string_pretty(&doc).unwrap()).unwrap();
+        let err = run(&format!("bench --baseline {path} --compare {slow}")).unwrap_err();
+        assert!(err.contains("REGRESSED"), "{err}");
+        assert!(err.contains("bench regression"), "{err}");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&slow).ok();
+    }
+
+    #[test]
+    fn bench_live_run_against_its_own_baseline_passes() {
+        // Live runs are noisy; a same-seed 1-thread smoke run stays well
+        // within a generous 90% threshold of itself.
+        let path = tmpfile("bench-live-base.json");
+        run(&format!("bench --smoke --threads 1 --seed 3 --out {path}")).unwrap();
+        let out = run(&format!(
+            "bench --smoke --threads 1 --seed 3 --baseline {path} --threshold 0.9"
+        ))
+        .unwrap();
+        assert!(out.contains("baseline comparison"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_writes_a_perfetto_loadable_timeline() {
+        let path = tmpfile("trace.json");
+        let out = run(&format!(
+            "trace --scenario smoke_ladder --threads 2 --seed 7 --out {path}"
+        ))
+        .unwrap();
+        assert!(out.contains("attributed wall time"), "{out}");
+        assert!(out.contains("trace written"), "{out}");
+        let v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        crate::report::validate_trace(&v).unwrap();
+        assert_eq!(v["schema_version"], 1u64);
+        assert_eq!(v["otherData"]["scenario"], "smoke_ladder");
+        assert!(!v["traceEvents"].as_array().unwrap().is_empty());
+        std::fs::remove_file(&path).ok();
+
+        assert!(run("trace --scenario bogus").unwrap_err().contains("bogus"));
+        assert!(run("trace --threads 0").unwrap_err().contains("--threads"));
     }
 
     #[test]

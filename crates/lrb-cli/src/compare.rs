@@ -1,0 +1,278 @@
+//! Schema-aware bench regression comparison (`lrb bench --baseline`).
+//!
+//! Compares a fresh (or `--compare`-loaded) bench report against a pinned
+//! baseline file, per thread-curve point: throughput may not drop and p99
+//! latency may not rise by more than the threshold (default 20%). A
+//! regression renders the delta table and then fails the command, so the
+//! binary exits nonzero and CI can gate on it.
+//!
+//! Baselines at schema v3 (before the `oversubscribed` field) are accepted
+//! and read as "nothing oversubscribed"; v4 points marked oversubscribed on
+//! either side are shown but never gate — wall-clock noise from scheduler
+//! contention is not a regression signal.
+
+use serde_json::Value;
+
+/// Default allowed relative change before a point counts as regressed.
+pub const DEFAULT_THRESHOLD: f64 = 0.2;
+
+/// One thread-curve point extracted from a bench report document.
+#[derive(Debug, Clone)]
+struct Point {
+    threads: u64,
+    throughput: f64,
+    p99: f64,
+    oversubscribed: bool,
+}
+
+/// The delta between a baseline point and its current counterpart.
+#[derive(Debug, Clone)]
+pub struct PointDelta {
+    /// Thread count the two points share.
+    pub threads: u64,
+    /// Baseline / current throughput, solves per second.
+    pub base_throughput: f64,
+    /// Current throughput.
+    pub new_throughput: f64,
+    /// Baseline / current p99 solve latency, nanoseconds.
+    pub base_p99: f64,
+    /// Current p99 solve latency.
+    pub new_p99: f64,
+    /// Whether either side marked the point oversubscribed (non-gating).
+    pub oversubscribed: bool,
+    /// Whether this point regressed beyond the threshold (always `false`
+    /// for oversubscribed points).
+    pub regressed: bool,
+}
+
+/// The full comparison: per-point deltas plus the verdict.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Scenario both reports ran.
+    pub scenario: String,
+    /// Relative threshold the verdict used.
+    pub threshold: f64,
+    /// Matched points, in baseline order.
+    pub rows: Vec<PointDelta>,
+}
+
+impl Comparison {
+    /// Whether any gating point regressed.
+    pub fn regressed(&self) -> bool {
+        self.rows.iter().any(|r| r.regressed)
+    }
+}
+
+/// Read a bench document's scenario and thread curve, accepting schema
+/// v3 (no `oversubscribed`) or v4.
+fn extract(doc: &Value, ctx: &str) -> Result<(String, Vec<Point>), String> {
+    let version = doc
+        .get("schema_version")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("{ctx}: schema_version missing or not an integer"))?;
+    if version != 3 && version != 4 {
+        return Err(format!("{ctx}: schema_version {version}, expected 3 or 4"));
+    }
+    let scenario = doc
+        .get("scenario")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("{ctx}: missing scenario"))?
+        .to_string();
+    let curve = doc
+        .get("thread_curve")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{ctx}: thread_curve is not an array"))?;
+    let mut points = Vec::with_capacity(curve.len());
+    for (i, p) in curve.iter().enumerate() {
+        let field = |key: &str| {
+            p.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("{ctx}: thread_curve[{i}].{key} missing or not a number"))
+        };
+        points.push(Point {
+            threads: p
+                .get("threads")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("{ctx}: thread_curve[{i}].threads missing"))?,
+            throughput: field("throughput_per_sec")?,
+            p99: field("p99_solve_nanos")?,
+            oversubscribed: p
+                .get("oversubscribed")
+                .and_then(Value::as_bool)
+                .unwrap_or(false),
+        });
+    }
+    Ok((scenario, points))
+}
+
+/// Compare `current` against `baseline` at `threshold`.
+///
+/// Points are matched by thread count; a baseline point with no current
+/// counterpart is an error (the curve shrank), extra current points are
+/// ignored (the curve may grow).
+pub fn compare(baseline: &Value, current: &Value, threshold: f64) -> Result<Comparison, String> {
+    if !(0.0..1.0).contains(&threshold) {
+        return Err(format!(
+            "--threshold {threshold}: expected a fraction in [0, 1)"
+        ));
+    }
+    let (base_scenario, base_points) = extract(baseline, "baseline")?;
+    let (cur_scenario, cur_points) = extract(current, "current")?;
+    if base_scenario != cur_scenario {
+        return Err(format!(
+            "scenario mismatch: baseline ran {base_scenario}, current ran {cur_scenario}"
+        ));
+    }
+    let mut rows = Vec::with_capacity(base_points.len());
+    for b in &base_points {
+        let c = cur_points
+            .iter()
+            .find(|c| c.threads == b.threads)
+            .ok_or_else(|| {
+                format!(
+                    "baseline has a {}-thread point but the current report does not",
+                    b.threads
+                )
+            })?;
+        let oversubscribed = b.oversubscribed || c.oversubscribed;
+        let tp_regressed = c.throughput < b.throughput * (1.0 - threshold);
+        let p99_regressed = c.p99 > b.p99 * (1.0 + threshold);
+        rows.push(PointDelta {
+            threads: b.threads,
+            base_throughput: b.throughput,
+            new_throughput: c.throughput,
+            base_p99: b.p99,
+            new_p99: c.p99,
+            oversubscribed,
+            regressed: !oversubscribed && (tp_regressed || p99_regressed),
+        });
+    }
+    Ok(Comparison {
+        scenario: base_scenario,
+        threshold,
+        rows,
+    })
+}
+
+/// Render the per-rung delta table plus the verdict line.
+pub fn render(cmp: &Comparison) -> String {
+    let mut out = format!(
+        "baseline comparison — {} (threshold {:.0}%)\n",
+        cmp.scenario,
+        cmp.threshold * 100.0
+    );
+    out.push_str(
+        "threads  base_tp   new_tp   tp_delta  base_p99_us  new_p99_us  p99_delta  verdict\n",
+    );
+    for r in &cmp.rows {
+        let pct = |new: f64, base: f64| {
+            if base == 0.0 {
+                0.0
+            } else {
+                (new / base - 1.0) * 100.0
+            }
+        };
+        out.push_str(&format!(
+            "{:>6}{}  {:>7.0}  {:>7.0}  {:>+7.1}%  {:>11.1}  {:>10.1}  {:>+8.1}%  {}\n",
+            r.threads,
+            if r.oversubscribed { '*' } else { ' ' },
+            r.base_throughput,
+            r.new_throughput,
+            pct(r.new_throughput, r.base_throughput),
+            r.base_p99 / 1e3,
+            r.new_p99 / 1e3,
+            pct(r.new_p99, r.base_p99),
+            if r.regressed {
+                "REGRESSED"
+            } else if r.oversubscribed {
+                "ok (non-gating)"
+            } else {
+                "ok"
+            },
+        ));
+    }
+    out.push_str(if cmp.regressed() {
+        "verdict: REGRESSION\n"
+    } else {
+        "verdict: ok\n"
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(version: u64, scenario: &str, points: &[(u64, f64, f64, bool)]) -> Value {
+        let body: Vec<String> = points
+            .iter()
+            .map(|(t, tp, p99, over)| {
+                let over_field = if version >= 4 {
+                    format!(", \"oversubscribed\": {over}")
+                } else {
+                    String::new()
+                };
+                format!(
+                    r#"{{"threads": {t}, "throughput_per_sec": {tp},
+                        "p99_solve_nanos": {p99}{over_field}}}"#
+                )
+            })
+            .collect();
+        serde_json::from_str(&format!(
+            r#"{{"schema_version": {version}, "scenario": "{scenario}",
+                "thread_curve": [{}]}}"#,
+            body.join(",")
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let a = doc(4, "smoke_ladder", &[(1, 1000.0, 5000.0, false)]);
+        let cmp = compare(&a, &a, DEFAULT_THRESHOLD).unwrap();
+        assert!(!cmp.regressed());
+        assert!(render(&cmp).contains("verdict: ok"));
+    }
+
+    #[test]
+    fn throughput_drop_and_p99_rise_both_gate() {
+        let base = doc(4, "smoke_ladder", &[(1, 1000.0, 5000.0, false)]);
+        let slow = doc(4, "smoke_ladder", &[(1, 700.0, 5000.0, false)]);
+        assert!(compare(&base, &slow, 0.2).unwrap().regressed());
+        let laggy = doc(4, "smoke_ladder", &[(1, 1000.0, 6500.0, false)]);
+        assert!(compare(&base, &laggy, 0.2).unwrap().regressed());
+        // Within threshold: fine.
+        let ok = doc(4, "smoke_ladder", &[(1, 850.0, 5500.0, false)]);
+        assert!(!compare(&base, &ok, 0.2).unwrap().regressed());
+    }
+
+    #[test]
+    fn oversubscribed_points_never_gate() {
+        let base = doc(4, "smoke_ladder", &[(8, 1000.0, 5000.0, true)]);
+        let bad = doc(4, "smoke_ladder", &[(8, 100.0, 90000.0, true)]);
+        let cmp = compare(&base, &bad, 0.2).unwrap();
+        assert!(!cmp.regressed());
+        assert!(render(&cmp).contains("non-gating"));
+    }
+
+    #[test]
+    fn v3_baselines_are_accepted() {
+        let old = doc(3, "smoke_ladder", &[(1, 1000.0, 5000.0, false)]);
+        let new = doc(4, "smoke_ladder", &[(1, 950.0, 5100.0, false)]);
+        assert!(!compare(&old, &new, 0.2).unwrap().regressed());
+        let v99 = doc(99, "smoke_ladder", &[(1, 1.0, 1.0, false)]);
+        assert!(compare(&v99, &new, 0.2).is_err());
+    }
+
+    #[test]
+    fn mismatches_are_errors() {
+        let a = doc(4, "smoke_ladder", &[(1, 1000.0, 5000.0, false)]);
+        let b = doc(4, "standard_ladder", &[(1, 1000.0, 5000.0, false)]);
+        assert!(compare(&a, &b, 0.2).unwrap_err().contains("scenario"));
+        let shrunk = doc(4, "smoke_ladder", &[]);
+        assert!(compare(&a, &shrunk, 0.2)
+            .unwrap_err()
+            .contains("1-thread point"));
+        assert!(compare(&a, &a, 1.5).is_err());
+    }
+}

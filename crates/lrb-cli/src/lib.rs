@@ -9,5 +9,7 @@ pub mod args;
 pub mod bench;
 pub mod chaos;
 pub mod commands;
+pub mod compare;
 pub mod online;
 pub mod report;
+pub mod trace;

@@ -32,6 +32,7 @@ pub const BENCH_RUNG_KEYS: &[&str] = &["instances", "jobs", "name", "procs"];
 pub const BENCH_POINT_KEYS: &[&str] = &[
     "ladder_hits",
     "ladder_misses",
+    "oversubscribed",
     "p50_solve_nanos",
     "p99_solve_nanos",
     "speedup_vs_1t",
@@ -109,6 +110,31 @@ pub const ONLINE_POINT_KEYS: &[&str] = &[
     "migrations",
 ];
 
+/// Top-level keys of a trace export ([`crate::trace::chrome_json`]). The
+/// Chrome trace-event container plus the workspace's version stamp.
+pub const TRACE_TOP_KEYS: &[&str] = &[
+    "displayTimeUnit",
+    "otherData",
+    "schema_version",
+    "traceEvents",
+];
+/// Keys of the `otherData` run-metadata block.
+pub const TRACE_META_KEYS: &[&str] = &[
+    "attributed_pct",
+    "determinism_hash",
+    "scenario",
+    "seed",
+    "solver",
+    "span_count",
+    "threads",
+];
+/// Keys of one `"ph": "X"` (complete span) trace event.
+pub const TRACE_COMPLETE_KEYS: &[&str] = &["args", "dur", "name", "ph", "pid", "tid", "ts"];
+/// Keys of one `"ph": "i"` (instant) trace event.
+pub const TRACE_INSTANT_KEYS: &[&str] = &["args", "name", "ph", "pid", "s", "tid", "ts"];
+/// Keys of a trace event's `args` payload.
+pub const TRACE_ARG_KEYS: &[&str] = &["seq", "v"];
+
 /// Require `value` to be an object carrying *exactly* `keys` — an unknown
 /// key and a missing key are both schema violations.
 fn expect_exact_keys(value: &Value, ctx: &str, keys: &[&str]) -> Result<(), String> {
@@ -168,6 +194,37 @@ pub fn validate_online(value: &Value) -> Result<(), String> {
     expect_exact_keys(value, "online", ONLINE_TOP_KEYS)?;
     expect_version(value, "online", ONLINE_SCHEMA_VERSION)?;
     expect_array_of(value, "online", "epoch_curve", ONLINE_POINT_KEYS)
+}
+
+/// Validate a trace export against the pinned schema. Events are
+/// dispatched on their `ph` phase: complete spans and instants have
+/// different exact key sets, and any other phase is a violation.
+pub fn validate_trace(value: &Value) -> Result<(), String> {
+    expect_exact_keys(value, "trace", TRACE_TOP_KEYS)?;
+    expect_version(value, "trace", lrb_obs::TRACE_SCHEMA_VERSION)?;
+    let meta = value
+        .get("otherData")
+        .ok_or("trace: missing otherData block")?;
+    expect_exact_keys(meta, "trace.otherData", TRACE_META_KEYS)?;
+    let Some(events) = value.get("traceEvents").and_then(Value::as_array) else {
+        return Err("trace: 'traceEvents' is not an array".to_string());
+    };
+    for (i, event) in events.iter().enumerate() {
+        let ctx = format!("trace.traceEvents[{i}]");
+        let keys = match event.get("ph").and_then(Value::as_str) {
+            Some("X") => TRACE_COMPLETE_KEYS,
+            Some("i") => TRACE_INSTANT_KEYS,
+            Some(other) => return Err(format!("{ctx}: unknown phase '{other}'")),
+            None => return Err(format!("{ctx}: missing phase 'ph'")),
+        };
+        expect_exact_keys(event, &ctx, keys)?;
+        expect_exact_keys(
+            event.get("args").expect("args key checked above"),
+            &format!("{ctx}.args"),
+            TRACE_ARG_KEYS,
+        )?;
+    }
+    Ok(())
 }
 
 /// Serialize a report and self-check it against its validator before the
@@ -237,5 +294,43 @@ mod tests {
         let v = chaos_doc(1, r#"[{"bogus": 1}]"#);
         let err = validate_chaos(&v).unwrap_err();
         assert!(err.contains("points[0]"), "{err}");
+    }
+
+    fn trace_doc(events: &str) -> Value {
+        serde_json::from_str(&format!(
+            r#"{{"displayTimeUnit": "ms",
+                "otherData": {{"attributed_pct": 99.0, "determinism_hash": "0x0",
+                               "scenario": "s", "seed": 0, "solver": "m",
+                               "span_count": 1, "threads": 1}},
+                "schema_version": 1, "traceEvents": {events}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn trace_events_are_dispatched_on_phase() {
+        let span = r#"{"args": {"seq": 0, "v": 0}, "dur": 1.0, "name": "a",
+                       "ph": "X", "pid": 1, "tid": 0, "ts": 0.0}"#;
+        let instant = r#"{"args": {"seq": 1, "v": 2}, "name": "b", "ph": "i",
+                          "pid": 1, "s": "t", "tid": 0, "ts": 0.5}"#;
+        validate_trace(&trace_doc(&format!("[{span}, {instant}]"))).unwrap();
+        // A complete event missing `dur`, an instant with an extra key, an
+        // unknown phase, and smuggled args are each violations.
+        let short = span.replace(r#""dur": 1.0, "#, "");
+        assert!(validate_trace(&trace_doc(&format!("[{short}]")))
+            .unwrap_err()
+            .contains("missing field 'dur'"));
+        let extra = instant.replace(r#""s": "t""#, r#""s": "t", "smuggled": 1"#);
+        assert!(validate_trace(&trace_doc(&format!("[{extra}]")))
+            .unwrap_err()
+            .contains("unknown field 'smuggled'"));
+        let weird = span.replace(r#""ph": "X""#, r#""ph": "B""#);
+        assert!(validate_trace(&trace_doc(&format!("[{weird}]")))
+            .unwrap_err()
+            .contains("unknown phase 'B'"));
+        let args = span.replace(r#""v": 0"#, r#""v": 0, "note": "hi""#);
+        assert!(validate_trace(&trace_doc(&format!("[{args}]")))
+            .unwrap_err()
+            .contains("args"));
     }
 }

@@ -1,0 +1,309 @@
+//! The `trace` subcommand: span timelines as Chrome trace-event JSON.
+//!
+//! Runs a scenario with a live [`lrb_obs::TraceCollector`] threaded through
+//! the engine / simulator and exports the resulting [`Trace`] in the Chrome
+//! trace-event format (the JSON flavor Perfetto and `chrome://tracing`
+//! load directly): `"X"` complete events for spans, `"i"` instant events
+//! for point occurrences, timestamps in microseconds on a shared timebase.
+//!
+//! The export goes through the same pinned-report machinery as the other
+//! subcommands (`TRACE_1.json` by convention): the exact key set of the top
+//! level, the metadata block, and both event shapes are pinned in
+//! [`crate::report`] and self-validated before the JSON leaves the process.
+//!
+//! Wall-clock timestamps vary run to run, but the span *structure* does
+//! not: the trace carries [`Trace::determinism_hash`], which digests names,
+//! kinds, and payloads of all non-scheduling events and is identical for a
+//! fixed scenario/seed at any thread count.
+
+use lrb_engine::{solve_batch_traced, BatchItem, BatchSolver, EngineConfig};
+use lrb_harness::bench::{smoke_ladder, standard_ladder, BenchBatch};
+use lrb_obs::{names, Trace, TraceCollector, Tracer, TRACE_SCHEMA_VERSION};
+use lrb_sim::{
+    run_farm_faulty_traced, run_farm_online_recorded, FarmConfig, MPartitionPolicy,
+    OnlineWorkloadConfig,
+};
+use serde_json::{Number, Value};
+
+/// The scenarios `lrb trace` can run.
+pub const SCENARIOS: &[&str] = &["smoke_ladder", "standard_ladder", "chaos", "online"];
+
+/// A finished trace plus its attribution summary.
+pub struct TraceRun {
+    /// The collected span timeline.
+    pub trace: Trace,
+    /// Fraction of container wall time covered by named leaf spans
+    /// (engine scenarios: worker time by claim/queue-wait/solve spans;
+    /// simulator scenarios: run time by epoch spans), in `[0, 1]`.
+    pub attributed: f64,
+}
+
+/// Run `scenario` under a live collector and return the finished trace.
+pub fn run(scenario: &str, threads: usize, seed: u64) -> Result<TraceRun, String> {
+    match scenario {
+        "smoke_ladder" => Ok(ladder_trace(
+            smoke_ladder(seed),
+            "smoke_ladder",
+            threads,
+            seed,
+        )),
+        "standard_ladder" => Ok(ladder_trace(
+            standard_ladder(seed, 8),
+            "standard_ladder",
+            threads,
+            seed,
+        )),
+        "chaos" => Ok(chaos_trace(seed)),
+        "online" => Ok(online_trace(seed)),
+        other => Err(format!(
+            "unknown --scenario {other} (expected one of {})",
+            SCENARIOS.join(", ")
+        )),
+    }
+}
+
+/// Drive a bench ladder through the traced batch engine.
+fn ladder_trace(ladder: Vec<BenchBatch>, scenario: &str, threads: usize, seed: u64) -> TraceRun {
+    let cfg = EngineConfig::with_threads(threads);
+    let mut collector = TraceCollector::new(threads.max(1));
+    for batch in &ladder {
+        let items: Vec<BatchItem> = batch
+            .instances
+            .iter()
+            .map(|inst| BatchItem {
+                instance: inst.clone(),
+                budget: batch.budget,
+            })
+            .collect();
+        solve_batch_traced(&items, BatchSolver::MPartition, &cfg, &mut collector);
+    }
+    let trace = collector.finish(scenario, seed, threads, "m-partition");
+    let attributed = trace.attributed_fraction(
+        names::ENGINE_WORKER,
+        &[
+            names::ENGINE_CLAIM,
+            names::ENGINE_QUEUE_WAIT,
+            names::ENGINE_SOLVE,
+        ],
+    );
+    TraceRun { trace, attributed }
+}
+
+/// Run the fault-injected web farm with crash/recovery/evacuation events.
+fn chaos_trace(seed: u64) -> TraceRun {
+    let mut farm = FarmConfig::default_farm(60, 6);
+    farm.epochs = 50;
+    farm.seed = seed;
+    let fault_cfg = lrb_faults::FaultConfig::crashes(0.15, 0.5, seed);
+    let plan = lrb_faults::FaultPlan::generate(&fault_cfg, farm.num_servers, farm.epochs);
+
+    let collector = TraceCollector::new(1);
+    let main = collector.main();
+    {
+        let _run = main.span(names::SIM_RUN);
+        run_farm_faulty_traced(&farm, &mut MPartitionPolicy, &plan, main, main);
+    }
+    let trace = collector.finish("chaos", seed, 1, "m-partition");
+    let attributed = trace.attributed_fraction(names::SIM_RUN, &[names::SIM_EPOCH]);
+    TraceRun { trace, attributed }
+}
+
+/// Stream the online churn workload with per-epoch spans.
+fn online_trace(seed: u64) -> TraceRun {
+    let mut cfg = OnlineWorkloadConfig::default_online(6);
+    cfg.epochs = 40;
+    cfg.seed = seed;
+
+    let collector = TraceCollector::new(1);
+    let main = collector.main();
+    {
+        let _run = main.span(names::SIM_RUN);
+        run_farm_online_recorded(&cfg, main);
+    }
+    let trace = collector.finish("online", seed, 1, "online-m-partition");
+    let attributed = trace.attributed_fraction(names::SIM_RUN, &[names::SIM_EPOCH]);
+    TraceRun { trace, attributed }
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn num_u64(n: u64) -> Value {
+    Value::Number(Number::U64(n))
+}
+
+fn num_f64(f: f64) -> Value {
+    Value::Number(Number::F64(f))
+}
+
+/// Render the trace as a Chrome trace-event JSON document.
+///
+/// Every event from the collector becomes one `traceEvents` entry: spans as
+/// `"ph": "X"` complete events (microsecond `ts`/`dur`), instants as
+/// `"ph": "i"` thread-scoped events. The span payload and sequence number
+/// ride in `args` so Perfetto shows them in the event detail pane; run
+/// metadata (including the determinism hash, as hex) lands in `otherData`.
+pub fn chrome_json(run: &TraceRun) -> Value {
+    let trace = &run.trace;
+    let events: Vec<Value> = trace
+        .events
+        .iter()
+        .map(|e| {
+            let args = obj(vec![("seq", num_u64(e.seq)), ("v", num_u64(e.v))]);
+            let ts = num_f64(e.ts_nanos as f64 / 1e3);
+            match e.kind {
+                lrb_obs::SpanKind::Complete => obj(vec![
+                    ("args", args),
+                    ("dur", num_f64(e.dur_nanos as f64 / 1e3)),
+                    ("name", Value::String(e.name.to_string())),
+                    ("ph", Value::String("X".to_string())),
+                    ("pid", num_u64(1)),
+                    ("tid", num_u64(e.tid as u64)),
+                    ("ts", ts),
+                ]),
+                lrb_obs::SpanKind::Instant => obj(vec![
+                    ("args", args),
+                    ("name", Value::String(e.name.to_string())),
+                    ("ph", Value::String("i".to_string())),
+                    ("pid", num_u64(1)),
+                    ("s", Value::String("t".to_string())),
+                    ("tid", num_u64(e.tid as u64)),
+                    ("ts", ts),
+                ]),
+            }
+        })
+        .collect();
+
+    let meta = obj(vec![
+        ("attributed_pct", num_f64(run.attributed * 100.0)),
+        (
+            "determinism_hash",
+            Value::String(format!("{:#018x}", trace.determinism_hash())),
+        ),
+        ("scenario", Value::String(trace.scenario.clone())),
+        ("seed", num_u64(trace.seed)),
+        ("solver", Value::String(trace.solver.clone())),
+        ("span_count", num_u64(trace.span_count() as u64)),
+        ("threads", num_u64(trace.threads as u64)),
+    ]);
+    obj(vec![
+        ("displayTimeUnit", Value::String("ms".to_string())),
+        ("otherData", meta),
+        ("schema_version", num_u64(TRACE_SCHEMA_VERSION as u64)),
+        ("traceEvents", Value::Array(events)),
+    ])
+}
+
+/// Render the human-readable summary: per-span-name totals plus the
+/// attribution and determinism footer.
+pub fn render(run: &TraceRun) -> String {
+    let trace = &run.trace;
+    let mut out = format!(
+        "trace — {} (seed {}, {} worker thread{}, solver {})\n",
+        trace.scenario,
+        trace.seed,
+        trace.threads,
+        if trace.threads == 1 { "" } else { "s" },
+        trace.solver,
+    );
+
+    // Aggregate per span name, in first-appearance order.
+    let mut names_seen: Vec<&'static str> = Vec::new();
+    for e in &trace.events {
+        if !names_seen.contains(&e.name) {
+            names_seen.push(e.name);
+        }
+    }
+    out.push_str("span                        count   total_ms\n");
+    for name in names_seen {
+        let count = trace.events.iter().filter(|e| e.name == name).count();
+        let total: u64 = trace
+            .events
+            .iter()
+            .filter(|e| e.name == name)
+            .map(|e| e.dur_nanos)
+            .sum();
+        out.push_str(&format!(
+            "{name:<26}  {count:>5}  {:>9.3}\n",
+            total as f64 / 1e6
+        ));
+    }
+    out.push_str(&format!(
+        "events: {} ({} spans, {} instants)\n",
+        trace.events.len(),
+        trace.span_count(),
+        trace.instant_count(),
+    ));
+    out.push_str(&format!(
+        "attributed wall time: {:.1}%\n",
+        run.attributed * 100.0
+    ));
+    out.push_str(&format!(
+        "determinism hash: {:#018x}\n",
+        trace.determinism_hash()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_ladder_trace_attributes_engine_time() {
+        let run = run("smoke_ladder", 2, 7).unwrap();
+        assert_eq!(run.trace.scenario, "smoke_ladder");
+        assert!(run.trace.span_count() > 0);
+        assert!(
+            run.attributed >= 0.95,
+            "attributed only {:.3}",
+            run.attributed
+        );
+        let summary = render(&run);
+        assert!(summary.contains("engine.worker"), "{summary}");
+        assert!(summary.contains("determinism hash"), "{summary}");
+    }
+
+    #[test]
+    fn chaos_and_online_traces_carry_sim_spans() {
+        let chaos = run("chaos", 1, 3).unwrap();
+        assert!(chaos.trace.events_named(names::FAULT_CRASH).count() > 0);
+        assert!(chaos.trace.events_named(names::SIM_RUN).count() == 1);
+        let online = run("online", 1, 3).unwrap();
+        assert!(online.trace.events_named(names::SIM_EPOCH).count() > 0);
+        assert!(run("bogus", 1, 0).is_err());
+    }
+
+    #[test]
+    fn chrome_export_has_pinned_shape_and_microsecond_times() {
+        let run = run("smoke_ladder", 2, 5).unwrap();
+        let v = chrome_json(&run);
+        crate::report::validate_trace(&v).unwrap();
+        assert_eq!(v["schema_version"], TRACE_SCHEMA_VERSION as u64);
+        assert_eq!(v["displayTimeUnit"], "ms");
+        let events = v["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), run.trace.events.len());
+        let complete = events.iter().find(|e| e["ph"] == "X").unwrap();
+        assert_eq!(complete["pid"], 1u64);
+        // A span of d nanoseconds exports as d/1000 microseconds.
+        let idx = events.iter().position(|e| e["ph"] == "X").unwrap();
+        let nanos = run.trace.events[idx].dur_nanos;
+        assert_eq!(complete["dur"].as_f64().unwrap(), nanos as f64 / 1e3);
+    }
+
+    #[test]
+    fn determinism_hash_is_reported_in_hex() {
+        let run = run("smoke_ladder", 1, 9).unwrap();
+        let v = chrome_json(&run);
+        let hex = v["otherData"]["determinism_hash"].as_str().unwrap();
+        assert!(hex.starts_with("0x") && hex.len() == 18, "{hex}");
+        let parsed = u64::from_str_radix(&hex[2..], 16).unwrap();
+        assert_eq!(parsed, run.trace.determinism_hash());
+    }
+}

@@ -180,6 +180,66 @@ fn profile_emits_telemetry_for_the_whole_suite() {
 }
 
 #[test]
+fn trace_writes_a_chrome_timeline_through_the_binary() {
+    let path = tmp("trace-e2e.json");
+    let (ok, stdout, stderr) = lrb(&[
+        "trace",
+        "--scenario",
+        "smoke_ladder",
+        "--threads",
+        "4",
+        "--seed",
+        "7",
+        "--out",
+        &path,
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("attributed wall time"), "{stdout}");
+    let json = std::fs::read_to_string(&path).unwrap();
+    assert!(json.contains("\"schema_version\": 1"), "missing version");
+    assert!(json.contains("traceEvents"), "missing event array");
+    assert!(json.contains("engine.worker"), "missing worker spans");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bench_baseline_gate_exits_nonzero_on_regression() {
+    let base = tmp("bench-gate-base.json");
+    let (ok, _, stderr) = lrb(&[
+        "bench",
+        "--smoke",
+        "--threads",
+        "1",
+        "--seed",
+        "3",
+        "--out",
+        &base,
+    ]);
+    assert!(ok, "{stderr}");
+
+    // Self-comparison: identical reports, exit 0.
+    let (ok, stdout, stderr) = lrb(&["bench", "--baseline", &base, "--compare", &base]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("verdict: ok"), "{stdout}");
+
+    // Inject a throughput collapse into a copy; the gate must exit nonzero.
+    let slow = tmp("bench-gate-slow.json");
+    let mut text = std::fs::read_to_string(&base).unwrap();
+    let at = text
+        .find("\"throughput_per_sec\":")
+        .expect("report carries throughput");
+    let end = text[at..].find(',').unwrap() + at;
+    text.replace_range(at..end, "\"throughput_per_sec\": 0.001");
+    std::fs::write(&slow, text).unwrap();
+    let (ok, _, stderr) = lrb(&["bench", "--baseline", &base, "--compare", &slow]);
+    assert!(!ok, "regression must fail the command");
+    assert!(stderr.contains("REGRESSED"), "{stderr}");
+
+    std::fs::remove_file(&base).ok();
+    std::fs::remove_file(&slow).ok();
+}
+
+#[test]
 fn failures_exit_nonzero_with_stderr() {
     let (ok, _, stderr) = lrb(&["solve", "/definitely/missing.json", "--moves", "1"]);
     assert!(!ok);

@@ -66,7 +66,7 @@ fn bench_report_matches_the_pinned_schema() {
     let v = read_json(&path);
     std::fs::remove_file(&path).ok();
 
-    assert_eq!(v["schema_version"], 3u64);
+    assert_eq!(v["schema_version"], 4u64);
     assert_eq!(sorted_keys(&v), report::BENCH_TOP_KEYS);
     for rung in v["rungs"].as_array().unwrap() {
         assert_eq!(sorted_keys(rung), report::BENCH_RUNG_KEYS);
@@ -130,6 +130,77 @@ fn online_report_matches_the_pinned_schema() {
     }
     assert_eq!(arrivals, v["arrivals"].as_u64().unwrap());
     assert_eq!(departures, v["departures"].as_u64().unwrap());
+}
+
+#[test]
+fn trace_export_matches_the_pinned_schema() {
+    let path = tmpfile("trace.json");
+    run(&format!(
+        "trace --scenario smoke_ladder --threads 2 --seed 7 --out {path}"
+    ))
+    .unwrap();
+    let mut v = read_json(&path);
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(v["schema_version"], 1u64);
+    assert_eq!(sorted_keys(&v), report::TRACE_TOP_KEYS);
+    assert_eq!(sorted_keys(&v["otherData"]), report::TRACE_META_KEYS);
+    let events = v["traceEvents"].as_array().unwrap();
+    assert!(!events.is_empty());
+    let (mut spans, mut instants) = (0usize, 0usize);
+    for event in events {
+        match event["ph"].as_str().unwrap() {
+            "X" => {
+                spans += 1;
+                assert_eq!(sorted_keys(event), report::TRACE_COMPLETE_KEYS);
+            }
+            "i" => {
+                instants += 1;
+                assert_eq!(sorted_keys(event), report::TRACE_INSTANT_KEYS);
+            }
+            other => panic!("unexpected phase {other}"),
+        }
+        assert_eq!(sorted_keys(&event["args"]), report::TRACE_ARG_KEYS);
+    }
+    assert!(spans > 0, "a trace without spans attributes nothing");
+    assert_eq!(spans as u64, v["otherData"]["span_count"].as_u64().unwrap());
+    // Steal instants are workload-dependent; just keep the count coherent.
+    assert_eq!(spans + instants, events.len());
+    report::validate_trace(&v).unwrap();
+
+    // Injected unknown fields are rejected at every level.
+    entries_mut(&mut v).push(("smuggled".to_string(), Value::Bool(true)));
+    let err = report::validate_trace(&v).unwrap_err();
+    assert!(err.contains("unknown field 'smuggled'"), "{err}");
+    entries_mut(&mut v).retain(|(k, _)| k != "smuggled");
+    let first_event = match field_mut(&mut v, "traceEvents") {
+        Value::Array(events) => &mut events[0],
+        _ => panic!("traceEvents is not an array"),
+    };
+    entries_mut(first_event).push(("smuggled".to_string(), Value::Bool(true)));
+    let err = report::validate_trace(&v).unwrap_err();
+    assert!(err.contains("traceEvents[0]"), "{err}");
+    assert!(err.contains("unknown field 'smuggled'"), "{err}");
+}
+
+#[test]
+fn trace_determinism_hash_is_stable_across_reruns_and_thread_counts() {
+    let hash_of = |threads: usize, name: &str| {
+        let path = tmpfile(name);
+        run(&format!(
+            "trace --scenario smoke_ladder --threads {threads} --seed 11 --out {path}"
+        ))
+        .unwrap();
+        let v = read_json(&path);
+        std::fs::remove_file(&path).ok();
+        v["otherData"]["determinism_hash"]
+            .as_str()
+            .unwrap()
+            .to_string()
+    };
+    let base = hash_of(1, "det-t1a.json");
+    assert_eq!(base, hash_of(1, "det-t1b.json"), "rerun changed the hash");
+    assert_eq!(base, hash_of(4, "det-t4.json"), "threads changed the hash");
 }
 
 #[test]

@@ -165,7 +165,13 @@ fn rebalance_impl<R: Recorder>(
         ladder,
         ..
     } = scratch;
-    profiles.rebuild(inst, ladder);
+    {
+        // Timed on every solve (cache hits included) so the phase's call
+        // count — and hence a trace's determinism hash — is independent of
+        // which worker's warm ladder served the item.
+        let _ladder_build = rec.time(names::MPARTITION_LADDER_BUILD);
+        profiles.rebuild(inst, ladder);
+    }
     profiles.candidates_into(candidates);
     // Start at the paper's average-load guess — but because the search only
     // evaluates candidate thresholds and behavior is constant *between*

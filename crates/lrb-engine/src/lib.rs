@@ -32,7 +32,7 @@ use lrb_core::model::{Budget, Instance};
 use lrb_core::outcome::RebalanceOutcome;
 use lrb_core::scratch::Scratch;
 use lrb_core::{cost_partition, greedy, mpartition};
-use lrb_obs::{names, NoopRecorder, Recorder};
+use lrb_obs::{names, NoopRecorder, NoopTracer, Recorder, TraceCollector, Tracer};
 
 use crate::schedule::{NoopShim, ScheduleShim, YieldPoint};
 
@@ -123,6 +123,38 @@ pub fn solve_batch_recorded<R: Recorder + Sync>(
     run_batch(items, solver, threads, &mut scratches, rec)
 }
 
+/// [`solve_batch`] with span tracing: per-worker claim/steal/queue-wait and
+/// per-item solve spans land in the collector's lanes, the whole batch gets
+/// an `engine.batch` span on the main lane, and solver phases flow in
+/// through the collector's [`Recorder`] bridge. Outcomes are bit-identical
+/// to [`solve_batch`]; only the timeline is new.
+pub fn solve_batch_traced(
+    items: &[BatchItem],
+    solver: BatchSolver,
+    cfg: &EngineConfig,
+    collector: &mut TraceCollector,
+) -> BatchReport {
+    let threads = cfg
+        .resolved_threads(items.len())
+        .min(collector.worker_count())
+        .max(1);
+    let mut scratches: Vec<Scratch> = (0..threads).map(|_| Scratch::new()).collect();
+    collector
+        .main()
+        .enter(names::ENGINE_BATCH, items.len() as u64, false);
+    let report = run_batch_with(
+        items,
+        solver,
+        threads,
+        &mut scratches,
+        &NoopRecorder,
+        &NoopShim,
+        collector.workers_mut(),
+    );
+    collector.main().exit();
+    report
+}
+
 /// [`solve_batch`] under an explicit [`ScheduleShim`] — the entry point for
 /// adversarial schedule exploration (`lrb-lint --schedules`). Results must
 /// be bit-identical to [`solve_batch`] for *any* shim: outcomes depend only
@@ -135,7 +167,16 @@ pub fn solve_batch_shimmed<S: ScheduleShim>(
 ) -> BatchReport {
     let threads = cfg.resolved_threads(items.len());
     let mut scratches: Vec<Scratch> = (0..threads).map(|_| Scratch::new()).collect();
-    run_batch_with(items, solver, threads, &mut scratches, &NoopRecorder, shim)
+    let mut tracers = vec![NoopTracer; threads];
+    run_batch_with(
+        items,
+        solver,
+        threads,
+        &mut scratches,
+        &NoopRecorder,
+        shim,
+        &mut tracers,
+    )
 }
 
 /// Persistent streaming executor: [`solve_batch`] semantics, epoch after
@@ -184,6 +225,37 @@ impl StreamEngine {
         run_batch(items, self.solver, threads, &mut self.scratches, rec)
     }
 
+    /// Solve one epoch's batch with span tracing: the epoch gets an
+    /// `engine.epoch` span (payload = 1-based epoch number) on the main
+    /// lane, workers emit claim/steal/solve spans into their lanes, and the
+    /// warm scratches behave exactly as in [`solve_epoch`].
+    pub fn solve_epoch_traced(
+        &mut self,
+        items: &[BatchItem],
+        collector: &mut TraceCollector,
+    ) -> BatchReport {
+        self.epochs += 1;
+        let threads = self
+            .threads
+            .clamp(1, items.len().max(1))
+            .min(collector.worker_count())
+            .max(1);
+        collector
+            .main()
+            .enter(names::ENGINE_EPOCH, self.epochs, false);
+        let report = run_batch_with(
+            items,
+            self.solver,
+            threads,
+            &mut self.scratches,
+            &NoopRecorder,
+            &NoopShim,
+            collector.workers_mut(),
+        );
+        collector.main().exit();
+        report
+    }
+
     /// The solver every epoch runs with.
     pub fn solver(&self) -> BatchSolver {
         self.solver
@@ -221,35 +293,61 @@ fn run_batch<R: Recorder + Sync>(
     scratches: &mut [Scratch],
     rec: &R,
 ) -> BatchReport {
-    run_batch_with(items, solver, threads, scratches, rec, &NoopShim)
+    let mut tracers = vec![NoopTracer; threads];
+    run_batch_with(
+        items,
+        solver,
+        threads,
+        scratches,
+        rec,
+        &NoopShim,
+        &mut tracers,
+    )
 }
 
-/// [`run_batch`] with schedule-injection hooks; `NoopShim` compiles them
-/// away, so the production path is unchanged.
-fn run_batch_with<R: Recorder + Sync, S: ScheduleShim>(
+/// [`run_batch`] with schedule-injection hooks and per-worker tracer lanes;
+/// `NoopShim` and [`NoopTracer`] compile them away, so the production path
+/// is unchanged. Tracer lane `w` is handed `&mut`-exclusively to worker `w`
+/// exactly like its [`Scratch`], and doubles as the per-worker recorder for
+/// solver phases (the `Tracer + Recorder` bound).
+#[allow(clippy::too_many_arguments)]
+fn run_batch_with<R, S, T>(
     items: &[BatchItem],
     solver: BatchSolver,
     threads: usize,
     scratches: &mut [Scratch],
     rec: &R,
     shim: &S,
-) -> BatchReport {
+    tracers: &mut [T],
+) -> BatchReport
+where
+    R: Recorder + Sync,
+    S: ScheduleShim,
+    T: Tracer + Recorder + Send,
+{
     let _batch = rec.time(names::ENGINE_BATCH);
     let n = items.len();
     rec.incr(names::ENGINE_ITEMS, n as u64);
     rec.incr(names::ENGINE_WORKERS, threads as u64);
     debug_assert!(threads >= 1 && threads <= scratches.len());
+    debug_assert!(threads <= tracers.len());
     let before_hits: u64 = scratches.iter().map(Scratch::ladder_hits).sum();
     let before_misses: u64 = scratches.iter().map(Scratch::ladder_misses).sum();
 
     if threads <= 1 || n <= 1 {
         let scratch = &mut scratches[0];
+        let tracer = &tracers[0];
+        let _worker = tracer.span_with(names::ENGINE_WORKER, 0, true);
         let mut outcomes = Vec::with_capacity(n);
         let mut solve_nanos = Vec::with_capacity(n);
-        for item in items {
+        for (i, item) in items.iter().enumerate() {
             // lint: allow(no-nondeterminism, clock feeds solve-latency telemetry only)
             let start = Instant::now();
-            outcomes.push(solve_one(item, solver, scratch));
+            let out = {
+                let _solve = tracer.span_with(names::ENGINE_SOLVE, i as u64, false);
+                solve_one(item, solver, scratch, tracer)
+            };
+            outcomes.push(out);
             let nanos = (start.elapsed().as_nanos() as u64).max(1);
             rec.observe(names::ENGINE_SOLVE_NANOS, nanos);
             solve_nanos.push(nanos);
@@ -283,11 +381,14 @@ fn run_batch_with<R: Recorder + Sync, S: ScheduleShim>(
     std::thread::scope(|scope| {
         let handles: Vec<_> = scratches[..threads]
             .iter_mut()
+            .zip(tracers[..threads].iter_mut())
             .enumerate()
-            .map(|(w, scratch)| {
+            .map(|(w, (scratch, tracer))| {
                 let queue = &queue;
                 let steals = &steals;
                 scope.spawn(move || {
+                    let tracer = &*tracer;
+                    let _worker = tracer.span_with(names::ENGINE_WORKER, w as u64, true);
                     let mut local: Vec<(usize, RebalanceOutcome, u64)> = Vec::new();
                     loop {
                         if S::ACTIVE {
@@ -296,6 +397,7 @@ fn run_batch_with<R: Recorder + Sync, S: ScheduleShim>(
                         let own = if S::ACTIVE && shim.steal_first(w) {
                             None
                         } else {
+                            let _claim = tracer.span_with(names::ENGINE_CLAIM, w as u64, true);
                             queue.claim_own(w)
                         };
                         let i = match own {
@@ -304,9 +406,19 @@ fn run_batch_with<R: Recorder + Sync, S: ScheduleShim>(
                                 if S::ACTIVE {
                                     shim.yield_point(w, YieldPoint::BeforeSteal);
                                 }
-                                match queue.steal(w) {
+                                let stolen = {
+                                    let _wait =
+                                        tracer.span_with(names::ENGINE_QUEUE_WAIT, w as u64, true);
+                                    queue.steal(w)
+                                };
+                                match stolen {
                                     Some((i, depth)) => {
                                         steals.fetch_add(1, Ordering::Relaxed);
+                                        tracer.instant(
+                                            names::ENGINE_STEAL_EVENT,
+                                            depth as u64,
+                                            true,
+                                        );
                                         if R::ENABLED {
                                             rec.incr(names::ENGINE_STEALS, 1);
                                             rec.observe(names::ENGINE_QUEUE_DEPTH, depth as u64);
@@ -317,6 +429,8 @@ fn run_batch_with<R: Recorder + Sync, S: ScheduleShim>(
                                         // A steal-first worker may still own
                                         // unclaimed items; drain them before
                                         // exiting so no index is orphaned.
+                                        let _claim =
+                                            tracer.span_with(names::ENGINE_CLAIM, w as u64, true);
                                         match queue.claim_own(w) {
                                             Some(i) => i,
                                             None => break,
@@ -330,7 +444,10 @@ fn run_batch_with<R: Recorder + Sync, S: ScheduleShim>(
                         }
                         // lint: allow(no-nondeterminism, clock feeds solve-latency telemetry only)
                         let start = Instant::now();
-                        let out = solve_one(&items[i], solver, scratch);
+                        let out = {
+                            let _solve = tracer.span_with(names::ENGINE_SOLVE, i as u64, false);
+                            solve_one(&items[i], solver, scratch, tracer)
+                        };
                         let nanos = (start.elapsed().as_nanos() as u64).max(1);
                         if R::ENABLED {
                             rec.observe(names::ENGINE_SOLVE_NANOS, nanos);
@@ -375,8 +492,16 @@ fn run_batch_with<R: Recorder + Sync, S: ScheduleShim>(
 
 /// Solve one item against a worker's scratch. Errors degrade to "no moves"
 /// (the initial assignment), mirroring `lrb-sim`'s policy fallback, so a
-/// pathological item never poisons its batch.
-fn solve_one(item: &BatchItem, solver: BatchSolver, scratch: &mut Scratch) -> RebalanceOutcome {
+/// pathological item never poisons its batch. The per-worker recorder `rec`
+/// (a tracer lane in traced runs, [`NoopTracer`] otherwise) flows into the
+/// core solvers' recorded entry points, which are bit-identical to the
+/// unrecorded ones — instrumentation never changes answers.
+fn solve_one<PR: Recorder>(
+    item: &BatchItem,
+    solver: BatchSolver,
+    scratch: &mut Scratch,
+    rec: &PR,
+) -> RebalanceOutcome {
     let inst = &item.instance;
     let unchanged = || RebalanceOutcome::unchanged(inst);
     match (solver, item.budget) {
@@ -385,21 +510,32 @@ fn solve_one(item: &BatchItem, solver: BatchSolver, scratch: &mut Scratch) -> Re
                 Budget::Moves(k) => k,
                 Budget::Cost(b) => b as usize,
             };
-            greedy::rebalance_scratch(inst, k, scratch).unwrap_or_else(|_| unchanged())
+            greedy::rebalance_scratch_recorded(
+                inst,
+                k,
+                greedy::ReinsertOrder::Descending,
+                rec,
+                scratch,
+            )
+            .unwrap_or_else(|_| unchanged())
         }
-        (BatchSolver::MPartition, Budget::Moves(k)) => {
-            mpartition::rebalance_scratch(inst, k, scratch)
-                .map(|run| run.outcome)
-                .unwrap_or_else(|_| unchanged())
-        }
+        (BatchSolver::MPartition, Budget::Moves(k)) => mpartition::rebalance_scratch_recorded(
+            inst,
+            k,
+            mpartition::ThresholdSearch::default(),
+            rec,
+            scratch,
+        )
+        .map(|run| run.outcome)
+        .unwrap_or_else(|_| unchanged()),
         (BatchSolver::MPartition, Budget::Cost(b))
         | (BatchSolver::CostPartition, Budget::Cost(b)) => {
-            cost_partition::rebalance_scratch(inst, b, scratch)
+            cost_partition::rebalance_scratch_recorded(inst, b, rec, scratch)
                 .map(|run| run.outcome)
                 .unwrap_or_else(|_| unchanged())
         }
         (BatchSolver::CostPartition, Budget::Moves(k)) => {
-            cost_partition::rebalance_scratch(inst, k as u64, scratch)
+            cost_partition::rebalance_scratch_recorded(inst, k as u64, rec, scratch)
                 .map(|run| run.outcome)
                 .unwrap_or_else(|_| unchanged())
         }
@@ -656,6 +792,120 @@ mod tests {
         let report = stream.solve_epoch(&items);
         assert_eq!(report.outcomes.len(), 1);
         assert_eq!(report.workers, 1); // clamped to the epoch's size
+    }
+
+    #[test]
+    fn traced_runs_match_untraced_outcomes() {
+        let items = batch(24, 13);
+        for threads in [1, 4] {
+            let plain = solve_batch(
+                &items,
+                BatchSolver::MPartition,
+                &EngineConfig::with_threads(threads),
+            );
+            let mut collector = TraceCollector::new(threads);
+            let traced = solve_batch_traced(
+                &items,
+                BatchSolver::MPartition,
+                &EngineConfig::with_threads(threads),
+                &mut collector,
+            );
+            assert_eq!(traced.outcomes, plain.outcomes, "{threads} threads");
+            let trace = collector.finish("test", 13, threads, "m-partition");
+            // One batch span, one worker span per worker, one solve span
+            // per item; solver phases arrive through the recorder bridge.
+            assert_eq!(trace.events_named(names::ENGINE_BATCH).count(), 1);
+            assert_eq!(
+                trace.events_named(names::ENGINE_WORKER).count(),
+                traced.workers
+            );
+            assert_eq!(trace.events_named(names::ENGINE_SOLVE).count(), items.len());
+            assert!(
+                trace.events_named(names::MPARTITION_SEARCH).count() >= items.len(),
+                "solver phases must flow through the tracer's recorder bridge"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_determinism_hash_is_stable_across_reruns_and_thread_counts() {
+        let items = batch(32, 21);
+        let hash_at = |threads: usize| {
+            let mut collector = TraceCollector::new(threads);
+            solve_batch_traced(
+                &items,
+                BatchSolver::MPartition,
+                &EngineConfig::with_threads(threads),
+                &mut collector,
+            );
+            collector
+                .finish("test", 21, threads, "m-partition")
+                .determinism_hash()
+        };
+        let h1 = hash_at(1);
+        assert_eq!(h1, hash_at(1), "rerun at 1 thread");
+        assert_eq!(h1, hash_at(2), "2 threads");
+        assert_eq!(h1, hash_at(4), "4 threads");
+        // A different workload must hash differently.
+        let other = batch(31, 21);
+        let mut collector = TraceCollector::new(1);
+        solve_batch_traced(
+            &other,
+            BatchSolver::MPartition,
+            &EngineConfig::with_threads(1),
+            &mut collector,
+        );
+        assert_ne!(
+            h1,
+            collector
+                .finish("test", 21, 1, "m-partition")
+                .determinism_hash()
+        );
+    }
+
+    #[test]
+    fn trace_attributes_worker_time_to_named_spans() {
+        let items = batch(48, 17);
+        let mut collector = TraceCollector::new(4);
+        solve_batch_traced(
+            &items,
+            BatchSolver::MPartition,
+            &EngineConfig::with_threads(4),
+            &mut collector,
+        );
+        let trace = collector.finish("test", 17, 4, "m-partition");
+        let frac = trace.attributed_fraction(
+            names::ENGINE_WORKER,
+            &[
+                names::ENGINE_CLAIM,
+                names::ENGINE_QUEUE_WAIT,
+                names::ENGINE_SOLVE,
+            ],
+        );
+        assert!(
+            frac >= 0.95,
+            "claim/queue-wait/solve spans cover only {:.1}% of worker wall time",
+            frac * 100.0
+        );
+    }
+
+    #[test]
+    fn stream_engine_traced_epochs_match_and_are_numbered() {
+        let epochs: Vec<Vec<BatchItem>> = (0..3).map(|e| batch(8, 41 + e as u64)).collect();
+        let mut plain = StreamEngine::new(BatchSolver::MPartition, &EngineConfig::with_threads(2));
+        let mut traced = StreamEngine::new(BatchSolver::MPartition, &EngineConfig::with_threads(2));
+        let mut collector = TraceCollector::new(2);
+        for items in &epochs {
+            let want = plain.solve_epoch(items);
+            let got = traced.solve_epoch_traced(items, &mut collector);
+            assert_eq!(got.outcomes, want.outcomes);
+        }
+        let trace = collector.finish("test", 41, 2, "m-partition");
+        let numbers: Vec<u64> = trace
+            .events_named(names::ENGINE_EPOCH)
+            .map(|e| e.v)
+            .collect();
+        assert_eq!(numbers, vec![1, 2, 3]);
     }
 
     #[test]

@@ -99,6 +99,25 @@ impl EpochFaults {
     pub fn down_count(&self) -> usize {
         self.down.iter().filter(|&&d| d).count()
     }
+
+    /// Outage-state changes since a previous epoch's mask: the processors
+    /// that crashed (up → down) and recovered (down → up) this epoch.
+    /// Processors beyond `prev_down`'s length are treated as previously up.
+    /// Simulators use this to emit `fault.crash` / `fault.recovery` trace
+    /// events at state *transitions* rather than once per down epoch.
+    pub fn transitions(&self, prev_down: &[bool]) -> (Vec<usize>, Vec<usize>) {
+        let mut crashed = Vec::new();
+        let mut recovered = Vec::new();
+        for (p, &down) in self.down.iter().enumerate() {
+            let was_down = prev_down.get(p).copied().unwrap_or(false);
+            if down && !was_down {
+                crashed.push(p);
+            } else if !down && was_down {
+                recovered.push(p);
+            }
+        }
+        (crashed, recovered)
+    }
 }
 
 /// A full fault schedule: one [`EpochFaults`] per epoch.
@@ -239,6 +258,23 @@ mod tests {
             assert!(f.is_clear());
             assert_eq!(f.down.len(), 4);
         }
+    }
+
+    #[test]
+    fn transitions_report_crashes_and_recoveries() {
+        let mut faults = EpochFaults::clear(4);
+        faults.down = vec![true, false, true, false];
+        // Previous epoch: processor 1 and 2 were down.
+        let (crashed, recovered) = faults.transitions(&[false, true, true, false]);
+        assert_eq!(crashed, vec![0]);
+        assert_eq!(recovered, vec![1]);
+        // Against an empty previous mask, every down processor just crashed.
+        let (crashed, recovered) = faults.transitions(&[]);
+        assert_eq!(crashed, vec![0, 2]);
+        assert!(recovered.is_empty());
+        // No state change, no transitions.
+        let (crashed, recovered) = faults.transitions(&[true, false, true, false]);
+        assert!(crashed.is_empty() && recovered.is_empty());
     }
 
     #[test]

@@ -1,9 +1,14 @@
 //! Fixture: an inline metric-name literal handed to a Recorder call.
 //! Linted under the virtual path `crates/lrb-sim/src/fixture.rs`.
 
-use lrb_obs::{names, Recorder};
+use lrb_obs::{names, Recorder, Tracer};
 
 pub fn emit<R: Recorder>(rec: &R) {
     rec.incr("sim.epochz", 1);
     rec.incr(names::SIM_EPOCHS, 1);
+}
+
+pub fn trace<T: Tracer>(tracer: &T) {
+    let _g = tracer.span("sim.runz");
+    tracer.instant(names::SIM_RUN, 0, false);
 }

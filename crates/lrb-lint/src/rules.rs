@@ -66,6 +66,7 @@ pub const GOLDEN_KEY_SETS: &[(&str, &[&str])] = &[
         &[
             "ladder_hits",
             "ladder_misses",
+            "oversubscribed",
             "p50_solve_nanos",
             "p99_solve_nanos",
             "speedup_vs_1t",
@@ -149,6 +150,36 @@ pub const GOLDEN_KEY_SETS: &[(&str, &[&str])] = &[
             "migrations",
         ],
     ),
+    (
+        "TRACE_TOP_KEYS",
+        &[
+            "displayTimeUnit",
+            "otherData",
+            "schema_version",
+            "traceEvents",
+        ],
+    ),
+    (
+        "TRACE_META_KEYS",
+        &[
+            "attributed_pct",
+            "determinism_hash",
+            "scenario",
+            "seed",
+            "solver",
+            "span_count",
+            "threads",
+        ],
+    ),
+    (
+        "TRACE_COMPLETE_KEYS",
+        &["args", "dur", "name", "ph", "pid", "tid", "ts"],
+    ),
+    (
+        "TRACE_INSTANT_KEYS",
+        &["args", "name", "ph", "pid", "s", "tid", "ts"],
+    ),
+    ("TRACE_ARG_KEYS", &["seq", "v"]),
 ];
 
 /// One lint finding at an exact source position.
@@ -184,8 +215,18 @@ const LOAD_WORDS: &[&str] = &[
 /// Identifiers that contain a load word but are not load-typed values.
 const LOAD_WORD_EXEMPT: &[&str] = &["usize", "isize"];
 
-/// Recorder methods whose arguments must use `names::` consts.
-const RECORDER_METHODS: &[&str] = &["incr", "observe", "record_duration", "time"];
+/// Recorder and Tracer methods whose name arguments must use `names::`
+/// consts.
+const RECORDER_METHODS: &[&str] = &[
+    "incr",
+    "observe",
+    "record_duration",
+    "time",
+    "span",
+    "span_with",
+    "instant",
+    "enter",
+];
 
 fn is_loadish(name: &str) -> bool {
     if LOAD_WORD_EXEMPT.contains(&name) {

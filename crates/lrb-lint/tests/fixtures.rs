@@ -93,14 +93,15 @@ fn obs_names_fixture_flags_inline_literal_only() {
         include_str!("../fixtures/obs_names.rs"),
         "crates/lrb-sim/src/fixture.rs",
     );
-    // The inline "sim.epochz" literal trips; the names::SIM_EPOCHS call
-    // on the next line is the sanctioned form.
+    // The inline "sim.epochz" Recorder literal and the "sim.runz" Tracer
+    // span literal trip; the names:: calls are the sanctioned form.
     assert_eq!(
         triples(&findings),
-        vec![("obs-name-registry", 7, 14)],
+        vec![("obs-name-registry", 7, 14), ("obs-name-registry", 12, 26),],
         "{findings:#?}"
     );
     assert!(findings[0].message.contains("sim.epochz"));
+    assert!(findings[1].message.contains("sim.runz"));
 }
 
 #[test]
@@ -131,13 +132,14 @@ fn schema_fixture_reports_drift_and_missing_consts() {
     assert_eq!((drift[0].line, drift[0].col), (4, 11));
     assert!(drift[0].message.contains("missing [\"thread_curve\"]"));
     assert!(drift[0].message.contains("unexpected [\"surprise_key\"]"));
-    // The fixture defines only BENCH_TOP_KEYS, so the other six pinned
-    // consts are reported missing.
+    // The fixture defines only BENCH_TOP_KEYS, so the other eleven pinned
+    // consts (bench/chaos/online plus the five trace sets) are reported
+    // missing.
     let missing = findings
         .iter()
         .filter(|f| f.message.contains("is missing from report.rs"))
         .count();
-    assert_eq!(missing, 6, "{findings:#?}");
+    assert_eq!(missing, 11, "{findings:#?}");
 }
 
 #[test]

@@ -19,9 +19,14 @@
 pub mod names;
 mod recorder;
 mod snapshot;
+pub mod trace;
 
 pub use recorder::{AtomicRecorder, NoopRecorder, PhaseTimer, Recorder};
 pub use snapshot::{CounterSnapshot, HistogramSnapshot, PhaseSnapshot, Snapshot, SCHEMA_VERSION};
+pub use trace::{
+    NoopTracer, SpanEvent, SpanGuard, SpanKind, ThreadTracer, Trace, TraceCollector, Tracer,
+    TRACE_SCHEMA_VERSION,
+};
 
 #[cfg(test)]
 mod tests {
@@ -119,6 +124,76 @@ mod tests {
         let snap = r.snapshot();
         assert_eq!(snap.counter("n"), Some(4000));
         assert_eq!(snap.histogram("v").unwrap().count, 4000);
+    }
+
+    #[test]
+    fn histogram_handles_zero_valued_observations() {
+        let r = AtomicRecorder::new();
+        for _ in 0..10 {
+            r.observe("z", 0);
+        }
+        let h = r.snapshot().histogram("z").unwrap().clone();
+        assert_eq!(h.count, 10);
+        assert_eq!(h.sum, 0);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 0);
+        // All ten land in bucket 0, and every percentile resolves to 0.
+        assert_eq!(h.buckets, vec![10]);
+        assert_eq!((h.p50, h.p90, h.p99), (0, 0, 0));
+    }
+
+    #[test]
+    fn histogram_saturates_at_u64_max_instead_of_wrapping() {
+        let r = AtomicRecorder::new();
+        r.observe("big", u64::MAX);
+        r.observe("big", u64::MAX);
+        r.observe("big", 1);
+        let h = r.snapshot().histogram("big").unwrap().clone();
+        assert_eq!(h.count, 3);
+        // Two u64::MAX observations would wrap the sum to u64::MAX - 1 under
+        // fetch_add; the saturating accumulator pins it instead.
+        assert_eq!(h.sum, u64::MAX);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, u64::MAX);
+        // u64::MAX lands in the top bucket [2^63, u64::MAX], whose upper
+        // bound is what the bucket-resolution percentile reports.
+        assert_eq!(h.p99, u64::MAX);
+        // Merging saturated snapshots saturates too.
+        let agg = AtomicRecorder::new();
+        agg.merge(&r.snapshot());
+        agg.merge(&r.snapshot());
+        let merged = agg.snapshot().histogram("big").unwrap().clone();
+        assert_eq!(merged.count, 6);
+        assert_eq!(merged.sum, u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_merge_is_deterministic_across_thread_counts() {
+        // The same 64 observations split round-robin across k per-worker
+        // recorders and merged must produce one identical snapshot for
+        // every k — the aggregation the engine does per worker.
+        let values: Vec<u64> = (0..64u64).map(|i| i.wrapping_mul(37) % 1000).collect();
+        let mut snapshots = Vec::new();
+        for k in [1usize, 2, 4, 8] {
+            let workers: Vec<AtomicRecorder> = (0..k).map(|_| AtomicRecorder::new()).collect();
+            for (i, &v) in values.iter().enumerate() {
+                workers[i % k].observe("lat", v);
+                workers[i % k].incr("n", 1);
+            }
+            let agg = AtomicRecorder::new();
+            for w in &workers {
+                agg.merge(&w.snapshot());
+            }
+            snapshots.push(agg.snapshot());
+        }
+        for s in &snapshots[1..] {
+            assert_eq!(
+                s, &snapshots[0],
+                "merged snapshot differs across thread counts"
+            );
+        }
+        assert_eq!(snapshots[0].counter("n"), Some(64));
+        assert_eq!(snapshots[0].histogram("lat").unwrap().count, 64);
     }
 
     #[test]

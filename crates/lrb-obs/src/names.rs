@@ -45,6 +45,8 @@ pub const MPARTITION_CANDIDATES_EXAMINED: &str = "mpartition.candidates_examined
 pub const MPARTITION_CANDIDATES_SKIPPED: &str = "mpartition.candidates_skipped";
 /// Per-threshold PARTITION invocation wall time under M-PARTITION.
 pub const MPARTITION_PARTITION: &str = "mpartition.partition";
+/// Threshold-ladder build (profile rebuild) wall time under M-PARTITION.
+pub const MPARTITION_LADDER_BUILD: &str = "mpartition.ladder_build";
 
 /// Cost-PARTITION threshold search wall time.
 pub const COST_PARTITION_SEARCH: &str = "cost_partition.search";
@@ -91,6 +93,17 @@ pub const SIM_FORCED_MIGRATIONS: &str = "sim.forced_migrations";
 pub const SIM_POLICY_REJECTIONS: &str = "sim.policy_rejections";
 /// Fallback-chain invocations.
 pub const SIM_FALLBACKS: &str = "sim.fallbacks";
+/// Whole simulation run span (tracing).
+pub const SIM_RUN: &str = "sim.run";
+/// Per-lockstep-epoch wall-clock phase in the fleet simulators.
+pub const SIM_FLEET_EPOCH: &str = "sim.fleet_epoch";
+
+/// Instant event: a processor crashed this epoch (tracing).
+pub const FAULT_CRASH: &str = "fault.crash";
+/// Instant event: a processor recovered this epoch (tracing).
+pub const FAULT_RECOVERY: &str = "fault.recovery";
+/// Instant event: a site was evacuated off a crashed processor (tracing).
+pub const FAULT_EVACUATION: &str = "fault.evacuation";
 
 /// Whole parallel-run wall-clock phase in the harness.
 pub const HARNESS_RUN_PARALLEL: &str = "harness.run_parallel";
@@ -121,6 +134,18 @@ pub const ENGINE_LADDER_HITS: &str = "engine.ladder_hits";
 pub const ENGINE_LADDER_MISSES: &str = "engine.ladder_misses";
 /// Whole-batch wall-clock phase.
 pub const ENGINE_BATCH: &str = "engine.batch";
+/// Per-worker engine loop span (tracing; scheduling lane).
+pub const ENGINE_WORKER: &str = "engine.worker";
+/// Span around a worker claiming an item from its own stripe (scheduling lane).
+pub const ENGINE_CLAIM: &str = "engine.claim";
+/// Span around a worker hunting other stripes for work (scheduling lane).
+pub const ENGINE_QUEUE_WAIT: &str = "engine.queue_wait";
+/// Instant event marking a successful steal (scheduling lane).
+pub const ENGINE_STEAL_EVENT: &str = "engine.steal";
+/// Span around one item's solve in the engine worker loop.
+pub const ENGINE_SOLVE: &str = "engine.solve";
+/// Span around one StreamEngine lockstep epoch.
+pub const ENGINE_EPOCH: &str = "engine.epoch";
 
 /// Online events applied (arrivals + departures + rebalances).
 pub const ONLINE_EVENTS: &str = "online.events";

@@ -118,9 +118,23 @@ impl AtomicHistogram {
     fn observe(&self, value: u64) {
         self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(value, Ordering::Relaxed);
+        saturating_fetch_add(&self.sum, value);
         self.min.fetch_min(value, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
+    }
+}
+
+/// `fetch_add` that pins at `u64::MAX` instead of wrapping — `fetch_add`
+/// wraps silently even with overflow-checks on, and a histogram `sum` fed
+/// `u64::MAX`-scale observations must saturate, not lie.
+fn saturating_fetch_add(cell: &AtomicU64, value: u64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let next = current.saturating_add(value);
+        match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => current = seen,
+        }
     }
 }
 
@@ -251,7 +265,7 @@ impl AtomicRecorder {
                 hist.buckets[i].fetch_add(n, Ordering::Relaxed);
             }
             hist.count.fetch_add(h.count, Ordering::Relaxed);
-            hist.sum.fetch_add(h.sum, Ordering::Relaxed);
+            saturating_fetch_add(&hist.sum, h.sum);
             if h.count > 0 {
                 hist.min.fetch_min(h.min, Ordering::Relaxed);
                 hist.max.fetch_max(h.max, Ordering::Relaxed);

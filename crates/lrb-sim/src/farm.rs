@@ -11,7 +11,7 @@ use std::time::Instant;
 
 use lrb_core::model::{Budget, Instance, Job};
 use lrb_faults::{FaultPlan, FaultyView};
-use lrb_obs::{names, NoopRecorder, Recorder};
+use lrb_obs::{names, NoopRecorder, NoopTracer, Recorder, Tracer};
 
 use crate::metrics::{DecisionCounters, DegradationMetrics, EpochMetrics, SimReport};
 use crate::policy::Policy;
@@ -174,6 +174,21 @@ pub fn run_faulty_recorded<R: Recorder>(
     plan: &FaultPlan,
     rec: &R,
 ) -> SimReport {
+    run_faulty_traced(cfg, policy, plan, rec, &NoopTracer)
+}
+
+/// [`run_faulty_recorded`] with span tracing: crash/recovery transitions and
+/// per-site evacuations additionally land on the tracer as `fault.crash`,
+/// `fault.recovery`, and `fault.evacuation` instant events (payload = the
+/// processor or site index). [`NoopTracer`] compiles the tracing away, so
+/// the recorded path is unchanged.
+pub fn run_faulty_traced<R: Recorder, T: Tracer>(
+    cfg: &FarmConfig,
+    policy: &mut dyn Policy,
+    plan: &FaultPlan,
+    rec: &R,
+    tracer: &T,
+) -> SimReport {
     if plan.is_fault_free() {
         return run_recorded(cfg, policy, rec);
     }
@@ -194,11 +209,22 @@ pub fn run_faulty_recorded<R: Recorder>(
     let mut decisions = DecisionCounters::default();
     let mut degradation = DegradationMetrics::default();
     let mut regret_sum = 0.0f64;
+    let mut prev_down = vec![false; cfg.num_servers];
 
     for epoch in 0..cfg.epochs {
         let started = Instant::now();
         workload.step();
         let faults = plan.epoch(epoch);
+        if T::ENABLED {
+            let (crashed, recovered) = faults.transitions(&prev_down);
+            for p in crashed {
+                tracer.instant(names::FAULT_CRASH, p as u64, false);
+            }
+            for p in recovered {
+                tracer.instant(names::FAULT_RECOVERY, p as u64, false);
+            }
+            prev_down.clone_from(&faults.down);
+        }
         let loads: Vec<u64> = workload.loads().to_vec();
         let n = loads.len();
         let up: Vec<usize> = (0..cfg.num_servers).filter(|&p| !faults.down[p]).collect();
@@ -223,6 +249,7 @@ pub fn run_faulty_recorded<R: Recorder>(
                 forced_moves += 1;
                 forced_cost =
                     forced_cost.saturating_add(site_cost(loads[site], cfg.migration_cost));
+                tracer.instant(names::FAULT_EVACUATION, site as u64, false);
             }
         }
         let remaining_budget = match cfg.budget {
@@ -494,6 +521,43 @@ mod tests {
                 e.epoch
             );
         }
+    }
+
+    #[test]
+    fn traced_faulty_runs_emit_fault_events_and_match_recorded() {
+        let c = cfg();
+        let plan = lrb_faults::FaultPlan::generate(
+            &lrb_faults::FaultConfig::crashes(0.2, 0.5, 17),
+            c.num_servers,
+            c.epochs,
+        );
+        let plain = run_faulty(&c, &mut MPartitionPolicy, &plan);
+        let collector = lrb_obs::TraceCollector::new(1);
+        let traced = run_faulty_traced(
+            &c,
+            &mut MPartitionPolicy,
+            &plan,
+            collector.main(),
+            collector.main(),
+        );
+        assert_eq!(
+            plain.epochs, traced.epochs,
+            "tracing must not change results"
+        );
+        let trace = collector.finish("chaos", 17, 1, "m-partition");
+        assert!(trace.events_named(names::FAULT_CRASH).count() > 0);
+        assert_eq!(
+            trace.events_named(names::FAULT_EVACUATION).count() as u64,
+            traced.degradation.forced_migrations,
+            "one evacuation instant per forced migration"
+        );
+        // Every epoch lands as a sim.epoch span via the recorder bridge.
+        assert_eq!(trace.events_named(names::SIM_EPOCH).count(), c.epochs);
+        // Crash/recovery transitions never exceed the number of crashes.
+        assert!(
+            trace.events_named(names::FAULT_RECOVERY).count()
+                <= trace.events_named(names::FAULT_CRASH).count()
+        );
     }
 
     #[test]

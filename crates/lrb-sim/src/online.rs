@@ -343,6 +343,7 @@ pub fn run_farm_online_recorded<R: Recorder>(
             1,
         );
         rec.observe(names::SIM_EPOCH_NANOS, nanos);
+        rec.record_duration(names::SIM_EPOCH, nanos);
         rec.observe(names::ONLINE_BANKED, step.banked_after);
     }
 
@@ -519,6 +520,7 @@ pub fn run_farm_online_faulty_recorded<R: Recorder>(
             1,
         );
         rec.observe(names::SIM_EPOCH_NANOS, nanos);
+        rec.record_duration(names::SIM_EPOCH, nanos);
         rec.observe(names::ONLINE_BANKED, banked_after);
         if degraded {
             rec.incr(names::SIM_DEGRADED_EPOCHS, 1);
@@ -607,6 +609,8 @@ pub fn run_online_fleet_recorded<R: Recorder + Sync>(
     );
 
     for epoch in 0..max_epochs {
+        // lint: allow(no-nondeterminism, clock feeds lockstep-epoch telemetry only)
+        let lockstep_started = R::ENABLED.then(Instant::now);
         let mut active: Vec<usize> = Vec::new();
         let mut items: Vec<BatchItem> = Vec::new();
         let mut effectives: Vec<Budget> = Vec::new();
@@ -676,6 +680,12 @@ pub fn run_online_fleet_recorded<R: Recorder + Sync>(
             );
             rec.observe(names::SIM_EPOCH_NANOS, nanos);
             rec.observe(names::ONLINE_BANKED, state.rebalancer.bank().balance());
+        }
+        if let Some(started) = lockstep_started {
+            rec.record_duration(
+                names::SIM_FLEET_EPOCH,
+                (started.elapsed().as_nanos() as u64).max(1),
+            );
         }
     }
 

@@ -34,18 +34,54 @@ run cargo test -q --release --offline --test metamorphic
 run cargo test -q --release --offline --test online_equivalence
 
 # Bench smoke test: `lrb bench --smoke` must finish quickly and emit a
-# schema-versioned BENCH_3-style report with a thread-scaling curve.
+# schema-versioned BENCH_4-style report with a thread-scaling curve.
 echo "==> bench smoke test (lrb bench --smoke)"
 bench_tmp="$(mktemp)"
 trap 'rm -f "$bench_tmp"' EXIT
 cargo run -q --release --offline -p lrb-cli --bin lrb -- \
     bench --smoke --threads 1,2 --out "$bench_tmp" >/dev/null
-if ! grep -q '"schema_version": 3' "$bench_tmp"; then
-    echo "bench smoke test failed: schema_version 3 missing" >&2
+if ! grep -q '"schema_version": 4' "$bench_tmp"; then
+    echo "bench smoke test failed: schema_version 4 missing" >&2
     exit 1
 fi
 if ! grep -q '"thread_curve"' "$bench_tmp"; then
     echo "bench smoke test failed: no thread_curve in report" >&2
+    exit 1
+fi
+
+# Baseline comparator gate: a report compared against itself passes; the
+# same report with its throughput zeroed out must trip the regression
+# detector and exit nonzero.
+echo "==> bench baseline comparator (lrb bench --baseline)"
+bench_slow_tmp="$(mktemp)"
+trap 'rm -f "$bench_tmp" "$bench_slow_tmp"' EXIT
+cargo run -q --release --offline -p lrb-cli --bin lrb -- \
+    bench --baseline "$bench_tmp" --compare "$bench_tmp" >/dev/null
+sed 's/"throughput_per_sec": [0-9][0-9.eE+-]*/"throughput_per_sec": 0.001/' \
+    "$bench_tmp" > "$bench_slow_tmp"
+if cargo run -q --release --offline -p lrb-cli --bin lrb -- \
+    bench --baseline "$bench_tmp" --compare "$bench_slow_tmp" >/dev/null 2>&1; then
+    echo "bench comparator failed: injected regression was not detected" >&2
+    exit 1
+fi
+
+# Trace smoke test: `lrb trace` must emit a schema-versioned Chrome
+# trace-event timeline (Perfetto-loadable) with engine worker spans.
+echo "==> trace smoke test (lrb trace --scenario smoke_ladder --threads 4)"
+trace_tmp="$(mktemp)"
+trap 'rm -f "$bench_tmp" "$bench_slow_tmp" "$trace_tmp"' EXIT
+cargo run -q --release --offline -p lrb-cli --bin lrb -- \
+    trace --scenario smoke_ladder --threads 4 --seed 7 --out "$trace_tmp" >/dev/null
+if ! grep -q '"schema_version": 1' "$trace_tmp"; then
+    echo "trace smoke test failed: schema_version 1 missing" >&2
+    exit 1
+fi
+if ! grep -q '"traceEvents"' "$trace_tmp"; then
+    echo "trace smoke test failed: no traceEvents in export" >&2
+    exit 1
+fi
+if ! grep -q 'engine.worker' "$trace_tmp"; then
+    echo "trace smoke test failed: no engine.worker spans" >&2
     exit 1
 fi
 
@@ -64,7 +100,7 @@ fi
 # finishes in well under a second.
 echo "==> online smoke test (lrb online --servers 4 --epochs 10 --moves 3)"
 online_tmp="$(mktemp)"
-trap 'rm -f "$bench_tmp" "$online_tmp"' EXIT
+trap 'rm -f "$bench_tmp" "$bench_slow_tmp" "$trace_tmp" "$online_tmp"' EXIT
 cargo run -q --release --offline -p lrb-cli --bin lrb -- \
     online --servers 4 --epochs 10 --moves 3 --out "$online_tmp" >/dev/null
 if ! grep -q '"schema_version": 1' "$online_tmp"; then
@@ -86,6 +122,10 @@ run cargo run -q --release --offline -p lrb-lint --bin lrb-lint -- --root .
 # single-slot stripes, adversarial yields) across 8 seeds.
 run cargo run -q --release --offline -p lrb-lint --bin lrb-lint -- \
     --schedules --seeds 0..8 --threads 2,4
+
+# Zero-cost tracing gate: the NoopTracer-monomorphized hot loop must stay
+# within 2% of the untraced loop (the bench asserts and aborts otherwise).
+run cargo bench -q -p lrb-bench --bench trace_overhead --offline
 
 run cargo fmt --all --check
 
