@@ -557,6 +557,16 @@ USAGE:
              [--lifetime L] [--moves K | --budget B] [--seed S] [--out FILE]
              [--bank-accrual A] [--bank-cap C] [--bank-initial I]
   lrb replay TRACE.csv --servers M [--moves K]
+  lrb serve --data DIR [--addr HOST:PORT] [--digest] [--procs P] [--threads T]
+            [--snapshot-every N] [--queue-bound Q] [--tenant-pending Q]
+            [--batch-max B] [--max-tenants N] [--max-jobs N] [--seed S]
+            [--exhaust-rate R] [--degraded-work W]
+            [--bank-accrual A] [--bank-cap C] [--bank-initial I]
+  lrb loadgen --addr HOST:PORT [--tenants N] [--events E] [--workers W]
+              [--seed S] [--key-space K] [--retries R] [--inject-frame-errors]
+  lrb loadgen --drill --data DIR [--cycles C] [--kill-lo MS] [--kill-hi MS]
+              [--tenants N] [--events E] [--workers W] [--seed S]
+              [+ any serve config flag, forwarded to each incarnation]
 
 BENCH:
   drives the standard_ladder instance batches through the work-stealing
@@ -815,8 +825,11 @@ pub fn online_cmd(args: &Args) -> CmdResult {
 
 /// Dispatch a full command line (without the program name).
 pub fn dispatch(tokens: Vec<String>) -> CmdResult {
-    let args =
-        Args::parse_with_switches(tokens, &["verbose", "smoke"]).map_err(|e| e.to_string())?;
+    let args = Args::parse_with_switches(
+        tokens,
+        &["verbose", "smoke", "digest", "drill", "inject-frame-errors"],
+    )
+    .map_err(|e| e.to_string())?;
     let pos = args.positionals().to_vec();
     match pos.first().map(String::as_str) {
         Some("generate") => generate(&args),
@@ -837,6 +850,8 @@ pub fn dispatch(tokens: Vec<String>) -> CmdResult {
         Some("trace") => trace_cmd(&args),
         Some("chaos") => chaos_cmd(&args),
         Some("online") => online_cmd(&args),
+        Some("serve") => crate::serve_cmd::serve_cmd(&args),
+        Some("loadgen") => crate::serve_cmd::loadgen_cmd(&args),
         Some("replay") => {
             let path = pos.get(1).ok_or("replay needs a TRACE.csv argument")?;
             replay_cmd(&args, path)

@@ -12,4 +12,5 @@ pub mod commands;
 pub mod compare;
 pub mod online;
 pub mod report;
+pub mod serve_cmd;
 pub mod trace;

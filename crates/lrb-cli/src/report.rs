@@ -110,6 +110,33 @@ pub const ONLINE_POINT_KEYS: &[&str] = &[
     "migrations",
 ];
 
+/// Top-level keys of a serve snapshot document
+/// ([`lrb_serve::snapshot::SnapshotDoc`]). Re-pinned here from the consumer
+/// side: `tests` assert these mirror the producer's consts in
+/// `lrb_serve::snapshot`, so the daemon cannot change its on-disk schema
+/// without this file (and the lint goldens) noticing.
+pub const SERVE_TOP_KEYS: &[&str] = &["applied", "schema_version", "tenants"];
+/// Keys of one `tenants` entry ([`lrb_serve::snapshot::TenantSnap`]).
+pub const SERVE_TENANT_KEYS: &[&str] = &[
+    "arrivals",
+    "bank_accrual",
+    "bank_balance",
+    "bank_cap",
+    "bank_total_accrued",
+    "bank_total_spent",
+    "departures",
+    "events",
+    "full_rebuilds",
+    "incremental_updates",
+    "jobs",
+    "moves_performed",
+    "procs",
+    "rebalances",
+    "tenant",
+];
+/// Keys of one `jobs` entry ([`lrb_serve::snapshot::JobSnap`]).
+pub const SERVE_JOB_KEYS: &[&str] = &["cost", "key", "proc", "size"];
+
 /// Top-level keys of a trace export ([`crate::trace::chrome_json`]). The
 /// Chrome trace-event container plus the workspace's version stamp.
 pub const TRACE_TOP_KEYS: &[&str] = &[
@@ -194,6 +221,24 @@ pub fn validate_online(value: &Value) -> Result<(), String> {
     expect_exact_keys(value, "online", ONLINE_TOP_KEYS)?;
     expect_version(value, "online", ONLINE_SCHEMA_VERSION)?;
     expect_array_of(value, "online", "epoch_curve", ONLINE_POINT_KEYS)
+}
+
+/// Validate a serve snapshot document against the consumer-side pinned
+/// schema. The daemon validates with its own copy on every write and load;
+/// this validator is what `lrb` (and the check.sh smoke gate) run against
+/// snapshots found on disk.
+pub fn validate_serve(value: &Value) -> Result<(), String> {
+    expect_exact_keys(value, "serve", SERVE_TOP_KEYS)?;
+    expect_version(value, "serve", lrb_serve::snapshot::SERVE_SCHEMA_VERSION)?;
+    let Some(tenants) = value.get("tenants").and_then(Value::as_array) else {
+        return Err("serve: 'tenants' is not an array".to_string());
+    };
+    for (i, tenant) in tenants.iter().enumerate() {
+        let ctx = format!("serve.tenants[{i}]");
+        expect_exact_keys(tenant, &ctx, SERVE_TENANT_KEYS)?;
+        expect_array_of(tenant, &ctx, "jobs", SERVE_JOB_KEYS)?;
+    }
+    Ok(())
 }
 
 /// Validate a trace export against the pinned schema. Events are
@@ -332,5 +377,52 @@ mod tests {
         assert!(validate_trace(&trace_doc(&format!("[{args}]")))
             .unwrap_err()
             .contains("args"));
+    }
+
+    #[test]
+    fn serve_keys_mirror_the_daemon_producer() {
+        // The consumer-side pins must track the producer's consts exactly;
+        // a drift in either direction is a schema change that needs a
+        // version bump on both sides.
+        assert_eq!(SERVE_TOP_KEYS, lrb_serve::snapshot::SERVE_TOP_KEYS);
+        assert_eq!(SERVE_TENANT_KEYS, lrb_serve::snapshot::SERVE_TENANT_KEYS);
+        assert_eq!(SERVE_JOB_KEYS, lrb_serve::snapshot::SERVE_JOB_KEYS);
+    }
+
+    #[test]
+    fn serve_snapshots_validate_and_reject_drift() {
+        let mut state = lrb_serve::ServeState::new(lrb_serve::ServeConfig::default());
+        let events = [
+            lrb_serve::wal::LoggedEvent::Arrive {
+                tenant: 1,
+                key: 10,
+                size: 4,
+                cost: 1,
+                proc: 0,
+            },
+            lrb_serve::wal::LoggedEvent::Arrive {
+                tenant: 1,
+                key: 11,
+                size: 2,
+                cost: 1,
+                proc: 2,
+            },
+        ];
+        state.apply_events(&events);
+        let json = serde_json::to_string(&state.capture()).unwrap();
+        let doc: Value = serde_json::from_str(&json).unwrap();
+        validate_serve(&doc).unwrap();
+        let mut extra = doc.clone();
+        push_field(
+            &mut extra,
+            "smuggled",
+            Value::Number(serde_json::Number::U64(1)),
+        );
+        assert!(validate_serve(&extra)
+            .unwrap_err()
+            .contains("unknown field 'smuggled'"));
+        let short: Value =
+            serde_json::from_str(&json.replacen(r#""applied""#, r#""applied_typo""#, 1)).unwrap();
+        assert!(validate_serve(&short).unwrap_err().contains("applied"));
     }
 }

@@ -1,0 +1,163 @@
+//! End-to-end fault drills against the compiled `lrb` binary: SIGKILL
+//! kill/restart cycles with replay-equivalence checks, and overload runs
+//! that must answer Reject/Retry-After instead of hanging or panicking.
+
+use std::process::Command;
+
+use lrb_harness::loadgen::ServerProc;
+use lrb_harness::{Client, ClientConfig};
+use lrb_serve::wire::{BudgetSpec, RejectCode, Request, Response};
+
+fn lrb(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_lrb"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn tmp_dir(name: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("lrb-serve-drill-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir.to_string_lossy().into_owned()
+}
+
+/// Eight SIGKILL/restart cycles through the real binary. `--snapshot-every
+/// 8` makes snapshot writes frequent enough that kills land mid-epoch and
+/// mid-snapshot; the drill itself asserts no acked event is lost and that
+/// the final clean shutdown recovers bit-identically offline.
+#[test]
+fn eight_kill_restart_cycles_lose_no_acked_event() {
+    let data = tmp_dir("drill");
+    let (ok, stdout, stderr) = lrb(&[
+        "loadgen",
+        "--drill",
+        "--data",
+        &data,
+        "--cycles",
+        "8",
+        "--snapshot-every",
+        "8",
+        "--tenants",
+        "4",
+        "--events",
+        "30",
+        "--workers",
+        "3",
+        "--kill-lo",
+        "20",
+        "--kill-hi",
+        "180",
+        "--seed",
+        "3",
+    ]);
+    assert!(ok, "drill failed\nstdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("kills=7"), "{stdout}");
+    assert!(stdout.contains("lost=0"), "{stdout}");
+    assert!(stdout.contains("ghosts=0"), "{stdout}");
+    assert!(stdout.contains("replay_identical=true"), "{stdout}");
+
+    // The surviving data directory replays deterministically: two offline
+    // digest passes agree.
+    let (ok, first, stderr) = lrb(&["serve", "--data", &data, "--digest"]);
+    assert!(ok, "{stderr}");
+    let (ok, second, _) = lrb(&["serve", "--data", &data, "--digest"]);
+    assert!(ok);
+    assert_eq!(first, second);
+    assert!(first.contains("\"digests\""), "{first}");
+    std::fs::remove_dir_all(&data).ok();
+}
+
+/// Overload must surface as explicit Reject/Retry-After — the connection
+/// stays usable, later requests still succeed, and shutdown is clean.
+#[test]
+fn overload_answers_reject_retry_after_and_never_hangs() {
+    let data = tmp_dir("overload");
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_lrb"));
+    cmd.args([
+        "serve",
+        "--data",
+        &data,
+        "--addr",
+        "127.0.0.1:0",
+        "--max-jobs",
+        "3",
+        "--exhaust-rate",
+        "1.0",
+        "--degraded-work",
+        "0",
+        "--bank-initial",
+        "0",
+        "--bank-accrual",
+        "1",
+    ]);
+    let server = ServerProc::spawn(cmd).expect("server starts");
+    let addr = format!("127.0.0.1:{}", server.port);
+    let mut client = Client::new(&addr, ClientConfig::default());
+
+    // Fill the tenant to its job limit, then overflow it.
+    for key in 0..3 {
+        let resp = client
+            .call(&Request::Arrive {
+                tenant: 1,
+                key,
+                size: 4,
+                cost: 1,
+                proc: key % 2,
+            })
+            .expect("arrive within limits");
+        assert!(matches!(resp, Response::Ack { .. }), "{resp:?}");
+    }
+    let resp = client
+        .call(&Request::Arrive {
+            tenant: 1,
+            key: 99,
+            size: 4,
+            cost: 1,
+            proc: 0,
+        })
+        .expect("overflow arrive still answered");
+    match resp {
+        Response::Reject {
+            code, retry_after, ..
+        } => {
+            assert_eq!(code, RejectCode::JobsLimit);
+            assert!(retry_after >= 1, "jobs-limit rejects must be retryable");
+        }
+        other => panic!("expected Reject, got {other:?}"),
+    }
+
+    // Every epoch's solver budget is exhausted (--exhaust-rate 1.0) with
+    // zero degraded work: rebalances are refused with Retry-After, never
+    // hung or crashed.
+    let resp = client
+        .call(&Request::Rebalance {
+            tenant: 1,
+            budget: BudgetSpec::Moves(2),
+        })
+        .expect("overloaded rebalance still answered");
+    match resp {
+        Response::Reject {
+            code, retry_after, ..
+        } => {
+            assert_eq!(code, RejectCode::WorkExhausted);
+            assert!(retry_after >= 1, "work exhaustion is transient");
+        }
+        other => panic!("expected Reject, got {other:?}"),
+    }
+
+    // The server is still healthy after the rejections.
+    let resp = client.call(&Request::Query { tenant: 1 }).expect("query");
+    match resp {
+        Response::TenantState { jobs, .. } => assert_eq!(jobs, 3),
+        other => panic!("expected TenantState, got {other:?}"),
+    }
+    let resp = client.call(&Request::Shutdown).expect("shutdown acked");
+    assert!(matches!(resp, Response::Ack { .. }), "{resp:?}");
+    server.wait_clean().expect("clean exit after shutdown");
+    std::fs::remove_dir_all(&data).ok();
+}

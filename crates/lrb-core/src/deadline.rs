@@ -452,4 +452,50 @@ mod tests {
             assert!(inst.move_cost(r.outcome.assignment()) <= b, "b={b}");
         }
     }
+
+    #[test]
+    fn budget_exhausts_mid_tier_and_later_tiers_cancel_at_entry() {
+        // Find a work budget that the first tier *partially* consumes
+        // before cancelling — exhaustion strikes inside the tier, not at
+        // its first checkpoint. The shared WorkBudget then arrives at
+        // every later tier already spent, so each cancels immediately and
+        // the chain still answers (no-move at worst), never panicking.
+        let inst = piled();
+        let chain = FallbackChain::standard();
+        let mut hit_mid_tier = false;
+        for limit in 1..200u64 {
+            let work = WorkBudget::new(limit);
+            let r = chain.solve(&inst, Budget::Moves(3), &work);
+            // The chain is total regardless of where exhaustion lands.
+            assert!(Budget::Moves(3).allows(&inst, r.outcome.assignment()));
+            let Some(first) = r.failures.first() else {
+                continue; // first tier answered: budget never hit zero
+            };
+            let Error::Cancelled { consumed, .. } = first.error else {
+                panic!("tier failed for a non-cancellation reason: {first:?}");
+            };
+            // `consumed > limit` means the tier charged ticks past the
+            // line mid-solve (a checkpoint-at-entry failure reports
+            // exactly the prior consumption, which checkpoint() caps at
+            // the recorded value with no new charge).
+            if consumed > limit && limit > 1 {
+                hit_mid_tier = true;
+                // Every subsequent failure sees an exhausted budget.
+                for later in &r.failures[1..] {
+                    let Error::Cancelled {
+                        consumed: c,
+                        limit: l,
+                        ..
+                    } = later.error
+                    else {
+                        panic!("later tier failed oddly: {later:?}");
+                    };
+                    assert!(c >= l, "later tiers must cancel on arrival");
+                }
+                assert!(work.is_exhausted());
+                assert_eq!(work.remaining(), 0);
+            }
+        }
+        assert!(hit_mid_tier, "no budget exhausted inside a tier");
+    }
 }

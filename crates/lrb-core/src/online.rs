@@ -111,9 +111,38 @@ impl MoveBank {
         self.total_spent = self.total_spent.saturating_add(units);
     }
 
+    /// Rebuild a bank from persisted parts (crash recovery). The balance
+    /// is clamped to the cap, as `new` would have enforced over any
+    /// reachable history.
+    pub fn from_parts(
+        balance: u64,
+        accrual: u64,
+        cap: u64,
+        total_accrued: u64,
+        total_spent: u64,
+    ) -> Self {
+        MoveBank {
+            balance: balance.min(cap),
+            accrual,
+            cap,
+            total_accrued,
+            total_spent,
+        }
+    }
+
     /// Currently banked units.
     pub fn balance(&self) -> u64 {
         self.balance
+    }
+
+    /// Units credited per rebalance event.
+    pub fn accrual(&self) -> u64 {
+        self.accrual
+    }
+
+    /// Ceiling on the banked balance.
+    pub fn cap(&self) -> u64 {
+        self.cap
     }
 
     /// Units credited over the bank's lifetime (excluding the initial grant).
@@ -212,6 +241,27 @@ impl OnlineRebalancer {
             scratch: Scratch::new(),
             stats: OnlineStats::default(),
         })
+    }
+
+    /// Rebuild a rebalancer from persisted state (crash recovery): the
+    /// live jobs with their placements, plus the bank and counters as
+    /// snapshotted. Equivalent to arriving every job in order and then
+    /// overwriting the audit state — the sorted-key index, loads, and
+    /// size multiset are reconstructed exactly, and the threshold-ladder
+    /// scratch starts cold (a pure cache, so answers are unaffected).
+    pub fn restore(
+        num_procs: usize,
+        jobs: &[(JobKey, Job, ProcId)],
+        bank: MoveBank,
+        stats: OnlineStats,
+    ) -> Result<Self> {
+        let mut r = Self::new(num_procs, BankConfig::default())?;
+        for &(key, job, proc) in jobs {
+            r.arrive(key, job, proc)?;
+        }
+        r.bank = bank;
+        r.stats = stats;
+        Ok(r)
     }
 
     /// Apply one event; rebalances return their step, other events `None`.
@@ -697,6 +747,57 @@ mod tests {
             .is_some());
         assert!(r.apply(Event::Depart { key: 0 }).unwrap().is_none());
         assert_eq!(r.stats().events, 3);
+    }
+
+    #[test]
+    fn restore_round_trips_live_state_bank_and_stats() {
+        let cfg = BankConfig {
+            accrual: 2,
+            cap: 5,
+            initial: 1,
+        };
+        let mut live = OnlineRebalancer::new(3, cfg).unwrap();
+        for (key, size, proc) in [(4u64, 7u64, 0), (1, 3, 1), (9, 5, 0), (2, 2, 2)] {
+            live.arrive(key, Job::with_cost(size, size / 2), proc)
+                .unwrap();
+        }
+        live.rebalance(Budget::Moves(2)).unwrap();
+        live.depart(1).unwrap();
+
+        let persisted: Vec<(JobKey, Job, ProcId)> = live
+            .keys()
+            .iter()
+            .map(|&k| (k, *live.job(k).unwrap(), live.proc_of(k).unwrap()))
+            .collect();
+        let bank = live.bank().clone();
+        let restored =
+            OnlineRebalancer::restore(3, &persisted, bank.clone(), *live.stats()).unwrap();
+
+        assert_eq!(restored.instance(), live.instance());
+        assert_eq!(restored.loads(), live.loads());
+        assert_eq!(restored.keys(), live.keys());
+        assert_eq!(restored.bank(), &bank);
+        assert_eq!(restored.stats(), live.stats());
+
+        // The restored rebalancer answers future events exactly like the
+        // survivor: same rebalance outcome, same bank trajectory.
+        let mut a = live;
+        let mut b = restored;
+        let sa = a.rebalance(Budget::Moves(3)).unwrap();
+        let sb = b.rebalance(Budget::Moves(3)).unwrap();
+        assert_eq!(sa.outcome, sb.outcome);
+        assert_eq!(sa.effective, sb.effective);
+        assert_eq!(a.bank(), b.bank());
+    }
+
+    #[test]
+    fn from_parts_clamps_balance_to_cap() {
+        let bank = MoveBank::from_parts(99, 1, 8, 40, 33);
+        assert_eq!(bank.balance(), 8);
+        assert_eq!(bank.accrual(), 1);
+        assert_eq!(bank.cap(), 8);
+        assert_eq!(bank.total_accrued(), 40);
+        assert_eq!(bank.total_spent(), 33);
     }
 
     #[test]

@@ -8,15 +8,22 @@
 //!   experiment uses;
 //! * [`runner`] — a crossbeam-scoped parallel sweep runner with
 //!   deterministic per-cell seeding;
-//! * [`scenarios`] — the named fault-scenario table for chaos sweeps.
+//! * [`scenarios`] — the named fault-scenario table for chaos sweeps;
+//! * [`loadgen`] — a retrying/backoff client, a concurrent tenant load
+//!   generator, and the SIGKILL chaos drill for the `lrb-serve` daemon.
 
 pub mod bench;
+pub mod loadgen;
 pub mod runner;
 pub mod scenarios;
 pub mod stats;
 pub mod table;
 
 pub use bench::BenchBatch;
+pub use loadgen::{
+    run_chaos_drill, run_loadgen, Client, ClientConfig, DrillConfig, DrillReport, LoadGenConfig,
+    LoadGenReport, ServerProc,
+};
 pub use runner::{default_threads, run_parallel, seed_for};
 pub use scenarios::{crash_sweep, standard_ladder, FaultScenario};
 pub use stats::{geo_mean, Summary};

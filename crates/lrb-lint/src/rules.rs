@@ -18,8 +18,8 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     (
         "no-panic-core",
-        "non-test lrb-core code must not unwrap/expect/panic; hot paths return Error or \
-         carry a reviewed allow",
+        "non-test lrb-core and lrb-serve code must not unwrap/expect/panic; hot paths and \
+         the daemon return Error or carry a reviewed allow",
     ),
     (
         "checked-arith",
@@ -180,6 +180,28 @@ pub const GOLDEN_KEY_SETS: &[(&str, &[&str])] = &[
         &["args", "name", "ph", "pid", "s", "tid", "ts"],
     ),
     ("TRACE_ARG_KEYS", &["seq", "v"]),
+    ("SERVE_TOP_KEYS", &["applied", "schema_version", "tenants"]),
+    (
+        "SERVE_TENANT_KEYS",
+        &[
+            "arrivals",
+            "bank_accrual",
+            "bank_balance",
+            "bank_cap",
+            "bank_total_accrued",
+            "bank_total_spent",
+            "departures",
+            "events",
+            "full_rebuilds",
+            "incremental_updates",
+            "jobs",
+            "moves_performed",
+            "procs",
+            "rebalances",
+            "tenant",
+        ],
+    ),
+    ("SERVE_JOB_KEYS", &["cost", "key", "proc", "size"]),
 ];
 
 /// One lint finding at an exact source position.
@@ -441,10 +463,13 @@ impl Scope {
         let p = path.replace('\\', "/");
         let in_core = p.contains("crates/lrb-core/src/");
         let in_engine = p.contains("crates/lrb-engine/src/");
+        let in_serve = p.contains("crates/lrb-serve/src/");
         let in_crate_src = p.contains("crates/") && p.contains("/src/");
         Scope {
             nondeterminism: in_core || in_engine,
-            panic_core: in_core,
+            // The daemon must degrade via Reject/Error responses, never
+            // abort: a panic in lrb-serve is an availability bug.
+            panic_core: in_core || in_serve,
             checked_arith: in_core && (p.ends_with("/model.rs") || p.ends_with("/bounds.rs")),
             obs_names: in_crate_src
                 && !p.contains("crates/lrb-obs/")

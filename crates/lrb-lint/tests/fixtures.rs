@@ -64,6 +64,34 @@ fn panic_fixture_trips_outside_tests_only() {
 }
 
 #[test]
+fn panic_rule_covers_the_serve_daemon() {
+    // The same fixture trips under a virtual lrb-serve path (the daemon
+    // must never abort) and stays silent in crates outside the rule's
+    // scope.
+    let findings = lint(
+        include_str!("../fixtures/panic.rs"),
+        "crates/lrb-serve/src/fixture.rs",
+    );
+    assert_eq!(
+        triples(&findings),
+        vec![
+            ("no-panic-core", 5, 17),
+            ("no-panic-core", 9, 16),
+            ("no-panic-core", 13, 5),
+        ],
+        "{findings:#?}"
+    );
+    let findings = lint(
+        include_str!("../fixtures/panic.rs"),
+        "crates/lrb-harness/src/fixture.rs",
+    );
+    assert!(
+        !findings.iter().any(|f| f.rule == "no-panic-core"),
+        "{findings:#?}"
+    );
+}
+
+#[test]
 fn checked_arith_fixture_trips_once() {
     let findings = lint(
         include_str!("../fixtures/checked_arith.rs"),
@@ -132,14 +160,14 @@ fn schema_fixture_reports_drift_and_missing_consts() {
     assert_eq!((drift[0].line, drift[0].col), (4, 11));
     assert!(drift[0].message.contains("missing [\"thread_curve\"]"));
     assert!(drift[0].message.contains("unexpected [\"surprise_key\"]"));
-    // The fixture defines only BENCH_TOP_KEYS, so the other eleven pinned
-    // consts (bench/chaos/online plus the five trace sets) are reported
-    // missing.
+    // The fixture defines only BENCH_TOP_KEYS, so the other fourteen
+    // pinned consts (bench/chaos/online, the five trace sets, and the
+    // three serve snapshot sets) are reported missing.
     let missing = findings
         .iter()
         .filter(|f| f.message.contains("is missing from report.rs"))
         .count();
-    assert_eq!(missing, 11, "{findings:#?}");
+    assert_eq!(missing, 14, "{findings:#?}");
 }
 
 #[test]

@@ -165,3 +165,26 @@ pub const ONLINE_MOVES: &str = "online.moves";
 pub const ONLINE_BANKED: &str = "online.banked_balance";
 /// Per-event apply wall time in nanoseconds (histogram).
 pub const ONLINE_EVENT_NANOS: &str = "online.event_nanos";
+
+/// Events admitted, logged, and applied by the serve daemon.
+pub const SERVE_EVENTS: &str = "serve.events";
+/// Admission rejections issued by the serve daemon.
+pub const SERVE_REJECTS: &str = "serve.rejects";
+/// WAL batches appended and flushed.
+pub const SERVE_WAL_APPENDS: &str = "serve.wal_appends";
+/// Snapshots written by the serve daemon.
+pub const SERVE_SNAPSHOTS: &str = "serve.snapshots";
+/// Crash recoveries performed at daemon startup.
+pub const SERVE_RECOVERIES: &str = "serve.recoveries";
+/// Events replayed from the WAL during recovery.
+pub const SERVE_REPLAYED: &str = "serve.replayed";
+/// Batch epochs executed by the serve state thread.
+pub const SERVE_EPOCHS: &str = "serve.epochs";
+/// Malformed, truncated, or oversized frames received.
+pub const SERVE_FRAME_ERRORS: &str = "serve.frame_errors";
+/// Client connections accepted.
+pub const SERVE_CONNECTIONS: &str = "serve.connections";
+/// Rebalances that degraded below their first solver tier.
+pub const SERVE_DEGRADED: &str = "serve.degraded";
+/// State-thread batch phase: admit + apply + log + reply.
+pub const SERVE_BATCH: &str = "serve.batch";

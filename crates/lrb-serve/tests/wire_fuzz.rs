@@ -1,0 +1,138 @@
+#![recursion_limit = "1024"]
+//! Fuzz-style property tests for the wire codec: arbitrary, truncated,
+//! bit-flipped, and oversized byte soup must always come back as a clean
+//! typed error or a valid value — never a panic, never an allocation
+//! driven by attacker-controlled lengths.
+
+use std::io::Cursor;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use lrb_serve::wal::{decode_event, encode_event, LoggedEvent};
+use lrb_serve::wire::{
+    decode_request, decode_response, encode_request, frame_request, read_frame, BudgetSpec,
+    Request, MAX_FRAME,
+};
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        0u8..7,
+        0u64..=u64::MAX,
+        0u64..=u64::MAX,
+        0u64..=u64::MAX,
+        0u64..=u64::MAX,
+    )
+        .prop_map(|(kind, a, b, c, d)| match kind {
+            0 => Request::Arrive {
+                tenant: a,
+                key: b,
+                size: c,
+                cost: d,
+                proc: d % 7,
+            },
+            1 => Request::Depart { tenant: a, key: b },
+            2 => Request::Rebalance {
+                tenant: a,
+                budget: if b % 2 == 0 {
+                    BudgetSpec::Moves(c)
+                } else {
+                    BudgetSpec::Cost(c)
+                },
+            },
+            3 => Request::Query { tenant: a },
+            4 => Request::Lookup { tenant: a, key: b },
+            5 => Request::Stats,
+            _ => Request::Shutdown,
+        })
+}
+
+// Random bytes never panic any decoder.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn random_bytes_decode_cleanly(bytes in vec(0u8..=255u8, 0..128)) {
+        let _ = decode_request(&bytes);
+        let _ = decode_response(&bytes);
+        let _ = decode_event(&bytes);
+    }
+}
+
+// Every truncation of a valid encoding fails cleanly (no panic, no
+// partial value), and the full encoding round-trips.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn truncations_fail_cleanly(req in arb_request()) {
+        let full = encode_request(&req);
+        prop_assert_eq!(decode_request(&full).unwrap(), req);
+        for cut in 0..full.len() {
+            prop_assert!(decode_request(&full[..cut]).is_err(), "cut {}", cut);
+        }
+    }
+}
+
+// Bit flips either fail cleanly or decode to *some* valid request —
+// never a panic.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn bit_flips_never_panic((req, byte, bit) in (arb_request(), 0usize..64, 0u8..8)) {
+        let mut enc = encode_request(&req);
+        let idx = byte % enc.len();
+        enc[idx] ^= 1 << bit;
+        let _ = decode_request(&enc);
+    }
+}
+
+// Frames with attacker-declared lengths beyond the cap are rejected
+// before any allocation; truncated frames report clean I/O errors.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn framing_is_total((declared, body) in (0u64..=u32::MAX as u64, vec(0u8..=255u8, 0..64))) {
+        let mut framed = (declared as u32).to_be_bytes().to_vec();
+        framed.extend_from_slice(&body);
+        let mut cursor = Cursor::new(framed);
+        match read_frame(&mut cursor) {
+            Ok(frame) => prop_assert!(frame.len() <= MAX_FRAME),
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+}
+
+// A valid framed request survives the full write→read→decode path.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn framed_round_trip(req in arb_request()) {
+        let framed = frame_request(&req);
+        let mut cursor = Cursor::new(framed);
+        let payload = read_frame(&mut cursor).unwrap();
+        prop_assert_eq!(decode_request(&payload).unwrap(), req);
+    }
+}
+
+// WAL event encodings round-trip and all truncations fail cleanly.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn wal_event_truncations_fail_cleanly(
+        (tenant, key, size, kind) in (0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX, 0u8..3)
+    ) {
+        let ev = match kind {
+            0 => LoggedEvent::Arrive { tenant, key, size, cost: 1, proc: size % 5 },
+            1 => LoggedEvent::Depart { tenant, key },
+            _ => LoggedEvent::Rebalance {
+                tenant,
+                budget: BudgetSpec::Moves(size),
+                work_limit: key,
+            },
+        };
+        let full = encode_event(&ev);
+        prop_assert_eq!(decode_event(&full).unwrap(), ev);
+        for cut in 0..full.len() {
+            prop_assert!(decode_event(&full[..cut]).is_err(), "cut {}", cut);
+        }
+    }
+}

@@ -780,6 +780,72 @@ mod tests {
     }
 
     #[test]
+    fn bank_at_cap_with_forced_evacuation_same_epoch() {
+        // The exhaustion boundary: a bank sitting exactly at its cap when
+        // a crash forces evacuations in the same epoch as a rebalance.
+        // Billing must drain below cap, the epoch's accrual must clamp at
+        // the cap (forfeiting the excess, never overflowing), and the
+        // rebalance's effective budget must equal the post-evacuation,
+        // post-accrual balance.
+        let bank = BankConfig {
+            initial: 3,
+            cap: 3,
+            accrual: 2,
+        };
+        let mut farm = OnlineRebalancer::new(3, bank).expect("3 servers");
+        for (k, (size, proc)) in [(9u64, 0), (7, 0), (5, 1), (4, 1), (3, 2)]
+            .into_iter()
+            .enumerate()
+        {
+            farm.arrive(k as u64, Job::unit(size), proc).unwrap();
+        }
+        assert_eq!(farm.bank().balance(), farm.bank().cap());
+
+        // "Crash" server 2: evacuate its one job to the least-loaded
+        // survivor, billing one move unit — exactly the faulty-run path.
+        let stranded: Vec<JobKey> = farm
+            .keys()
+            .iter()
+            .copied()
+            .filter(|&k| farm.proc_of(k) == Some(2))
+            .collect();
+        assert_eq!(stranded.len(), 1);
+        for key in &stranded {
+            let to = (0..2).min_by_key(|&p| farm.loads()[p]).unwrap();
+            farm.force_move(*key, to).unwrap();
+            farm.bill(1);
+        }
+        assert_eq!(farm.bank().balance(), 2, "cap 3 minus one billed move");
+
+        // Same epoch: rebalance. Accrual of 2 would reach 4 but clamps at
+        // the cap; the effective budget is the clamped balance, not the
+        // requested amount.
+        let effective = farm.begin_rebalance(Budget::Moves(10));
+        assert_eq!(farm.bank().balance(), farm.bank().cap());
+        assert_eq!(effective, Budget::Moves(3));
+        // Accrual of 2 from balance 2 would pass the cap of 3: only the
+        // 1 credited unit counts; the forfeited remainder is gone.
+        assert_eq!(farm.bank().total_accrued(), 1);
+
+        // A full faulty run under heavy crash churn keeps the invariant
+        // balance ≤ cap at every epoch, starting exactly at the cap.
+        let mut c = cfg();
+        c.bank = bank;
+        c.epochs = 40;
+        let fc = lrb_faults::FaultConfig {
+            crash_rate: 0.35,
+            recovery_rate: 0.5,
+            ..lrb_faults::FaultConfig::none(9)
+        };
+        let plan = FaultPlan::generate(&fc, c.num_procs, c.epochs);
+        let r = run_farm_online_faulty(&c, &plan);
+        assert_eq!(r.banked_per_epoch.len(), c.epochs);
+        for (e, &b) in r.banked_per_epoch.iter().enumerate() {
+            assert!(b <= bank.cap, "epoch {e}: banked {b} above cap");
+        }
+    }
+
+    #[test]
     fn warm_ladder_makes_most_rebalances_incremental() {
         let mut c = cfg();
         c.budget = Budget::Moves(4);

@@ -112,6 +112,43 @@ if ! grep -q '"epoch_curve"' "$online_tmp"; then
     exit 1
 fi
 
+# Serve smoke gate (PR-7): the daemon must survive a SIGKILL mid-load and
+# recover bit-identically. Start it, drive ~100 events through the retrying
+# loadgen client, SIGKILL, restart, and assert replay equivalence — the
+# drill exits nonzero on any lost acked event, resurrected departed key, or
+# live-vs-recovered digest divergence. Two cycles: cycle 1 is killed,
+# cycle 2 verifies the survivors, shuts down cleanly, and compares the live
+# digests against an offline recovery of the same data directory.
+echo "==> serve smoke gate (lrb loadgen --drill, SIGKILL + replay equivalence)"
+serve_tmp="$(mktemp -d)"
+trap 'rm -f "$bench_tmp" "$bench_slow_tmp" "$trace_tmp" "$online_tmp"; rm -rf "$serve_tmp"' EXIT
+drill_out="$(cargo run -q --release --offline -p lrb-cli --bin lrb -- \
+    loadgen --drill --data "$serve_tmp" --cycles 2 --tenants 5 --events 20 \
+    --workers 2 --snapshot-every 16 --kill-lo 40 --kill-hi 150 --seed 11)"
+echo "    $drill_out"
+if ! grep -q 'replay_identical=true' <<<"$drill_out"; then
+    echo "serve smoke gate failed: restart replay diverged from live state" >&2
+    exit 1
+fi
+if ! grep -q 'lost=0 ghosts=0' <<<"$drill_out"; then
+    echo "serve smoke gate failed: acked events lost or resurrected" >&2
+    exit 1
+fi
+# The snapshot left on disk must carry the pinned serve schema, and offline
+# digest recovery must be deterministic.
+if ! grep -q '"schema_version": 1' "$serve_tmp/snapshot.json"; then
+    echo "serve smoke gate failed: snapshot missing schema_version 1" >&2
+    exit 1
+fi
+digest_a="$(cargo run -q --release --offline -p lrb-cli --bin lrb -- \
+    serve --data "$serve_tmp" --digest)"
+digest_b="$(cargo run -q --release --offline -p lrb-cli --bin lrb -- \
+    serve --data "$serve_tmp" --digest)"
+if [ "$digest_a" != "$digest_b" ] || ! grep -q '"digests"' <<<"$digest_a"; then
+    echo "serve smoke gate failed: offline digest recovery is not deterministic" >&2
+    exit 1
+fi
+
 # Static invariant gate (PR-6): lrb-lint must find zero violations of the
 # workspace rules (no-nondeterminism, no-panic-core, checked-arith,
 # obs-name-registry, unsafe-audit, schema-key-pinning).
