@@ -501,6 +501,125 @@ pub fn chaos_cmd(args: &Args) -> CmdResult {
     Ok(out)
 }
 
+/// `lrb hetero [--n N] [--m M] [--moves K] [--seed S] [--speeds 1,2,3,..]
+/// [--instances I] [--theta T] [--trials T] [--pi-seeds S]
+/// [--crash-rate R] [--recovery-rate R] [--smoke] [--out FILE]` — run the
+/// heterogeneous-machine evaluation (speed-scaled solvers against the
+/// scaled lower bound, the effective-size stochastic policy, and the
+/// path-independence crash drill) and emit the schema-versioned
+/// HETERO_1.json report.
+pub fn hetero_cmd(args: &Args) -> CmdResult {
+    let smoke = args.has("smoke");
+    let (d_jobs, d_instances, d_trials, d_pi) = if smoke {
+        (16, 4, 8, 16)
+    } else {
+        (48, 16, 32, 64)
+    };
+    let jobs: usize = args.get_or("n", d_jobs).map_err(|e| e.to_string())?;
+    let procs: usize = args.get_or("m", 5).map_err(|e| e.to_string())?;
+    let moves: usize = args.get_or("moves", 6).map_err(|e| e.to_string())?;
+    let seed: u64 = args.get_or("seed", 0).map_err(|e| e.to_string())?;
+    let instances: usize = args
+        .get_or("instances", d_instances)
+        .map_err(|e| e.to_string())?;
+    let theta_pct: u64 = args.get_or("theta", 60).map_err(|e| e.to_string())?;
+    let trials: usize = args.get_or("trials", d_trials).map_err(|e| e.to_string())?;
+    let pi_seeds: u64 = args.get_or("pi-seeds", d_pi).map_err(|e| e.to_string())?;
+    let crash_rate: f64 = args.get_or("crash-rate", 0.25).map_err(|e| e.to_string())?;
+    let recovery_rate: f64 = args
+        .get_or("recovery-rate", 0.35)
+        .map_err(|e| e.to_string())?;
+    let speeds: Vec<u64> = match args.get("speeds") {
+        Some(s) => s
+            .split(',')
+            .map(|t| t.trim().parse::<u64>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| format!("--speeds {s}: expected comma-separated integers"))?,
+        None => crate::hetero::HeteroRunConfig::default_speeds(procs),
+    };
+    let out_path = args.get("out").map(str::to_string);
+    let metrics_path = args.get("metrics").map(str::to_string);
+    let verbose = args.has("verbose");
+    args.reject_unknown().map_err(|e| e.to_string())?;
+    if jobs == 0 || procs == 0 {
+        return Err("--n and --m must be positive".to_string());
+    }
+    for (name, rate) in [("crash-rate", crash_rate), ("recovery-rate", recovery_rate)] {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("--{name} {rate}: expected a probability in [0, 1]"));
+        }
+    }
+
+    let rec = AtomicRecorder::new();
+    let cfg = crate::hetero::HeteroRunConfig {
+        jobs,
+        procs,
+        moves,
+        speeds,
+        instances,
+        theta_pct,
+        trials,
+        pi_seeds,
+        crash_rate,
+        recovery_rate,
+        seed,
+    };
+    let report = crate::hetero::run(&cfg, &rec)?;
+
+    let mut table = Table::new(
+        format!(
+            "hetero: {jobs} jobs / {procs} procs (speeds {:?}) / {moves} moves / {instances} instances",
+            cfg.speeds
+        ),
+        &["solver", "mean ratio", "max ratio", "moves", "violations"],
+    );
+    for p in &report.solvers {
+        table.row(&[
+            p.solver.clone(),
+            format!(
+                "{:.3}",
+                p.total_scaled_makespan as f64 / p.total_lower_bound.max(1) as f64
+            ),
+            format!("{:.3}", p.max_ratio_x1000 as f64 / 1000.0),
+            p.total_moves.to_string(),
+            p.budget_violations.to_string(),
+        ]);
+    }
+    let mut out = table.render();
+    let s = &report.stochastic;
+    out.push_str(&format!(
+        "\nstochastic: theta={}% hedged {} vs mean-based {} over {} trials ({} improved, {} regressed)",
+        s.theta_pct, s.total_effective, s.total_mean_based, s.trials, s.improved_trials,
+        s.regressed_trials
+    ));
+    let p = &report.path_independence;
+    out.push_str(&format!(
+        "\npath independence: {}/{} exact over {} seeds (max hamming {}, max ratio {:.3})",
+        p.exact_matches,
+        p.seeds,
+        p.seeds,
+        p.max_hamming,
+        p.max_ratio_x1000 as f64 / 1000.0
+    ));
+
+    let json = crate::report::to_validated_json(&report, crate::report::validate_hetero)?;
+    out.push('\n');
+    out.push_str(&json);
+    if let Some(path) = &out_path {
+        std::fs::write(path, &json).map_err(|e| format!("io error: {e}"))?;
+        out.push_str(&format!("\nhetero report written to {path}"));
+    }
+    if verbose {
+        out.push_str("\n\n");
+        out.push_str(&rec.snapshot().render_table());
+    }
+    if let Some(p) = &metrics_path {
+        out.push('\n');
+        out.push_str(&write_metrics(&rec, p)?);
+    }
+    Ok(out)
+}
+
 /// `lrb replay TRACE.csv --servers M [--moves K]` — replay a recorded load
 /// trace (one CSV row per epoch, one column per site) through every policy.
 pub fn replay_cmd(args: &Args, path: &str) -> CmdResult {
@@ -549,6 +668,9 @@ USAGE:
   lrb chaos [--sites N] [--servers M] [--epochs E] [--moves K] [--seed S] [--out FILE]
             [--crash-rate R] [--recovery-rate R] [--perturb-pct P]
             [--stale-rate R] [--drop-rate R] [--exhaust-rate R]
+  lrb hetero [--n N] [--m M] [--moves K] [--seed S] [--speeds 1,2,3,..]
+             [--instances I] [--theta T] [--trials T] [--pi-seeds S]
+             [--crash-rate R] [--recovery-rate R] [--smoke] [--out FILE]
   lrb bench [--threads 1,2,4,8] [--seed S] [--repeat R] [--smoke] [--out FILE]
             [--baseline FILE [--threshold T] [--compare FILE]]
   lrb trace [--scenario smoke_ladder|standard_ladder|chaos|online] [--threads T]
@@ -585,6 +707,15 @@ TRACE:
   Chrome trace-event JSON timeline (TRACE_1.json) loadable in Perfetto;
   prints per-span totals, the attributed wall-time fraction, and the
   thread-count-invariant determinism hash
+
+HETERO:
+  runs the heterogeneous-machine (per-processor speed) evaluation: the
+  speed-scaled GREEDY and M-PARTITION over seeded instance batches through
+  the batch engine, scored against the scaled lower bound; the Gupta-style
+  effective-size policy on stochastic job sizes; and the path-independence
+  crash drill (epoch-by-epoch evacuation vs a from-scratch solve on the
+  final survivor set). Prints a summary plus the schema-versioned JSON
+  report (HETERO_1.json); --smoke cuts every section down to seconds
 
 CHAOS:
   sweeps the crash rate (0x, 0.5x, 1x, 2x, 4x of --crash-rate) through the
@@ -849,6 +980,7 @@ pub fn dispatch(tokens: Vec<String>) -> CmdResult {
         Some("bench") => bench_cmd(&args),
         Some("trace") => trace_cmd(&args),
         Some("chaos") => chaos_cmd(&args),
+        Some("hetero") => hetero_cmd(&args),
         Some("online") => online_cmd(&args),
         Some("serve") => crate::serve_cmd::serve_cmd(&args),
         Some("loadgen") => crate::serve_cmd::loadgen_cmd(&args),

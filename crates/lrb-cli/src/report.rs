@@ -162,6 +162,50 @@ pub const TRACE_INSTANT_KEYS: &[&str] = &["args", "name", "ph", "pid", "s", "tid
 /// Keys of a trace event's `args` payload.
 pub const TRACE_ARG_KEYS: &[&str] = &["seq", "v"];
 
+/// Top-level keys of a hetero report ([`crate::hetero::HeteroReport`]).
+pub const HETERO_TOP_KEYS: &[&str] = &[
+    "jobs",
+    "moves",
+    "path_independence",
+    "procs",
+    "schema_version",
+    "seed",
+    "solvers",
+    "speeds",
+    "stochastic",
+];
+/// Keys of one solver row ([`crate::hetero::HeteroSolverPoint`]).
+pub const HETERO_SOLVER_KEYS: &[&str] = &[
+    "budget_violations",
+    "instances",
+    "max_ratio_x1000",
+    "solver",
+    "total_lower_bound",
+    "total_moves",
+    "total_scaled_makespan",
+];
+/// Keys of the stochastic section ([`crate::hetero::HeteroStochasticPoint`]).
+pub const HETERO_STOCHASTIC_KEYS: &[&str] = &[
+    "improved_trials",
+    "moves_effective",
+    "moves_mean_based",
+    "regressed_trials",
+    "theta_pct",
+    "total_effective",
+    "total_mean_based",
+    "trials",
+];
+/// Keys of the path-independence section
+/// ([`crate::hetero::HeteroPathPoint`]).
+pub const HETERO_PATH_KEYS: &[&str] = &[
+    "exact_matches",
+    "fault_free",
+    "max_hamming",
+    "max_ratio_x1000",
+    "seeds",
+    "total_hamming",
+];
+
 /// Require `value` to be an object carrying *exactly* `keys` — an unknown
 /// key and a missing key are both schema violations.
 fn expect_exact_keys(value: &Value, ctx: &str, keys: &[&str]) -> Result<(), String> {
@@ -221,6 +265,21 @@ pub fn validate_online(value: &Value) -> Result<(), String> {
     expect_exact_keys(value, "online", ONLINE_TOP_KEYS)?;
     expect_version(value, "online", ONLINE_SCHEMA_VERSION)?;
     expect_array_of(value, "online", "epoch_curve", ONLINE_POINT_KEYS)
+}
+
+/// Validate a hetero report document against the pinned schema.
+pub fn validate_hetero(value: &Value) -> Result<(), String> {
+    expect_exact_keys(value, "hetero", HETERO_TOP_KEYS)?;
+    expect_version(value, "hetero", crate::hetero::HETERO_SCHEMA_VERSION)?;
+    expect_array_of(value, "hetero", "solvers", HETERO_SOLVER_KEYS)?;
+    let stochastic = value
+        .get("stochastic")
+        .ok_or("hetero: missing stochastic block")?;
+    expect_exact_keys(stochastic, "hetero.stochastic", HETERO_STOCHASTIC_KEYS)?;
+    let path = value
+        .get("path_independence")
+        .ok_or("hetero: missing path_independence block")?;
+    expect_exact_keys(path, "hetero.path_independence", HETERO_PATH_KEYS)
 }
 
 /// Validate a serve snapshot document against the consumer-side pinned

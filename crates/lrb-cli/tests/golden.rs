@@ -100,6 +100,52 @@ fn chaos_report_matches_the_pinned_schema() {
 }
 
 #[test]
+fn hetero_report_matches_the_pinned_schema() {
+    let path = tmpfile("hetero.json");
+    run(&format!("hetero --smoke --seed 11 --out {path}")).unwrap();
+    let v = read_json(&path);
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(v["schema_version"], 1u64);
+    assert_eq!(sorted_keys(&v), report::HETERO_TOP_KEYS);
+    let solvers = v["solvers"].as_array().unwrap();
+    assert_eq!(solvers.len(), 2);
+    for point in solvers {
+        assert_eq!(sorted_keys(point), report::HETERO_SOLVER_KEYS);
+        // Budget discipline is a hard invariant, not a statistic.
+        assert_eq!(point["budget_violations"], 0u64);
+        assert!(point["max_ratio_x1000"].as_u64().unwrap() >= 1000);
+    }
+    assert_eq!(
+        sorted_keys(&v["stochastic"]),
+        report::HETERO_STOCHASTIC_KEYS
+    );
+    assert_eq!(
+        sorted_keys(&v["path_independence"]),
+        report::HETERO_PATH_KEYS
+    );
+    report::validate_hetero(&v).unwrap();
+}
+
+#[test]
+fn hetero_runs_are_seed_deterministic_through_the_cli() {
+    let a = tmpfile("hetero-det-a.json");
+    let b = tmpfile("hetero-det-b.json");
+    for path in [&a, &b] {
+        run(&format!(
+            "hetero --smoke --seed 42 --speeds 1,3,2,1,2 --out {path}"
+        ))
+        .unwrap();
+    }
+    assert_eq!(
+        std::fs::read_to_string(&a).unwrap(),
+        std::fs::read_to_string(&b).unwrap()
+    );
+    std::fs::remove_file(&a).ok();
+    std::fs::remove_file(&b).ok();
+}
+
+#[test]
 fn online_report_matches_the_pinned_schema() {
     let path = tmpfile("online.json");
     run(&format!(

@@ -37,6 +37,10 @@ pub enum Error {
     UnknownJob { key: u64 },
     /// An online arrival reused a job key that is still live.
     DuplicateJob { key: u64 },
+    /// A speed vector declares a zero speed for processor `proc`.
+    ZeroSpeed { proc: usize },
+    /// A speed vector's length does not match the instance's processor count.
+    SpeedsLength { expected: usize, got: usize },
 }
 
 impl fmt::Display for Error {
@@ -75,6 +79,12 @@ impl fmt::Display for Error {
             Error::UnknownJob { key } => write!(f, "no live job with key {key}"),
             Error::DuplicateJob { key } => {
                 write!(f, "job key {key} is already live")
+            }
+            Error::ZeroSpeed { proc } => {
+                write!(f, "processor {proc} has zero speed")
+            }
+            Error::SpeedsLength { expected, got } => {
+                write!(f, "speed vector has {got} entries, expected {expected}")
             }
         }
     }

@@ -34,6 +34,7 @@ pub mod cost_partition;
 pub mod deadline;
 pub mod error;
 pub mod greedy;
+pub mod hetero;
 pub mod incremental;
 pub mod knapsack;
 pub mod lpt;
@@ -56,6 +57,7 @@ pub mod prelude {
     };
     pub use crate::error::{Error, Result};
     pub use crate::greedy;
+    pub use crate::hetero::{self, Speeds};
     pub use crate::lpt;
     pub use crate::model::{Assignment, Budget, Cost, Instance, Job, JobId, ProcId, Size};
     pub use crate::mpartition::{self, ThresholdSearch};

@@ -36,6 +36,7 @@ pub struct Scratch {
     pub(crate) profiles: Profiles,
     pub(crate) candidates: Vec<Size>,
     pub(crate) ladder: ThresholdLadder,
+    pub(crate) hetero: HeteroScratch,
 }
 
 impl Scratch {
@@ -70,6 +71,25 @@ pub(crate) struct GreedyScratch {
     pub removed: Vec<JobId>,
     /// Removed jobs re-sorted into the requested reinsertion order.
     pub order_buf: Vec<JobId>,
+}
+
+/// Buffers for the speed-scaled (uniform-machine) solvers in
+/// [`crate::hetero`]: GREEDY's removal/reinsertion state plus the
+/// threshold-probe capacities and shed list.
+#[derive(Debug, Default)]
+pub(crate) struct HeteroScratch {
+    /// Live per-processor raw loads.
+    pub loads: Vec<Size>,
+    /// Per-processor job stacks, ascending by size (largest popped first).
+    pub per_proc: Vec<Vec<JobId>>,
+    /// Jobs removed by GREEDY phase 1, in removal order.
+    pub removed: Vec<JobId>,
+    /// Removed jobs re-sorted into reinsertion order.
+    pub order_buf: Vec<JobId>,
+    /// Per-processor raw capacities `⌊x·v_q / v⌋` at the probed threshold.
+    pub caps: Vec<Size>,
+    /// Jobs shed by overfull processors at the probed threshold.
+    pub shed: Vec<JobId>,
 }
 
 /// Buffers for PARTITION's six steps (shared by the cost variant).

@@ -28,10 +28,11 @@ pub mod schedule;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
+use lrb_core::hetero::Speeds;
 use lrb_core::model::{Budget, Instance};
 use lrb_core::outcome::RebalanceOutcome;
 use lrb_core::scratch::Scratch;
-use lrb_core::{cost_partition, greedy, mpartition};
+use lrb_core::{cost_partition, greedy, hetero, mpartition};
 use lrb_obs::{names, NoopRecorder, NoopTracer, Recorder, TraceCollector, Tracer};
 
 use crate::schedule::{NoopShim, ScheduleShim, YieldPoint};
@@ -57,6 +58,29 @@ pub struct BatchItem {
     pub instance: Instance,
     /// Move or cost budget.
     pub budget: Budget,
+}
+
+/// How the engine solves each item of a speed-scaled batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HeteroBatchSolver {
+    /// Speed-scaled GREEDY ([`lrb_core::hetero::rebalance_greedy`]).
+    Greedy,
+    /// Speed-scaled M-PARTITION
+    /// ([`lrb_core::hetero::rebalance_mpartition`]).
+    #[default]
+    MPartition,
+}
+
+/// One unit of speed-scaled work: an instance, its per-processor speeds,
+/// and a move budget.
+#[derive(Debug, Clone)]
+pub struct HeteroBatchItem {
+    /// The rebalancing instance.
+    pub instance: Instance,
+    /// Per-processor speeds (must match the instance's processor count).
+    pub speeds: Speeds,
+    /// Move budget.
+    pub moves: usize,
 }
 
 /// Engine configuration.
@@ -123,6 +147,42 @@ pub fn solve_batch_recorded<R: Recorder + Sync>(
     run_batch(items, solver, threads, &mut scratches, rec)
 }
 
+/// Solve a speed-scaled batch with the default (uninstrumented) recorder.
+///
+/// Same striping, stealing, scratch reuse, and input-order result slots as
+/// [`solve_batch`] — the hetero path runs through the identical generic
+/// runner, so its results are likewise **bit-identical for any thread
+/// count** (asserted by the metamorphic suite).
+pub fn solve_hetero_batch(
+    items: &[HeteroBatchItem],
+    solver: HeteroBatchSolver,
+    cfg: &EngineConfig,
+) -> BatchReport {
+    solve_hetero_batch_recorded(items, solver, cfg, &NoopRecorder)
+}
+
+/// [`solve_hetero_batch`] with instrumentation (`engine.*` plus the solver's
+/// own `hetero.*` names).
+pub fn solve_hetero_batch_recorded<R: Recorder + Sync>(
+    items: &[HeteroBatchItem],
+    solver: HeteroBatchSolver,
+    cfg: &EngineConfig,
+    rec: &R,
+) -> BatchReport {
+    let threads = cfg.resolved_threads(items.len());
+    let mut scratches: Vec<Scratch> = (0..threads).map(|_| Scratch::new()).collect();
+    let mut tracers = vec![NoopTracer; threads];
+    run_batch_with(
+        items,
+        threads,
+        &mut scratches,
+        rec,
+        &NoopShim,
+        &mut tracers,
+        |item: &HeteroBatchItem, scratch, tracer| solve_one_hetero(item, solver, scratch, tracer),
+    )
+}
+
 /// [`solve_batch`] with span tracing: per-worker claim/steal/queue-wait and
 /// per-item solve spans land in the collector's lanes, the whole batch gets
 /// an `engine.batch` span on the main lane, and solver phases flow in
@@ -144,12 +204,12 @@ pub fn solve_batch_traced(
         .enter(names::ENGINE_BATCH, items.len() as u64, false);
     let report = run_batch_with(
         items,
-        solver,
         threads,
         &mut scratches,
         &NoopRecorder,
         &NoopShim,
         collector.workers_mut(),
+        |item: &BatchItem, scratch, tracer| solve_one(item, solver, scratch, tracer),
     );
     collector.main().exit();
     report
@@ -170,12 +230,12 @@ pub fn solve_batch_shimmed<S: ScheduleShim>(
     let mut tracers = vec![NoopTracer; threads];
     run_batch_with(
         items,
-        solver,
         threads,
         &mut scratches,
         &NoopRecorder,
         shim,
         &mut tracers,
+        |item: &BatchItem, scratch, tracer| solve_one(item, solver, scratch, tracer),
     )
 }
 
@@ -243,14 +303,15 @@ impl StreamEngine {
         collector
             .main()
             .enter(names::ENGINE_EPOCH, self.epochs, false);
+        let solver = self.solver;
         let report = run_batch_with(
             items,
-            self.solver,
             threads,
             &mut self.scratches,
             &NoopRecorder,
             &NoopShim,
             collector.workers_mut(),
+            |item: &BatchItem, scratch, tracer| solve_one(item, solver, scratch, tracer),
         );
         collector.main().exit();
         report
@@ -296,12 +357,12 @@ fn run_batch<R: Recorder + Sync>(
     let mut tracers = vec![NoopTracer; threads];
     run_batch_with(
         items,
-        solver,
         threads,
         scratches,
         rec,
         &NoopShim,
         &mut tracers,
+        |item: &BatchItem, scratch, tracer| solve_one(item, solver, scratch, tracer),
     )
 }
 
@@ -310,20 +371,27 @@ fn run_batch<R: Recorder + Sync>(
 /// is unchanged. Tracer lane `w` is handed `&mut`-exclusively to worker `w`
 /// exactly like its [`Scratch`], and doubles as the per-worker recorder for
 /// solver phases (the `Tracer + Recorder` bound).
+///
+/// Generic over the item type and per-item solve function so the base and
+/// speed-scaled batch paths share one runner — striping, stealing, and
+/// input-order slots are defined exactly once, and any thread-count
+/// bit-identity argument covers both.
 #[allow(clippy::too_many_arguments)]
-fn run_batch_with<R, S, T>(
-    items: &[BatchItem],
-    solver: BatchSolver,
+fn run_batch_with<I, R, S, T, F>(
+    items: &[I],
     threads: usize,
     scratches: &mut [Scratch],
     rec: &R,
     shim: &S,
     tracers: &mut [T],
+    solve: F,
 ) -> BatchReport
 where
+    I: Sync,
     R: Recorder + Sync,
     S: ScheduleShim,
     T: Tracer + Recorder + Send,
+    F: Fn(&I, &mut Scratch, &T) -> RebalanceOutcome + Sync,
 {
     let _batch = rec.time(names::ENGINE_BATCH);
     let n = items.len();
@@ -345,7 +413,7 @@ where
             let start = Instant::now();
             let out = {
                 let _solve = tracer.span_with(names::ENGINE_SOLVE, i as u64, false);
-                solve_one(item, solver, scratch, tracer)
+                solve(item, scratch, tracer)
             };
             outcomes.push(out);
             let nanos = (start.elapsed().as_nanos() as u64).max(1);
@@ -379,6 +447,7 @@ where
 
     let mut slots: Vec<Option<(RebalanceOutcome, u64)>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
+        let solve = &solve;
         let handles: Vec<_> = scratches[..threads]
             .iter_mut()
             .zip(tracers[..threads].iter_mut())
@@ -446,7 +515,7 @@ where
                         let start = Instant::now();
                         let out = {
                             let _solve = tracer.span_with(names::ENGINE_SOLVE, i as u64, false);
-                            solve_one(&items[i], solver, scratch, tracer)
+                            solve(&items[i], scratch, tracer)
                         };
                         let nanos = (start.elapsed().as_nanos() as u64).max(1);
                         if R::ENABLED {
@@ -539,6 +608,34 @@ fn solve_one<PR: Recorder>(
                 .map(|run| run.outcome)
                 .unwrap_or_else(|_| unchanged())
         }
+    }
+}
+
+/// Solve one speed-scaled item against a worker's scratch. Errors (e.g. a
+/// speeds/instance length mismatch) degrade to "no moves", mirroring
+/// [`solve_one`], so a pathological item never poisons its batch.
+fn solve_one_hetero<PR: Recorder>(
+    item: &HeteroBatchItem,
+    solver: HeteroBatchSolver,
+    scratch: &mut Scratch,
+    rec: &PR,
+) -> RebalanceOutcome {
+    let inst = &item.instance;
+    match solver {
+        HeteroBatchSolver::Greedy => {
+            hetero::rebalance_greedy_scratch_recorded(inst, &item.speeds, item.moves, rec, scratch)
+                .map(|run| run.outcome)
+                .unwrap_or_else(|_| RebalanceOutcome::unchanged(inst))
+        }
+        HeteroBatchSolver::MPartition => hetero::rebalance_mpartition_scratch_recorded(
+            inst,
+            &item.speeds,
+            item.moves,
+            rec,
+            scratch,
+        )
+        .map(|run| run.outcome)
+        .unwrap_or_else(|_| RebalanceOutcome::unchanged(inst)),
     }
 }
 
@@ -661,6 +758,36 @@ mod tests {
                     );
                     assert_eq!(a.makespan(), b.makespan());
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn hetero_results_are_bit_identical_across_thread_counts() {
+        let items: Vec<HeteroBatchItem> = batch(30, 19)
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let m = item.instance.num_procs();
+                let speeds: Vec<u64> = (0..m).map(|p| 1 + ((p + i) % 3) as u64).collect();
+                HeteroBatchItem {
+                    moves: 3 + i % 5,
+                    speeds: Speeds::new(speeds).unwrap(),
+                    instance: item.instance,
+                }
+            })
+            .collect();
+        for solver in [HeteroBatchSolver::Greedy, HeteroBatchSolver::MPartition] {
+            let seq = solve_hetero_batch(&items, solver, &EngineConfig::with_threads(1));
+            for (item, out) in items.iter().zip(&seq.outcomes) {
+                assert!(out.moves() <= item.moves, "{solver:?}");
+            }
+            for threads in [2, 4, 8] {
+                let par = solve_hetero_batch(&items, solver, &EngineConfig::with_threads(threads));
+                assert_eq!(
+                    par.outcomes, seq.outcomes,
+                    "{solver:?} at {threads} threads"
+                );
             }
         }
     }

@@ -1,0 +1,186 @@
+//! Subset-enumeration exact oracle for the *uniform-machine* (speed-scaled)
+//! move-budget problem.
+//!
+//! The same shape as [`crate::exhaustive`]: enumerate every set `S` of at
+//! most `k` jobs to relocate, then optimally reassign `S` onto the fixed
+//! residual loads by depth-first search — but makespans are speed-scaled via
+//! [`lrb_core::hetero::scaled_load`], and the equal-processor dedup must key
+//! on the `(load, speed)` pair: two processors are interchangeable for a
+//! homeless job only when both their residual load *and* their speed match.
+//!
+//! This is the certification oracle for `tests/differential_hetero.rs`.
+
+use lrb_core::hetero::{scaled_load, scaled_makespan_of, Speeds};
+use lrb_core::model::{Instance, Size};
+
+/// Optimal speed-scaled makespan over all rebalancings moving at most `k`
+/// jobs. Speeds must match the instance (debug-asserted; the public CLI and
+/// test callers validate via [`Speeds::matches`] first).
+pub fn optimal_scaled_makespan(inst: &Instance, speeds: &Speeds, k: usize) -> Size {
+    debug_assert_eq!(speeds.len(), inst.num_procs());
+    let n = inst.num_jobs();
+    let k = k.min(n);
+    let mut best = scaled_makespan_of(inst.initial_loads(), speeds);
+    let mut subset: Vec<usize> = Vec::with_capacity(k);
+    enumerate_subsets(inst, speeds, 0, k, &mut subset, &mut best);
+    best
+}
+
+fn enumerate_subsets(
+    inst: &Instance,
+    speeds: &Speeds,
+    from: usize,
+    slots: usize,
+    subset: &mut Vec<usize>,
+    best: &mut Size,
+) {
+    // Evaluate the current subset (including the empty one at the root).
+    *best = (*best).min(best_reassignment(inst, speeds, subset));
+    if slots == 0 {
+        return;
+    }
+    for j in from..inst.num_jobs() {
+        subset.push(j);
+        enumerate_subsets(inst, speeds, j + 1, slots - 1, subset, best);
+        subset.pop();
+    }
+}
+
+/// Optimal scaled makespan after removing `subset` from their processors
+/// and reassigning them anywhere (jobs returning home count as "not moved"
+/// for makespan purposes, which only helps).
+fn best_reassignment(inst: &Instance, speeds: &Speeds, subset: &[usize]) -> Size {
+    let mut loads = inst.initial_loads().to_vec();
+    for &j in subset {
+        loads[inst.initial_proc(j)] -= inst.size(j);
+    }
+    // Largest-first DFS over the removed jobs.
+    let mut order = subset.to_vec();
+    order.sort_by_key(|&j| std::cmp::Reverse(inst.size(j)));
+    let mut best = Size::MAX;
+    place(inst, speeds, &order, 0, &mut loads, &mut best);
+    best
+}
+
+fn place(
+    inst: &Instance,
+    speeds: &Speeds,
+    order: &[usize],
+    idx: usize,
+    loads: &mut Vec<Size>,
+    best: &mut Size,
+) {
+    let cur = scaled_makespan_of(loads, speeds);
+    if cur >= *best {
+        return;
+    }
+    if idx == order.len() {
+        *best = cur;
+        return;
+    }
+    let size = inst.size(order[idx]);
+    let mut seen: Vec<(Size, u64)> = Vec::with_capacity(loads.len());
+    for p in 0..loads.len() {
+        // Processors are interchangeable for a homeless job only when both
+        // their residual load and their speed agree; deduping on load alone
+        // (as the identical-machine oracle does) would skip genuinely
+        // different finishing times.
+        let key = (loads[p], speeds.get(p));
+        if seen.contains(&key) {
+            continue;
+        }
+        seen.push(key);
+        loads[p] += size;
+        place(inst, speeds, order, idx + 1, loads, best);
+        loads[p] -= size;
+    }
+    // Reference the scaled-load pin so the dedup key and the evaluation stay
+    // in the same semantic: cur above is max_p scaled_load(loads[p], v_p).
+    debug_assert_eq!(cur, {
+        loads
+            .iter()
+            .zip(speeds.as_slice())
+            .map(|(&l, &v)| scaled_load(l, v))
+            .max()
+            .unwrap_or(0)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(sizes: &[u64], placement: &[usize], m: usize) -> Instance {
+        Instance::from_sizes(sizes, placement.to_vec(), m).unwrap()
+    }
+
+    #[test]
+    fn unit_speeds_match_identical_machine_oracle() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        for trial in 0..40 {
+            let n = rng.gen_range(1..=7);
+            let m = rng.gen_range(1..=3);
+            let sizes: Vec<u64> = (0..n).map(|_| rng.gen_range(1..=9)).collect();
+            let initial: Vec<usize> = (0..n).map(|_| rng.gen_range(0..m)).collect();
+            let i = inst(&sizes, &initial, m);
+            let k = rng.gen_range(0..=n);
+            let speeds = Speeds::unit(m).unwrap();
+            assert_eq!(
+                optimal_scaled_makespan(&i, &speeds, k),
+                crate::exhaustive::optimal_makespan(&i, k),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_speed_c_is_ceil_of_raw_optimum() {
+        // With every speed equal to c, max_p ceil(L_p / c) = ceil(max_p L_p / c),
+        // and min/ceil commute (both monotone), so the scaled optimum is the
+        // ceiled raw optimum.
+        let i = inst(&[7, 5, 3, 2], &[0, 0, 1, 1], 2);
+        for c in 1..=4u64 {
+            let speeds = Speeds::uniform(2, c).unwrap();
+            for k in 0..=4 {
+                assert_eq!(
+                    optimal_scaled_makespan(&i, &speeds, k),
+                    crate::exhaustive::optimal_makespan(&i, k).div_ceil(c),
+                    "c={c} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_machine_changes_the_answer() {
+        // Two size-4 jobs on proc 0. Identical machines: OPT(k=1) = 4.
+        // Proc 1 at speed 4: move one job there -> max(4/1, ceil(4/4)) = 4;
+        // but k=2 moves both -> ceil(8/4) = 2.
+        let i = inst(&[4, 4], &[0, 0], 2);
+        let speeds = Speeds::new(vec![1, 4]).unwrap();
+        assert_eq!(optimal_scaled_makespan(&i, &speeds, 0), 8);
+        assert_eq!(optimal_scaled_makespan(&i, &speeds, 1), 4);
+        assert_eq!(optimal_scaled_makespan(&i, &speeds, 2), 2);
+    }
+
+    #[test]
+    fn zero_moves_is_initial_scaled_makespan() {
+        let i = inst(&[6, 2, 5], &[0, 0, 1], 2);
+        let speeds = Speeds::new(vec![2, 1]).unwrap();
+        // Loads (8, 5): max(ceil(8/2), ceil(5/1)) = max(4, 5) = 5.
+        assert_eq!(optimal_scaled_makespan(&i, &speeds, 0), 5);
+    }
+
+    #[test]
+    fn monotone_in_k() {
+        let i = inst(&[9, 4, 3, 2, 1], &[0, 0, 0, 1, 1], 3);
+        let speeds = Speeds::new(vec![1, 2, 3]).unwrap();
+        let mut prev = Size::MAX;
+        for k in 0..=5 {
+            let opt = optimal_scaled_makespan(&i, &speeds, k);
+            assert!(opt <= prev, "k={k}");
+            prev = opt;
+        }
+    }
+}

@@ -14,16 +14,20 @@
 //! * [`unit_jobs`] — closed-form optimum for equal-size jobs (the model of
 //!   the prior work the paper generalizes), usable at any scale;
 //! * [`conflict`] — feasibility oracle for the Conflict Scheduling variant
-//!   (Theorem 7).
+//!   (Theorem 7);
+//! * [`hetero`] — uniform-machine (per-processor speed) extension of the
+//!   subset-enumeration oracle, certifying the speed-scaled solvers.
 
 pub mod branch_bound;
 pub mod conflict;
 pub mod constrained;
 pub mod exhaustive;
+pub mod hetero;
 pub mod move_min;
 pub mod unit_jobs;
 
 pub use branch_bound::{solve, ExactSolution};
+pub use hetero::optimal_scaled_makespan;
 
 use lrb_core::model::{Budget, Instance, Size};
 

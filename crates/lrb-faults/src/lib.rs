@@ -9,6 +9,10 @@
 //!   processor, with at least one processor always up), stale and dropped
 //!   load reports, job-size perturbation, and epoch-level "solver budget
 //!   exhausted" events.
+//! * [`pathind`] — a path-independence drill (Aspnes–Yang–Yin): replay
+//!   crash plans epoch by epoch with a pinned speed-scaled evacuation rule
+//!   and measure how far the reached assignment drifts from a from-scratch
+//!   solve on the final survivor set.
 //! * [`FaultyView`] — a stateful observer that turns the *true*
 //!   [`lrb_core::model::Instance`] into the corrupted instance a policy
 //!   actually gets to see (stale sizes replay the last reported value,
@@ -20,8 +24,13 @@
 //! simulator's fault-free path reproduces its historical results
 //! bit-for-bit.
 
+pub mod pathind;
 pub mod plan;
 pub mod view;
 
+pub use pathind::{
+    compare as compare_path_independence, direct_assignment, drill as path_independence_drill,
+    evacuate, path_assignment, PathDivergence, PathDrillConfig, PathDrillStats,
+};
 pub use plan::{EpochFaults, FaultConfig, FaultPlan};
 pub use view::FaultyView;

@@ -1,0 +1,359 @@
+//! Path independence of crash-driven evacuation (Aspnes–Yang–Yin,
+//! arXiv:cs/0607026).
+//!
+//! When processors crash one epoch at a time, jobs evacuate step by step
+//! through intermediate survivor sets. A rebalancing rule is
+//! **path-independent** if the assignment it reaches depends only on the
+//! *final* survivor set, not on the order the crashes arrived in. This
+//! module pins one deterministic evacuation rule and measures how far it is
+//! from path independence:
+//!
+//! * [`evacuate`] — the canonical rule: orphaned jobs (largest first, job id
+//!   tie-break) each go to the up processor with the smallest speed-scaled
+//!   finishing time ([`lrb_core::hetero::cmp_scaled`], ties broken by
+//!   smallest `(raw load, processor id)`).
+//! * [`path_assignment`] — replay a [`FaultPlan`] epoch by epoch, evacuating
+//!   at every crash transition.
+//! * [`direct_assignment`] — apply the rule once against the plan's final
+//!   down-set, as a from-scratch solve on the survivor set would.
+//! * [`compare`] / [`drill`] — per-plan divergence and a seeded many-seed
+//!   aggregate for the `lrb hetero` report. The rule is *not* exactly
+//!   path-independent (an early evacuation target can later crash, and the
+//!   loads it saw en route differ from the direct view), so the drill
+//!   records and bounds the divergence instead of asserting zero.
+
+use crate::plan::{FaultConfig, FaultPlan};
+use lrb_core::error::{Error, Result};
+use lrb_core::hetero::{self, Speeds};
+use lrb_core::model::{Assignment, Instance, Size};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::{Ordering, Reverse};
+
+/// Evacuate every job currently on a down processor, starting from
+/// `assignment`. Orphans are processed largest first (job id breaks ties);
+/// each goes to the up processor minimizing the speed-scaled finishing time
+/// `(load + size) / v`, compared exactly by cross-multiplication, with ties
+/// broken by the smallest `(raw load, processor id)`. Jobs already on up
+/// processors never move.
+pub fn evacuate(
+    inst: &Instance,
+    speeds: &Speeds,
+    assignment: &[usize],
+    down: &[bool],
+) -> Result<Assignment> {
+    speeds.matches(inst)?;
+    if down.len() != inst.num_procs() {
+        return Err(Error::AssignmentLength {
+            expected: inst.num_procs(),
+            got: down.len(),
+        });
+    }
+    if down.iter().all(|&d| d) {
+        return Err(Error::NoProcessors);
+    }
+    let mut out = assignment.to_vec();
+    let mut loads = vec![0 as Size; inst.num_procs()];
+    let mut orphans: Vec<usize> = Vec::new();
+    for (j, &p) in out.iter().enumerate() {
+        if p >= inst.num_procs() {
+            return Err(Error::ProcOutOfRange {
+                job: j,
+                proc: p,
+                num_procs: inst.num_procs(),
+            });
+        }
+        if down[p] {
+            orphans.push(j);
+        } else {
+            loads[p] = loads[p].saturating_add(inst.size(j));
+        }
+    }
+    orphans.sort_by_key(|&j| (Reverse(inst.size(j)), j));
+    for j in orphans {
+        let size = inst.size(j);
+        let mut best: Option<usize> = None;
+        for q in 0..inst.num_procs() {
+            if down[q] {
+                continue;
+            }
+            let Some(b) = best else {
+                best = Some(q);
+                continue;
+            };
+            let cand = loads[q].saturating_add(size);
+            let incumbent = loads[b].saturating_add(size);
+            match hetero::cmp_scaled(cand, speeds.get(q), incumbent, speeds.get(b)) {
+                Ordering::Less => best = Some(q),
+                Ordering::Equal if (loads[q], q) < (loads[b], b) => best = Some(q),
+                _ => {}
+            }
+        }
+        let b = best.expect("at least one processor is up");
+        loads[b] = loads[b].saturating_add(size);
+        out[j] = b;
+    }
+    Ok(out)
+}
+
+/// Replay `plan` epoch by epoch from the instance's initial placement,
+/// evacuating after every epoch's down-mask takes effect, and return the
+/// final assignment. Recovered processors become evacuation targets again
+/// but receive nothing until a later crash orphans work.
+pub fn path_assignment(inst: &Instance, speeds: &Speeds, plan: &FaultPlan) -> Result<Assignment> {
+    let mut assignment: Assignment = inst.initial().clone();
+    for e in 0..plan.len() {
+        assignment = evacuate(inst, speeds, &assignment, &plan.epoch(e).down)?;
+    }
+    Ok(assignment)
+}
+
+/// Apply the evacuation rule once, from the initial placement against the
+/// plan's final down-mask — the assignment a from-scratch solve on the final
+/// survivor set produces.
+pub fn direct_assignment(inst: &Instance, speeds: &Speeds, plan: &FaultPlan) -> Result<Assignment> {
+    let down = if plan.is_empty() {
+        vec![false; inst.num_procs()]
+    } else {
+        plan.epoch(plan.len() - 1).down
+    };
+    evacuate(inst, speeds, inst.initial(), &down)
+}
+
+/// Divergence between the crash-path and direct assignments for one plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathDivergence {
+    /// Whether the two assignments are identical.
+    pub exact_match: bool,
+    /// Jobs assigned to different processors.
+    pub hamming: usize,
+    /// Speed-scaled makespan of the crash-path assignment.
+    pub path_scaled: Size,
+    /// Speed-scaled makespan of the direct assignment.
+    pub direct_scaled: Size,
+}
+
+impl PathDivergence {
+    /// `1000 · worse / better` of the two scaled makespans (≥ 1000; exactly
+    /// 1000 when the makespans agree). Integer so reports stay exact.
+    pub fn ratio_x1000(&self) -> u64 {
+        let hi = self.path_scaled.max(self.direct_scaled).max(1);
+        let lo = self.path_scaled.min(self.direct_scaled).max(1);
+        (u128::from(hi) * 1000 / u128::from(lo)) as u64
+    }
+}
+
+/// Compare the crash-path assignment against the direct one for `plan`.
+pub fn compare(inst: &Instance, speeds: &Speeds, plan: &FaultPlan) -> Result<PathDivergence> {
+    let path = path_assignment(inst, speeds, plan)?;
+    let direct = direct_assignment(inst, speeds, plan)?;
+    let hamming = path.iter().zip(&direct).filter(|(a, b)| a != b).count();
+    Ok(PathDivergence {
+        exact_match: hamming == 0,
+        hamming,
+        path_scaled: hetero::scaled_makespan(inst, speeds, &path)?,
+        direct_scaled: hetero::scaled_makespan(inst, speeds, &direct)?,
+    })
+}
+
+/// Parameters of a seeded path-independence drill.
+#[derive(Debug, Clone, Copy)]
+pub struct PathDrillConfig {
+    /// Independent seeds (instances × fault plans) to evaluate.
+    pub seeds: u64,
+    /// Jobs per instance.
+    pub jobs: usize,
+    /// Processors per instance.
+    pub procs: usize,
+    /// Epochs per fault plan.
+    pub epochs: usize,
+    /// Per-epoch crash probability for up processors.
+    pub crash_rate: f64,
+    /// Per-epoch recovery probability for down processors.
+    pub recovery_rate: f64,
+    /// Job sizes are uniform in `[1, max_size]`.
+    pub max_size: Size,
+    /// Processor speeds are uniform in `[1, max_speed]`.
+    pub max_speed: u64,
+    /// Master seed; seed `i` derives deterministically from it.
+    pub seed: u64,
+}
+
+impl PathDrillConfig {
+    /// The default drill the `lrb hetero` report runs: 64 seeds of 24 jobs
+    /// on 5 processors through 8 crash-prone epochs.
+    pub fn standard(seed: u64) -> Self {
+        PathDrillConfig {
+            seeds: 64,
+            jobs: 24,
+            procs: 5,
+            epochs: 8,
+            crash_rate: 0.25,
+            recovery_rate: 0.35,
+            max_size: 50,
+            max_speed: 3,
+            seed,
+        }
+    }
+}
+
+/// Aggregate divergence across a drill's seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathDrillStats {
+    /// Seeds evaluated.
+    pub seeds: u64,
+    /// Seeds where path and direct assignments matched exactly.
+    pub exact_matches: u64,
+    /// Seeds whose plan injected no crash at all (these always match).
+    pub fault_free: u64,
+    /// Σ hamming distance across all seeds.
+    pub total_hamming: u64,
+    /// Worst per-seed hamming distance.
+    pub max_hamming: u64,
+    /// Worst per-seed [`PathDivergence::ratio_x1000`].
+    pub max_ratio_x1000: u64,
+}
+
+/// Run a seeded drill: for each seed, generate an instance, speeds, and a
+/// crash plan, then [`compare`] the crash-path assignment with the direct
+/// one. Deterministic in `cfg`.
+pub fn drill(cfg: &PathDrillConfig) -> Result<PathDrillStats> {
+    let mut stats = PathDrillStats {
+        seeds: cfg.seeds,
+        exact_matches: 0,
+        fault_free: 0,
+        total_hamming: 0,
+        max_hamming: 0,
+        max_ratio_x1000: 1000,
+    };
+    for i in 0..cfg.seeds {
+        let sub = cfg.seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = StdRng::seed_from_u64(sub);
+        let sizes: Vec<Size> = (0..cfg.jobs)
+            .map(|_| rng.gen_range(1..=cfg.max_size.max(1)))
+            .collect();
+        let initial: Assignment = (0..cfg.jobs)
+            .map(|_| rng.gen_range(0..cfg.procs.max(1)))
+            .collect();
+        let speeds = Speeds::new(
+            (0..cfg.procs)
+                .map(|_| rng.gen_range(1..=cfg.max_speed.max(1)))
+                .collect(),
+        )?;
+        let inst = Instance::from_sizes(&sizes, initial, cfg.procs.max(1))?;
+        let plan = FaultPlan::generate(
+            &FaultConfig::crashes(cfg.crash_rate, cfg.recovery_rate, sub),
+            cfg.procs.max(1),
+            cfg.epochs,
+        );
+        if plan.is_fault_free() {
+            stats.fault_free += 1;
+        }
+        let d = compare(&inst, &speeds, &plan)?;
+        if d.exact_match {
+            stats.exact_matches += 1;
+        }
+        stats.total_hamming += d.hamming as u64;
+        stats.max_hamming = stats.max_hamming.max(d.hamming as u64);
+        stats.max_ratio_x1000 = stats.max_ratio_x1000.max(d.ratio_x1000());
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(sizes: &[u64], placement: &[usize], m: usize) -> Instance {
+        Instance::from_sizes(sizes, placement.to_vec(), m).unwrap()
+    }
+
+    #[test]
+    fn evacuation_moves_only_orphans() {
+        let i = inst(&[5, 3, 2, 1], &[0, 1, 1, 2], 3);
+        let speeds = Speeds::unit(3).unwrap();
+        let out = evacuate(&i, &speeds, i.initial(), &[false, true, false]).unwrap();
+        // Jobs 1 and 2 were on the downed proc 1; 0 and 3 stay put.
+        assert_eq!(out[0], 0);
+        assert_eq!(out[3], 2);
+        assert_ne!(out[1], 1);
+        assert_ne!(out[2], 1);
+    }
+
+    #[test]
+    fn evacuation_prefers_fast_processors() {
+        // One orphan of size 6; proc 1 (speed 3, load 3) finishes it at
+        // (3+6)/3 = 3, proc 2 (speed 1, load 0) at 6.
+        let i = inst(&[6, 3], &[0, 1], 3);
+        let speeds = Speeds::new(vec![1, 3, 1]).unwrap();
+        let out = evacuate(&i, &speeds, i.initial(), &[true, false, false]).unwrap();
+        assert_eq!(out[0], 1);
+    }
+
+    #[test]
+    fn evacuation_rejects_all_down_and_bad_mask() {
+        let i = inst(&[1], &[0], 2);
+        let speeds = Speeds::unit(2).unwrap();
+        assert!(evacuate(&i, &speeds, i.initial(), &[true, true]).is_err());
+        assert!(evacuate(&i, &speeds, i.initial(), &[false]).is_err());
+    }
+
+    #[test]
+    fn fault_free_plan_is_exactly_path_independent() {
+        let i = inst(&[4, 3, 2, 1], &[0, 0, 1, 1], 2);
+        let speeds = Speeds::new(vec![2, 1]).unwrap();
+        let plan = FaultPlan::none(2);
+        let d = compare(&i, &speeds, &plan).unwrap();
+        assert!(d.exact_match);
+        assert_eq!(d.hamming, 0);
+        assert_eq!(d.ratio_x1000(), 1000);
+        assert_eq!(
+            path_assignment(&i, &speeds, &plan).unwrap(),
+            *i.initial(),
+            "no crash, no movement"
+        );
+    }
+
+    #[test]
+    fn evacuation_is_idempotent_for_a_fixed_mask() {
+        // A second pass against the same down-mask finds no orphans, so a
+        // plan whose crashes all land in one epoch is path-independent.
+        let i = inst(&[7, 5, 3, 2, 1], &[0, 1, 2, 0, 1], 3);
+        let speeds = Speeds::new(vec![1, 2, 3]).unwrap();
+        let down = [false, true, false];
+        let once = evacuate(&i, &speeds, i.initial(), &down).unwrap();
+        let twice = evacuate(&i, &speeds, &once, &down).unwrap();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn drill_is_deterministic_and_bounded() {
+        let cfg = PathDrillConfig {
+            seeds: 16,
+            ..PathDrillConfig::standard(7)
+        };
+        let a = drill(&cfg).unwrap();
+        let b = drill(&cfg).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.seeds, 16);
+        assert!(a.exact_matches >= a.fault_free);
+        assert!(a.max_hamming <= cfg.jobs as u64);
+        assert!(a.max_ratio_x1000 >= 1000);
+    }
+
+    #[test]
+    fn crash_then_recovery_diverges_from_direct() {
+        let i = inst(&[9, 8, 2], &[0, 1, 2], 3);
+        let speeds = Speeds::unit(3).unwrap();
+        // Path: proc 0 crashes (job 0 flees to proc 2), then recovers while
+        // proc 1 crashes. Job 0 never returns home.
+        let step1 = evacuate(&i, &speeds, i.initial(), &[true, false, false]).unwrap();
+        assert_eq!(step1, vec![2, 1, 2]);
+        let path = evacuate(&i, &speeds, &step1, &[false, true, false]).unwrap();
+        assert_eq!(path, vec![2, 0, 2]);
+        // The direct solve for the final survivor set never moved job 0.
+        let direct = evacuate(&i, &speeds, i.initial(), &[false, true, false]).unwrap();
+        assert_eq!(direct, vec![0, 2, 2]);
+        assert_ne!(path, direct, "the evacuation rule is path-dependent");
+    }
+}

@@ -151,6 +151,56 @@ pub const GOLDEN_KEY_SETS: &[(&str, &[&str])] = &[
         ],
     ),
     (
+        "HETERO_TOP_KEYS",
+        &[
+            "jobs",
+            "moves",
+            "path_independence",
+            "procs",
+            "schema_version",
+            "seed",
+            "solvers",
+            "speeds",
+            "stochastic",
+        ],
+    ),
+    (
+        "HETERO_SOLVER_KEYS",
+        &[
+            "budget_violations",
+            "instances",
+            "max_ratio_x1000",
+            "solver",
+            "total_lower_bound",
+            "total_moves",
+            "total_scaled_makespan",
+        ],
+    ),
+    (
+        "HETERO_STOCHASTIC_KEYS",
+        &[
+            "improved_trials",
+            "moves_effective",
+            "moves_mean_based",
+            "regressed_trials",
+            "theta_pct",
+            "total_effective",
+            "total_mean_based",
+            "trials",
+        ],
+    ),
+    (
+        "HETERO_PATH_KEYS",
+        &[
+            "exact_matches",
+            "fault_free",
+            "max_hamming",
+            "max_ratio_x1000",
+            "seeds",
+            "total_hamming",
+        ],
+    ),
+    (
         "TRACE_TOP_KEYS",
         &[
             "displayTimeUnit",

@@ -160,14 +160,18 @@ fn schema_fixture_reports_drift_and_missing_consts() {
     assert_eq!((drift[0].line, drift[0].col), (4, 11));
     assert!(drift[0].message.contains("missing [\"thread_curve\"]"));
     assert!(drift[0].message.contains("unexpected [\"surprise_key\"]"));
-    // The fixture defines only BENCH_TOP_KEYS, so the other fourteen
-    // pinned consts (bench/chaos/online, the five trace sets, and the
-    // three serve snapshot sets) are reported missing.
+    // The fixture defines only BENCH_TOP_KEYS, so every other pinned
+    // const (bench/chaos/online/hetero, the five trace sets, and the
+    // three serve snapshot sets) is reported missing.
     let missing = findings
         .iter()
         .filter(|f| f.message.contains("is missing from report.rs"))
         .count();
-    assert_eq!(missing, 14, "{findings:#?}");
+    assert_eq!(
+        missing,
+        lrb_lint::rules::GOLDEN_KEY_SETS.len() - 1,
+        "{findings:#?}"
+    );
 }
 
 #[test]

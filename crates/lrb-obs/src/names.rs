@@ -188,3 +188,12 @@ pub const SERVE_CONNECTIONS: &str = "serve.connections";
 pub const SERVE_DEGRADED: &str = "serve.degraded";
 /// State-thread batch phase: admit + apply + log + reply.
 pub const SERVE_BATCH: &str = "serve.batch";
+
+/// Speed-scaled GREEDY run: removal plus reinsertion.
+pub const HETERO_GREEDY: &str = "hetero.greedy";
+/// Speed-scaled M-PARTITION run: threshold scan plus planning.
+pub const HETERO_MPARTITION: &str = "hetero.mpartition";
+/// Cross-processor moves performed by the speed-scaled solvers.
+pub const HETERO_MOVES: &str = "hetero.moves";
+/// Rational thresholds probed by the speed-scaled M-PARTITION scan.
+pub const HETERO_PROBES: &str = "hetero.probes";

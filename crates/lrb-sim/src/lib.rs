@@ -26,6 +26,7 @@ pub mod metrics;
 pub mod online;
 pub mod policy;
 pub mod process;
+pub mod stochastic;
 pub mod trace;
 pub mod workload;
 
@@ -46,5 +47,9 @@ pub use policy::{
     ThresholdTriggered,
 };
 pub use process::{run as run_process, ProcessSimConfig};
+pub use stochastic::{
+    evaluate as evaluate_effective_size, rebalance_effective, EffectiveSizeReport,
+    StochasticConfig, StochasticJob, StochasticWorkload,
+};
 pub use trace::{replay, TraceWorkload};
 pub use workload::{Diurnal, Workload, WorkloadConfig};

@@ -1,0 +1,310 @@
+//! Stochastic job sizes and the effective-size rebalancing surrogate
+//! (Gupta et al., arXiv:1904.07271).
+//!
+//! Real job sizes are not known at rebalancing time — only a per-job
+//! distribution is. Gupta et al. show that scheduling by an **effective
+//! size** `mean + θ·deviation` (a mean inflated by a safety margin
+//! proportional to the job's variability) recovers most of the makespan
+//! quality of clairvoyant scheduling. This module provides:
+//!
+//! * [`StochasticWorkload`] — a seeded generator of jobs with per-job
+//!   `(mean, spread)` pairs; realized sizes are drawn uniformly from
+//!   `[mean − spread, mean + spread]` per trial, so everything stays
+//!   integer and bit-reproducible.
+//! * [`rebalance_effective`] — the effective-size policy: rebalance the
+//!   *surrogate* instance (sizes = effective sizes) with the speed-scaled
+//!   M-PARTITION, then apply that assignment to whatever sizes realize.
+//! * [`evaluate`] — a seeded trial loop comparing the realized scaled
+//!   makespan of the effective-size assignment against the plain
+//!   mean-based one (θ = 0), feeding the `stochastic` section of the
+//!   `lrb hetero` report.
+
+use lrb_core::error::Result;
+use lrb_core::hetero::{self, Speeds};
+use lrb_core::model::{Assignment, Instance, Size};
+use lrb_instances::generators::SizeDistribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One stochastic job: the scheduler sees `(mean, spread)`; each trial a
+/// size realizes uniformly in `[mean − spread, mean + spread]` (floored at
+/// 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StochasticJob {
+    /// Mean size (always ≥ 1).
+    pub mean: Size,
+    /// Half-width of the realization interval.
+    pub spread: Size,
+}
+
+impl StochasticJob {
+    /// The Gupta-style surrogate: `mean + θ·spread / 100` with `θ` in
+    /// percent. `θ = 0` is plain mean-based scheduling; larger `θ` hedges
+    /// harder against variability.
+    pub fn effective_size(&self, theta_pct: u64) -> Size {
+        self.mean
+            .saturating_add(self.spread.saturating_mul(theta_pct) / 100)
+            .max(1)
+    }
+}
+
+/// Parameters of the stochastic workload generator.
+#[derive(Debug, Clone, Copy)]
+pub struct StochasticConfig {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Number of processors.
+    pub procs: usize,
+    /// Distribution the per-job *means* are drawn from.
+    pub mean: SizeDistribution,
+    /// Per-job spread as a percentage of its mean (`50` → spread = mean/2).
+    pub spread_pct: u64,
+    /// Generator seed: same seed, same workload, bit for bit.
+    pub seed: u64,
+}
+
+impl StochasticConfig {
+    /// A small default workload: uniform means in `[10, 100]`, ±50% spread.
+    pub fn uniform(jobs: usize, procs: usize, seed: u64) -> Self {
+        StochasticConfig {
+            jobs,
+            procs,
+            mean: SizeDistribution::Uniform { lo: 10, hi: 100 },
+            spread_pct: 50,
+            seed,
+        }
+    }
+}
+
+/// A generated stochastic workload: jobs with `(mean, spread)` pairs plus
+/// an initial placement.
+#[derive(Debug, Clone)]
+pub struct StochasticWorkload {
+    jobs: Vec<StochasticJob>,
+    initial: Assignment,
+    procs: usize,
+}
+
+impl StochasticWorkload {
+    /// Generate a workload from `cfg`, deterministically in `cfg.seed`.
+    pub fn generate(cfg: &StochasticConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let jobs: Vec<StochasticJob> = (0..cfg.jobs)
+            .map(|_| {
+                let mean = cfg.mean.sample(&mut rng).max(1);
+                let spread = mean.saturating_mul(cfg.spread_pct) / 100;
+                StochasticJob { mean, spread }
+            })
+            .collect();
+        let initial: Assignment = (0..cfg.jobs)
+            .map(|_| rng.gen_range(0..cfg.procs.max(1)))
+            .collect();
+        StochasticWorkload {
+            jobs,
+            initial,
+            procs: cfg.procs.max(1),
+        }
+    }
+
+    /// The stochastic jobs, in id order.
+    pub fn jobs(&self) -> &[StochasticJob] {
+        &self.jobs
+    }
+
+    /// Number of processors.
+    pub fn procs(&self) -> usize {
+        self.procs
+    }
+
+    /// The surrogate instance the scheduler actually solves: every size is
+    /// the job's [`StochasticJob::effective_size`] at `θ`.
+    pub fn effective_instance(&self, theta_pct: u64) -> Result<Instance> {
+        let sizes: Vec<Size> = self
+            .jobs
+            .iter()
+            .map(|j| j.effective_size(theta_pct))
+            .collect();
+        Instance::from_sizes(&sizes, self.initial.clone(), self.procs)
+    }
+
+    /// Draw one realization of every job's size (uniform in
+    /// `[mean − spread, mean + spread]`, floored at 1), deterministically
+    /// in `trial_seed`.
+    pub fn realize(&self, trial_seed: u64) -> Vec<Size> {
+        let mut rng = StdRng::seed_from_u64(trial_seed);
+        self.jobs
+            .iter()
+            .map(|j| {
+                let lo = j.mean.saturating_sub(j.spread).max(1);
+                let hi = j.mean.saturating_add(j.spread).max(lo);
+                rng.gen_range(lo..=hi)
+            })
+            .collect()
+    }
+
+    /// Speed-scaled makespan of `assignment` under realized `sizes`.
+    pub fn realized_scaled_makespan(
+        &self,
+        speeds: &Speeds,
+        assignment: &[usize],
+        sizes: &[Size],
+    ) -> Result<Size> {
+        let inst = Instance::from_sizes(sizes, self.initial.clone(), self.procs)?;
+        hetero::scaled_makespan(&inst, speeds, assignment)
+    }
+}
+
+/// The effective-size policy: solve the θ-surrogate instance with the
+/// speed-scaled M-PARTITION under `k` moves and return its assignment.
+pub fn rebalance_effective(
+    workload: &StochasticWorkload,
+    speeds: &Speeds,
+    k: usize,
+    theta_pct: u64,
+) -> Result<Assignment> {
+    let surrogate = workload.effective_instance(theta_pct)?;
+    let run = hetero::rebalance_mpartition(&surrogate, speeds, k)?;
+    Ok(run.outcome.into_assignment())
+}
+
+/// Aggregate of an effective-size evaluation: realized scaled makespans
+/// summed over trials for the θ-hedged policy versus the plain mean-based
+/// one, both applying at most `k` moves to the same workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EffectiveSizeReport {
+    /// Trials evaluated.
+    pub trials: usize,
+    /// θ (percent of spread) the hedged policy used.
+    pub theta_pct: u64,
+    /// Σ realized scaled makespan, θ-hedged assignment.
+    pub total_effective: u64,
+    /// Σ realized scaled makespan, mean-based (θ = 0) assignment.
+    pub total_mean_based: u64,
+    /// Trials where the hedged assignment was strictly better.
+    pub improved_trials: usize,
+    /// Trials where the hedged assignment was strictly worse.
+    pub regressed_trials: usize,
+    /// Moves the hedged assignment used.
+    pub moves_effective: usize,
+    /// Moves the mean-based assignment used.
+    pub moves_mean_based: usize,
+}
+
+/// Run `trials` seeded realizations and score the effective-size policy
+/// against mean-based scheduling. Both assignments are computed once (the
+/// policies see only distributions, never realizations), then scored on
+/// every realized size vector.
+pub fn evaluate(
+    workload: &StochasticWorkload,
+    speeds: &Speeds,
+    k: usize,
+    theta_pct: u64,
+    trials: usize,
+    seed: u64,
+) -> Result<EffectiveSizeReport> {
+    let hedged = rebalance_effective(workload, speeds, k, theta_pct)?;
+    let mean_based = rebalance_effective(workload, speeds, k, 0)?;
+    let mean_inst = workload.effective_instance(0)?;
+    let moves_effective = mean_inst.move_count(&hedged);
+    let moves_mean_based = mean_inst.move_count(&mean_based);
+
+    let mut report = EffectiveSizeReport {
+        trials,
+        theta_pct,
+        total_effective: 0,
+        total_mean_based: 0,
+        improved_trials: 0,
+        regressed_trials: 0,
+        moves_effective,
+        moves_mean_based,
+    };
+    for t in 0..trials {
+        let sizes = workload.realize(seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let e = workload.realized_scaled_makespan(speeds, &hedged, &sizes)?;
+        let m = workload.realized_scaled_makespan(speeds, &mean_based, &sizes)?;
+        report.total_effective = report.total_effective.saturating_add(e);
+        report.total_mean_based = report.total_mean_based.saturating_add(m);
+        if e < m {
+            report.improved_trials += 1;
+        } else if e > m {
+            report.regressed_trials += 1;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload(seed: u64) -> StochasticWorkload {
+        StochasticWorkload::generate(&StochasticConfig::uniform(24, 4, seed))
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let a = StochasticWorkload::generate(&StochasticConfig::uniform(16, 3, 7));
+        let b = StochasticWorkload::generate(&StochasticConfig::uniform(16, 3, 7));
+        assert_eq!(a.jobs(), b.jobs());
+        assert_eq!(a.initial, b.initial);
+        let c = StochasticWorkload::generate(&StochasticConfig::uniform(16, 3, 8));
+        assert_ne!(a.jobs(), c.jobs());
+    }
+
+    #[test]
+    fn effective_size_is_monotone_in_theta() {
+        let j = StochasticJob {
+            mean: 100,
+            spread: 50,
+        };
+        assert_eq!(j.effective_size(0), 100);
+        assert_eq!(j.effective_size(100), 150);
+        assert!(j.effective_size(40) <= j.effective_size(80));
+    }
+
+    #[test]
+    fn realizations_stay_in_interval_and_are_seeded() {
+        let w = workload(3);
+        let a = w.realize(11);
+        let b = w.realize(11);
+        assert_eq!(a, b);
+        for (j, &s) in w.jobs().iter().zip(&a) {
+            assert!(s >= j.mean.saturating_sub(j.spread).max(1));
+            assert!(s <= j.mean + j.spread);
+        }
+    }
+
+    #[test]
+    fn policy_respects_move_budget() {
+        let w = workload(5);
+        let speeds = Speeds::new(vec![1, 2, 3, 1]).unwrap();
+        for k in [0, 2, 5] {
+            let a = rebalance_effective(&w, &speeds, k, 60).unwrap();
+            let moved = w.initial.iter().zip(&a).filter(|(i, f)| i != f).count();
+            assert!(moved <= k, "k={k} moved={moved}");
+        }
+    }
+
+    #[test]
+    fn evaluate_scores_both_policies_on_the_same_realizations() {
+        let w = workload(9);
+        let speeds = Speeds::new(vec![1, 1, 2, 4]).unwrap();
+        let r = evaluate(&w, &speeds, 6, 80, 16, 42).unwrap();
+        assert_eq!(r.trials, 16);
+        assert!(r.total_effective > 0 && r.total_mean_based > 0);
+        assert!(r.improved_trials + r.regressed_trials <= r.trials);
+        // Reproducible end to end.
+        let r2 = evaluate(&w, &speeds, 6, 80, 16, 42).unwrap();
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn theta_zero_equals_mean_based_by_construction() {
+        let w = workload(13);
+        let speeds = Speeds::new(vec![2, 1, 1, 3]).unwrap();
+        let r = evaluate(&w, &speeds, 4, 0, 8, 1).unwrap();
+        assert_eq!(r.total_effective, r.total_mean_based);
+        assert_eq!(r.improved_trials, 0);
+        assert_eq!(r.regressed_trials, 0);
+    }
+}

@@ -34,6 +34,7 @@
 pub use lrb_core as core;
 pub use lrb_engine as engine;
 pub use lrb_exact as exact;
+pub use lrb_faults as faults;
 pub use lrb_harness as harness;
 pub use lrb_instances as instances;
 pub use lrb_lp as lp;

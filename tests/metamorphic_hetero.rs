@@ -1,0 +1,250 @@
+//! Metamorphic properties of the speed-scaled (uniform-machine) solvers.
+//!
+//! Five families:
+//!
+//! * **All-speeds-equal degeneration** — with every speed equal to `c`, the
+//!   speed-scaled GREEDY and M-PARTITION must reproduce the base solvers
+//!   *bit for bit* (same assignment, same moves), with scaled makespan
+//!   `⌈raw/c⌉`. This is the structural guarantee that lets the hetero path
+//!   ship inside the same engine without forking behavior.
+//! * **Uniform speed scaling** — multiplying every speed by `c` changes no
+//!   decision: every comparison is a cross-multiplication, so assignments
+//!   are invariant (the scaled makespan may change by rounding only).
+//! * **Processor relabeling** — with pairwise-distinct speeds the solvers
+//!   are exactly equivariant (`out'[j] = π(out[j])`): an index tie-break
+//!   fires only when both the cross-multiplied ratios *and* the raw loads
+//!   tie, which with distinct speeds forces zero loads, where no decision
+//!   is left to make. (With repeated speeds two identical-looking
+//!   processors may hold different job stacks, so only the *oracle* is
+//!   asserted relabeling-invariant for general speeds.)
+//! * **Engine thread invariance** — hetero batches through `lrb-engine`
+//!   are bit-identical at every thread count.
+//! * **Path independence** — fault-free and single-epoch crash plans reach
+//!   the direct assignment exactly; the ≥64-seed drill is deterministic
+//!   and its divergence stays inside a pinned envelope.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use load_rebalance::core::hetero::{self, Speeds};
+use load_rebalance::core::model::Instance;
+use load_rebalance::core::{greedy, mpartition};
+use load_rebalance::engine::{
+    solve_hetero_batch, EngineConfig, HeteroBatchItem, HeteroBatchSolver,
+};
+use load_rebalance::exact;
+use load_rebalance::faults::pathind::{self, PathDrillConfig};
+use load_rebalance::faults::{FaultConfig, FaultPlan};
+
+/// Strategy: sizes, placement, budget, processor count, speed vector, and
+/// random sort keys for deriving a processor permutation.
+#[allow(clippy::type_complexity)]
+fn hetero_instance(
+) -> impl Strategy<Value = (Vec<u64>, Vec<usize>, usize, usize, Vec<u64>, Vec<u64>)> {
+    (2usize..=4).prop_flat_map(|m| {
+        (1usize..=9).prop_flat_map(move |n| {
+            (
+                vec(1u64..=50, n),
+                vec(0usize..m, n),
+                0usize..=n,
+                Just(m),
+                vec(1u64..=5, m),
+                vec(0u64..=1_000_000, m),
+            )
+        })
+    })
+}
+
+/// Permutation of `0..keys.len()` obtained by sorting indices by their key.
+fn perm_from_keys(keys: &[u64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..keys.len()).collect();
+    idx.sort_by_key(|&i| (keys[i], i));
+    idx
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// All speeds equal to `c`: bit-identical to the base solvers.
+    #[test]
+    fn equal_speeds_degenerate_to_base_solvers(
+        ((sizes, placement, k, m, _, _), c) in (hetero_instance(), 1u64..=7)
+    ) {
+        let inst = Instance::from_sizes(&sizes, placement, m).unwrap();
+        let speeds = Speeds::uniform(m, c).unwrap();
+
+        let hg = hetero::rebalance_greedy(&inst, &speeds, k).unwrap();
+        let bg = greedy::rebalance(&inst, k).unwrap();
+        prop_assert_eq!(hg.outcome.assignment(), bg.assignment());
+        prop_assert_eq!(hg.outcome.moves(), bg.moves());
+        prop_assert_eq!(hg.scaled_makespan, bg.makespan().div_ceil(c));
+
+        let hp = hetero::rebalance_mpartition(&inst, &speeds, k).unwrap();
+        let bp = mpartition::rebalance(&inst, k).unwrap();
+        prop_assert_eq!(hp.outcome.assignment(), bp.outcome.assignment());
+        prop_assert_eq!(hp.outcome.moves(), bp.outcome.moves());
+        prop_assert_eq!(hp.threshold, (bp.threshold, c));
+        prop_assert_eq!(hp.scaled_makespan, bp.outcome.makespan().div_ceil(c));
+    }
+
+    /// v → c·v changes no decision: the assignment is invariant.
+    #[test]
+    fn uniform_speed_scaling_preserves_assignments(
+        ((sizes, placement, k, m, speeds, _), c) in (hetero_instance(), 1u64..=6)
+    ) {
+        let inst = Instance::from_sizes(&sizes, placement, m).unwrap();
+        let base = Speeds::new(speeds.clone()).unwrap();
+        let scaled = Speeds::new(speeds.iter().map(|v| v * c).collect()).unwrap();
+
+        let g0 = hetero::rebalance_greedy(&inst, &base, k).unwrap();
+        let g1 = hetero::rebalance_greedy(&inst, &scaled, k).unwrap();
+        prop_assert_eq!(g0.outcome.assignment(), g1.outcome.assignment());
+
+        let p0 = hetero::rebalance_mpartition(&inst, &base, k).unwrap();
+        let p1 = hetero::rebalance_mpartition(&inst, &scaled, k).unwrap();
+        prop_assert_eq!(p0.outcome.assignment(), p1.outcome.assignment());
+    }
+
+    /// Relabeling processors (carrying each one's speed along) preserves
+    /// every reported scalar of both solvers; with pairwise-distinct
+    /// speeds the assignments are exactly equivariant.
+    #[test]
+    fn processor_relabeling_invariance(
+        (sizes, placement, k, m, _, keys) in hetero_instance()
+    ) {
+        // Pairwise-distinct speeds: the first m of a fixed pool, dealt out
+        // by the random permutation so every labeling arises.
+        let pool = [1u64, 2, 3, 5, 7];
+        let perm = perm_from_keys(&keys);
+        let speeds_vec: Vec<u64> = (0..m).map(|p| pool[perm[p]]).collect();
+
+        let inst = Instance::from_sizes(&sizes, placement.clone(), m).unwrap();
+        let speeds = Speeds::new(speeds_vec.clone()).unwrap();
+
+        // π: relabel processor p as perm[p] (perm is m-long here by
+        // construction of the strategy's key vector).
+        let relabeled_placement: Vec<usize> = placement.iter().map(|&p| perm[p]).collect();
+        let mut relabeled_speeds = vec![0u64; m];
+        for p in 0..m {
+            relabeled_speeds[perm[p]] = speeds_vec[p];
+        }
+        let rinst = Instance::from_sizes(&sizes, relabeled_placement, m).unwrap();
+        let rspeeds = Speeds::new(relabeled_speeds).unwrap();
+
+        let g0 = hetero::rebalance_greedy(&inst, &speeds, k).unwrap();
+        let g1 = hetero::rebalance_greedy(&rinst, &rspeeds, k).unwrap();
+        prop_assert_eq!(g0.scaled_makespan, g1.scaled_makespan);
+        prop_assert_eq!(g0.outcome.moves(), g1.outcome.moves());
+        let expected: Vec<usize> = g0.outcome.assignment().iter().map(|&p| perm[p]).collect();
+        prop_assert_eq!(&expected, g1.outcome.assignment());
+
+        let p0 = hetero::rebalance_mpartition(&inst, &speeds, k).unwrap();
+        let p1 = hetero::rebalance_mpartition(&rinst, &rspeeds, k).unwrap();
+        prop_assert_eq!(p0.scaled_makespan, p1.scaled_makespan);
+        prop_assert_eq!(p0.outcome.moves(), p1.outcome.moves());
+        let expected: Vec<usize> = p0.outcome.assignment().iter().map(|&p| perm[p]).collect();
+        prop_assert_eq!(&expected, p1.outcome.assignment());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// The exact oracle is relabeling-invariant for *arbitrary* (possibly
+    /// repeated) speeds — its enumeration is symmetric in the processors.
+    #[test]
+    fn oracle_is_relabeling_invariant_for_general_speeds(
+        (sizes, placement, k, m, speeds_vec, keys) in hetero_instance()
+    ) {
+        // Small n keeps the oracle fast; clamp via truncation.
+        let n = sizes.len().min(6);
+        let sizes = &sizes[..n];
+        let placement = &placement[..n];
+        let k = k.min(n);
+        let perm = perm_from_keys(&keys);
+
+        let inst = Instance::from_sizes(sizes, placement.to_vec(), m).unwrap();
+        let speeds = Speeds::new(speeds_vec.clone()).unwrap();
+        let relabeled_placement: Vec<usize> = placement.iter().map(|&p| perm[p]).collect();
+        let mut relabeled_speeds = vec![0u64; m];
+        for p in 0..m {
+            relabeled_speeds[perm[p]] = speeds_vec[p];
+        }
+        let rinst = Instance::from_sizes(sizes, relabeled_placement, m).unwrap();
+        let rspeeds = Speeds::new(relabeled_speeds).unwrap();
+
+        prop_assert_eq!(
+            exact::hetero::optimal_scaled_makespan(&inst, &speeds, k),
+            exact::hetero::optimal_scaled_makespan(&rinst, &rspeeds, k)
+        );
+    }
+
+    /// Hetero batches through the engine are bit-identical at every thread
+    /// count, for both speed-scaled solvers.
+    #[test]
+    fn hetero_engine_is_thread_count_invariant(
+        batch in vec(hetero_instance(), 1..=8)
+    ) {
+        let items: Vec<HeteroBatchItem> = batch
+            .into_iter()
+            .map(|(sizes, placement, k, m, speeds, _)| HeteroBatchItem {
+                instance: Instance::from_sizes(&sizes, placement, m).unwrap(),
+                speeds: Speeds::new(speeds).unwrap(),
+                moves: k,
+            })
+            .collect();
+        for solver in [HeteroBatchSolver::MPartition, HeteroBatchSolver::Greedy] {
+            let baseline = solve_hetero_batch(&items, solver, &EngineConfig::with_threads(1));
+            for threads in [2usize, 4, 8] {
+                let got = solve_hetero_batch(&items, solver, &EngineConfig::with_threads(threads));
+                prop_assert_eq!(&baseline.outcomes, &got.outcomes);
+            }
+        }
+    }
+
+    /// A plan whose crashes all land in its single epoch is exactly
+    /// path-independent: the replay *is* the direct evacuation.
+    #[test]
+    fn single_epoch_plans_are_exactly_path_independent(
+        ((sizes, placement, _, m, speeds, _), seed) in (hetero_instance(), 0u64..=10_000)
+    ) {
+        let inst = Instance::from_sizes(&sizes, placement, m).unwrap();
+        let speeds = Speeds::new(speeds).unwrap();
+        let plan = FaultPlan::generate(&FaultConfig::crashes(0.4, 0.3, seed), m, 1);
+        let d = pathind::compare(&inst, &speeds, &plan).unwrap();
+        prop_assert!(d.exact_match, "single-epoch divergence: {:?}", d);
+        prop_assert_eq!(d.path_scaled, d.direct_scaled);
+    }
+}
+
+/// The ≥64-seed drill: deterministic end to end, fault-free seeds always
+/// match exactly, and the recorded divergence stays inside the pinned
+/// envelope (hamming can never exceed the job count; the makespan ratio is
+/// pinned empirically and fails loudly if the rule ever degrades).
+#[test]
+fn path_independence_drill_is_deterministic_and_bounded() {
+    let cfg = PathDrillConfig::standard(2026);
+    assert!(cfg.seeds >= 64);
+    let a = pathind::drill(&cfg).unwrap();
+    let b = pathind::drill(&cfg).unwrap();
+    assert_eq!(a, b, "drill must be seed-deterministic");
+
+    assert_eq!(a.seeds, cfg.seeds);
+    assert!(
+        a.exact_matches >= a.fault_free,
+        "fault-free seeds must match"
+    );
+    assert!(a.max_hamming <= cfg.jobs as u64);
+    assert!(a.total_hamming <= cfg.seeds * cfg.jobs as u64);
+    // Empirical envelope: the worst path-vs-direct scaled-makespan ratio
+    // observed across the standard drill (measured 6.898 at this seed).
+    // The structural ceiling is Σv/v_min = 15 for this config — both
+    // assignments cover the same survivor set — so 8.0 leaves headroom for
+    // rounding without letting a real degradation of the evacuation rule
+    // slip through.
+    assert!(
+        a.max_ratio_x1000 <= 8_000,
+        "path divergence envelope widened: {}",
+        a.max_ratio_x1000
+    );
+}
