@@ -620,6 +620,91 @@ pub fn hetero_cmd(args: &Args) -> CmdResult {
     Ok(out)
 }
 
+/// `lrb compete [--m M] [--epochs E] [--arrivals A] [--max-size S]
+/// [--speeds 1,1,..] [--seed S] [--smoke] [--out FILE] [--metrics OUT.json]
+/// [--verbose]` — race the three online migration policies (move bank,
+/// proportional migration factor, Maack uniform-machine factor) against
+/// the three adversarial arrival generators, scoring every post-rebalance
+/// makespan against the exact incremental oracle, and emit the
+/// schema-versioned COMPETE_1.json ratio grid.
+pub fn compete_cmd(args: &Args) -> CmdResult {
+    let smoke = args.has("smoke");
+    let (d_epochs, d_arrivals) = if smoke { (5, 2) } else { (8, 2) };
+    let procs: usize = args.get_or("m", 3).map_err(|e| e.to_string())?;
+    let epochs: usize = args.get_or("epochs", d_epochs).map_err(|e| e.to_string())?;
+    let arrivals: usize = args
+        .get_or("arrivals", d_arrivals)
+        .map_err(|e| e.to_string())?;
+    let max_size: u64 = args.get_or("max-size", 20).map_err(|e| e.to_string())?;
+    let seed: u64 = args.get_or("seed", 0).map_err(|e| e.to_string())?;
+    let speeds: Vec<u64> = match args.get("speeds") {
+        Some(s) => s
+            .split(',')
+            .map(|t| t.trim().parse::<u64>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| format!("--speeds {s}: expected comma-separated integers"))?,
+        None => vec![1; procs],
+    };
+    let out_path = args.get("out").map(str::to_string);
+    let metrics_path = args.get("metrics").map(str::to_string);
+    let verbose = args.has("verbose");
+    args.reject_unknown().map_err(|e| e.to_string())?;
+    if procs == 0 {
+        return Err("--m must be >= 1".to_string());
+    }
+
+    let rec = AtomicRecorder::new();
+    let cfg = crate::compete::CompeteRunConfig {
+        procs,
+        epochs,
+        arrivals_per_epoch: arrivals,
+        max_size,
+        speeds,
+        seed,
+    };
+    let report = crate::compete::run(&cfg, &rec)?;
+
+    let mut table = Table::new(
+        format!("compete: {procs} servers / {epochs} epochs x {arrivals} arrivals / exact oracle"),
+        &[
+            "policy",
+            "adversary",
+            "worst ratio",
+            "mean ratio",
+            "moves",
+            "volume",
+        ],
+    );
+    for c in &report.grid {
+        table.row(&[
+            c.policy.clone(),
+            c.adversary.clone(),
+            format!("{:.3}", c.worst_ratio_x1000 as f64 / 1000.0),
+            format!("{:.3}", c.mean_ratio_x1000 as f64 / 1000.0),
+            c.total_moves.to_string(),
+            c.total_migration_cost.to_string(),
+        ]);
+    }
+
+    let json = crate::report::to_validated_json(&report, crate::report::validate_compete)?;
+    let mut out = table.render();
+    out.push('\n');
+    out.push_str(&json);
+    if let Some(path) = &out_path {
+        std::fs::write(path, &json).map_err(|e| format!("io error: {e}"))?;
+        out.push_str(&format!("\ncompete report written to {path}"));
+    }
+    if verbose {
+        out.push_str("\n\n");
+        out.push_str(&rec.snapshot().render_table());
+    }
+    if let Some(p) = &metrics_path {
+        out.push('\n');
+        out.push_str(&write_metrics(&rec, p)?);
+    }
+    Ok(out)
+}
+
 /// `lrb replay TRACE.csv --servers M [--moves K]` — replay a recorded load
 /// trace (one CSV row per epoch, one column per site) through every policy.
 pub fn replay_cmd(args: &Args, path: &str) -> CmdResult {
@@ -671,6 +756,8 @@ USAGE:
   lrb hetero [--n N] [--m M] [--moves K] [--seed S] [--speeds 1,2,3,..]
              [--instances I] [--theta T] [--trials T] [--pi-seeds S]
              [--crash-rate R] [--recovery-rate R] [--smoke] [--out FILE]
+  lrb compete [--m M] [--epochs E] [--arrivals A] [--max-size S]
+              [--speeds 1,1,..] [--seed S] [--smoke] [--out FILE]
   lrb bench [--threads 1,2,4,8] [--seed S] [--repeat R] [--smoke] [--out FILE]
             [--baseline FILE [--threshold T] [--compare FILE]]
   lrb trace [--scenario smoke_ladder|standard_ladder|chaos|online] [--threads T]
@@ -716,6 +803,16 @@ HETERO:
   crash drill (epoch-by-epoch evacuation vs a from-scratch solve on the
   final survivor set). Prints a summary plus the schema-versioned JSON
   report (HETERO_1.json); --smoke cuts every section down to seconds
+
+COMPETE:
+  races the online migration policies (the paper's amortized move bank,
+  the Albers-Hellwig-style proportional migration factor, and the Maack
+  uniform-machine factor) against adversarial arrival streams (random
+  order, the Graham greedy punisher, a load-adaptive leveler), scoring
+  every post-rebalance makespan against an exact incremental oracle.
+  Prints the realized competitive-ratio grid plus the schema-versioned
+  JSON report (COMPETE_1.json); the Maack 8/3 envelope on uniform speeds
+  and the no-overspend migration certificates are hard errors
 
 CHAOS:
   sweeps the crash rate (0x, 0.5x, 1x, 2x, 4x of --crash-rate) through the
@@ -981,6 +1078,7 @@ pub fn dispatch(tokens: Vec<String>) -> CmdResult {
         Some("trace") => trace_cmd(&args),
         Some("chaos") => chaos_cmd(&args),
         Some("hetero") => hetero_cmd(&args),
+        Some("compete") => compete_cmd(&args),
         Some("online") => online_cmd(&args),
         Some("serve") => crate::serve_cmd::serve_cmd(&args),
         Some("loadgen") => crate::serve_cmd::loadgen_cmd(&args),
@@ -1249,6 +1347,50 @@ mod tests {
         assert!(run("chaos --crash-rate 1.5")
             .unwrap_err()
             .contains("probability"));
+    }
+
+    #[test]
+    fn compete_emits_a_schema_versioned_ratio_grid() {
+        let path = tmpfile("compete.json");
+        let out = run(&format!("compete --smoke --seed 7 --out {path}")).unwrap();
+        assert!(out.contains("compete:"), "{out}");
+        assert!(out.contains("compete report written"), "{out}");
+        let v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        crate::report::validate_compete(&v).unwrap();
+        assert_eq!(v["schema_version"], 1u64);
+        let grid = v["grid"].as_array().unwrap();
+        // 3 policies x 3 adversaries.
+        assert_eq!(grid.len(), 9);
+        for cell in grid {
+            // No policy ever overspends its migration certificate, and
+            // every realized ratio is >= 1 against the exact oracle.
+            assert_eq!(cell["certificate_overspend"], 0u64);
+            assert!(cell["worst_ratio_x1000"].as_u64().unwrap() >= 1000);
+            // The Maack envelope on uniform speeds, as emitted.
+            if cell["policy"] == "maack-uniform" {
+                assert!(
+                    cell["worst_ratio_x1000"].as_u64().unwrap()
+                        <= crate::compete::MAACK_ENVELOPE_X1000,
+                    "{cell:?}"
+                );
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compete_validates_its_knobs() {
+        assert!(run("compete --m 0").unwrap_err().contains("--m"));
+        assert!(run("compete --speeds 1,2")
+            .unwrap_err()
+            .contains("--speeds"));
+        assert!(run("compete --epochs 40 --arrivals 40")
+            .unwrap_err()
+            .contains("oracle ceiling"));
+        assert!(run("compete --bogus 1")
+            .unwrap_err()
+            .contains("unknown flags"));
     }
 
     #[test]

@@ -10,6 +10,7 @@ pub mod bench;
 pub mod chaos;
 pub mod commands;
 pub mod compare;
+pub mod compete;
 pub mod hetero;
 pub mod online;
 pub mod report;

@@ -206,6 +206,31 @@ pub const HETERO_PATH_KEYS: &[&str] = &[
     "total_hamming",
 ];
 
+/// Top-level keys of a compete report ([`crate::compete::CompeteReport`]).
+pub const COMPETE_TOP_KEYS: &[&str] = &[
+    "arrivals_per_epoch",
+    "epochs",
+    "grid",
+    "max_size",
+    "procs",
+    "schema_version",
+    "seed",
+    "speeds",
+];
+/// Keys of one `grid` cell ([`crate::compete::CompeteCell`]).
+pub const COMPETE_CELL_KEYS: &[&str] = &[
+    "adversary",
+    "certificate_overspend",
+    "epochs_scored",
+    "final_makespan",
+    "final_opt",
+    "mean_ratio_x1000",
+    "policy",
+    "total_migration_cost",
+    "total_moves",
+    "worst_ratio_x1000",
+];
+
 /// Require `value` to be an object carrying *exactly* `keys` — an unknown
 /// key and a missing key are both schema violations.
 fn expect_exact_keys(value: &Value, ctx: &str, keys: &[&str]) -> Result<(), String> {
@@ -280,6 +305,13 @@ pub fn validate_hetero(value: &Value) -> Result<(), String> {
         .get("path_independence")
         .ok_or("hetero: missing path_independence block")?;
     expect_exact_keys(path, "hetero.path_independence", HETERO_PATH_KEYS)
+}
+
+/// Validate a compete report document against the pinned schema.
+pub fn validate_compete(value: &Value) -> Result<(), String> {
+    expect_exact_keys(value, "compete", COMPETE_TOP_KEYS)?;
+    expect_version(value, "compete", crate::compete::COMPETE_SCHEMA_VERSION)?;
+    expect_array_of(value, "compete", "grid", COMPETE_CELL_KEYS)
 }
 
 /// Validate a serve snapshot document against the consumer-side pinned
@@ -398,6 +430,35 @@ mod tests {
         let v = chaos_doc(1, r#"[{"bogus": 1}]"#);
         let err = validate_chaos(&v).unwrap_err();
         assert!(err.contains("points[0]"), "{err}");
+    }
+
+    fn compete_doc(version: u64, grid: &str) -> Value {
+        serde_json::from_str(&format!(
+            r#"{{"schema_version": {version}, "procs": 3, "epochs": 4,
+                "arrivals_per_epoch": 2, "max_size": 9, "seed": 0,
+                "speeds": [1, 1, 1], "grid": {grid}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn compete_documents_are_validated_in_both_directions() {
+        let cell = r#"{"adversary": "adaptive", "certificate_overspend": 0,
+                       "epochs_scored": 4, "final_makespan": 9, "final_opt": 6,
+                       "mean_ratio_x1000": 1200, "policy": "move-bank",
+                       "total_migration_cost": 3, "total_moves": 2,
+                       "worst_ratio_x1000": 1500}"#;
+        validate_compete(&compete_doc(1, &format!("[{cell}]"))).unwrap();
+        assert!(validate_compete(&compete_doc(7, "[]"))
+            .unwrap_err()
+            .contains("schema_version 7"));
+        let short = cell.replace(r#""final_opt""#, r#""final_opt_typo""#);
+        let err = validate_compete(&compete_doc(1, &format!("[{short}]"))).unwrap_err();
+        assert!(err.contains("final_opt"), "{err}");
+        let extra = cell.replace(r#""total_moves": 2"#, r#""total_moves": 2, "smuggled": 1"#);
+        assert!(validate_compete(&compete_doc(1, &format!("[{extra}]")))
+            .unwrap_err()
+            .contains("unknown field 'smuggled'"));
     }
 
     fn trace_doc(events: &str) -> Value {

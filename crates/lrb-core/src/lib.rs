@@ -62,7 +62,8 @@ pub mod prelude {
     pub use crate::model::{Assignment, Budget, Cost, Instance, Job, JobId, ProcId, Size};
     pub use crate::mpartition::{self, ThresholdSearch};
     pub use crate::online::{
-        BankConfig, Event, JobKey, MoveBank, OnlineRebalancer, OnlineStats, RebalanceStep,
+        BankConfig, Event, JobKey, MaackBank, MigrationPolicy, MoveBank, OnlineRebalancer,
+        OnlineStats, ProportionalBank, RebalanceStep,
     };
     pub use crate::outcome::RebalanceOutcome;
     pub use crate::partition;

@@ -19,6 +19,20 @@
 //! multiset) change only performance, never the answer. Tests replay event
 //! streams and assert checkpoint-by-checkpoint bit-identity against
 //! from-scratch batch solves; see DESIGN.md §10.
+//!
+//! ## Migration policies
+//!
+//! The budget-accrual rule is abstracted behind [`MigrationPolicy`], with
+//! three implementations (see DESIGN.md §15):
+//!
+//! * [`MoveBank`] — fixed accrual per rebalance event up to a cap; the
+//!   workspace default and the rebalancer's default type parameter, so all
+//!   pre-trait call sites behave bit-identically.
+//! * [`ProportionalBank`] — `⌊β·size⌋` credited per *arrival*: the
+//!   migration-factor lens of Albers & Hellwig (arXiv:1111.0773).
+//! * [`MaackBank`] — the uniform-machine migration-factor variant after
+//!   Maack (arXiv:2209.00565), composing with [`crate::hetero::Speeds`];
+//!   on equal speeds it is bit-identical to [`ProportionalBank`].
 
 use crate::cost_partition;
 use crate::error::{Error, Result};
@@ -105,7 +119,7 @@ impl MoveBank {
     }
 
     /// Debit `units`; callers never spend past the balance.
-    fn spend(&mut self, units: u64) {
+    fn debit(&mut self, units: u64) {
         debug_assert!(units <= self.balance, "bank overdraft");
         self.balance -= units.min(self.balance);
         self.total_spent = self.total_spent.saturating_add(units);
@@ -152,6 +166,239 @@ impl MoveBank {
 
     /// Units debited over the bank's lifetime.
     pub fn total_spent(&self) -> u64 {
+        self.total_spent
+    }
+}
+
+/// Budget-accrual policy for online migration: when credit is earned, and
+/// how much the rebalancer may spend at a rebalance event.
+///
+/// Implementations differ only in *when* credit accrues — per rebalance
+/// event ([`MoveBank`]) or per arrival, proportional to the arriving job's
+/// size ([`ProportionalBank`], [`MaackBank`]). All accounting is
+/// integer-only, so every run is exactly reproducible, and the certificate
+/// every policy carries is `total_spent ≤ initial grant + total_accrued`
+/// (the rebalancer clamps each effective budget to the balance and never
+/// overdraws).
+pub trait MigrationPolicy: std::fmt::Debug {
+    /// Stable policy name for reports and traces.
+    fn name(&self) -> &'static str;
+
+    /// Credit earned when a job of `size` arrives. Migration-factor
+    /// policies accrue here; [`MoveBank`] does not (a strict no-op, which
+    /// keeps the default policy bit-identical to the pre-trait code).
+    fn on_arrival(&mut self, size: Size);
+
+    /// Credit earned at a rebalance event, before the requested budget is
+    /// clamped. [`MoveBank`] accrues here; migration-factor policies do
+    /// not.
+    fn on_rebalance(&mut self);
+
+    /// Currently banked budget units.
+    fn balance(&self) -> u64;
+
+    /// Debit `units`; the rebalancer never spends past the balance.
+    fn spend(&mut self, units: u64);
+
+    /// Units credited over the policy's lifetime (excluding any initial
+    /// grant).
+    fn total_accrued(&self) -> u64;
+
+    /// Units debited over the policy's lifetime.
+    fn total_spent(&self) -> u64;
+}
+
+impl MigrationPolicy for MoveBank {
+    fn name(&self) -> &'static str {
+        "move-bank"
+    }
+
+    fn on_arrival(&mut self, _size: Size) {}
+
+    fn on_rebalance(&mut self) {
+        self.accrue();
+    }
+
+    fn balance(&self) -> u64 {
+        self.balance
+    }
+
+    fn spend(&mut self, units: u64) {
+        self.debit(units);
+    }
+
+    fn total_accrued(&self) -> u64 {
+        self.total_accrued
+    }
+
+    fn total_spent(&self) -> u64 {
+        self.total_spent
+    }
+}
+
+/// Size-proportional migration-factor policy after Albers & Hellwig
+/// (arXiv:1111.0773): each arriving job of size `s` credits `⌊β·s⌋` budget
+/// units, where `β = beta_num / beta_den` is a rational migration factor.
+///
+/// Accounting is integer-only (`u128` intermediates, floor division), so
+/// the credit schedule is exact and reproducible. There is no cap: the
+/// policy's certificate is that lifetime spending never exceeds the credit
+/// earned from the sizes that actually arrived.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProportionalBank {
+    beta_num: u64,
+    beta_den: u64,
+    balance: u64,
+    total_accrued: u64,
+    total_spent: u64,
+}
+
+impl ProportionalBank {
+    /// A policy with migration factor `beta_num / beta_den`, starting with
+    /// an empty balance. A zero denominator is treated as 1.
+    pub fn new(beta_num: u64, beta_den: u64) -> Self {
+        ProportionalBank {
+            beta_num,
+            beta_den: beta_den.max(1),
+            balance: 0,
+            total_accrued: 0,
+            total_spent: 0,
+        }
+    }
+
+    /// The migration factor as a `(numerator, denominator)` pair.
+    pub fn beta(&self) -> (u64, u64) {
+        (self.beta_num, self.beta_den)
+    }
+
+    /// The credit earned by an arrival of `size`: `⌊β·size⌋`.
+    fn credit(&self, size: Size) -> u64 {
+        let num = u128::from(size).saturating_mul(u128::from(self.beta_num));
+        u64::try_from(num / u128::from(self.beta_den)).unwrap_or(u64::MAX)
+    }
+}
+
+impl MigrationPolicy for ProportionalBank {
+    fn name(&self) -> &'static str {
+        "proportional"
+    }
+
+    fn on_arrival(&mut self, size: Size) {
+        let credited = self.credit(size);
+        self.balance = self.balance.saturating_add(credited);
+        self.total_accrued = self.total_accrued.saturating_add(credited);
+    }
+
+    fn on_rebalance(&mut self) {}
+
+    fn balance(&self) -> u64 {
+        self.balance
+    }
+
+    fn spend(&mut self, units: u64) {
+        debug_assert!(units <= self.balance, "policy overdraft");
+        self.balance -= units.min(self.balance);
+        self.total_spent = self.total_spent.saturating_add(units);
+    }
+
+    fn total_accrued(&self) -> u64 {
+        self.total_accrued
+    }
+
+    fn total_spent(&self) -> u64 {
+        self.total_spent
+    }
+}
+
+/// Uniform-machine migration-factor policy after Maack (arXiv:2209.00565),
+/// composing with [`crate::hetero::Speeds`]: an arrival of size `s` credits
+/// `⌊β·s·s_max / s_min⌋` units, scaling the size-proportional budget by the
+/// fleet's speed spread so that slower machines (which stretch processing
+/// times by up to `s_max / s_min`) earn proportionally more migration
+/// budget.
+///
+/// When all speeds are equal the spread is exactly 1 — the numerator and
+/// denominator share the common speed factor, so floor division yields
+/// `⌊β·s⌋` — and the policy is *bit-identical* to [`ProportionalBank`]
+/// with the same β (the same delegation-to-identical idiom the hetero
+/// solvers use).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaackBank {
+    beta_num: u64,
+    beta_den: u64,
+    speed_min: u64,
+    speed_max: u64,
+    balance: u64,
+    total_accrued: u64,
+    total_spent: u64,
+}
+
+impl MaackBank {
+    /// A policy with migration factor `beta_num / beta_den` over `speeds`
+    /// (which are validated non-empty and nonzero by construction). A zero
+    /// denominator is treated as 1.
+    pub fn new(beta_num: u64, beta_den: u64, speeds: &crate::hetero::Speeds) -> Self {
+        let slice = speeds.as_slice();
+        MaackBank {
+            beta_num,
+            beta_den: beta_den.max(1),
+            speed_min: slice.iter().copied().min().unwrap_or(1).max(1),
+            speed_max: slice.iter().copied().max().unwrap_or(1).max(1),
+            balance: 0,
+            total_accrued: 0,
+            total_spent: 0,
+        }
+    }
+
+    /// The migration factor as a `(numerator, denominator)` pair.
+    pub fn beta(&self) -> (u64, u64) {
+        (self.beta_num, self.beta_den)
+    }
+
+    /// The `(s_min, s_max)` speed spread the credit rule scales by.
+    pub fn speed_spread(&self) -> (u64, u64) {
+        (self.speed_min, self.speed_max)
+    }
+
+    /// The credit earned by an arrival of `size`:
+    /// `⌊size·β·s_max / s_min⌋`, computed in `u128`.
+    fn credit(&self, size: Size) -> u64 {
+        let num = u128::from(size)
+            .saturating_mul(u128::from(self.beta_num))
+            .saturating_mul(u128::from(self.speed_max));
+        let den = u128::from(self.beta_den) * u128::from(self.speed_min);
+        u64::try_from(num / den).unwrap_or(u64::MAX)
+    }
+}
+
+impl MigrationPolicy for MaackBank {
+    fn name(&self) -> &'static str {
+        "maack-uniform"
+    }
+
+    fn on_arrival(&mut self, size: Size) {
+        let credited = self.credit(size);
+        self.balance = self.balance.saturating_add(credited);
+        self.total_accrued = self.total_accrued.saturating_add(credited);
+    }
+
+    fn on_rebalance(&mut self) {}
+
+    fn balance(&self) -> u64 {
+        self.balance
+    }
+
+    fn spend(&mut self, units: u64) {
+        debug_assert!(units <= self.balance, "policy overdraft");
+        self.balance -= units.min(self.balance);
+        self.total_spent = self.total_spent.saturating_add(units);
+    }
+
+    fn total_accrued(&self) -> u64 {
+        self.total_accrued
+    }
+
+    fn total_spent(&self) -> u64 {
         self.total_spent
     }
 }
@@ -210,8 +457,13 @@ pub struct Commit {
 /// canonical regardless of event order within an epoch), per-processor
 /// loads, and a [`SizeMultiset`] priming the threshold-ladder cache of its
 /// private [`Scratch`].
+///
+/// The rebalancer is generic over its [`MigrationPolicy`], defaulting to
+/// [`MoveBank`] so existing call sites need no type annotation and behave
+/// bit-identically to the pre-trait code. Use [`Self::with_policy`] to run
+/// a migration-factor policy instead.
 #[derive(Debug)]
-pub struct OnlineRebalancer {
+pub struct OnlineRebalancer<P: MigrationPolicy = MoveBank> {
     num_procs: usize,
     /// Live job keys, ascending; `jobs` and `assignment` are parallel.
     keys: Vec<JobKey>,
@@ -219,28 +471,16 @@ pub struct OnlineRebalancer {
     assignment: Vec<ProcId>,
     loads: Vec<Size>,
     multiset: SizeMultiset,
-    bank: MoveBank,
+    bank: P,
     scratch: Scratch,
     stats: OnlineStats,
 }
 
 impl OnlineRebalancer {
-    /// An empty online instance over `num_procs` processors.
+    /// An empty online instance over `num_procs` processors with the
+    /// default [`MoveBank`] policy following `bank`.
     pub fn new(num_procs: usize, bank: BankConfig) -> Result<Self> {
-        if num_procs == 0 {
-            return Err(Error::NoProcessors);
-        }
-        Ok(OnlineRebalancer {
-            num_procs,
-            keys: Vec::new(),
-            jobs: Vec::new(),
-            assignment: Vec::new(),
-            loads: vec![0; num_procs],
-            multiset: SizeMultiset::new(),
-            bank: MoveBank::new(bank),
-            scratch: Scratch::new(),
-            stats: OnlineStats::default(),
-        })
+        Self::with_policy(num_procs, MoveBank::new(bank))
     }
 
     /// Rebuild a rebalancer from persisted state (crash recovery): the
@@ -262,6 +502,27 @@ impl OnlineRebalancer {
         r.bank = bank;
         r.stats = stats;
         Ok(r)
+    }
+}
+
+impl<P: MigrationPolicy> OnlineRebalancer<P> {
+    /// An empty online instance over `num_procs` processors governed by
+    /// `policy`.
+    pub fn with_policy(num_procs: usize, policy: P) -> Result<Self> {
+        if num_procs == 0 {
+            return Err(Error::NoProcessors);
+        }
+        Ok(OnlineRebalancer {
+            num_procs,
+            keys: Vec::new(),
+            jobs: Vec::new(),
+            assignment: Vec::new(),
+            loads: vec![0; num_procs],
+            multiset: SizeMultiset::new(),
+            bank: policy,
+            scratch: Scratch::new(),
+            stats: OnlineStats::default(),
+        })
     }
 
     /// Apply one event; rebalances return their step, other events `None`.
@@ -291,6 +552,7 @@ impl OnlineRebalancer {
         self.assignment.insert(at, proc);
         self.loads[proc] = self.loads[proc].saturating_add(job.size);
         self.multiset.insert(job.size);
+        self.bank.on_arrival(job.size);
         self.stats.events += 1;
         self.stats.arrivals += 1;
         Ok(())
@@ -319,10 +581,10 @@ impl OnlineRebalancer {
     pub fn begin_rebalance(&mut self, requested: Budget) -> Budget {
         self.stats.events += 1;
         self.stats.rebalances += 1;
-        self.bank.accrue();
+        self.bank.on_rebalance();
         match requested {
-            Budget::Moves(k) => Budget::Moves((k as u64).min(self.bank.balance) as usize),
-            Budget::Cost(b) => Budget::Cost(b.min(self.bank.balance)),
+            Budget::Moves(k) => Budget::Moves((k as u64).min(self.bank.balance()) as usize),
+            Budget::Cost(b) => Budget::Cost(b.min(self.bank.balance())),
         }
     }
 
@@ -530,8 +792,8 @@ impl OnlineRebalancer {
         self.loads.iter().copied().max().unwrap_or(0)
     }
 
-    /// The move bank.
-    pub fn bank(&self) -> &MoveBank {
+    /// The migration policy ([`MoveBank`] by default).
+    pub fn bank(&self) -> &P {
         &self.bank
     }
 
@@ -554,6 +816,7 @@ impl OnlineRebalancer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hetero::Speeds;
 
     fn arrive(r: &mut OnlineRebalancer, key: JobKey, size: Size, proc: ProcId) {
         r.arrive(key, Job::unit(size), proc).unwrap();
@@ -807,5 +1070,190 @@ mod tests {
         assert_eq!(step.outcome.moves(), 0);
         assert_eq!(step.outcome.makespan(), 0);
         assert_eq!(r.stats().rebalances, 1);
+    }
+
+    #[test]
+    fn with_policy_movebank_is_bit_identical_to_new() {
+        let cfg = BankConfig {
+            accrual: 1,
+            cap: 3,
+            initial: 1,
+        };
+        let mut a = OnlineRebalancer::new(2, cfg).unwrap();
+        let mut b = OnlineRebalancer::with_policy(2, MoveBank::new(cfg)).unwrap();
+        for (key, size) in [(0u64, 4u64), (1, 3), (2, 3), (3, 2)] {
+            arrive(&mut a, key, size, 0);
+            arrive(&mut b, key, size, 0);
+            let sa = a.rebalance(Budget::Moves(2)).unwrap();
+            let sb = b.rebalance(Budget::Moves(2)).unwrap();
+            assert_eq!(sa, sb);
+            assert_eq!(a.bank(), b.bank());
+            assert_eq!(a.assignment(), b.assignment());
+            assert_eq!(a.stats(), b.stats());
+        }
+    }
+
+    #[test]
+    fn movebank_trait_view_is_bit_identical_to_inherent_accessors() {
+        // Regression for the refactor hazard: the MigrationPolicy surface
+        // over MoveBank must agree with the inherent accessors lrb-serve
+        // snapshots persist, and arrivals must stay a strict no-op.
+        let mut bank = MoveBank::from_parts(99, 3, 8, 40, 33);
+        let p: &mut dyn MigrationPolicy = &mut bank;
+        assert_eq!(p.name(), "move-bank");
+        assert_eq!(p.balance(), 8); // from_parts clamped to cap
+        assert_eq!(p.total_accrued(), 40);
+        assert_eq!(p.total_spent(), 33);
+        p.on_arrival(1_000);
+        assert_eq!((p.balance(), p.total_accrued()), (8, 40));
+        p.on_rebalance(); // at cap: zero credited
+        assert_eq!((p.balance(), p.total_accrued()), (8, 40));
+        p.spend(5);
+        assert_eq!((p.balance(), p.total_spent()), (3, 38));
+        p.on_rebalance(); // accrual 3 fits under the cap again
+        assert_eq!((p.balance(), p.total_accrued()), (6, 43));
+        assert_eq!(bank.balance(), 6);
+        assert_eq!(bank.total_accrued(), 43);
+        assert_eq!(bank.total_spent(), 38);
+    }
+
+    #[test]
+    fn from_parts_restore_round_trip_is_bit_identical_through_the_trait() {
+        let cfg = BankConfig {
+            accrual: 2,
+            cap: 6,
+            initial: 3,
+        };
+        let mut live = OnlineRebalancer::new(2, cfg).unwrap();
+        for (key, size) in [(0u64, 5u64), (1, 4), (2, 3), (3, 2)] {
+            arrive(&mut live, key, size, 0);
+        }
+        live.rebalance(Budget::Moves(2)).unwrap();
+
+        // Persist the bank exactly as lrb-serve snapshots do: field by
+        // field through the inherent accessors, rebuilt via from_parts.
+        let rebuilt = {
+            let b = live.bank();
+            MoveBank::from_parts(
+                b.balance(),
+                b.accrual(),
+                b.cap(),
+                b.total_accrued(),
+                b.total_spent(),
+            )
+        };
+        assert_eq!(&rebuilt, live.bank());
+        let persisted: Vec<(JobKey, Job, ProcId)> = live
+            .keys()
+            .iter()
+            .map(|&k| (k, *live.job(k).unwrap(), live.proc_of(k).unwrap()))
+            .collect();
+        let mut restored =
+            OnlineRebalancer::restore(2, &persisted, rebuilt, *live.stats()).unwrap();
+
+        // Both twins answer future events identically through the trait.
+        let sa = live.rebalance(Budget::Moves(3)).unwrap();
+        let sb = restored.rebalance(Budget::Moves(3)).unwrap();
+        assert_eq!(sa, sb);
+        assert_eq!(live.bank(), restored.bank());
+        assert_eq!(live.assignment(), restored.assignment());
+    }
+
+    #[test]
+    fn proportional_policy_earns_on_arrivals_not_rebalances() {
+        let mut p = ProportionalBank::new(3, 2);
+        assert_eq!(p.name(), "proportional");
+        assert_eq!(p.beta(), (3, 2));
+        p.on_arrival(5); // ⌊15/2⌋ = 7
+        p.on_arrival(1); // ⌊3/2⌋ = 1
+        assert_eq!((p.balance(), p.total_accrued()), (8, 8));
+        p.on_rebalance(); // no rebalance accrual
+        assert_eq!(p.balance(), 8);
+        p.spend(3);
+        assert_eq!((p.balance(), p.total_spent()), (5, 3));
+
+        let mut r = OnlineRebalancer::with_policy(2, ProportionalBank::new(1, 1)).unwrap();
+        r.arrive(0, Job::with_cost(4, 4), 0).unwrap();
+        r.arrive(1, Job::with_cost(3, 3), 0).unwrap();
+        assert_eq!(r.bank().balance(), 7);
+        let step = r.rebalance(Budget::Cost(u64::MAX)).unwrap();
+        assert_eq!(step.effective, Budget::Cost(7));
+        assert_eq!(step.banked_before, 7);
+        assert!(r.bank().total_spent() <= r.bank().total_accrued());
+    }
+
+    #[test]
+    fn zero_beta_denominator_is_treated_as_one() {
+        let mut p = ProportionalBank::new(2, 0);
+        assert_eq!(p.beta(), (2, 1));
+        p.on_arrival(3);
+        assert_eq!(p.balance(), 6);
+        let speeds = Speeds::unit(2).unwrap();
+        let m = MaackBank::new(2, 0, &speeds);
+        assert_eq!(m.beta(), (2, 1));
+    }
+
+    #[test]
+    fn maack_on_equal_speeds_is_bit_identical_to_proportional() {
+        let speeds = Speeds::uniform(3, 7).unwrap();
+        let mut a = OnlineRebalancer::with_policy(3, ProportionalBank::new(3, 2)).unwrap();
+        let mut b = OnlineRebalancer::with_policy(3, MaackBank::new(3, 2, &speeds)).unwrap();
+        for (key, size, proc) in [(0u64, 9u64, 0), (1, 5, 0), (2, 7, 1), (3, 1, 2), (4, 4, 0)] {
+            a.arrive(key, Job::with_cost(size, size), proc).unwrap();
+            b.arrive(key, Job::with_cost(size, size), proc).unwrap();
+            let sa = a.rebalance(Budget::Cost(u64::MAX)).unwrap();
+            let sb = b.rebalance(Budget::Cost(u64::MAX)).unwrap();
+            assert_eq!(sa, sb);
+            assert_eq!(a.bank().balance(), b.bank().balance());
+            assert_eq!(a.bank().total_accrued(), b.bank().total_accrued());
+            assert_eq!(a.bank().total_spent(), b.bank().total_spent());
+            assert_eq!(a.assignment(), b.assignment());
+            assert_eq!(a.loads(), b.loads());
+        }
+    }
+
+    #[test]
+    fn maack_scales_credit_by_the_speed_spread() {
+        let speeds = Speeds::new(vec![1, 2, 4]).unwrap();
+        let mut m = MaackBank::new(1, 2, &speeds);
+        assert_eq!(m.name(), "maack-uniform");
+        assert_eq!(m.speed_spread(), (1, 4));
+        m.on_arrival(5); // ⌊5·1·4 / (2·1)⌋ = 10
+        assert_eq!(m.balance(), 10);
+        m.on_rebalance();
+        assert_eq!(m.balance(), 10);
+        m.spend(4);
+        assert_eq!((m.balance(), m.total_spent()), (6, 4));
+    }
+
+    #[test]
+    fn policies_never_overspend_their_certificate() {
+        fn drive<P: MigrationPolicy>(mut r: OnlineRebalancer<P>, initial: u64) {
+            for (key, size, proc) in [(0u64, 6u64, 0), (1, 5, 0), (2, 4, 1), (3, 2, 0)] {
+                r.arrive(key, Job::with_cost(size, size), proc).unwrap();
+                r.rebalance(Budget::Cost(u64::MAX)).unwrap();
+            }
+            r.bill(3);
+            let b = r.bank();
+            assert!(
+                b.total_spent() <= initial.saturating_add(b.total_accrued()),
+                "{} overspent: spent {} > initial {} + accrued {}",
+                b.name(),
+                b.total_spent(),
+                initial,
+                b.total_accrued()
+            );
+        }
+        let cfg = BankConfig::default();
+        drive(OnlineRebalancer::new(3, cfg).unwrap(), cfg.initial);
+        drive(
+            OnlineRebalancer::with_policy(3, ProportionalBank::new(1, 1)).unwrap(),
+            0,
+        );
+        let speeds = Speeds::new(vec![2, 3, 5]).unwrap();
+        drive(
+            OnlineRebalancer::with_policy(3, MaackBank::new(1, 1, &speeds)).unwrap(),
+            0,
+        );
     }
 }

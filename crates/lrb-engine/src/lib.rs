@@ -52,6 +52,15 @@ pub enum BatchSolver {
 }
 
 /// One unit of work: an instance plus the relocation budget to solve under.
+///
+/// Budgets are *per item*, so one epoch batch may mix `Budget::Moves` and
+/// `Budget::Cost` entries freely — under [`BatchSolver::MPartition`] each
+/// item dispatches to the solver matching its own budget kind. This is what
+/// makes stream batches **policy-generic**: an online fleet whose farms run
+/// different [`lrb_core::online::MigrationPolicy`] implementations (a
+/// move-billed `MoveBank` lane next to volume-billed migration-factor
+/// lanes) still solves each lockstep epoch through a single
+/// [`StreamEngine`], with results bit-identical at any thread count.
 #[derive(Debug, Clone)]
 pub struct BatchItem {
     /// The rebalancing instance.
@@ -736,6 +745,51 @@ mod tests {
                 }
             })
             .collect()
+    }
+
+    /// Mixed-budget ("policy-generic") batches: one epoch carrying both
+    /// move-billed and cost-billed items — as an online fleet running
+    /// different migration policies produces — must match the sequential
+    /// per-item solvers exactly and stay thread-count invariant.
+    #[test]
+    fn mixed_budget_batches_are_policy_generic_and_thread_invariant() {
+        let items: Vec<BatchItem> = (0..24)
+            .map(|i| {
+                let cfg = GeneratorConfig::uniform(18, 3);
+                let instance = cfg.generate(100 + i as u64);
+                let budget = if i % 2 == 0 {
+                    Budget::Moves(2 + i % 4)
+                } else {
+                    Budget::Cost(3 + (i as u64) % 7)
+                };
+                BatchItem { instance, budget }
+            })
+            .collect();
+        let seq: Vec<RebalanceOutcome> = items
+            .iter()
+            .map(|item| match item.budget {
+                Budget::Moves(k) => mpartition::rebalance(&item.instance, k).unwrap().outcome,
+                Budget::Cost(b) => {
+                    cost_partition::rebalance(&item.instance, b)
+                        .unwrap()
+                        .outcome
+                }
+            })
+            .collect();
+        for threads in [1, 2, 4, 8] {
+            let mut engine = StreamEngine::new(
+                BatchSolver::MPartition,
+                &EngineConfig::with_threads(threads),
+            );
+            // Two epochs over the same items: warm scratches never change
+            // answers either.
+            for epoch in 0..2 {
+                let report = engine.solve_epoch(&items);
+                for (i, (a, b)) in seq.iter().zip(&report.outcomes).enumerate() {
+                    assert_eq!(a, b, "threads {threads} epoch {epoch} item {i}");
+                }
+            }
+        }
     }
 
     #[test]

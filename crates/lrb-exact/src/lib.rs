@@ -16,18 +16,23 @@
 //! * [`conflict`] — feasibility oracle for the Conflict Scheduling variant
 //!   (Theorem 7);
 //! * [`hetero`] — uniform-machine (per-processor speed) extension of the
-//!   subset-enumeration oracle, certifying the speed-scaled solvers.
+//!   subset-enumeration oracle, certifying the speed-scaled solvers;
+//! * [`incremental`] — the unconstrained `OPT` of a live job multiset,
+//!   maintained under arrivals/departures for exact online competitive
+//!   ratios (memoized per multiset).
 
 pub mod branch_bound;
 pub mod conflict;
 pub mod constrained;
 pub mod exhaustive;
 pub mod hetero;
+pub mod incremental;
 pub mod move_min;
 pub mod unit_jobs;
 
 pub use branch_bound::{solve, ExactSolution};
 pub use hetero::optimal_scaled_makespan;
+pub use incremental::IncrementalOracle;
 
 use lrb_core::model::{Budget, Instance, Size};
 

@@ -201,6 +201,34 @@ pub const GOLDEN_KEY_SETS: &[(&str, &[&str])] = &[
         ],
     ),
     (
+        "COMPETE_TOP_KEYS",
+        &[
+            "arrivals_per_epoch",
+            "epochs",
+            "grid",
+            "max_size",
+            "procs",
+            "schema_version",
+            "seed",
+            "speeds",
+        ],
+    ),
+    (
+        "COMPETE_CELL_KEYS",
+        &[
+            "adversary",
+            "certificate_overspend",
+            "epochs_scored",
+            "final_makespan",
+            "final_opt",
+            "mean_ratio_x1000",
+            "policy",
+            "total_migration_cost",
+            "total_moves",
+            "worst_ratio_x1000",
+        ],
+    ),
+    (
         "TRACE_TOP_KEYS",
         &[
             "displayTimeUnit",

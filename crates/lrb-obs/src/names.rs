@@ -197,3 +197,14 @@ pub const HETERO_MPARTITION: &str = "hetero.mpartition";
 pub const HETERO_MOVES: &str = "hetero.moves";
 /// Rational thresholds probed by the speed-scaled M-PARTITION scan.
 pub const HETERO_PROBES: &str = "hetero.probes";
+
+/// Policy × adversary cells evaluated by the compete lab.
+pub const COMPETE_CELLS: &str = "compete.cells";
+/// Epochs driven across all compete cells.
+pub const COMPETE_EPOCHS: &str = "compete.epochs";
+/// Exact incremental-oracle solves performed by the compete lab.
+pub const COMPETE_ORACLE_SOLVES: &str = "compete.oracle_solves";
+/// Realized competitive ratio ×1000 per epoch (histogram).
+pub const COMPETE_RATIO: &str = "compete.ratio_x1000";
+/// Jobs migrated across all compete cells.
+pub const COMPETE_MOVES: &str = "compete.moves";

@@ -1,0 +1,338 @@
+//! Adversarial and random-order arrival generators for the competitive
+//! lab.
+//!
+//! Classical competitive analysis distinguishes arrival models (Im,
+//! Karlin, et al. survey the spectrum in arXiv:2405.07949):
+//!
+//! * **Random order** — a fixed job multiset presented in a seeded
+//!   uniformly random permutation. The multiset (and therefore the final
+//!   `OPT`) is permutation-invariant, which the metamorphic suite pins.
+//! * **Greedy punisher** — the Graham lower-bound stream against
+//!   least-loaded placement: `m·(m−1)` small jobs that spread perfectly,
+//!   then one job of size `m·unit` that lands on an already-loaded server,
+//!   forcing a `2 − 1/m` ratio on any policy that cannot migrate.
+//! * **Adaptive** — reads the *current* loads before each arrival and
+//!   lands `max(spread, 1)` units on the least-loaded server, constantly
+//!   re-leveling so that banked migration budget is never enough to undo
+//!   the final oversized arrival.
+//!
+//! Every generator implements [`Adversary`]: the driver feeds back the
+//! rebalancer's live per-server loads before each arrival, which is what
+//! lets the adaptive streams target the placement rule rather than a fixed
+//! schedule. Placement feedback changes nothing for the oblivious models —
+//! random order ignores it by construction.
+//!
+//! Arrivals carry `cost = size`, so a `Budget::Cost` bill measures
+//! migration *volume* — the unit the migration-factor policies
+//! ([`lrb_core::online::ProportionalBank`], [`lrb_core::online::MaackBank`])
+//! certify against. The Poisson churn model stays in
+//! [`crate::online::OnlineWorkload`]; these generators cover the
+//! worst-case end of the spectrum.
+
+use lrb_core::model::Job;
+use lrb_core::online::{Event, JobKey};
+use lrb_instances::SizeDistribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An arrival generator that may adapt to the rebalancer's current loads.
+pub trait Adversary {
+    /// Stable generator name for reports.
+    fn name(&self) -> &'static str;
+
+    /// The next arrival given the current per-server loads, or `None` when
+    /// the stream is exhausted. Keys are fresh and monotonically
+    /// increasing; jobs carry `cost = size`.
+    fn next(&mut self, loads: &[u64]) -> Option<Event>;
+}
+
+/// Index of the least-loaded server (lowest index wins ties, matching the
+/// evacuation rule in [`crate::online`]).
+fn least_loaded(loads: &[u64]) -> usize {
+    let mut arg = 0usize;
+    for (p, &l) in loads.iter().enumerate() {
+        if l < loads[arg] {
+            arg = p;
+        }
+    }
+    arg
+}
+
+/// A fixed multiset presented in a seeded uniformly random permutation,
+/// each arrival placed on a seeded random server (the random-order model).
+#[derive(Debug, Clone)]
+pub struct RandomOrderAdversary {
+    num_procs: usize,
+    /// Remaining sizes, already permuted; drained back-to-front.
+    sizes: Vec<u64>,
+    rng: StdRng,
+    next_key: JobKey,
+}
+
+impl RandomOrderAdversary {
+    /// `arrivals` sizes drawn from `dist`, then permuted by `seed`. The
+    /// drawn multiset depends only on `(dist, arrivals, seed)`; two
+    /// generators with different permutation seeds over the same multiset
+    /// can be built via [`Self::from_sizes`].
+    pub fn new(num_procs: usize, arrivals: usize, dist: SizeDistribution, seed: u64) -> Self {
+        let mut draw = StdRng::seed_from_u64(seed.wrapping_mul(2).wrapping_add(1));
+        let sizes: Vec<u64> = (0..arrivals)
+            .map(|_| dist.sample(&mut draw).max(1))
+            .collect();
+        Self::from_sizes(num_procs, sizes, seed)
+    }
+
+    /// A random-order stream over an explicit multiset, permuted by `seed`.
+    pub fn from_sizes(num_procs: usize, mut sizes: Vec<u64>, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Fisher–Yates, then drain back-to-front so arrival order is the
+        // permuted order.
+        for i in (1..sizes.len()).rev() {
+            sizes.swap(i, rng.gen_range(0..=i));
+        }
+        sizes.reverse();
+        RandomOrderAdversary {
+            num_procs,
+            sizes,
+            rng,
+            next_key: 0,
+        }
+    }
+
+    /// The remaining multiset, in arrival order.
+    pub fn remaining(&self) -> impl Iterator<Item = u64> + '_ {
+        self.sizes.iter().rev().copied()
+    }
+}
+
+impl Adversary for RandomOrderAdversary {
+    fn name(&self) -> &'static str {
+        "random-order"
+    }
+
+    fn next(&mut self, _loads: &[u64]) -> Option<Event> {
+        let size = self.sizes.pop()?;
+        let key = self.next_key;
+        self.next_key += 1;
+        Some(Event::Arrive {
+            key,
+            job: Job::with_cost(size, size),
+            proc: self.rng.gen_range(0..self.num_procs),
+        })
+    }
+}
+
+/// The Graham lower-bound stream against least-loaded placement:
+/// `m·(m−1)` jobs of size `unit` (which least-loaded spreads into a
+/// perfectly level `(m−1)·unit` profile), then one job of size `m·unit`.
+/// Any policy that cannot migrate ends at `(2m−1)·unit` against
+/// `OPT = m·unit` — the classic `2 − 1/m` greedy bound.
+#[derive(Debug, Clone)]
+pub struct GreedyPunisher {
+    num_procs: usize,
+    unit: u64,
+    emitted: usize,
+    next_key: JobKey,
+}
+
+impl GreedyPunisher {
+    /// The punishing stream over `num_procs` servers at granularity
+    /// `unit ≥ 1` (`m·(m−1) + 1` arrivals in total).
+    pub fn new(num_procs: usize, unit: u64) -> Self {
+        GreedyPunisher {
+            num_procs,
+            unit: unit.max(1),
+            emitted: 0,
+            next_key: 0,
+        }
+    }
+
+    /// Arrivals this stream will emit in total.
+    pub fn stream_len(&self) -> usize {
+        self.num_procs * (self.num_procs.saturating_sub(1)) + 1
+    }
+}
+
+impl Adversary for GreedyPunisher {
+    fn name(&self) -> &'static str {
+        "greedy-punisher"
+    }
+
+    fn next(&mut self, loads: &[u64]) -> Option<Event> {
+        if self.emitted >= self.stream_len() {
+            return None;
+        }
+        let small = self.num_procs * (self.num_procs.saturating_sub(1));
+        let size = if self.emitted < small {
+            self.unit
+        } else {
+            self.unit.saturating_mul(self.num_procs as u64)
+        };
+        self.emitted += 1;
+        let key = self.next_key;
+        self.next_key += 1;
+        Some(Event::Arrive {
+            key,
+            job: Job::with_cost(size, size),
+            proc: least_loaded(loads),
+        })
+    }
+}
+
+/// A load-adaptive adversary: each arrival reads the live loads and lands
+/// `max(max_load − min_load, 1)` units (clamped to `max_size`) on the
+/// least-loaded server — permanently re-leveling the profile so migration
+/// budget buys nothing — then finishes with one `max_size` job on the
+/// least-loaded server to spike the makespan.
+#[derive(Debug, Clone)]
+pub struct AdaptiveAdversary {
+    arrivals: usize,
+    max_size: u64,
+    emitted: usize,
+    next_key: JobKey,
+}
+
+impl AdaptiveAdversary {
+    /// A stream of `arrivals` load-reactive jobs with sizes in
+    /// `1..=max_size`.
+    pub fn new(arrivals: usize, max_size: u64) -> Self {
+        AdaptiveAdversary {
+            arrivals,
+            max_size: max_size.max(1),
+            emitted: 0,
+            next_key: 0,
+        }
+    }
+}
+
+impl Adversary for AdaptiveAdversary {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn next(&mut self, loads: &[u64]) -> Option<Event> {
+        if self.emitted >= self.arrivals {
+            return None;
+        }
+        let max = loads.iter().copied().max().unwrap_or(0);
+        let min = loads.iter().copied().min().unwrap_or(0);
+        let size = if self.emitted + 1 == self.arrivals {
+            self.max_size
+        } else {
+            (max - min).clamp(1, self.max_size)
+        };
+        self.emitted += 1;
+        let key = self.next_key;
+        self.next_key += 1;
+        Some(Event::Arrive {
+            key,
+            job: Job::with_cost(size, size),
+            proc: least_loaded(loads),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(adv: &mut dyn Adversary, num_procs: usize) -> Vec<(u64, usize)> {
+        // Simulate no-migration least-loaded accumulation of the stream.
+        let mut loads = vec![0u64; num_procs];
+        let mut out = Vec::new();
+        while let Some(Event::Arrive { job, proc, .. }) = adv.next(&loads) {
+            loads[proc] += job.size;
+            out.push((job.size, proc));
+        }
+        out
+    }
+
+    #[test]
+    fn random_order_permutes_a_fixed_multiset() {
+        let sizes = vec![5u64, 1, 9, 2, 7, 3];
+        let mut a = RandomOrderAdversary::from_sizes(3, sizes.clone(), 4);
+        let mut b = RandomOrderAdversary::from_sizes(3, sizes.clone(), 9);
+        let sa = drain(&mut a, 3);
+        let sb = drain(&mut b, 3);
+        let mut ma: Vec<u64> = sa.iter().map(|&(s, _)| s).collect();
+        let mut mb: Vec<u64> = sb.iter().map(|&(s, _)| s).collect();
+        ma.sort_unstable();
+        mb.sort_unstable();
+        let mut want = sizes;
+        want.sort_unstable();
+        assert_eq!(ma, want);
+        assert_eq!(mb, want);
+        // Different seeds give different orders (for this multiset).
+        assert_ne!(sa, sb);
+        // Same seed is deterministic.
+        let mut c = RandomOrderAdversary::from_sizes(3, vec![5, 1, 9, 2, 7, 3], 4);
+        assert_eq!(drain(&mut c, 3), sa);
+    }
+
+    #[test]
+    fn random_order_draws_carry_cost_equal_to_size() {
+        let mut adv =
+            RandomOrderAdversary::new(2, 8, SizeDistribution::Uniform { lo: 1, hi: 20 }, 11);
+        let loads = [0u64, 0];
+        let mut n = 0;
+        while let Some(Event::Arrive { key, job, proc }) = adv.next(&loads) {
+            assert_eq!(key, n);
+            assert_eq!(job.cost, job.size);
+            assert!(job.size >= 1);
+            assert!(proc < 2);
+            n += 1;
+        }
+        assert_eq!(n, 8);
+    }
+
+    #[test]
+    fn greedy_punisher_forces_the_graham_ratio_without_migration() {
+        for m in [2usize, 3, 4] {
+            let mut adv = GreedyPunisher::new(m, 2);
+            assert_eq!(adv.stream_len(), m * (m - 1) + 1);
+            let placed = drain(&mut adv, m);
+            assert_eq!(placed.len(), m * (m - 1) + 1);
+            // Replay the no-migration accumulation: final makespan is
+            // (m-1)·unit + m·unit = (2m-1)·unit, while OPT is m·unit.
+            let mut loads = vec![0u64; m];
+            for &(s, p) in &placed {
+                loads[p] += s;
+            }
+            let unit = 2u64;
+            assert_eq!(
+                loads.iter().copied().max().unwrap(),
+                (2 * m as u64 - 1) * unit
+            );
+            let total: u64 = loads.iter().sum();
+            assert_eq!(total, (m * (m - 1)) as u64 * unit + m as u64 * unit);
+        }
+    }
+
+    #[test]
+    fn adaptive_adversary_levels_then_spikes() {
+        let mut adv = AdaptiveAdversary::new(6, 10);
+        assert_eq!(adv.name(), "adaptive");
+        let placed = drain(&mut adv, 2);
+        assert_eq!(placed.len(), 6);
+        // The final arrival is the max-size spike.
+        assert_eq!(placed.last().unwrap().0, 10);
+        // Every arrival lands on what was then the least-loaded server.
+        let mut loads = [0u64; 2];
+        for &(s, p) in &placed {
+            let ll = (0..2).min_by_key(|&q| loads[q]).unwrap();
+            assert_eq!(p, ll);
+            loads[p] += s;
+        }
+    }
+
+    #[test]
+    fn streams_are_exhausted_exactly_once() {
+        let mut adv = GreedyPunisher::new(3, 1);
+        let loads = [0u64, 0, 0];
+        for _ in 0..adv.stream_len() {
+            assert!(adv.next(&loads).is_some());
+        }
+        assert!(adv.next(&loads).is_none());
+        assert!(adv.next(&loads).is_none());
+    }
+}

@@ -20,6 +20,7 @@
 //! corrupted load view, and invalid answers degrade gracefully instead of
 //! panicking.
 
+pub mod adversary;
 pub mod farm;
 pub mod fleet;
 pub mod metrics;
@@ -30,6 +31,7 @@ pub mod stochastic;
 pub mod trace;
 pub mod workload;
 
+pub use adversary::{AdaptiveAdversary, Adversary, GreedyPunisher, RandomOrderAdversary};
 pub use farm::{
     run as run_farm, run_faulty as run_farm_faulty,
     run_faulty_recorded as run_farm_faulty_recorded, run_faulty_traced as run_farm_faulty_traced,

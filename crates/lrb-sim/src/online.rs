@@ -92,6 +92,10 @@ impl OnlineWorkloadConfig {
 /// monotonically increasing keys). The epoch's `Rebalance` event is issued
 /// by the driver, not the generator, so tests can permute the churn events
 /// freely without touching the solve.
+///
+/// This is the *stochastic* (Poisson churn) end of the arrival spectrum;
+/// the worst-case end — random-order and adaptive adversarial streams for
+/// the competitive lab — lives in [`crate::adversary`].
 #[derive(Debug, Clone)]
 pub struct OnlineWorkload {
     cfg: OnlineWorkloadConfig,

@@ -38,6 +38,14 @@ run cargo test -q --release --offline --test online_equivalence
 # relabeling, engine thread invariance, path independence) must all hold.
 run cargo test -q --release --offline --test differential_hetero
 run cargo test -q --release --offline --test metamorphic_hetero
+# Competitive-ratio lab (PR-9): every short event stream is replayed
+# through all three migration policies against the incremental exact
+# oracle (realized makespan never beats OPT, certificates never
+# overspent, the Maack 8/3 envelope holds), and the metamorphic axes
+# (size scaling, arrival permutation, equal-speeds collapse, engine
+# thread invariance) must all hold.
+run cargo test -q --release --offline --test differential_online
+run cargo test -q --release --offline --test metamorphic_online_policies
 
 # Bench smoke test: `lrb bench --smoke` must finish quickly and emit a
 # schema-versioned BENCH_4-style report with a thread-scaling curve.
@@ -162,6 +170,27 @@ if grep -q '"budget_violations": [^0]' "$hetero_tmp"; then
     exit 1
 fi
 
+# Compete smoke test (PR-9): the competitive lab must exit 0 (it fails
+# loudly on any certificate overspend or a Maack 8/3 envelope break) and
+# emit a schema-versioned COMPETE_1-style policy x adversary ratio grid.
+echo "==> compete smoke test (lrb compete --smoke)"
+compete_tmp="$(mktemp)"
+trap 'rm -f "$bench_tmp" "$bench_slow_tmp" "$trace_tmp" "$online_tmp" "$hetero_tmp" "$compete_tmp"' EXIT
+cargo run -q --release --offline -p lrb-cli --bin lrb -- \
+    compete --smoke --out "$compete_tmp" >/dev/null
+if ! grep -q '"schema_version": 1' "$compete_tmp"; then
+    echo "compete smoke test failed: schema_version 1 missing" >&2
+    exit 1
+fi
+if ! grep -q '"grid"' "$compete_tmp"; then
+    echo "compete smoke test failed: no policy x adversary grid" >&2
+    exit 1
+fi
+if grep -q '"certificate_overspend": [^0]' "$compete_tmp"; then
+    echo "compete smoke test failed: a policy overspent its certificate" >&2
+    exit 1
+fi
+
 # Serve smoke gate (PR-7): the daemon must survive a SIGKILL mid-load and
 # recover bit-identically. Start it, drive ~100 events through the retrying
 # loadgen client, SIGKILL, restart, and assert replay equivalence — the
@@ -171,7 +200,7 @@ fi
 # digests against an offline recovery of the same data directory.
 echo "==> serve smoke gate (lrb loadgen --drill, SIGKILL + replay equivalence)"
 serve_tmp="$(mktemp -d)"
-trap 'rm -f "$bench_tmp" "$bench_slow_tmp" "$trace_tmp" "$online_tmp"; rm -rf "$serve_tmp"' EXIT
+trap 'rm -f "$bench_tmp" "$bench_slow_tmp" "$trace_tmp" "$online_tmp" "$hetero_tmp" "$compete_tmp"; rm -rf "$serve_tmp"' EXIT
 drill_out="$(cargo run -q --release --offline -p lrb-cli --bin lrb -- \
     loadgen --drill --data "$serve_tmp" --cycles 2 --tenants 5 --events 20 \
     --workers 2 --snapshot-every 16 --kill-lo 40 --kill-hi 150 --seed 11)"

@@ -1,0 +1,205 @@
+//! Differential certification of the online migration policies against
+//! the incremental exact oracle.
+//!
+//! Every event stream in an exhaustively enumerated family — all
+//! sequences of length ≤ 6 mixing arrivals (sizes in {1, 3}, landing on
+//! the first or last processor) and rebalances, with at most 4 arrivals,
+//! on m ∈ {1, 2, 3} processors — is replayed through all three migration
+//! policies in lockstep with an [`IncrementalOracle`] maintaining the
+//! exact optimum of the live multiset, and certified:
+//!
+//! * the realized makespan never beats the oracle (the oracle really is a
+//!   lower bound for *any* placement, migrated or not);
+//! * no policy ever spends beyond its certificate
+//!   `initial grant + total accrued`, at any point of any stream;
+//! * the Maack uniform-machine policy stays inside the 8/3 envelope at
+//!   every post-rebalance checkpoint on uniform speeds
+//!   (`3·makespan ≤ 8·OPT`);
+//! * rebalances never regress the makespan.
+//!
+//! The family size is pinned so the suite cannot silently shrink.
+
+use load_rebalance::core::hetero::Speeds;
+use load_rebalance::core::model::{Budget, Job};
+use load_rebalance::core::online::{
+    BankConfig, MaackBank, MigrationPolicy, OnlineRebalancer, ProportionalBank,
+};
+use load_rebalance::exact::IncrementalOracle;
+
+/// One event of an enumerated stream.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Arrival of a job of this size (cost = size) on this processor.
+    Arrive(u64, usize),
+    /// A rebalance under the policy's banked budget.
+    Rebalance,
+}
+
+const MAX_LEN: usize = 6;
+const MAX_ARRIVALS: usize = 4;
+const SIZES: [u64; 2] = [1, 3];
+
+/// Arrival processors exercised: the first and (when distinct) the last.
+fn arrival_procs(m: usize) -> Vec<usize> {
+    if m == 1 {
+        vec![0]
+    } else {
+        vec![0, m - 1]
+    }
+}
+
+/// The exact optimum after each event of `stream` (shared by all
+/// policies: the live multiset does not depend on the policy).
+fn opt_curve(m: usize, stream: &[Ev]) -> Vec<u64> {
+    let mut oracle = IncrementalOracle::new(m);
+    stream
+        .iter()
+        .map(|ev| {
+            if let Ev::Arrive(size, _) = ev {
+                oracle.arrive(*size);
+            }
+            oracle.opt()
+        })
+        .collect()
+}
+
+/// Replay `stream` through one policy, asserting the oracle and
+/// certificate invariants at every event. `envelope` additionally pins
+/// `3·makespan ≤ 8·OPT` at post-rebalance checkpoints (the Maack bound).
+fn certify<P: MigrationPolicy>(
+    mut r: OnlineRebalancer<P>,
+    initial_grant: u64,
+    requested: Budget,
+    m: usize,
+    stream: &[Ev],
+    opts: &[u64],
+    envelope: bool,
+) {
+    let name = r.bank().name();
+    let mut key = 0u64;
+    for (i, ev) in stream.iter().enumerate() {
+        match ev {
+            Ev::Arrive(size, proc) => {
+                r.arrive(key, Job::with_cost(*size, *size), *proc)
+                    .unwrap_or_else(|e| panic!("{name} m={m} {stream:?}: arrive: {e}"));
+                key += 1;
+            }
+            Ev::Rebalance => {
+                let before = r.makespan();
+                let step = r
+                    .rebalance(requested)
+                    .unwrap_or_else(|e| panic!("{name} m={m} {stream:?}: rebalance: {e}"));
+                assert!(
+                    step.outcome.makespan() <= before,
+                    "{name} m={m} {stream:?}: rebalance regressed {before} -> {}",
+                    step.outcome.makespan()
+                );
+                if envelope && opts[i] > 0 {
+                    assert!(
+                        3 * r.makespan() <= 8 * opts[i],
+                        "{name} m={m} {stream:?}: post-rebalance makespan {} breaks \
+                         the 8/3 envelope against OPT {}",
+                        r.makespan(),
+                        opts[i]
+                    );
+                }
+            }
+        }
+        // The oracle is a true lower bound for any placement.
+        assert!(
+            r.makespan() >= opts[i],
+            "{name} m={m} {stream:?}: makespan {} beat the exact oracle {}",
+            r.makespan(),
+            opts[i]
+        );
+        // No policy ever overspends its certificate.
+        let bank = r.bank();
+        assert!(
+            bank.total_spent() <= initial_grant + bank.total_accrued(),
+            "{name} m={m} {stream:?}: spent {} > certificate {} + {}",
+            bank.total_spent(),
+            initial_grant,
+            bank.total_accrued()
+        );
+    }
+}
+
+/// A deliberately tight move bank, so clamping is exercised constantly.
+const BANK: BankConfig = BankConfig {
+    accrual: 1,
+    cap: 2,
+    initial: 1,
+};
+
+fn certify_stream(m: usize, stream: &[Ev]) {
+    let opts = opt_curve(m, stream);
+    certify(
+        OnlineRebalancer::new(m, BANK).unwrap(),
+        BANK.initial,
+        Budget::Moves(usize::MAX),
+        m,
+        stream,
+        &opts,
+        false,
+    );
+    certify(
+        OnlineRebalancer::with_policy(m, ProportionalBank::new(1, 1)).unwrap(),
+        0,
+        Budget::Cost(u64::MAX),
+        m,
+        stream,
+        &opts,
+        false,
+    );
+    // Uniform speeds: the identical-machine oracle is the right benchmark
+    // (⌈·/v⌉ commutes with minimizing the max), and the 8/3 envelope from
+    // the uniform-machine analysis is pinned at every checkpoint.
+    let speeds = Speeds::uniform(m, 2).unwrap();
+    certify(
+        OnlineRebalancer::with_policy(m, MaackBank::new(1, 1, &speeds)).unwrap(),
+        0,
+        Budget::Cost(u64::MAX),
+        m,
+        stream,
+        &opts,
+        true,
+    );
+}
+
+fn dfs(m: usize, stream: &mut Vec<Ev>, arrivals: usize, cells: &mut u64) {
+    if !stream.is_empty() {
+        certify_stream(m, stream);
+        *cells += 1;
+    }
+    if stream.len() == MAX_LEN {
+        return;
+    }
+    if arrivals < MAX_ARRIVALS {
+        for &size in &SIZES {
+            for proc in arrival_procs(m) {
+                stream.push(Ev::Arrive(size, proc));
+                dfs(m, stream, arrivals + 1, cells);
+                stream.pop();
+            }
+        }
+    }
+    stream.push(Ev::Rebalance);
+    dfs(m, stream, arrivals, cells);
+    stream.pop();
+}
+
+#[test]
+fn all_short_streams_are_certified_against_the_incremental_oracle() {
+    let mut cells = 0u64;
+    for m in 1..=3 {
+        dfs(m, &mut Vec::new(), 0, &mut cells);
+    }
+    // Pinned family size: every stream of length <= 6 with <= 4 arrivals
+    // over {1,3} x {first, last} on m in {1,2,3}. A smaller number means
+    // the suite silently shrank; a larger one means the family changed
+    // and the pin needs a conscious update.
+    assert_eq!(cells, CELLS_PINNED, "enumerated stream count drifted");
+}
+
+/// Learned once from the exhaustive enumeration, then pinned.
+const CELLS_PINNED: u64 = 17_336;

@@ -1,0 +1,203 @@
+//! Metamorphic relations of the online migration policies.
+//!
+//! Each test perturbs an input along an axis the system is supposed to be
+//! invariant under, and asserts the outputs transform exactly as the
+//! theory predicts:
+//!
+//! * **size scaling** — multiplying every arrival size by an integer `c`
+//!   (with an integer migration factor β) scales every credit, balance,
+//!   and makespan by exactly `c`, and leaves the solver's placement
+//!   decisions bit-identical;
+//! * **arrival permutation** — the live multiset, the exact optimum, and
+//!   the policy's total accrued budget are all order-independent;
+//! * **equal speeds** — the Maack uniform-machine bank degenerates to the
+//!   identical-machine proportional bank bit-for-bit
+//!   (`⌊s·β·v/(1·v)⌋ = ⌊s·β⌋`);
+//! * **thread counts** — policy-generic mixed-budget batches through the
+//!   StreamEngine are bit-identical at any worker count.
+
+use load_rebalance::core::hetero::Speeds;
+use load_rebalance::core::model::Budget;
+use load_rebalance::core::online::{
+    Event, MaackBank, MigrationPolicy, OnlineRebalancer, ProportionalBank,
+};
+use load_rebalance::core::outcome::RebalanceOutcome;
+use load_rebalance::core::{cost_partition, mpartition};
+use load_rebalance::engine::{BatchItem, BatchSolver, EngineConfig, StreamEngine};
+use load_rebalance::exact::IncrementalOracle;
+use load_rebalance::instances::generators::GeneratorConfig;
+use load_rebalance::sim::adversary::{Adversary, RandomOrderAdversary};
+
+const PROCS: usize = 3;
+const EPOCH_ARRIVALS: usize = 2;
+
+/// Collect an oblivious adversary's full stream (loads feedback unused).
+fn collect(adv: &mut dyn Adversary) -> Vec<Event> {
+    let loads = vec![0u64; PROCS];
+    let mut out = Vec::new();
+    while let Some(ev) = adv.next(&loads) {
+        out.push(ev);
+    }
+    out
+}
+
+/// Drive one policy over a stream, rebalancing every `EPOCH_ARRIVALS`
+/// arrivals; returns (per-epoch assignments, per-epoch makespans).
+fn drive<P: MigrationPolicy>(
+    mut r: OnlineRebalancer<P>,
+    stream: &[Event],
+) -> (Vec<Vec<usize>>, Vec<u64>, OnlineRebalancer<P>) {
+    let mut assignments = Vec::new();
+    let mut makespans = Vec::new();
+    for (i, ev) in stream.iter().enumerate() {
+        let Event::Arrive { key, job, proc } = ev else {
+            continue;
+        };
+        r.arrive(*key, *job, *proc).unwrap();
+        if (i + 1) % EPOCH_ARRIVALS == 0 {
+            r.rebalance(Budget::Cost(u64::MAX)).unwrap();
+            assignments.push(r.assignment().to_vec());
+            makespans.push(r.makespan());
+        }
+    }
+    (assignments, makespans, r)
+}
+
+#[test]
+fn integer_size_scaling_scales_accounting_and_preserves_decisions() {
+    for (seed, scale) in [(3u64, 2u64), (11, 5), (42, 7)] {
+        let sizes: Vec<u64> = (0..10).map(|i| 1 + (i * 7 + seed) % 19).collect();
+        let scaled: Vec<u64> = sizes.iter().map(|s| s * scale).collect();
+        let base = collect(&mut RandomOrderAdversary::from_sizes(
+            PROCS,
+            sizes.clone(),
+            seed,
+        ));
+        let big = collect(&mut RandomOrderAdversary::from_sizes(PROCS, scaled, seed));
+        // Same permutation and placements: only the sizes scale.
+        for (a, b) in base.iter().zip(&big) {
+            let (
+                Event::Arrive {
+                    job: ja, proc: pa, ..
+                },
+                Event::Arrive {
+                    job: jb, proc: pb, ..
+                },
+            ) = (a, b)
+            else {
+                panic!("random-order streams are all arrivals");
+            };
+            assert_eq!(jb.size, ja.size * scale);
+            assert_eq!(pa, pb);
+        }
+        let (asg_a, ms_a, ra) = drive(
+            OnlineRebalancer::with_policy(PROCS, ProportionalBank::new(1, 1)).unwrap(),
+            &base,
+        );
+        let (asg_b, ms_b, rb) = drive(
+            OnlineRebalancer::with_policy(PROCS, ProportionalBank::new(1, 1)).unwrap(),
+            &big,
+        );
+        // Decisions are scale-invariant; every quantity scales exactly.
+        assert_eq!(asg_a, asg_b, "seed {seed} scale {scale}");
+        for (a, b) in ms_a.iter().zip(&ms_b) {
+            assert_eq!(*b, a * scale, "seed {seed} scale {scale}");
+        }
+        assert_eq!(rb.bank().total_accrued(), ra.bank().total_accrued() * scale);
+        assert_eq!(rb.bank().total_spent(), ra.bank().total_spent() * scale);
+        assert_eq!(rb.bank().balance(), ra.bank().balance() * scale);
+    }
+}
+
+#[test]
+fn arrival_permutations_preserve_opt_and_accrual() {
+    let sizes: Vec<u64> = vec![4, 9, 1, 16, 2, 7, 3, 11];
+    let mut reference: Option<(u64, u64)> = None;
+    for perm_seed in [0u64, 5, 9, 23] {
+        let stream = collect(&mut RandomOrderAdversary::from_sizes(
+            PROCS,
+            sizes.clone(),
+            perm_seed,
+        ));
+        let mut oracle = IncrementalOracle::new(PROCS);
+        for ev in &stream {
+            if let Event::Arrive { job, .. } = ev {
+                oracle.arrive(job.size);
+            }
+        }
+        let (_, _, r) = drive(
+            OnlineRebalancer::with_policy(PROCS, ProportionalBank::new(2, 1)).unwrap(),
+            &stream,
+        );
+        let stats = (oracle.opt(), r.bank().total_accrued());
+        match &reference {
+            None => reference = Some(stats),
+            Some(want) => assert_eq!(
+                stats, *want,
+                "permutation seed {perm_seed} changed the order-free statistics"
+            ),
+        }
+    }
+}
+
+#[test]
+fn equal_speeds_collapse_maack_to_the_proportional_policy() {
+    for (seed, v) in [(1u64, 1u64), (7, 3), (19, 5)] {
+        let stream = collect(&mut RandomOrderAdversary::from_sizes(
+            PROCS,
+            (0..8).map(|i| 1 + (i * 5 + seed) % 13).collect(),
+            seed,
+        ));
+        let speeds = Speeds::uniform(PROCS, v).unwrap();
+        let (asg_p, ms_p, rp) = drive(
+            OnlineRebalancer::with_policy(PROCS, ProportionalBank::new(3, 2)).unwrap(),
+            &stream,
+        );
+        let (asg_m, ms_m, rm) = drive(
+            OnlineRebalancer::with_policy(PROCS, MaackBank::new(3, 2, &speeds)).unwrap(),
+            &stream,
+        );
+        // ⌊s·β·v/v⌋ = ⌊s·β⌋: the whole trajectory is bit-identical.
+        assert_eq!(asg_p, asg_m, "seed {seed} v {v}");
+        assert_eq!(ms_p, ms_m, "seed {seed} v {v}");
+        assert_eq!(rp.bank().balance(), rm.bank().balance());
+        assert_eq!(rp.bank().total_accrued(), rm.bank().total_accrued());
+        assert_eq!(rp.bank().total_spent(), rm.bank().total_spent());
+    }
+}
+
+#[test]
+fn policy_generic_batches_are_thread_count_invariant() {
+    // Mixed Moves/Cost budgets model a fleet of rebalancers running
+    // different migration policies through one engine.
+    let items: Vec<BatchItem> = (0..12)
+        .map(|i| {
+            let instance = GeneratorConfig::uniform(16, PROCS).generate(700 + i as u64);
+            let budget = if i % 2 == 0 {
+                Budget::Moves(1 + i % 4)
+            } else {
+                Budget::Cost(2 + (i as u64) % 6)
+            };
+            BatchItem { instance, budget }
+        })
+        .collect();
+    let reference: Vec<RebalanceOutcome> = items
+        .iter()
+        .map(|item| match item.budget {
+            Budget::Moves(k) => mpartition::rebalance(&item.instance, k).unwrap().outcome,
+            Budget::Cost(b) => {
+                cost_partition::rebalance(&item.instance, b)
+                    .unwrap()
+                    .outcome
+            }
+        })
+        .collect();
+    for threads in [1usize, 2, 8] {
+        let mut engine = StreamEngine::new(
+            BatchSolver::MPartition,
+            &EngineConfig::with_threads(threads),
+        );
+        let report = engine.solve_epoch(&items);
+        assert_eq!(report.outcomes, reference, "threads {threads}");
+    }
+}
