@@ -1314,6 +1314,18 @@ mod tests {
     }
 
     #[test]
+    fn trace_lint_scenario_shows_analyzer_phases() {
+        // The semantic analyzer reports its own cost through the same
+        // span pipeline as every other subsystem.
+        let out = run("trace --scenario lint --seed 3").unwrap();
+        assert!(out.contains("lint.run"), "{out}");
+        assert!(out.contains("lint.parse"), "{out}");
+        assert!(out.contains("lint.graph"), "{out}");
+        assert!(out.contains("lint.pass"), "{out}");
+        assert!(out.contains("attributed wall time"), "{out}");
+    }
+
+    #[test]
     fn chaos_emits_a_schema_versioned_report() {
         let out =
             run("chaos --sites 20 --servers 4 --epochs 8 --moves 2 --crash-rate 0.2").unwrap();

@@ -231,6 +231,26 @@ pub const COMPETE_CELL_KEYS: &[&str] = &[
     "worst_ratio_x1000",
 ];
 
+/// Top-level keys of a lint report ([`lrb_lint::report_json`]).
+pub const LINT_TOP_KEYS: &[&str] = &[
+    "call_graph",
+    "files",
+    "findings",
+    "rules",
+    "schema_version",
+    "suppressions",
+];
+/// Keys of the `call_graph` stats block.
+pub const LINT_GRAPH_KEYS: &[&str] = &["edges", "functions", "resolved_calls", "unresolved_calls"];
+/// Keys of one `rules` registry entry.
+pub const LINT_RULE_KEYS: &[&str] = &["findings", "rule"];
+/// Keys of one finding.
+pub const LINT_FINDING_KEYS: &[&str] = &["col", "line", "message", "path", "rule"];
+/// Keys of the `suppressions` inventory block.
+pub const LINT_SUPPRESSION_KEYS: &[&str] = &["sites", "stale", "total"];
+/// Keys of one suppression site.
+pub const LINT_SITE_KEYS: &[&str] = &["line", "path", "rule", "used"];
+
 /// Require `value` to be an object carrying *exactly* `keys` — an unknown
 /// key and a missing key are both schema violations.
 fn expect_exact_keys(value: &Value, ctx: &str, keys: &[&str]) -> Result<(), String> {
@@ -330,6 +350,26 @@ pub fn validate_serve(value: &Value) -> Result<(), String> {
         expect_array_of(tenant, &ctx, "jobs", SERVE_JOB_KEYS)?;
     }
     Ok(())
+}
+
+/// Validate a lint report document (`LINT_1.json`) against the pinned
+/// schema. The analyzer validates its own emission via the golden sets in
+/// `lrb-lint`; this is the independent consumer-side validator the
+/// check.sh gate runs against the committed report.
+pub fn validate_lint(value: &Value) -> Result<(), String> {
+    expect_exact_keys(value, "lint", LINT_TOP_KEYS)?;
+    expect_version(value, "lint", lrb_lint::LINT_SCHEMA_VERSION)?;
+    let graph = value
+        .get("call_graph")
+        .ok_or("lint: missing call_graph block")?;
+    expect_exact_keys(graph, "lint.call_graph", LINT_GRAPH_KEYS)?;
+    expect_array_of(value, "lint", "rules", LINT_RULE_KEYS)?;
+    expect_array_of(value, "lint", "findings", LINT_FINDING_KEYS)?;
+    let sup = value
+        .get("suppressions")
+        .ok_or("lint: missing suppressions block")?;
+    expect_exact_keys(sup, "lint.suppressions", LINT_SUPPRESSION_KEYS)?;
+    expect_array_of(sup, "lint.suppressions", "sites", LINT_SITE_KEYS)
 }
 
 /// Validate a trace export against the pinned schema. Events are
@@ -497,6 +537,47 @@ mod tests {
         assert!(validate_trace(&trace_doc(&format!("[{args}]")))
             .unwrap_err()
             .contains("args"));
+    }
+
+    #[test]
+    fn lint_keys_mirror_the_analyzer_producer() {
+        // Same discipline as the serve pins: the consumer-side key sets
+        // must track the analyzer's consts exactly; drift in either
+        // direction is a schema change needing a version bump on both
+        // sides (and the lint gate itself cross-checks report.rs against
+        // the golden sets pinned in lrb-lint).
+        assert_eq!(LINT_TOP_KEYS, lrb_lint::LINT_TOP_KEYS);
+        assert_eq!(LINT_GRAPH_KEYS, lrb_lint::LINT_GRAPH_KEYS);
+        assert_eq!(LINT_RULE_KEYS, lrb_lint::LINT_RULE_KEYS);
+        assert_eq!(LINT_FINDING_KEYS, lrb_lint::LINT_FINDING_KEYS);
+        assert_eq!(LINT_SUPPRESSION_KEYS, lrb_lint::LINT_SUPPRESSION_KEYS);
+        assert_eq!(LINT_SITE_KEYS, lrb_lint::LINT_SITE_KEYS);
+    }
+
+    #[test]
+    fn lint_reports_validate_and_reject_drift() {
+        let files = [(
+            "crates/lrb-core/src/lib.rs",
+            "pub fn f(load: u64) -> u64 {\n    load.saturating_add(1)\n}\n",
+        )];
+        let analysis =
+            lrb_lint::analyze_sources(&files, &lrb_obs::NoopRecorder, &lrb_obs::NoopTracer);
+        let json = lrb_lint::report_json(&analysis);
+        let mut doc: Value = serde_json::from_str(&json).unwrap();
+        validate_lint(&doc).unwrap();
+
+        push_field(&mut doc, "vendor_extension", Value::Null);
+        assert!(validate_lint(&doc).unwrap_err().contains("unknown field"));
+        remove_field(&mut doc, "vendor_extension");
+        remove_field(&mut doc, "call_graph");
+        assert!(validate_lint(&doc).unwrap_err().contains("call_graph"));
+
+        let stale: Value =
+            serde_json::from_str(&json.replace("\"schema_version\": 1", "\"schema_version\": 99"))
+                .unwrap();
+        assert!(validate_lint(&stale)
+            .unwrap_err()
+            .contains("schema_version"));
     }
 
     #[test]

@@ -18,7 +18,7 @@
 
 use lrb_engine::{solve_batch_traced, BatchItem, BatchSolver, EngineConfig};
 use lrb_harness::bench::{smoke_ladder, standard_ladder, BenchBatch};
-use lrb_obs::{names, Trace, TraceCollector, Tracer, TRACE_SCHEMA_VERSION};
+use lrb_obs::{names, NoopRecorder, Trace, TraceCollector, Tracer, TRACE_SCHEMA_VERSION};
 use lrb_sim::{
     run_farm_faulty_traced, run_farm_online_recorded, FarmConfig, MPartitionPolicy,
     OnlineWorkloadConfig,
@@ -26,7 +26,7 @@ use lrb_sim::{
 use serde_json::{Number, Value};
 
 /// The scenarios `lrb trace` can run.
-pub const SCENARIOS: &[&str] = &["smoke_ladder", "standard_ladder", "chaos", "online"];
+pub const SCENARIOS: &[&str] = &["smoke_ladder", "standard_ladder", "chaos", "online", "lint"];
 
 /// A finished trace plus its attribution summary.
 pub struct TraceRun {
@@ -55,6 +55,7 @@ pub fn run(scenario: &str, threads: usize, seed: u64) -> Result<TraceRun, String
         )),
         "chaos" => Ok(chaos_trace(seed)),
         "online" => Ok(online_trace(seed)),
+        "lint" => lint_trace(seed),
         other => Err(format!(
             "unknown --scenario {other} (expected one of {})",
             SCENARIOS.join(", ")
@@ -123,6 +124,41 @@ fn online_trace(seed: u64) -> TraceRun {
     let trace = collector.finish("online", seed, 1, "online-m-partition");
     let attributed = trace.attributed_fraction(names::SIM_RUN, &[names::SIM_EPOCH]);
     TraceRun { trace, attributed }
+}
+
+/// Find the enclosing workspace root: the first ancestor of the current
+/// directory whose `Cargo.toml` declares `[workspace]`.
+fn workspace_root() -> Result<std::path::PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(s) = std::fs::read_to_string(&manifest) {
+            if s.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace Cargo.toml above the current directory".to_string());
+        }
+    }
+}
+
+/// Run the semantic lint analyzer over the enclosing workspace, so its
+/// parse/graph/pass cost shows up on the same timeline as every other
+/// subsystem (`lint.run` container, `lint.parse`/`lint.graph`/`lint.pass`
+/// leaves).
+fn lint_trace(seed: u64) -> Result<TraceRun, String> {
+    let root = workspace_root()?;
+    let collector = TraceCollector::new(1);
+    let main = collector.main();
+    lrb_lint::analyze_workspace(&root, &NoopRecorder, main)
+        .map_err(|e| format!("lint walk under {}: {e}", root.display()))?;
+    let trace = collector.finish("lint", seed, 1, "semantic-lint");
+    let attributed = trace.attributed_fraction(
+        names::LINT_RUN,
+        &[names::LINT_PARSE, names::LINT_GRAPH, names::LINT_PASS],
+    );
+    Ok(TraceRun { trace, attributed })
 }
 
 fn obj(entries: Vec<(&str, Value)>) -> Value {

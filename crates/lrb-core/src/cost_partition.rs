@@ -253,7 +253,7 @@ fn run_at_impl<R: Recorder>(
         };
         for &j in removed {
             s.loads[p] -= inst.size(j);
-            if 2 * inst.size(j) > a {
+            if inst.size(j).saturating_mul(2) > a {
                 s.homeless_large.push(j);
             } else {
                 s.removed_small.push(j);
@@ -307,8 +307,9 @@ fn build_plans<R: Recorder>(inst: &Instance, a: Size, rec: &R) -> Option<(Vec<Pr
 
     let mut plans = Vec::with_capacity(m);
     for jobs in &per_proc {
-        let (larges, smalls): (Vec<JobId>, Vec<JobId>) =
-            jobs.iter().partition(|&&j| 2 * inst.size(j) > a);
+        let (larges, smalls): (Vec<JobId>, Vec<JobId>) = jobs
+            .iter()
+            .partition(|&&j| inst.size(j).saturating_mul(2) > a);
 
         // Keep the costliest large (cheapest to shed the rest).
         let kept_large = larges.iter().copied().max_by_key(|&j| (inst.cost(j), j));
@@ -338,7 +339,7 @@ fn build_plans<R: Recorder>(inst: &Instance, a: Size, rec: &R) -> Option<(Vec<Pr
         // a-plan: smalls within A/2, keep costliest large.
         let keep_half = max_cost_keep_bounded_recorded(&items, a / 2, DEFAULT_NODE_BUDGET, rec);
         let mut a_removed = removed_from(&keep_half.kept);
-        let mut a_cost = small_cost_total - keep_half.kept_cost;
+        let mut a_cost = small_cost_total.saturating_sub(keep_half.kept_cost);
         for &j in &larges {
             if Some(j) != kept_large {
                 a_removed.push(j);
@@ -349,7 +350,7 @@ fn build_plans<R: Recorder>(inst: &Instance, a: Size, rec: &R) -> Option<(Vec<Pr
         // b-plan: smalls within A, shed all larges.
         let keep_full = max_cost_keep_bounded_recorded(&items, a, DEFAULT_NODE_BUDGET, rec);
         let mut b_removed = removed_from(&keep_full.kept);
-        let mut b_cost = small_cost_total - keep_full.kept_cost;
+        let mut b_cost = small_cost_total.saturating_sub(keep_full.kept_cost);
         for &j in &larges {
             b_removed.push(j);
             b_cost += inst.cost(j);
@@ -375,7 +376,7 @@ fn select_cost(plans: &[ProcPlan], l_t: usize) -> Cost {
         .collect();
     cs.sort_unstable();
     let extra: i64 = cs.iter().take(l_t).map(|&(c, _)| c).sum();
-    base = (base as i64 + extra) as u64;
+    base = base.saturating_add_signed(extra);
     base
 }
 

@@ -105,8 +105,8 @@ struct CMultiset {
 impl CMultiset {
     fn new(domain: usize) -> Self {
         CMultiset {
-            counts: vec![0; domain + 1],
-            sums: vec![0; domain + 1],
+            counts: vec![0; domain.saturating_add(1)],
+            sums: vec![0; domain.saturating_add(1)],
             size: domain,
         }
     }
@@ -114,14 +114,14 @@ impl CMultiset {
     #[inline]
     fn index(c: i64) -> usize {
         // c >= −1 always (see profiles::c); shift into 1-based Fenwick.
-        (c + 2) as usize
+        c.saturating_add(2) as usize
     }
 
     fn add(&mut self, c: i64, delta: i64) {
         let mut i = Self::index(c);
         while i <= self.size {
             self.counts[i] += delta;
-            self.sums[i] += delta * c;
+            self.sums[i] += delta.saturating_mul(c);
             i += i & i.wrapping_neg();
         }
     }
@@ -138,7 +138,7 @@ impl CMultiset {
         // Descend the implicit Fenwick tree: standard prefix search.
         let mut log = self.size.next_power_of_two();
         while log > 0 {
-            let next = pos + log;
+            let next = pos.saturating_add(log);
             if next <= self.size && self.counts[next] < remaining {
                 remaining -= self.counts[next];
                 acc += self.sums[next];
@@ -197,7 +197,7 @@ impl<'a> IncrementalScan<'a> {
             for l in 1..prof.prefix.len() {
                 let b = prof.prefix[l];
                 pairs.push((b, p));
-                pairs.push((2 * b, p));
+                pairs.push((b.saturating_mul(2), p));
                 // Job sizes are prefix differences; their doubles flip the
                 // small/large classification on this processor.
                 pairs.push((2 * (prof.prefix[l] - prof.prefix[l - 1]), p));
@@ -228,7 +228,7 @@ impl<'a> IncrementalScan<'a> {
             let hl = profiles.has_large(p, t0);
             sum_b += b;
             m_l += usize::from(hl);
-            cset.add(a as i64 - b as i64, 1);
+            cset.add((a as i64).saturating_sub(b as i64), 1);
             state.push((a, b, hl));
         }
 
@@ -260,7 +260,11 @@ impl<'a> IncrementalScan<'a> {
         }
         let l_e = l_t - self.m_l;
         let selected = self.cset.sum_smallest(l_t);
-        Some((l_e as i64 + self.sum_b as i64 + selected) as usize)
+        Some(
+            (l_e as i64)
+                .saturating_add(self.sum_b as i64)
+                .saturating_add(selected) as usize,
+        )
     }
 
     /// Advance to the next candidate, applying its events. Returns false
@@ -281,10 +285,11 @@ impl<'a> IncrementalScan<'a> {
             let b = self.profiles.b(p, t);
             let hl = self.profiles.has_large(p, t);
             if (a, b, hl) != (a_old, b_old, hl_old) {
-                self.sum_b = self.sum_b - b_old + b;
+                self.sum_b = self.sum_b.saturating_sub(b_old).saturating_add(b);
                 self.m_l = self.m_l - usize::from(hl_old) + usize::from(hl);
-                self.cset.add(a_old as i64 - b_old as i64, -1);
-                self.cset.add(a as i64 - b as i64, 1);
+                self.cset
+                    .add((a_old as i64).saturating_sub(b_old as i64), -1);
+                self.cset.add((a as i64).saturating_sub(b as i64), 1);
                 self.state[p] = (a, b, hl);
             }
         }

@@ -112,13 +112,16 @@ pub fn max_cost_keep_bounded_recorded<R: Recorder>(
         exact: true,
     };
     search.dfs(0, cap, 0);
-    rec.incr(names::KNAPSACK_BB_NODES, node_budget - search.nodes_left);
+    rec.incr(
+        names::KNAPSACK_BB_NODES,
+        node_budget.saturating_sub(search.nodes_left),
+    );
 
     let mut kept = forced;
     kept.extend(search.best_set.iter().map(|&i| order[i]));
     kept.sort_unstable();
     KeepSolution {
-        kept_cost: forced_cost + search.best_cost,
+        kept_cost: forced_cost.saturating_add(search.best_cost),
         kept,
         exact: search.exact,
     }
@@ -167,17 +170,21 @@ impl Search<'_> {
         if i == self.items.len() {
             return;
         }
-        if cost + self.fractional_bound(i, cap) <= self.best_cost {
+        if cost.saturating_add(self.fractional_bound(i, cap)) <= self.best_cost {
             return; // cannot improve
         }
         // Branch: take item i (if it fits), then skip it.
         let it = self.items[i];
         if it.size <= cap {
             self.current.push(i);
-            self.dfs(i + 1, cap - it.size, cost + it.cost);
+            self.dfs(
+                i.saturating_add(1),
+                cap.saturating_sub(it.size),
+                cost.saturating_add(it.cost),
+            );
             self.current.pop();
         }
-        self.dfs(i + 1, cap, cost);
+        self.dfs(i.saturating_add(1), cap, cost);
     }
 }
 
@@ -229,20 +236,22 @@ pub fn max_cost_keep_fptas_recorded<R: Recorder>(
     const INF: u64 = u64::MAX;
     let dp_timer = rec.time(names::KNAPSACK_FPTAS_DP);
     let mut dp_cells = 0u64;
-    let mut dp = vec![INF; total_scaled + 1];
+    let mut dp = vec![INF; total_scaled.saturating_add(1)];
     let mut choice: Vec<Vec<bool>> = Vec::with_capacity(feasible.len());
     dp[0] = 0;
     for (idx, &i) in feasible.iter().enumerate() {
         let c = scaled[idx] as usize;
         let s = items[i].size;
-        let mut took = vec![false; total_scaled + 1];
+        let mut took = vec![false; total_scaled.saturating_add(1)];
         for v in (c..=total_scaled).rev() {
-            if dp[v - c] != INF && dp[v - c] + s <= cap && dp[v - c] + s < dp[v] {
-                dp[v] = dp[v - c] + s;
+            let prev = dp[v.saturating_sub(c)];
+            let cand = prev.saturating_add(s);
+            if prev != INF && cand <= cap && cand < dp[v] {
+                dp[v] = cand;
                 took[v] = true;
             }
         }
-        dp_cells += (total_scaled + 1 - c) as u64;
+        dp_cells += total_scaled.saturating_add(1).saturating_sub(c) as u64;
         choice.push(took);
     }
     rec.incr(names::KNAPSACK_DP_CELLS, dp_cells);
@@ -302,7 +311,7 @@ pub fn max_cost_keep_bruteforce(items: &[Item], cap: u64) -> u64 {
 pub fn min_cost_removal(items: &[Item], cap: u64) -> (u64, Vec<usize>) {
     let total: u64 = items.iter().map(|it| it.cost).sum();
     let sol = max_cost_keep(items, cap);
-    let mut removed: Vec<usize> = Vec::with_capacity(items.len() - sol.kept.len());
+    let mut removed: Vec<usize> = Vec::with_capacity(items.len().saturating_sub(sol.kept.len()));
     let mut kept_iter = sol.kept.iter().peekable();
     for i in 0..items.len() {
         if kept_iter.peek() == Some(&&i) {
@@ -311,7 +320,7 @@ pub fn min_cost_removal(items: &[Item], cap: u64) -> (u64, Vec<usize>) {
             removed.push(i);
         }
     }
-    (total - sol.kept_cost, removed)
+    (total.saturating_sub(sol.kept_cost), removed)
 }
 
 #[cfg(test)]

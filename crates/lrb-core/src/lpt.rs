@@ -30,7 +30,7 @@ pub fn schedule(sizes: &[Size], m: usize) -> Vec<ProcId> {
         // lint: allow(no-panic-core, the heap is seeded with m entries and m > 0 is asserted above)
         let Reverse((load, p)) = heap.pop().expect("m >= 1");
         assignment[j] = p;
-        heap.push(Reverse((load + sizes[j], p)));
+        heap.push(Reverse((load.saturating_add(sizes[j]), p)));
     }
     assignment
 }

@@ -84,7 +84,7 @@ pub(crate) fn planned_moves_with(
         return None;
     }
     let m_l = profiles.m_l(t);
-    let l_e = l_t - m_l;
+    let l_e = l_t.saturating_sub(m_l);
 
     let mut base = l_e;
     // Σ b_i over all processors, plus the selected processors' c_i.
@@ -97,7 +97,7 @@ pub(crate) fn planned_moves_with(
     cs.sort_unstable();
     let selected_extra: i64 = cs.iter().take(l_t).map(|&(c, _, _)| c).sum();
     // base + Σ_selected (a_i − b_i) = L_E + Σ_sel a_i + Σ_unsel b_i.
-    Some((base as i64 + selected_extra) as usize)
+    Some((base as i64).saturating_add(selected_extra) as usize)
 }
 
 /// Run PARTITION at makespan guess `t`.
@@ -159,7 +159,7 @@ pub(crate) fn run_impl<R: Recorder>(
         });
     }
     let m_l = profiles.m_l(t);
-    let l_e = l_t - m_l;
+    let l_e = l_t.saturating_sub(m_l);
 
     let mut assignment = inst.initial().clone();
     s.reset(m);
@@ -177,7 +177,7 @@ pub(crate) fn run_impl<R: Recorder>(
         let sc = profiles.small_count(p, t);
         if sc < prof.len() {
             s.kept_large[p] = Some(prof.jobs_asc[sc]);
-            for &j in &prof.jobs_asc[sc + 1..] {
+            for &j in &prof.jobs_asc[sc.saturating_add(1)..] {
                 s.homeless_large.push(j);
                 s.loads[p] -= inst.size(j);
                 planned += 1;
@@ -206,7 +206,7 @@ pub(crate) fn run_impl<R: Recorder>(
             // prefix), keeping the large job if present.
             let _t = rec.time(names::PARTITION_STEP3_SHED_SELECTED);
             let a = profiles.a(p, t);
-            for &j in &prof.jobs_asc[sc - a..sc] {
+            for &j in &prof.jobs_asc[sc.saturating_sub(a)..sc] {
                 s.removed_small.push(j);
                 s.loads[p] -= inst.size(j);
                 planned += 1;
@@ -223,7 +223,7 @@ pub(crate) fn run_impl<R: Recorder>(
                 s.kept_large[p] = None;
                 small_removals -= 1;
             }
-            for &j in &prof.jobs_asc[sc - small_removals..sc] {
+            for &j in &prof.jobs_asc[sc.saturating_sub(small_removals)..sc] {
                 s.removed_small.push(j);
                 s.loads[p] -= inst.size(j);
             }

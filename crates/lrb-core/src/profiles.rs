@@ -115,7 +115,7 @@ impl Profiles {
         // Large iff 2·size > t, i.e. size > t/2; sizes_asc is sorted, so
         // count the suffix.
         let boundary = self.sizes_asc.partition_point(|&s| 2 * s <= t);
-        self.sizes_asc.len() - boundary
+        self.sizes_asc.len().saturating_sub(boundary)
     }
 
     /// Number of small jobs on processor `p` at guess `t` (they form a
@@ -143,8 +143,10 @@ impl Profiles {
     pub fn a(&self, p: ProcId, t: Size) -> usize {
         let sc = self.small_count(p, t);
         let prof = &self.per_proc[p];
-        let keep = prof.prefix[..=sc].partition_point(|&s| 2 * s <= t) - 1;
-        sc - keep
+        let keep = prof.prefix[..=sc]
+            .partition_point(|&s| 2 * s <= t)
+            .saturating_sub(1);
+        sc.saturating_sub(keep)
     }
 
     /// `b_i(t)` in the forced variant: number of removals after which
@@ -155,9 +157,12 @@ impl Profiles {
     pub fn b(&self, p: ProcId, t: Size) -> usize {
         let sc = self.small_count(p, t);
         let prof = &self.per_proc[p];
-        let keep = prof.prefix[..=sc].partition_point(|&s| s <= t) - 1;
+        let keep = prof.prefix[..=sc]
+            .partition_point(|&s| s <= t)
+            .saturating_sub(1);
         let has_large = sc < prof.len();
-        (sc - keep) + usize::from(has_large)
+        sc.saturating_sub(keep)
+            .saturating_add(usize::from(has_large))
     }
 
     /// `c_i(t) = a_i(t) − b_i(t)` (can be −1 for processors with a large

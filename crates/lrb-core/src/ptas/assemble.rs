@@ -32,11 +32,11 @@ pub fn assemble(inst: &Instance, view: &View, sol: &Solution) -> Result<Rebalanc
             if want < cnt {
                 // Remove the cheapest excess (prefix of the cost-ascending
                 // list), matching the DP's cost accounting.
-                for &j in &pv.class_jobs[c][..(cnt - want) as usize] {
+                for &j in &pv.class_jobs[c][..cnt.saturating_sub(want) as usize] {
                     pool[c].push(j);
                 }
             } else if want > cnt {
-                deficits[c].push((p, want - cnt));
+                deficits[c].push((p, want.saturating_sub(cnt)));
             }
         }
     }
@@ -60,13 +60,16 @@ pub fn assemble(inst: &Instance, view: &View, sol: &Solution) -> Result<Rebalanc
     for (p, cfg) in sol.configs.iter().enumerate() {
         let pv = &view.procs[p];
         small_pool.extend_from_slice(&pv.smalls[..cfg.small_removals]);
-        actual.push(pv.small_total() - pv.small_size_prefix[cfg.small_removals]);
+        actual.push(
+            pv.small_total()
+                .saturating_sub(pv.small_size_prefix[cfg.small_removals]),
+        );
     }
     // Largest first gives the classic greedy's better packing.
     small_pool.sort_by_key(|&j| std::cmp::Reverse(inst.size(j)));
     let alloc: Vec<u64> = sol.configs.iter().map(|c| c.v_units).collect();
     for j in small_pool {
-        let sz = inst.size(j) * view.scale;
+        let sz = inst.size(j).saturating_mul(view.scale);
         if sz == 0 {
             // Zero-size jobs consume no volume; any processor works (and the
             // headroom argument needs strictly positive pending volume).

@@ -108,8 +108,8 @@ pub fn solve_bounded(view: &View, state_budget: usize) -> DpOutcome {
         }
         let next = StateKey {
             counts,
-            m: state.m - 1,
-            v: state.v - cfg.v_units,
+            m: state.m.saturating_sub(1),
+            v: state.v.saturating_sub(cfg.v_units),
         };
         configs.push(cfg);
         state = next;
@@ -196,7 +196,7 @@ impl Solver<'_> {
                 break; // larger xc only makes it worse
             }
             x[c] = xc;
-            self.enumerate(state, proc, c + 1, sum, x, best, best_cfg);
+            self.enumerate(state, proc, c.saturating_add(1), sum, x, best, best_cfg);
         }
         x[c] = 0;
     }
@@ -222,23 +222,23 @@ impl Solver<'_> {
         for (c, &xc) in x.iter().enumerate() {
             let cnt = pv.class_jobs[c].len();
             if (xc as usize) < cnt {
-                large_cost += pv.class_cost_prefix[c][cnt - xc as usize];
+                large_cost += pv.class_cost_prefix[c][cnt.saturating_sub(xc as usize)];
             }
         }
         for v_units in 0..=v_cap {
             let (small_removals, small_cost) = pv.smalls_removal_for(&self.view.grid, v_units);
-            let local = large_cost + small_cost;
+            let local = large_cost.saturating_add(small_cost);
             let mut counts = state.counts.clone();
             for (nc, &xc) in counts.iter_mut().zip(x) {
                 *nc -= xc;
             }
             let child = StateKey {
                 counts,
-                m: state.m - 1,
-                v: state.v - v_units,
+                m: state.m.saturating_sub(1),
+                v: state.v.saturating_sub(v_units),
             };
             if let Some(rest) = self.solve(&child) {
-                let total = local + rest;
+                let total = local.saturating_add(rest);
                 if best.is_none_or(|b| total < b) {
                     *best = Some(total);
                     *best_cfg = Some(Config {

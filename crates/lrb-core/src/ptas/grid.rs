@@ -91,10 +91,8 @@ impl Grid {
     pub fn max_v_units(&self, rounded_large_sum: u128) -> Option<u64> {
         let cap = (self.t as u128) * (self.q as u128 + 2);
         let used = (self.q as u128) * rounded_large_sum;
-        if used > cap {
-            return None;
-        }
-        Some(((cap - used) / (self.t as u128)) as u64)
+        let slack = cap.checked_sub(used)?;
+        Some((slack / (self.t as u128)) as u64)
     }
 }
 

@@ -158,7 +158,7 @@ fn rebalance_impl<R: Recorder>(
     let mut t = lb;
     while t < ub {
         guesses.push(t);
-        t = (t * (q + 1)).div_ceil(q).max(t + 1);
+        t = t.saturating_mul(q + 1).div_ceil(q).max(t.saturating_add(1));
     }
     guesses.push(ub);
 

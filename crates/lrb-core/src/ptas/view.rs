@@ -45,7 +45,7 @@ impl ProcView {
         let (mut lo, mut hi) = (0usize, self.smalls.len());
         while lo < hi {
             let mid = (lo + hi) / 2;
-            if grid.units(total - self.small_size_prefix[mid]) <= v_units + 1 {
+            if grid.units(total.saturating_sub(self.small_size_prefix[mid])) <= v_units + 1 {
                 hi = mid;
             } else {
                 lo = mid + 1;
@@ -156,7 +156,9 @@ impl View {
         let total_small: u64 = procs.iter().map(|p| p.small_total()).sum();
         // V = V_R + δ·m·T: rounded total small volume plus one unit of slack
         // per processor (Lemma 10).
-        let v_total = grid.units(total_small) + inst.num_procs() as u64;
+        let v_total = grid
+            .units(total_small)
+            .saturating_add(inst.num_procs() as u64);
 
         View {
             grid,

@@ -540,6 +540,7 @@ where
             })
             .collect();
         for handle in handles {
+            // lint: allow(no-panic-core, a worker panic is already fatal; re-raising on join is the only honest exit)
             for (i, out, nanos) in handle.join().expect("engine worker panicked") {
                 slots[i] = Some((out, nanos));
             }
@@ -554,6 +555,7 @@ where
     let mut outcomes = Vec::with_capacity(n);
     let mut solve_nanos = Vec::with_capacity(n);
     for slot in slots {
+        // lint: allow(no-panic-core, the workers jointly cover every index before join returns)
         let (out, nanos) = slot.expect("every item solved");
         outcomes.push(out);
         solve_nanos.push(nanos);

@@ -1,0 +1,22 @@
+//! Fixture: load-typedness flowing through let bindings and call-argument
+//! slots under innocent names the lexical rule cannot see.
+
+pub fn rebalance(load: u64, size: u64) -> u64 {
+    let w = load.saturating_add(size);
+    helper(w)
+}
+
+fn helper(amount: u64) -> u64 {
+    amount + 1
+}
+
+pub fn widened(load: u64) -> u128 {
+    let w = load as u128;
+    w * 2
+}
+
+pub fn suppressed(load: u64) -> u64 {
+    let w = load.min(10);
+    // lint: allow(checked-arith, fixture demonstrates a proven-in-range sum)
+    w + 1
+}

@@ -1,0 +1,6 @@
+//! Fixture: a public engine API whose result depends on a clock read two
+//! hops away; only the taint pass can connect the dots.
+
+pub fn epoch_seed() -> u64 {
+    lrb_support::wall_clock_nanos()
+}

@@ -1,0 +1,7 @@
+//! Fixture: a clock read hidden behind a helper in a crate the lexical
+//! nondeterminism rule does not own. Linted as a virtual workspace
+//! together with `nondet_caller.rs`.
+
+pub fn wall_clock_nanos() -> u64 {
+    std::time::Instant::now().elapsed().as_nanos() as u64
+}

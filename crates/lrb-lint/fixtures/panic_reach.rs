@@ -1,0 +1,15 @@
+//! Fixture: a public engine API reaching a panic through a three-deep
+//! cross-crate call chain. Linted as a virtual workspace together with
+//! `panic_sink.rs` (the support crate holding the sink).
+
+pub fn solve_public(x: u64) -> u64 {
+    step_one(x)
+}
+
+fn step_one(x: u64) -> u64 {
+    lrb_support::step_two(x)
+}
+
+pub fn solve_quiet(x: u64) -> u64 {
+    lrb_support::quiet_sink(x)
+}

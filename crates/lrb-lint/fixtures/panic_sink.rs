@@ -1,0 +1,16 @@
+//! Fixture: the support-crate tail of the `panic_reach.rs` chain. The
+//! sink crate is outside the lexical no-panic scope, so only the
+//! reachability pass can see these sites.
+
+pub fn step_two(x: u64) -> u64 {
+    step_three(x)
+}
+
+fn step_three(x: u64) -> u64 {
+    x.checked_add(1).unwrap()
+}
+
+pub fn quiet_sink(x: u64) -> u64 {
+    // lint: allow(no-panic-core, fixture demonstrates a root-cause suppression)
+    x.checked_add(1).unwrap()
+}

@@ -1,0 +1,12 @@
+//! Fixture: suppressions that suppress nothing, or are malformed, are
+//! themselves hard errors.
+
+pub fn tidy(x: u64) -> u64 {
+    // lint: allow(no-panic-core, there has been nothing to suppress here for ages)
+    x.saturating_add(1)
+}
+
+pub fn sloppy(x: u64) -> u64 {
+    // lint: allow(checked-arith)
+    x
+}

@@ -5,23 +5,27 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use lrb_lint::{lint_workspace, rules, schedules};
+use lrb_lint::{analyze_workspace, report_json, rules, schedules};
+use lrb_obs::{AtomicRecorder, NoopTracer};
 
 const USAGE: &str = "\
 lrb-lint — workspace invariant checker
 
 USAGE:
   lrb-lint [--root DIR]                 lint every workspace .rs file
+           [--report FILE]              also write the LINT_1.json report
   lrb-lint --schedules [--seeds A..B]   adversarial engine schedule gate
            [--threads N,N,...]
   lrb-lint --list-rules                 print the rule registry
 
 A finding is suppressed by a same-line or preceding-line comment:
   // lint: allow(<rule>, <reason>)
+A suppression that no longer fires is itself a finding (stale-suppression).
 ";
 
 struct Args {
     root: PathBuf,
+    report: Option<PathBuf>,
     schedules: bool,
     seeds: std::ops::Range<u64>,
     threads: Vec<usize>,
@@ -31,6 +35,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: PathBuf::from("."),
+        report: None,
         schedules: false,
         seeds: 0..8,
         threads: vec![2, 4],
@@ -41,6 +46,9 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--root" => {
                 args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--report" => {
+                args.report = Some(PathBuf::from(it.next().ok_or("--report needs a file")?));
             }
             "--schedules" => args.schedules = true,
             "--seeds" | "--seed" => {
@@ -119,21 +127,48 @@ fn main() -> ExitCode {
         };
     }
 
-    let findings = match lint_workspace(&args.root) {
-        Ok(f) => f,
+    let rec = AtomicRecorder::new();
+    let analysis = match analyze_workspace(&args.root, &rec, &NoopTracer) {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("lrb-lint: walking {}: {e}", args.root.display());
             return ExitCode::from(2);
         }
     };
-    for f in &findings {
+    for f in &analysis.findings {
         println!("{f}");
     }
-    if findings.is_empty() {
+    if let Some(path) = &args.report {
+        if let Err(e) = std::fs::write(path, report_json(&analysis)) {
+            eprintln!("lrb-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    let phase_ms = |name: &'static str| {
+        rec.snapshot()
+            .phases
+            .iter()
+            .find(|p| p.name == name)
+            .map_or(0.0, |p| p.total_nanos as f64 / 1e6)
+    };
+    println!(
+        "lrb-lint: {} files, {} fns, {} call edges ({} resolved / {} unresolved call \
+         sites), {} suppressions; parse {:.1}ms graph {:.1}ms passes {:.1}ms",
+        analysis.files,
+        analysis.graph.functions,
+        analysis.graph.edges,
+        analysis.graph.resolved_calls,
+        analysis.graph.unresolved_calls,
+        analysis.suppressions.len(),
+        phase_ms(lrb_obs::names::LINT_PARSE),
+        phase_ms(lrb_obs::names::LINT_GRAPH),
+        phase_ms(lrb_obs::names::LINT_PASS),
+    );
+    if analysis.findings.is_empty() {
         println!("lrb-lint: workspace clean ({} rules)", rules::RULES.len());
         ExitCode::SUCCESS
     } else {
-        println!("lrb-lint: {} finding(s)", findings.len());
+        println!("lrb-lint: {} finding(s)", analysis.findings.len());
         ExitCode::FAILURE
     }
 }

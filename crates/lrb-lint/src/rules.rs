@@ -1,30 +1,39 @@
-//! The lint rule engine: six rules grounded in project invariants, plus
-//! per-site `// lint: allow(<rule>, <reason>)` suppressions.
+//! The lint rule engine: the lexical layer of the analyzer, plus the rule
+//! registry and pinned golden key sets shared with the semantic passes.
 //!
-//! Every rule is lexical — it walks the token stream from [`crate::lexer`]
-//! with test regions (`#[cfg(test)]` / `#[test]` items) masked out, so
-//! production invariants are enforced without constraining test code. A
-//! suppression must name the rule *and* give a reason; it covers findings on
-//! its own line (trailing form) and on the next code line (preceding form).
+//! Every rule here is lexical — it walks the token stream from
+//! [`crate::lexer`] with test regions (`#[cfg(test)]` / `#[test]` items)
+//! masked out, so production invariants are enforced without constraining
+//! test code. The same rule *names* are reused by the call-graph passes in
+//! [`crate::taint`], which widen three of them beyond their lexical path
+//! scope; suppression directives therefore work identically for both
+//! layers. A suppression must name the rule *and* give a reason; it covers
+//! findings on its own line (trailing form) and on the next code line
+//! (preceding form), and must suppress a *live* finding — a stale allow is
+//! itself a finding (`stale-suppression`).
 
-use crate::lexer::{lex, Tok, TokKind};
+use crate::lexer::{Tok, TokKind};
+use crate::scan::Scan;
 
 /// Registry of every rule: `(name, one-line rationale)`.
 pub const RULES: &[(&str, &str)] = &[
     (
         "no-nondeterminism",
         "solver crates (lrb-core, lrb-engine) must not read clocks or use hash-ordered \
-         collections; reproducibility of the paper's guarantees depends on it",
+         collections — nor reach code that does, anywhere in the workspace; \
+         reproducibility of the paper's guarantees depends on it",
     ),
     (
         "no-panic-core",
-        "non-test lrb-core and lrb-serve code must not unwrap/expect/panic; hot paths and \
-         the daemon return Error or carry a reviewed allow",
+        "non-test lrb-core and lrb-serve code must not unwrap/expect/panic, and no panic \
+         site anywhere may be reachable from the core/engine/serve public API; hot paths \
+         and the daemon return Error or carry a reviewed allow at the root-cause site",
     ),
     (
         "checked-arith",
-        "in model.rs/bounds.rs, bare +/-/* on load-typed values must go through \
-         checked_*/saturating_* (u128-widened arithmetic is exempt)",
+        "in lrb-core, bare +/-/* on load-typed values — by name, or by dataflow through \
+         let bindings and fn signatures — must go through checked_*/saturating_* \
+         (u128-widened arithmetic is exempt)",
     ),
     (
         "obs-name-registry",
@@ -39,6 +48,16 @@ pub const RULES: &[(&str, &str)] = &[
         "schema-key-pinning",
         "the JSON report key sets in lrb-cli/src/report.rs must match the golden sets \
          pinned in lrb-lint",
+    ),
+    (
+        "stale-suppression",
+        "every lint: allow must suppress a live finding; one that no longer fires is a \
+         hard error — delete it or move it to the root-cause site the reachability \
+         passes point at",
+    ),
+    (
+        "allow-syntax",
+        "lint: allow directives must name both a rule and a reason",
     ),
 ];
 
@@ -280,6 +299,28 @@ pub const GOLDEN_KEY_SETS: &[(&str, &[&str])] = &[
         ],
     ),
     ("SERVE_JOB_KEYS", &["cost", "key", "proc", "size"]),
+    (
+        "LINT_TOP_KEYS",
+        &[
+            "call_graph",
+            "files",
+            "findings",
+            "rules",
+            "schema_version",
+            "suppressions",
+        ],
+    ),
+    (
+        "LINT_GRAPH_KEYS",
+        &["edges", "functions", "resolved_calls", "unresolved_calls"],
+    ),
+    ("LINT_RULE_KEYS", &["findings", "rule"]),
+    (
+        "LINT_FINDING_KEYS",
+        &["col", "line", "message", "path", "rule"],
+    ),
+    ("LINT_SUPPRESSION_KEYS", &["sites", "stale", "total"]),
+    ("LINT_SITE_KEYS", &["line", "path", "rule", "used"]),
 ];
 
 /// One lint finding at an exact source position.
@@ -328,7 +369,7 @@ const RECORDER_METHODS: &[&str] = &[
     "enter",
 ];
 
-fn is_loadish(name: &str) -> bool {
+pub(crate) fn is_loadish(name: &str) -> bool {
     if LOAD_WORD_EXEMPT.contains(&name) {
         return false;
     }
@@ -336,208 +377,20 @@ fn is_loadish(name: &str) -> bool {
     LOAD_WORDS.iter().any(|w| lower.contains(w))
 }
 
-/// A parsed `lint: allow(rule, reason)` directive.
-struct Allow {
-    rule: String,
-    /// Source lines this directive suppresses.
-    lines: Vec<u32>,
-}
-
-/// Token-stream view with test-region mask and significant-token index.
-struct Scan<'a> {
-    toks: &'a [Tok],
-    /// Indices into `toks` of non-comment tokens.
-    sig: Vec<usize>,
-    /// `in_test[k]` is true when `toks[k]` sits inside a test-gated item.
-    in_test: Vec<bool>,
-}
-
-impl<'a> Scan<'a> {
-    fn new(toks: &'a [Tok]) -> Self {
-        let sig: Vec<usize> = toks
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| !t.is_comment())
-            .map(|(i, _)| i)
-            .collect();
-        let in_test = test_mask(toks, &sig);
-        Scan { toks, sig, in_test }
-    }
-
-    fn sig_tok(&self, s: usize) -> Option<&Tok> {
-        self.sig.get(s).map(|&i| &self.toks[i])
-    }
-
-    fn sig_text(&self, s: usize) -> &str {
-        self.sig_tok(s).map_or("", |t| &t.text)
-    }
-
-    fn is_test(&self, s: usize) -> bool {
-        self.sig.get(s).is_some_and(|&i| self.in_test[i])
-    }
-}
-
-/// Mark tokens inside test-gated items: an attribute containing the
-/// identifier `test` (and no `not`, so `#[cfg(not(test))]` stays live code)
-/// masks the item it decorates through the matching close brace.
-fn test_mask(toks: &[Tok], sig: &[usize]) -> Vec<bool> {
-    let mut mask = vec![false; toks.len()];
-    let text = |s: usize| -> &str { sig.get(s).map_or("", |&i| &toks[i].text) };
-    let mut s = 0;
-    while s < sig.len() {
-        if !(text(s) == "#" && text(s + 1) == "[") {
-            s += 1;
-            continue;
-        }
-        // Scan the attribute body to its matching `]`.
-        let mut depth = 0usize;
-        let mut u = s + 1;
-        let mut has_test = false;
-        let mut has_not = false;
-        loop {
-            match text(u) {
-                "" => return mask, // unterminated; give up gracefully
-                "[" => depth += 1,
-                "]" => {
-                    depth -= 1;
-                    if depth == 0 {
-                        break;
-                    }
-                }
-                "test" => has_test = true,
-                "not" => has_not = true,
-                _ => {}
-            }
-            u += 1;
-        }
-        let after_attr = u + 1;
-        if !has_test || has_not {
-            s = after_attr;
-            continue;
-        }
-        // Skip any further attributes between this one and the item.
-        let mut v = after_attr;
-        while text(v) == "#" && text(v + 1) == "[" {
-            let mut d = 0usize;
-            v += 1;
-            loop {
-                match text(v) {
-                    "" => return mask,
-                    "[" => d += 1,
-                    "]" => {
-                        d -= 1;
-                        if d == 0 {
-                            break;
-                        }
-                    }
-                    _ => {}
-                }
-                v += 1;
-            }
-            v += 1;
-        }
-        // The item runs to its first `{`'s matching `}` (or to `;`).
-        let mut w = v;
-        while !matches!(text(w), "{" | ";" | "") {
-            w += 1;
-        }
-        let end_sig = if text(w) == "{" {
-            let mut d = 0usize;
-            loop {
-                match text(w) {
-                    "" => return mask,
-                    "{" => d += 1,
-                    "}" => {
-                        d -= 1;
-                        if d == 0 {
-                            break;
-                        }
-                    }
-                    _ => {}
-                }
-                w += 1;
-            }
-            w
-        } else if text(w) == ";" {
-            w
-        } else {
-            sig.len() - 1
-        };
-        for &i in &sig[s..=end_sig.min(sig.len() - 1)] {
-            mask[i] = true;
-        }
-        s = end_sig + 1;
-    }
-    mask
-}
-
-/// Parse suppression directives out of comment tokens. Malformed directives
-/// (no reason) are reported as findings so a bare `allow` can't slip by.
-fn collect_allows(
-    toks: &[Tok],
-    sig: &[usize],
-    path: &str,
-    findings: &mut Vec<Finding>,
-) -> Vec<Allow> {
-    let mut allows = Vec::new();
-    for t in toks.iter().filter(|t| t.is_comment()) {
-        let Some(at) = t.text.find("lint: allow(") else {
-            continue;
-        };
-        let body = &t.text[at + "lint: allow(".len()..];
-        let Some(close) = body.rfind(')') else {
-            findings.push(Finding {
-                rule: "allow-syntax",
-                path: path.to_string(),
-                line: t.line,
-                col: t.col,
-                message: "unterminated lint: allow(...) directive".to_string(),
-            });
-            continue;
-        };
-        let inner = &body[..close];
-        let (rule, reason) = match inner.split_once(',') {
-            Some((r, why)) => (r.trim(), why.trim()),
-            None => (inner.trim(), ""),
-        };
-        if rule.is_empty() || reason.is_empty() {
-            findings.push(Finding {
-                rule: "allow-syntax",
-                path: path.to_string(),
-                line: t.line,
-                col: t.col,
-                message: "lint: allow needs both a rule and a reason: \
-                          `// lint: allow(<rule>, <reason>)`"
-                    .to_string(),
-            });
-            continue;
-        }
-        // Covered lines: the directive's own line (trailing comment) and the
-        // first code line after it (preceding comment).
-        let mut lines = vec![t.line];
-        if let Some(next) = sig.iter().map(|&i| toks[i].line).find(|&l| l > t.line) {
-            lines.push(next);
-        }
-        allows.push(Allow {
-            rule: rule.to_string(),
-            lines,
-        });
-    }
-    allows
-}
-
-/// Which rules apply to `path` (workspace-relative, `/`-separated).
-struct Scope {
-    nondeterminism: bool,
-    panic_core: bool,
-    checked_arith: bool,
-    obs_names: bool,
-    unsafe_audit: bool,
-    schema_keys: bool,
+/// Which rules apply lexically to `path` (workspace-relative,
+/// `/`-separated). The semantic passes use the same scopes to decide which
+/// files the lexical layer already owns.
+pub(crate) struct Scope {
+    pub(crate) nondeterminism: bool,
+    pub(crate) panic_core: bool,
+    pub(crate) checked_arith: bool,
+    pub(crate) obs_names: bool,
+    pub(crate) unsafe_audit: bool,
+    pub(crate) schema_keys: bool,
 }
 
 impl Scope {
-    fn of(path: &str) -> Self {
+    pub(crate) fn of(path: &str) -> Self {
         let p = path.replace('\\', "/");
         let in_core = p.contains("crates/lrb-core/src/");
         let in_engine = p.contains("crates/lrb-engine/src/");
@@ -548,7 +401,7 @@ impl Scope {
             // The daemon must degrade via Reject/Error responses, never
             // abort: a panic in lrb-serve is an availability bug.
             panic_core: in_core || in_serve,
-            checked_arith: in_core && (p.ends_with("/model.rs") || p.ends_with("/bounds.rs")),
+            checked_arith: in_core,
             obs_names: in_crate_src
                 && !p.contains("crates/lrb-obs/")
                 && !p.contains("crates/lrb-lint/"),
@@ -558,42 +411,35 @@ impl Scope {
     }
 }
 
-/// Lint one file's source. `path` decides which rules apply; it should be
-/// workspace-relative (e.g. `crates/lrb-core/src/greedy.rs`).
+/// Lint one file's source with the full analyzer (lexical rules *and* the
+/// semantic passes, over a single-file virtual workspace). `path` decides
+/// which rules apply; it should be workspace-relative (e.g.
+/// `crates/lrb-core/src/greedy.rs`).
 pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
-    let toks = lex(src);
-    let scan = Scan::new(&toks);
-    let scope = Scope::of(path);
-    let mut findings = Vec::new();
-    let allows = collect_allows(&toks, &scan.sig, path, &mut findings);
+    crate::lint_sources(&[(path, src)])
+}
 
+/// Run every lexical rule in `path`'s scope over one file's token scan.
+pub(crate) fn lexical_findings(scan: &Scan<'_>, path: &str, findings: &mut Vec<Finding>) {
+    let scope = Scope::of(path);
     if scope.nondeterminism {
-        rule_no_nondeterminism(&scan, path, &mut findings);
+        rule_no_nondeterminism(scan, path, findings);
     }
     if scope.panic_core {
-        rule_no_panic_core(&scan, path, &mut findings);
+        rule_no_panic_core(scan, path, findings);
     }
     if scope.checked_arith {
-        rule_checked_arith(&scan, path, &mut findings);
+        rule_checked_arith(scan, path, findings);
     }
     if scope.obs_names {
-        rule_obs_names(&scan, path, &mut findings);
+        rule_obs_names(scan, path, findings);
     }
     if scope.unsafe_audit {
-        rule_unsafe_audit(&scan, path, &mut findings);
+        rule_unsafe_audit(scan, path, findings);
     }
     if scope.schema_keys {
-        rule_schema_keys(&scan, path, &mut findings);
+        rule_schema_keys(scan, path, findings);
     }
-
-    findings.retain(|f| {
-        f.rule == "allow-syntax"
-            || !allows
-                .iter()
-                .any(|a| a.rule == f.rule && a.lines.contains(&f.line))
-    });
-    findings.sort_by_key(|f| (f.line, f.col));
-    findings
 }
 
 fn push(findings: &mut Vec<Finding>, rule: &'static str, path: &str, tok: &Tok, message: String) {
@@ -698,10 +544,12 @@ fn rule_checked_arith(scan: &Scan<'_>, path: &str, findings: &mut Vec<Finding>) 
         if !binary {
             continue;
         }
-        // u128/i128-widened arithmetic is exact by construction.
+        // u128/i128-widened arithmetic is exact by construction, and float
+        // arithmetic cannot overflow-panic (its determinism is a separate
+        // concern the nondeterminism rule owns).
         let widened = (s.saturating_sub(5)..s)
             .chain(s + 1..(s + 6).min(scan.sig.len()))
-            .any(|k| matches!(scan.sig_text(k), "u128" | "i128"));
+            .any(|k| matches!(scan.sig_text(k), "u128" | "i128" | "f64" | "f32"));
         if widened {
             continue;
         }
@@ -908,8 +756,13 @@ mod tests {
     fn allow_is_rule_specific() {
         let src = "// lint: allow(no-nondeterminism, wrong rule)\nfn f() { x.unwrap(); }\n";
         let f = lint_source(CORE, src);
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].rule, "no-panic-core");
+        // The unwrap still fires, and the mismatched allow — suppressing
+        // nothing — is itself a stale-suppression finding.
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().any(|f| f.rule == "no-panic-core" && f.line == 2));
+        assert!(f
+            .iter()
+            .any(|f| f.rule == "stale-suppression" && f.line == 1));
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Shared token-stream scanning infrastructure: the significant-token view
+//! with its test-region mask, and `// lint: allow(<rule>, <reason>)`
+//! suppression parsing. Both the lexical rules ([`crate::rules`]) and the
+//! semantic item parser ([`crate::parser`]) are built on [`Scan`], so the
+//! two layers agree exactly on what counts as test code.
+
+use crate::lexer::{Tok, TokKind};
+use crate::rules::Finding;
+
+/// Token-stream view with test-region mask and significant-token index.
+pub(crate) struct Scan<'a> {
+    pub(crate) toks: &'a [Tok],
+    /// Indices into `toks` of non-comment tokens.
+    pub(crate) sig: Vec<usize>,
+    /// `in_test[k]` is true when `toks[k]` sits inside a test-gated item.
+    pub(crate) in_test: Vec<bool>,
+}
+
+impl<'a> Scan<'a> {
+    pub(crate) fn new(toks: &'a [Tok]) -> Self {
+        let sig: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_comment())
+            .map(|(i, _)| i)
+            .collect();
+        let in_test = test_mask(toks, &sig);
+        Scan { toks, sig, in_test }
+    }
+
+    pub(crate) fn sig_tok(&self, s: usize) -> Option<&Tok> {
+        self.sig.get(s).map(|&i| &self.toks[i])
+    }
+
+    pub(crate) fn sig_text(&self, s: usize) -> &str {
+        self.sig_tok(s).map_or("", |t| &t.text)
+    }
+
+    pub(crate) fn sig_kind(&self, s: usize) -> Option<TokKind> {
+        self.sig_tok(s).map(|t| t.kind)
+    }
+
+    pub(crate) fn is_test(&self, s: usize) -> bool {
+        self.sig.get(s).is_some_and(|&i| self.in_test[i])
+    }
+}
+
+/// Mark tokens inside test-gated items: an attribute containing the
+/// identifier `test` (and no `not`, so `#[cfg(not(test))]` stays live code)
+/// masks the item it decorates through the matching close brace.
+fn test_mask(toks: &[Tok], sig: &[usize]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let text = |s: usize| -> &str { sig.get(s).map_or("", |&i| &toks[i].text) };
+    let mut s = 0;
+    while s < sig.len() {
+        if !(text(s) == "#" && text(s + 1) == "[") {
+            s += 1;
+            continue;
+        }
+        // Scan the attribute body to its matching `]`.
+        let mut depth = 0usize;
+        let mut u = s + 1;
+        let mut has_test = false;
+        let mut has_not = false;
+        loop {
+            match text(u) {
+                "" => return mask, // unterminated; give up gracefully
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "test" => has_test = true,
+                "not" => has_not = true,
+                _ => {}
+            }
+            u += 1;
+        }
+        let after_attr = u + 1;
+        if !has_test || has_not {
+            s = after_attr;
+            continue;
+        }
+        // Skip any further attributes between this one and the item.
+        let mut v = after_attr;
+        while text(v) == "#" && text(v + 1) == "[" {
+            let mut d = 0usize;
+            v += 1;
+            loop {
+                match text(v) {
+                    "" => return mask,
+                    "[" => d += 1,
+                    "]" => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                v += 1;
+            }
+            v += 1;
+        }
+        // The item runs to its first `{`'s matching `}` (or to `;`).
+        let mut w = v;
+        while !matches!(text(w), "{" | ";" | "") {
+            w += 1;
+        }
+        let end_sig = if text(w) == "{" {
+            let mut d = 0usize;
+            loop {
+                match text(w) {
+                    "" => return mask,
+                    "{" => d += 1,
+                    "}" => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                w += 1;
+            }
+            w
+        } else if text(w) == ";" {
+            w
+        } else {
+            sig.len() - 1
+        };
+        for &i in &sig[s..=end_sig.min(sig.len() - 1)] {
+            mask[i] = true;
+        }
+        s = end_sig + 1;
+    }
+    mask
+}
+
+/// A parsed `lint: allow(rule, reason)` directive.
+pub(crate) struct Allow {
+    pub(crate) rule: String,
+    /// Position of the directive comment itself (for stale reporting).
+    pub(crate) line: u32,
+    pub(crate) col: u32,
+    /// Source lines this directive suppresses.
+    pub(crate) lines: Vec<u32>,
+    /// Set when the directive suppressed at least one live finding; a
+    /// directive still false after every pass has run is stale.
+    pub(crate) used: bool,
+}
+
+/// Parse suppression directives out of comment tokens. Malformed directives
+/// (no reason) are reported as findings so a bare `allow` can't slip by.
+pub(crate) fn collect_allows(
+    toks: &[Tok],
+    sig: &[usize],
+    path: &str,
+    findings: &mut Vec<Finding>,
+) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for t in toks.iter().filter(|t| t.is_comment()) {
+        // A directive must be the comment's whole content; prose that merely
+        // *mentions* `lint: allow(...)` (doc comments, this very file) is
+        // not a suppression.
+        let content = t
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim_start_matches('!')
+            .trim_start();
+        if !content.starts_with("lint: allow(") {
+            continue;
+        }
+        let body = &content["lint: allow(".len()..];
+        let Some(close) = body.rfind(')') else {
+            findings.push(Finding {
+                rule: "allow-syntax",
+                path: path.to_string(),
+                line: t.line,
+                col: t.col,
+                message: "unterminated lint: allow(...) directive".to_string(),
+            });
+            continue;
+        };
+        let inner = &body[..close];
+        let (rule, reason) = match inner.split_once(',') {
+            Some((r, why)) => (r.trim(), why.trim()),
+            None => (inner.trim(), ""),
+        };
+        if rule.is_empty() || reason.is_empty() {
+            findings.push(Finding {
+                rule: "allow-syntax",
+                path: path.to_string(),
+                line: t.line,
+                col: t.col,
+                message: "lint: allow needs both a rule and a reason: \
+                          `// lint: allow(<rule>, <reason>)`"
+                    .to_string(),
+            });
+            continue;
+        }
+        // Covered lines: the directive's own line (trailing comment) and the
+        // first code line after it (preceding comment).
+        let mut lines = vec![t.line];
+        if let Some(next) = sig.iter().map(|&i| toks[i].line).find(|&l| l > t.line) {
+            lines.push(next);
+        }
+        allows.push(Allow {
+            rule: rule.to_string(),
+            line: t.line,
+            col: t.col,
+            lines,
+            used: false,
+        });
+    }
+    allows
+}

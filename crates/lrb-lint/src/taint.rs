@@ -1,0 +1,212 @@
+//! The semantic passes over the call graph: panic-reachability,
+//! nondeterminism-taint, and checked-arith dataflow.
+//!
+//! Each pass reports at the *root-cause site* (the sink line itself), so a
+//! suppression must be placed where the invariant is actually discharged,
+//! never at the public API that merely reaches it. Sites already covered by
+//! the corresponding lexical rule's path scope are skipped — the lexical
+//! rule flags them with identical positions, so the semantic passes are a
+//! strict widening, never a double report.
+
+use std::collections::BTreeSet;
+
+use crate::graph::Graph;
+use crate::rules::{is_loadish, Finding, Scope};
+
+/// Crates whose public surface anchors the panic-reachability pass.
+const PANIC_ROOT_CRATES: &[&str] = &["lrb_core", "lrb_engine", "lrb_serve"];
+/// Crates whose public surface anchors the nondeterminism-taint pass.
+const NONDET_ROOT_CRATES: &[&str] = &["lrb_core", "lrb_engine"];
+
+/// Public API nodes of `crates`: unrestricted-`pub` fns and trait-surface
+/// methods in the crates' own `src/` trees, excluding test code.
+fn roots(g: &Graph, crates: &[&str]) -> Vec<usize> {
+    (0..g.nodes.len())
+        .filter(|&i| {
+            let n = &g.nodes[i];
+            crates.contains(&n.crate_name.as_str())
+                && !n.fact.is_test
+                && (n.fact.is_pub || n.fact.in_trait)
+                && n.file.contains("/src/")
+        })
+        .collect()
+}
+
+/// Render the call chain `root → ... → sink` for a finding message,
+/// eliding the middle of long chains.
+fn chain_text(g: &Graph, chain: &[usize]) -> String {
+    let names: Vec<String> = chain.iter().map(|&i| format!("`{}`", g.label(i))).collect();
+    if names.len() <= 5 {
+        names.join(" -> ")
+    } else {
+        format!(
+            "{} -> {} -> ... -> {}",
+            names[0],
+            names[1],
+            names[names.len() - 1]
+        )
+    }
+}
+
+/// Panic-reachability: any `unwrap`/`expect`/`panic!`-family site
+/// transitively reachable from the public API of core/engine/serve is a
+/// finding at the sink, wherever the sink lives.
+pub fn panic_pass(g: &Graph, findings: &mut Vec<Finding>) {
+    let roots = roots(g, PANIC_ROOT_CRATES);
+    let (seen, pred) = g.reach(&roots);
+    for (i, reached) in seen.iter().enumerate() {
+        if !reached || Scope::of(&g.nodes[i].file).panic_core {
+            continue; // lexical rule already owns in-scope files
+        }
+        if g.nodes[i].fact.panics.is_empty() {
+            continue;
+        }
+        let chain = g.chain(&pred, i);
+        let via = chain_text(g, &chain);
+        for site in &g.nodes[i].fact.panics {
+            findings.push(Finding {
+                rule: "no-panic-core",
+                path: g.nodes[i].file.clone(),
+                line: site.line,
+                col: site.col,
+                message: format!(
+                    "{} is reachable from public solver/daemon API: {} -> {}; return Error \
+                     or document the invariant with an allow at this root-cause site",
+                    site.what, via, site.what
+                ),
+            });
+        }
+    }
+}
+
+/// Nondeterminism-taint: clock reads and hash-ordered collections anywhere
+/// reachable from the core/engine public surface taint the solve paths.
+pub fn nondet_pass(g: &Graph, findings: &mut Vec<Finding>) {
+    let roots = roots(g, NONDET_ROOT_CRATES);
+    let (seen, pred) = g.reach(&roots);
+    for (i, reached) in seen.iter().enumerate() {
+        if !reached || Scope::of(&g.nodes[i].file).nondeterminism {
+            continue;
+        }
+        if g.nodes[i].fact.nondet.is_empty() {
+            continue;
+        }
+        let chain = g.chain(&pred, i);
+        let via = chain_text(g, &chain);
+        for site in &g.nodes[i].fact.nondet {
+            findings.push(Finding {
+                rule: "no-nondeterminism",
+                path: g.nodes[i].file.clone(),
+                line: site.line,
+                col: site.col,
+                message: format!(
+                    "{} is reachable from solver API: {}; nondeterministic state must not \
+                     feed solve/epoch paths (allow only for telemetry or keyed lookups)",
+                    site.what, via
+                ),
+            });
+        }
+    }
+}
+
+/// Checked-arith dataflow: track load-typed values through `let` bindings
+/// and call-argument → parameter positions inside `lrb-core`, then flag
+/// bare arithmetic whose operand is load-typed *by flow* even though its
+/// name gives the lexical rule nothing to see.
+pub fn arith_flow_pass(g: &Graph, findings: &mut Vec<Finding>) {
+    let core: Vec<usize> = (0..g.nodes.len())
+        .filter(|&i| g.nodes[i].crate_name == "lrb_core" && !g.nodes[i].fact.is_test)
+        .collect();
+
+    // Per-node set of load-typed local names (params and let bindings).
+    let mut load: Vec<BTreeSet<String>> = vec![BTreeSet::new(); g.nodes.len()];
+    for &i in &core {
+        for p in &g.nodes[i].fact.params {
+            if is_loadish(p) {
+                load[i].insert(p.clone());
+            }
+        }
+    }
+
+    // Fixpoint: a let binding whose rhs touches a load-typed name (or a
+    // loadish-named call) binds a load-typed name; a loadish argument slot
+    // makes the callee's parameter in that position load-typed.
+    for _round in 0..10 {
+        let mut changed = false;
+        for &i in &core {
+            let fact = &g.nodes[i].fact;
+            let mut gained: Vec<String> = Vec::new();
+            for l in &fact.lets {
+                if load[i].contains(&l.name) {
+                    continue;
+                }
+                let tainted = l
+                    .idents
+                    .iter()
+                    .any(|x| is_loadish(x) || load[i].contains(x))
+                    || l.calls.iter().any(|c| is_loadish(c));
+                if tainted {
+                    gained.push(l.name.clone());
+                }
+            }
+            for name in gained {
+                changed |= load[i].insert(name);
+            }
+            for (k, call) in fact.calls.iter().enumerate() {
+                let Some(targets) = g.call_targets[i].get(k) else {
+                    continue;
+                };
+                for (slot, arg) in call.args.iter().enumerate() {
+                    let tainted = arg
+                        .idents
+                        .iter()
+                        .any(|x| is_loadish(x) || load[i].contains(x))
+                        || arg.calls.iter().any(|c| is_loadish(c));
+                    if !tainted {
+                        continue;
+                    }
+                    for &t in targets {
+                        if g.nodes[t].crate_name != "lrb_core" {
+                            continue;
+                        }
+                        if let Some(p) = g.nodes[t].fact.params.get(slot) {
+                            let p = p.clone();
+                            changed |= load[t].insert(p);
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    for &i in &core {
+        if !Scope::of(&g.nodes[i].file).checked_arith {
+            continue; // dataflow extends the lexical rule, same file scope
+        }
+        for a in &g.nodes[i].fact.arith {
+            let Some(op) = a
+                .operands
+                .iter()
+                .find(|o| !is_loadish(o) && load[i].contains(*o))
+            else {
+                continue;
+            };
+            findings.push(Finding {
+                rule: "checked-arith",
+                path: g.nodes[i].file.clone(),
+                line: a.line,
+                col: a.col,
+                message: format!(
+                    "bare `{}` on `{}`, which is load-typed by dataflow (bound from a load \
+                     expression in `{}`): use checked_*/saturating_* or widen through u128",
+                    a.op,
+                    op,
+                    g.label(i)
+                ),
+            });
+        }
+    }
+}

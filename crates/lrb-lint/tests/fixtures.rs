@@ -36,12 +36,18 @@ fn nondeterminism_fixture_trips_and_suppresses() {
 }
 
 #[test]
-fn nondeterminism_fixture_is_clean_outside_solver_crates() {
+fn nondeterminism_fixture_goes_stale_outside_solver_crates() {
+    // Outside the rule's scope the clock reads are legal — which turns the
+    // fixture's embedded allow into a stale-suppression hard error.
     let findings = lint(
         include_str!("../fixtures/nondeterminism.rs"),
         "crates/lrb-cli/src/fixture.rs",
     );
-    assert!(findings.is_empty(), "{findings:#?}");
+    assert_eq!(
+        triples(&findings),
+        vec![("stale-suppression", 14, 5)],
+        "{findings:#?}"
+    );
 }
 
 #[test]
@@ -107,12 +113,30 @@ fn checked_arith_fixture_trips_once() {
 }
 
 #[test]
-fn checked_arith_scope_is_model_and_bounds_only() {
+fn checked_arith_scope_covers_the_whole_core_crate() {
+    // The semantic layer widened the rule from model.rs/bounds.rs to every
+    // lrb-core file — the flow pass proves load-typedness crate-wide, so
+    // the lexical scope matches.
     let findings = lint(
         include_str!("../fixtures/checked_arith.rs"),
         "crates/lrb-core/src/greedy.rs",
     );
-    assert!(findings.is_empty(), "{findings:#?}");
+    assert_eq!(
+        triples(&findings),
+        vec![("checked-arith", 5, 10)],
+        "{findings:#?}"
+    );
+    // Outside the solver crate the rule is silent, so the embedded allow
+    // is stale.
+    let findings = lint(
+        include_str!("../fixtures/checked_arith.rs"),
+        "crates/lrb-harness/src/fixture.rs",
+    );
+    assert_eq!(
+        triples(&findings),
+        vec![("stale-suppression", 13, 5)],
+        "{findings:#?}"
+    );
 }
 
 #[test]
@@ -161,8 +185,8 @@ fn schema_fixture_reports_drift_and_missing_consts() {
     assert!(drift[0].message.contains("missing [\"thread_curve\"]"));
     assert!(drift[0].message.contains("unexpected [\"surprise_key\"]"));
     // The fixture defines only BENCH_TOP_KEYS, so every other pinned
-    // const (bench/chaos/online/hetero, the five trace sets, and the
-    // three serve snapshot sets) is reported missing.
+    // const (bench/chaos/online/hetero/compete, the trace sets, the serve
+    // snapshot sets, and the six LINT report sets) is reported missing.
     let missing = findings
         .iter()
         .filter(|f| f.message.contains("is missing from report.rs"))
@@ -184,6 +208,101 @@ fn clean_fixture_passes_strictest_scope() {
 }
 
 #[test]
+fn panic_reachability_crosses_crates_to_the_root_cause() {
+    // A public engine API reaches an unwrap through a three-deep chain
+    // ending in a support crate the lexical rule does not own; the finding
+    // lands at the sink with the full chain spelled out. The second chain
+    // ends in an allow at the root-cause site, which eats the finding.
+    let findings = lrb_lint::lint_sources(&[
+        (
+            "crates/lrb-engine/src/fixture.rs",
+            include_str!("../fixtures/panic_reach.rs"),
+        ),
+        (
+            "crates/lrb-support/src/lib.rs",
+            include_str!("../fixtures/panic_sink.rs"),
+        ),
+    ]);
+    assert_eq!(
+        triples(&findings),
+        vec![("no-panic-core", 10, 22)],
+        "{findings:#?}"
+    );
+    assert_eq!(findings[0].path, "crates/lrb-support/src/lib.rs");
+    assert!(
+        findings[0]
+            .message
+            .contains("`solve_public` -> `step_one` -> `step_two` -> `step_three` -> unwrap()"),
+        "{}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn nondeterminism_taint_flows_through_helpers() {
+    // The clock read sits in a helper crate; only the taint pass connects
+    // the public engine API to it.
+    let findings = lrb_lint::lint_sources(&[
+        (
+            "crates/lrb-engine/src/fixture.rs",
+            include_str!("../fixtures/nondet_caller.rs"),
+        ),
+        (
+            "crates/lrb-support/src/lib.rs",
+            include_str!("../fixtures/nondet_taint.rs"),
+        ),
+    ]);
+    assert_eq!(
+        triples(&findings),
+        vec![("no-nondeterminism", 6, 16)],
+        "{findings:#?}"
+    );
+    assert!(
+        findings[0]
+            .message
+            .contains("`epoch_seed` -> `wall_clock_nanos`"),
+        "{}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn arith_flow_tracks_loads_through_lets_and_call_slots() {
+    // `load` flows through a let binding named `w` into `helper`'s
+    // `amount` parameter; the bare `+` there is flagged even though no
+    // operand is loadish-named. The u128-widened product is exempt, and
+    // the allow-annotated sum is eaten (proving the allow is live, not
+    // stale).
+    let findings = lrb_lint::lint_sources(&[(
+        "crates/lrb-core/src/flow.rs",
+        include_str!("../fixtures/arith_flow.rs"),
+    )]);
+    assert_eq!(
+        triples(&findings),
+        vec![("checked-arith", 10, 12)],
+        "{findings:#?}"
+    );
+    assert!(
+        findings[0].message.contains("load-typed by dataflow"),
+        "{}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn stale_and_malformed_suppressions_are_hard_errors() {
+    let findings = lrb_lint::lint_sources(&[(
+        "crates/lrb-harness/src/fixture.rs",
+        include_str!("../fixtures/stale_allow.rs"),
+    )]);
+    assert_eq!(
+        triples(&findings),
+        vec![("stale-suppression", 5, 5), ("allow-syntax", 10, 5)],
+        "{findings:#?}"
+    );
+}
+
+#[test]
 fn real_workspace_is_clean() {
     // The repo itself must satisfy its own linter; run from the crate dir,
     // the workspace root is two levels up.
@@ -191,6 +310,25 @@ fn real_workspace_is_clean() {
         .join("../..")
         .canonicalize()
         .expect("workspace root exists");
-    let findings = lrb_lint::lint_workspace(&root).expect("workspace walk succeeds");
-    assert!(findings.is_empty(), "{findings:#?}");
+    let analysis = lrb_lint::analyze_workspace(&root, &lrb_obs::NoopRecorder, &lrb_obs::NoopTracer)
+        .expect("workspace walk succeeds");
+    assert!(analysis.findings.is_empty(), "{:#?}", analysis.findings);
+    // Vacuity guards: an empty call graph would make every reachability
+    // pass trivially clean. The real workspace has thousands of resolved
+    // edges and a live suppression inventory.
+    assert!(
+        analysis.graph.functions > 500,
+        "suspiciously few functions: {:?}",
+        analysis.graph
+    );
+    assert!(
+        analysis.graph.edges > 1000,
+        "suspiciously few call edges: {:?}",
+        analysis.graph
+    );
+    assert!(
+        !analysis.suppressions.is_empty() && analysis.suppressions.iter().all(|s| s.used),
+        "every committed allow must be live: {:#?}",
+        analysis.suppressions
+    );
 }

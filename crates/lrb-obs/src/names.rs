@@ -208,3 +208,20 @@ pub const COMPETE_ORACLE_SOLVES: &str = "compete.oracle_solves";
 pub const COMPETE_RATIO: &str = "compete.ratio_x1000";
 /// Jobs migrated across all compete cells.
 pub const COMPETE_MOVES: &str = "compete.moves";
+
+/// Whole semantic-lint analyzer run (parse + graph + passes).
+pub const LINT_RUN: &str = "lint.run";
+/// Lint lexing + item parsing, one span per file (payload: file index).
+pub const LINT_PARSE: &str = "lint.parse";
+/// Call-graph construction and name resolution.
+pub const LINT_GRAPH: &str = "lint.graph";
+/// One reachability/taint pass (payload: pass index).
+pub const LINT_PASS: &str = "lint.pass";
+/// Files analyzed by the linter.
+pub const LINT_FILES: &str = "lint.files";
+/// Function items parsed by the linter.
+pub const LINT_FUNCTIONS: &str = "lint.functions";
+/// Call-graph edges resolved by the linter.
+pub const LINT_EDGES: &str = "lint.edges";
+/// Findings surviving suppression.
+pub const LINT_FINDINGS: &str = "lint.findings";

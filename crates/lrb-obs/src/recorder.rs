@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 use std::time::Instant;
 
 use crate::snapshot::{
@@ -51,6 +51,7 @@ pub trait Recorder {
             recorder: self,
             phase,
             start: if Self::ENABLED {
+                // lint: allow(no-nondeterminism, phase timing is telemetry; durations never feed solve results)
                 Some(Instant::now())
             } else {
                 None
@@ -163,12 +164,15 @@ fn handle<T>(
     name: &str,
     make: impl FnOnce() -> T,
 ) -> Arc<T> {
-    if let Some(h) = map.read().expect("obs registry poisoned").get(name) {
+    // A poisoned registry lock only means some other thread panicked
+    // mid-insert; the map itself is still structurally sound, so recover
+    // the guard instead of cascading the panic into solver callers.
+    if let Some(h) = map.read().unwrap_or_else(PoisonError::into_inner).get(name) {
         return Arc::clone(h);
     }
     Arc::clone(
         map.write()
-            .expect("obs registry poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .entry(name.to_string())
             .or_insert_with(|| Arc::new(make())),
     )

@@ -201,7 +201,7 @@ impl Tracer for ThreadTracer {
     const ENABLED: bool = true;
 
     fn enter(&self, name: &'static str, v: u64, sched: bool) {
-        // lint: allow(no-nondeterminism, trace timestamps are excluded from the determinism hash)
+        // Trace timestamps are excluded from the determinism hash.
         let ts_nanos = self.now_nanos();
         let mut events = self.events.borrow_mut();
         self.open.borrow_mut().push(events.len());
@@ -218,7 +218,7 @@ impl Tracer for ThreadTracer {
     }
 
     fn exit(&self) {
-        // lint: allow(no-nondeterminism, trace timestamps are excluded from the determinism hash)
+        // Trace timestamps are excluded from the determinism hash.
         let now = self.now_nanos();
         if let Some(idx) = self.open.borrow_mut().pop() {
             let ev = &mut self.events.borrow_mut()[idx];
@@ -229,7 +229,7 @@ impl Tracer for ThreadTracer {
     }
 
     fn instant(&self, name: &'static str, v: u64, sched: bool) {
-        // lint: allow(no-nondeterminism, trace timestamps are excluded from the determinism hash)
+        // Trace timestamps are excluded from the determinism hash.
         let ts_nanos = self.now_nanos();
         self.events.borrow_mut().push(SpanEvent {
             name,
@@ -260,7 +260,7 @@ impl Recorder for ThreadTracer {
     fn observe(&self, _histogram: &'static str, _value: u64) {}
 
     fn record_duration(&self, phase: &'static str, nanos: u64) {
-        // lint: allow(no-nondeterminism, trace timestamps are excluded from the determinism hash)
+        // Trace timestamps are excluded from the determinism hash.
         let end = self.now_nanos();
         self.events.borrow_mut().push(SpanEvent {
             name: phase,
@@ -285,7 +285,7 @@ impl TraceCollector {
     /// Collector with a main lane (tid 0) and `workers.max(1)` worker lanes
     /// (tids `1..=workers`).
     pub fn new(workers: usize) -> Self {
-        // lint: allow(no-nondeterminism, trace timebase origin)
+        // Trace timebase origin; timestamps never feed the determinism hash.
         let origin = Instant::now();
         let lanes = (0..=workers.max(1))
             .map(|tid| ThreadTracer::new(tid as u32, origin))

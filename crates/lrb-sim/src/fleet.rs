@@ -66,7 +66,7 @@ pub fn run_fleet_recorded<R: Recorder + Sync>(cfg: &FleetConfig, rec: &R) -> Vec
     let engine_cfg = EngineConfig::with_threads(cfg.threads);
 
     for epoch in 0..max_epochs {
-        // lint: allow(no-nondeterminism, clock feeds lockstep-epoch telemetry only)
+        // The clock feeds lockstep-epoch telemetry only.
         let lockstep_started = R::ENABLED.then(std::time::Instant::now);
         // Snapshot every still-running farm into one batch.
         let mut active: Vec<usize> = Vec::new();

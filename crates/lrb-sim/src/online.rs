@@ -613,7 +613,7 @@ pub fn run_online_fleet_recorded<R: Recorder + Sync>(
     );
 
     for epoch in 0..max_epochs {
-        // lint: allow(no-nondeterminism, clock feeds lockstep-epoch telemetry only)
+        // The clock feeds lockstep-epoch telemetry only.
         let lockstep_started = R::ENABLED.then(Instant::now);
         let mut active: Vec<usize> = Vec::new();
         let mut items: Vec<BatchItem> = Vec::new();

@@ -228,12 +228,31 @@ if [ "$digest_a" != "$digest_b" ] || ! grep -q '"digests"' <<<"$digest_a"; then
     exit 1
 fi
 
-# Static invariant gate (PR-6): lrb-lint must find zero violations of the
-# workspace rules (no-nondeterminism, no-panic-core, checked-arith,
-# obs-name-registry, unsafe-audit, schema-key-pinning).
-run cargo run -q --release --offline -p lrb-lint --bin lrb-lint -- --root .
+# Static invariant gate (PR-5, semantic passes PR-10): lrb-lint must find
+# zero violations of the workspace rules — the lexical layer
+# (no-nondeterminism, no-panic-core, checked-arith, obs-name-registry,
+# unsafe-audit, schema-key-pinning) plus the call-graph passes
+# (panic-reachability, nondeterminism taint, checked-arith dataflow,
+# stale-suppression) — and its LINT_1.json report must carry the pinned
+# schema over a non-vacuous call graph.
+lint_tmp="$(mktemp -d)"
+trap 'rm -f "$bench_tmp" "$bench_slow_tmp" "$trace_tmp" "$online_tmp" "$hetero_tmp" "$compete_tmp"; rm -rf "$serve_tmp" "$lint_tmp"' EXIT
+run cargo run -q --release --offline -p lrb-lint --bin lrb-lint -- \
+    --root . --report "$lint_tmp/LINT_1.json"
+if ! grep -q '"schema_version": 1' "$lint_tmp/LINT_1.json"; then
+    echo "lint report gate failed: missing schema_version 1" >&2
+    exit 1
+fi
+if ! grep -q '"findings": \[\],' "$lint_tmp/LINT_1.json"; then
+    echo "lint report gate failed: findings are not empty" >&2
+    exit 1
+fi
+if grep -q '"edges": 0' "$lint_tmp/LINT_1.json"; then
+    echo "lint report gate failed: empty call graph (vacuous analysis)" >&2
+    exit 1
+fi
 
-# Concurrency-schedule gate (PR-6): the work-stealing engine must produce
+# Concurrency-schedule gate (PR-5): the work-stealing engine must produce
 # bit-identical results under seeded pathological schedules (steal storms,
 # single-slot stripes, adversarial yields) across 8 seeds.
 run cargo run -q --release --offline -p lrb-lint --bin lrb-lint -- \
